@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each module regenerates one experiment from EXPERIMENTS.md; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benches both *measure* (via pytest-benchmark) and *assert the shape* of
+the paper's result (who wins, monotonicity, elimination of warnings) —
+absolute numbers are environment-specific and not checked.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render the rows an experiment reports, paper-style."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,76 @@
+"""E5 — block-result caching (paper Section 4.3).
+
+Paper claim: "it can be quite costly to analyze that block repeatedly,
+so we cache the calling context and the results of the analysis for that
+block, and we reuse the results when the block is called again with a
+compatible calling context."
+
+Reproduced rows: symbolic-block executions and cache hits, with caching
+on vs. off, as the number of call sites of one symbolic function grows.
+"""
+
+import pytest
+
+from repro.mixy import Mixy, MixyConfig
+
+from conftest import print_table
+
+
+def program(n_sites: int) -> str:
+    callers = "\n".join(
+        f"void caller_{i}(void) {{ helper((int *) malloc(sizeof(int))); }}"
+        for i in range(n_sites)
+    )
+    calls = "\n".join(f"  caller_{i}();" for i in range(n_sites))
+    return f"""
+    void sysutil_free(void *nonnull p_ptr) MIX(typed);
+    void helper(int *p) MIX(symbolic) {{
+      if (p != NULL) {{ sysutil_free(p); }}
+    }}
+    {callers}
+    int main(void) {{
+    {calls}
+      return 0;
+    }}
+    """
+
+
+def run(n_sites: int, cache: bool):
+    mixy = Mixy(program(n_sites), MixyConfig(enable_cache=cache))
+    warnings = mixy.run()
+    assert warnings == []
+    return mixy
+
+
+@pytest.mark.parametrize("n_sites", [2, 6])
+@pytest.mark.parametrize("cache", [True, False], ids=["cached", "uncached"])
+def test_bench_caching(benchmark, n_sites, cache):
+    benchmark(run, n_sites, cache)
+
+
+def test_cache_reduces_block_runs():
+    cached = run(6, cache=True)
+    uncached = run(6, cache=False)
+    assert cached.stats["cache_hits"] >= 1
+    assert cached.stats["symbolic_blocks_run"] < uncached.stats["symbolic_blocks_run"]
+
+
+def test_report_cache_table(capsys):
+    rows = []
+    for n in (1, 2, 4, 8):
+        cached = run(n, cache=True)
+        uncached = run(n, cache=False)
+        rows.append(
+            [
+                n,
+                cached.stats["symbolic_blocks_run"],
+                cached.stats["cache_hits"],
+                uncached.stats["symbolic_blocks_run"],
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E5: block caching (paper §4.3)",
+            ["call sites", "block runs (cached)", "cache hits", "block runs (uncached)"],
+            rows,
+        )

@@ -1,0 +1,61 @@
+"""E1 — the four vsftpd case studies (paper Section 4.5).
+
+Paper result: pure type qualifier inference reports a false warning on
+each pattern; adding the paper's MIX(symbolic)/MIX(typed) annotations
+eliminates it.  Reproduced rows: warnings without vs. with annotations
+per case, plus the per-case analysis cost.
+"""
+
+import pytest
+
+from repro.mixy import Mixy
+from repro.mixy.corpus import CASES
+
+from conftest import print_table
+
+
+def analyze(name: str, annotated: bool):
+    mixy = Mixy(CASES[name].source(annotated))
+    warnings = mixy.run(entry="typed", entry_function="main")
+    return mixy, warnings
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_case_shape(name):
+    """Shape assertion: unannotated warns, annotated is clean."""
+    _, plain = analyze(name, annotated=False)
+    _, mixed = analyze(name, annotated=True)
+    assert len(plain) >= 1
+    assert mixed == []
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("annotated", [False, True], ids=["plain", "mixed"])
+def test_bench_case(benchmark, name, annotated):
+    mixy, warnings = benchmark(analyze, name, annotated)
+    expected_clean = annotated
+    assert (warnings == []) == expected_clean
+
+
+def test_report_case_table(capsys):
+    rows = []
+    for name in sorted(CASES):
+        _, plain = analyze(name, annotated=False)
+        mixy, mixed = analyze(name, annotated=True)
+        rows.append(
+            [
+                name,
+                CASES[name].title[:44],
+                len(plain),
+                len(mixed),
+                mixy.stats["symbolic_blocks_run"],
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E1: vsftpd case studies (paper §4.5)",
+            ["case", "pattern", "warnings (pure)", "warnings (MIX)", "blocks run"],
+            rows,
+        )
+    for row in rows:
+        assert row[2] >= 1 and row[3] == 0

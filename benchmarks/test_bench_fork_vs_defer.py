@@ -1,0 +1,78 @@
+"""E4 — deferral versus execution at conditionals (paper Section 3.1,
+"Deferral Versus Execution").
+
+Paper claim: forking (SEIf-True/False) explores one path per feasible
+branch combination — exponential in the number of independent branches —
+while SEIf-Defer produces a single execution whose value carries the
+disjunctions, "which then may be hard to solve efficiently"; the choice
+"trades off the amount of work done between the symbolic executor and
+the underlying SMT solver".
+
+Reproduced rows: paths explored and solver calls under both strategies
+as the number of independent conditionals k grows.
+"""
+
+import pytest
+
+from repro.core import MixConfig, analyze_source
+from repro.symexec import IfStrategy, SymConfig
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL
+
+from conftest import print_table
+
+
+def program(k: int) -> str:
+    """k independent branches summed: 2^k paths when forking."""
+    parts = [f"(if p{i} then 1 else 0)" for i in range(k)]
+    return "{s " + " + ".join(parts) + " s}"
+
+
+def env(k: int) -> TypeEnv:
+    return TypeEnv({f"p{i}": BOOL for i in range(k)})
+
+
+def run(k: int, strategy: IfStrategy):
+    config = MixConfig(sym=SymConfig(if_strategy=strategy, prune_infeasible=False))
+    report = analyze_source(program(k), env=env(k), config=config)
+    assert report.ok
+    return report
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+@pytest.mark.parametrize("strategy", [IfStrategy.FORK, IfStrategy.DEFER], ids=["fork", "defer"])
+def test_bench_strategy(benchmark, k, strategy):
+    benchmark(run, k, strategy)
+
+
+def test_fork_paths_exponential_defer_constant():
+    for k in (2, 4, 6):
+        fork = run(k, IfStrategy.FORK)
+        defer = run(k, IfStrategy.DEFER)
+        assert fork.stats["paths_explored"] == 2**k
+        assert defer.stats["paths_explored"] == 1
+        assert defer.stats["sym_merges"] == k
+
+
+def test_report_strategy_table(capsys):
+    rows = []
+    for k in (1, 2, 3, 4, 5, 6, 7, 8):
+        fork = run(k, IfStrategy.FORK)
+        defer = run(k, IfStrategy.DEFER)
+        rows.append(
+            [
+                k,
+                fork.stats["paths_explored"],
+                defer.stats["paths_explored"],
+                fork.stats["sym_forks"],
+                defer.stats["sym_merges"],
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E4: fork (SEIf-True/False) vs defer (SEIf-Defer)",
+            ["k branches", "fork paths", "defer paths", "forks", "merges"],
+            rows,
+        )
+    # Crossover claim: fork's path count explodes, defer's stays flat.
+    assert rows[-1][1] == 256 and rows[-1][2] == 1

@@ -1,0 +1,137 @@
+"""E3 — the Section 2 motivating idioms.
+
+Paper result: each idiom is a false positive (or a failure) for one
+analysis alone, and is handled by MIX with the paper's block placement.
+Rows: per idiom, the pure-type-checking verdict, the pure-symbolic
+verdict where applicable, and the MIX verdict.
+"""
+
+import pytest
+
+from repro.core import analyze_source
+from repro.lang import parse
+from repro.typecheck import TypeEnv, TypeError_, check_expr
+from repro.typecheck.types import BOOL, INT, FunType
+
+from conftest import print_table
+
+ENV = TypeEnv(
+    {
+        "x": INT,
+        "p": BOOL,
+        "f": FunType(INT, INT),
+        "z": INT,
+        "n": INT,
+        "multithreaded": BOOL,
+        "fork": INT,
+        "lock": INT,
+        "unlock": INT,
+        "work1": INT,
+        "work2": INT,
+    }
+)
+
+# (name, plain source that pure typing rejects / symex fails on,
+#  mixed source with the paper's block placement)
+IDIOMS = [
+    (
+        "unreachable code",
+        'if true then 5 else "foo" + 3',
+        '{s if true then {t 5 t} else {t "foo" + 3 t} s}',
+    ),
+    (
+        "flow-sensitive reuse",
+        None,  # expressible only with the blocks
+        "{s let v = ref 1 in {t !v + 1 t}; v := 2; !v s}",
+    ),
+    (
+        "null-then-malloc analog",
+        None,
+        "{s let v = ref 1 in v := 1 = 1; v := 7; {t !v + 1 t} s}",
+    ),
+    (
+        "sign refinement",
+        None,
+        "{s if 0 < x then {t x + 1 t} else if x = 0 then {t 0 t} else {t 0 - x t} s}",
+    ),
+    (
+        "helping symex: unknown function",
+        "{s f 1 + 1 s}",
+        "{s {t f 1 t} + 1 s}",
+    ),
+    (
+        "helping symex: nonlinear operation",
+        "{s z * z s}",
+        "{s {t z * z t} s}",
+    ),
+    (
+        "helping symex: long-running loop",
+        "{s let i = ref 0 in while !i < n do i := !i + 1 done; !i s}",
+        "{s {t let i = ref 0 in while !i < n do i := !i + 1 done; !i t} s}",
+    ),
+    (
+        "intro: multithreaded fork/lock",
+        None,
+        """
+        {s
+          (if multithreaded then {t fork t} else {t 0 t});
+          {t work1 t};
+          (if multithreaded then {t lock t} else {t 0 t});
+          {t work2 t};
+          (if multithreaded then {t unlock t} else {t 0 t})
+        s}
+        """,
+    ),
+]
+
+
+def pure_verdict(source):
+    if source is None:
+        return "n/a"
+    try:
+        check_expr(parse(source.replace("{s", "(").replace("s}", ")")
+                          .replace("{t", "(").replace("t}", ")")), ENV)
+        return "accepts"
+    except TypeError_:
+        return "rejects"
+
+
+@pytest.mark.parametrize("name,plain,mixed", IDIOMS, ids=[i[0] for i in IDIOMS])
+def test_mixed_accepts(name, plain, mixed):
+    report = analyze_source(mixed, env=ENV)
+    assert report.ok, f"{name}: {report}"
+    if plain is not None:
+        bare = analyze_source(plain, env=ENV)
+        assert not bare.ok, f"{name}: expected the un-mixed version to fail"
+
+
+@pytest.mark.parametrize("name,plain,mixed", IDIOMS, ids=[i[0] for i in IDIOMS])
+def test_bench_idiom(benchmark, name, plain, mixed):
+    report = benchmark(analyze_source, mixed, env=ENV)
+    assert report.ok
+
+
+def test_report_idiom_table(capsys):
+    rows = []
+    for name, plain, mixed in IDIOMS:
+        mixed_report = analyze_source(mixed, env=ENV)
+        plain_verdict = (
+            ("accepts" if analyze_source(plain, env=ENV).ok else "rejects")
+            if plain is not None
+            else pure_verdict(mixed)
+        )
+        rows.append(
+            [
+                name,
+                plain_verdict,
+                "accepts" if mixed_report.ok else "rejects",
+                mixed_report.stats.get("paths_explored", 0),
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E3: Section 2 idioms (single analysis vs MIX)",
+            ["idiom", "single analysis", "MIX", "paths"],
+            rows,
+        )
+    assert all(row[2] == "accepts" for row in rows)

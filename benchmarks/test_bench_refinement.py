@@ -1,0 +1,76 @@
+"""E9 (extension) — automatic block placement by refinement.
+
+The paper's future work (§4.6/§5): begin with typed blocks only and
+incrementally add symbolic blocks, "essentially using MIX as an
+intermediate language for combining analyses", in the spirit of
+abstraction refinement.
+
+Rows: for programs with k independent typed false positives, the number
+of refinement steps the loop needs and whether it converges — compared
+against the manual (oracle) placement.
+"""
+
+import pytest
+
+from repro.core import analyze, auto_place_blocks
+from repro.lang import parse
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import INT
+
+from conftest import print_table
+
+
+def program_with_dead_errors(k: int) -> str:
+    """k dead ill-typed branches; pure typing reports each, MIX needs k
+    symbolic blocks."""
+    lets = []
+    for i in range(k):
+        lets.append(f'let a{i} = (if true then 1 else "x" + {i}) in')
+    body = " + ".join(f"a{i}" for i in range(k)) if k else "0"
+    return "\n".join(lets) + "\n" + body
+
+
+def manual_placement(k: int) -> str:
+    lets = []
+    for i in range(k):
+        lets.append(f'let a{i} = {{s if true then {{t 1 t}} else {{t "x" + {i} t}} s}} in')
+    body = " + ".join(f"a{i}" for i in range(k)) if k else "0"
+    return "\n".join(lets) + "\n" + body
+
+
+def run_auto(k: int):
+    return auto_place_blocks(parse(program_with_dead_errors(k)), max_steps=k + 2)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_bench_refinement(benchmark, k):
+    result = benchmark(run_auto, k)
+    assert result.ok
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_refinement_matches_manual_oracle(k):
+    auto = run_auto(k)
+    manual = analyze(parse(manual_placement(k)))
+    assert auto.ok and manual.ok
+    assert auto.report.type == manual.type
+    assert len(auto.steps) == k  # one symbolic block per false positive
+
+
+def test_report_refinement_table(capsys):
+    rows = []
+    for k in (1, 2, 3, 4):
+        result = run_auto(k)
+        rows.append(
+            [
+                k,
+                len(result.steps),
+                "converged" if result.ok else "stuck",
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E9 (extension): automatic block placement",
+            ["false positives", "refinement steps", "outcome"],
+            rows,
+        )

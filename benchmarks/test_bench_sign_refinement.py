@@ -1,0 +1,80 @@
+"""E10 (extension) — the §2 sign-qualifier system under MIX.
+
+The paper sketches a sign qualifier lattice (pos/neg/zero/unknown) and
+shows symbolic execution refining signs across block boundaries.  This
+bench instantiates that system with a division-by-zero-freedom client
+and measures the precision gap: for programs with k guarded divisions,
+the pure qualified checker rejects every one (path-insensitive); the
+mixed analysis accepts all of them.
+"""
+
+import pytest
+
+from repro.lang import parse
+from repro.quals import QualTypeError, Sign, SignChecker, SignEnv, analyze_signs
+from repro.quals.checker import int_q
+
+from conftest import print_table
+
+
+def guarded_divisions(k: int, mixed: bool) -> str:
+    """k guarded divisions over distinct unknown ints.
+
+    Each guard is the paper's three-way sign split — the flat lattice has
+    no 'nonzero' element, so ``x != 0`` alone would not refine; the
+    pos/zero/neg test is exactly what the §2 example uses.
+    """
+    terms = []
+    for i in range(k):
+        if mixed:
+            terms.append(
+                f"{{s if 0 < x{i} then {{t 10 / x{i} t}} "
+                f"else if x{i} = 0 then {{t 1 t}} "
+                f"else {{t 10 / x{i} t}} s}}"
+            )
+        else:
+            terms.append(
+                f"(if 0 < x{i} then 10 / x{i} else if x{i} = 0 then 1 else 10 / x{i})"
+            )
+    return " + ".join(terms)
+
+
+def env(k: int) -> SignEnv:
+    return SignEnv({f"x{i}": int_q(Sign.UNKNOWN) for i in range(k)})
+
+
+def run_mixed(k: int):
+    return analyze_signs(guarded_divisions(k, mixed=True), env(k))
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_bench_sign_refinement(benchmark, k):
+    report = benchmark(run_mixed, k)
+    assert report.ok
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_pure_rejects_mixed_accepts(k):
+    with pytest.raises(QualTypeError):
+        SignChecker().check(parse(guarded_divisions(k, mixed=False)), env(k))
+    assert run_mixed(k).ok
+
+
+def test_report_sign_table(capsys):
+    rows = []
+    for k in (1, 2, 4, 8):
+        pure = "rejects"
+        try:
+            SignChecker().check(parse(guarded_divisions(k, mixed=False)), env(k))
+            pure = "accepts"
+        except QualTypeError:
+            pass
+        mixed = run_mixed(k)
+        rows.append([k, pure, "accepts" if mixed.ok else "rejects"])
+    with capsys.disabled():
+        print_table(
+            "E10 (extension): sign qualifiers — guarded divisions",
+            ["k divisions", "pure sign checking", "MIX (sign x symex)"],
+            rows,
+        )
+    assert all(r[1] == "rejects" and r[2] == "accepts" for r in rows)

@@ -1,0 +1,95 @@
+"""E7 — the SMT substrate on MIX's formula population.
+
+The paper ran STP under Otter; this repository substitutes
+:mod:`repro.smt`.  This bench characterizes the substitute on the three
+query families the mix rules issue: path-condition feasibility
+(is_satisfiable), exhaustiveness tautologies (is_valid of a disjunction
+of guards), and memory/array reads through store chains.
+"""
+
+import pytest
+
+from repro import smt
+
+from conftest import print_table
+
+x = smt.var("x", smt.INT)
+y = smt.var("y", smt.INT)
+mem = smt.var("m", smt.array_sort(smt.INT, smt.INT))
+
+
+def feasibility_queries(k: int) -> int:
+    sat = 0
+    for i in range(k):
+        formula = smt.and_(
+            smt.gt(x, smt.int_const(i)),
+            smt.lt(x, smt.int_const(i + 2)),
+            smt.eq(smt.add(x, y), smt.int_const(10)),
+        )
+        if smt.is_satisfiable(formula):
+            sat += 1
+    return sat
+
+
+def exhaustiveness_query(k: int) -> bool:
+    # k-way integer split: x < 0, x = 0, ..., x = k-2, x >= k-1.
+    guards = [smt.lt(x, smt.int_const(0))]
+    guards += [smt.eq(x, smt.int_const(i)) for i in range(k - 1)]
+    guards.append(smt.ge(x, smt.int_const(k - 1)))
+    return smt.is_valid(smt.or_(*guards))
+
+
+def store_chain_query(depth: int) -> bool:
+    array = mem
+    for i in range(depth):
+        array = smt.store(array, smt.int_const(i), smt.int_const(i * i))
+    read = smt.select(array, smt.int_const(depth - 1))
+    return smt.is_valid(smt.eq(read, smt.int_const((depth - 1) ** 2)))
+
+
+def symbolic_store_chain(depth: int) -> bool:
+    """Stores at symbolic indices force read-over-write case splits."""
+    indices = [smt.var(f"i{j}", smt.INT) for j in range(depth)]
+    array = mem
+    for idx in indices:
+        array = smt.store(array, idx, smt.int_const(7))
+    read = smt.select(array, indices[0])
+    # Reading the first-written index after later writes: value is 7 iff
+    # every later write either missed i0 or also wrote 7 — always 7 here.
+    return smt.is_valid(smt.eq(read, smt.int_const(7)))
+
+
+def test_bench_feasibility(benchmark):
+    assert benchmark(feasibility_queries, 20) == 20
+
+
+@pytest.mark.parametrize("k", [4, 16])
+def test_bench_exhaustiveness(benchmark, k):
+    assert benchmark(exhaustiveness_query, k)
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_bench_store_chain(benchmark, depth):
+    assert benchmark(store_chain_query, depth)
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_bench_symbolic_stores(benchmark, depth):
+    assert benchmark(symbolic_store_chain, depth)
+
+
+def test_report_smt_table(capsys):
+    import time
+
+    rows = []
+    for label, fn, arg in (
+        ("feasibility x20", feasibility_queries, 20),
+        ("exhaustive k=16", exhaustiveness_query, 16),
+        ("store chain d=16", store_chain_query, 16),
+        ("symbolic stores d=4", symbolic_store_chain, 4),
+    ):
+        start = time.perf_counter()
+        fn(arg)
+        rows.append([label, f"{(time.perf_counter() - start) * 1000:.1f} ms"])
+    with capsys.disabled():
+        print_table("E7: SMT substrate query families", ["query", "time"], rows)

@@ -1,0 +1,63 @@
+"""E2' — the §4.6 cost/precision sweep at a more vsftpd-like scale.
+
+Same claim as E2, run over the miniature multi-module vsftpd
+(`repro.mixy.corpus_vsftpd`, ~30 functions across tunables / sysutil /
+sysstr / syssock / session / netio / postlogin / main), with the
+annotation schedule following the paper's four case studies one by one.
+"""
+
+import pytest
+
+from repro.mixy import Mixy
+from repro.mixy.corpus_vsftpd import annotation_subsets, mini_vsftpd
+
+from conftest import print_table
+
+SCHEDULE = annotation_subsets()
+
+
+def analyze(n_sites: int):
+    mixy = Mixy(mini_vsftpd(SCHEDULE[n_sites]))
+    warnings = mixy.run()
+    return mixy, warnings
+
+
+@pytest.mark.parametrize("n_sites", [0, 2, 4])
+def test_bench_vsftpd_scale(benchmark, n_sites):
+    benchmark(analyze, n_sites)
+
+
+def test_precision_and_cost_shape():
+    counts = []
+    costs = []
+    for n in range(len(SCHEDULE)):
+        mixy, warnings = analyze(n)
+        counts.append(len(warnings))
+        costs.append(
+            mixy.executor.stats["solver_calls"] + mixy.stats["symbolic_blocks_run"]
+        )
+    assert counts[0] == 4 and counts[-1] == 0
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert all(a < b for a, b in zip(costs, costs[1:]))
+
+
+def test_report_vsftpd_table(capsys):
+    rows = []
+    for n, subset in enumerate(SCHEDULE):
+        mixy, warnings = analyze(n)
+        rows.append(
+            [
+                n,
+                ", ".join(sorted(subset)) or "(none)",
+                len(warnings),
+                f"{mixy.stats['analysis_seconds']:.3f}",
+                mixy.executor.stats["solver_calls"],
+                mixy.stats["symbolic_blocks_run"],
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E2': mini-vsftpd annotation schedule (paper §4.5/§4.6)",
+            ["#", "annotated sites", "warnings", "seconds", "solver calls", "block runs"],
+            rows,
+        )

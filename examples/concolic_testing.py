@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Concolic test generation: the DART/CUTE style the paper situates its
+executor against (§3.1).
+
+The same symbolic-execution rules, driven by concrete runs: each run
+follows one path, the solver negates a branch decision to get fresh
+inputs, and deep, guard-protected bugs fall out with witnesses.
+
+Run:  python examples/concolic_testing.py
+"""
+
+from repro.lang import parse
+from repro.symexec import ConcolicDriver
+from repro.typecheck.types import BOOL, INT
+
+
+def main() -> None:
+    # A bug hiding behind an equality guard: random testing has a ~1 in
+    # 2^64 chance; concolic derives x = 1234 from the branch condition.
+    source = """
+    if x = 1234 then
+      (if p then 1 + true else 0)
+    else
+      (if x < 0 then 0 - x else x)
+    """
+    driver = ConcolicDriver(parse(source), {"x": INT, "p": BOOL})
+    report = driver.explore()
+    print(f"runs: {len(report.runs)}   distinct paths: {report.paths_covered}")
+    for run in report.runs:
+        status = "ok" if run.ok else f"FAILS: {run.outcome.error}"
+        decisions = " & ".join(str(d) for d in run.decisions) or "(no branches)"
+        print(f"  inputs {run.inputs}  path [{decisions}]  {status}")
+    print("\nfailures with witnesses:")
+    for inputs, message in report.failures:
+        print(f"  {inputs} -> {message}")
+    assert any(inputs["x"] == 1234 for inputs, _ in report.failures)
+
+    # Loops: each new input extends the path one iteration further.
+    loop = "let r = ref 0 in while !r < n do r := !r + 1 done; !r"
+    report = ConcolicDriver(parse(loop), {"n": INT}, max_runs=5).explore()
+    print(f"\nloop exploration: inputs tried = {[r.inputs['n'] for r in report.runs]}")
+
+
+if __name__ == "__main__":
+    main()

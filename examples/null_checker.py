@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""MIXY: finding null-pointer errors in C by mixing qualifier inference
+with symbolic execution (paper Section 4).
+
+This walks the paper's own worked example — the ``free``/``id`` snippet
+whose qualifier constraints force ``null = nonnull`` — then shows how a
+``MIX(symbolic)`` annotation removes a false positive that flow- and
+path-insensitive inference cannot avoid.
+
+Run:  python examples/null_checker.py
+"""
+
+from repro.mixy import Mixy
+
+
+def main() -> None:
+    # --- The paper's Section 4 example: a real error -------------------
+    buggy = """
+    void free(int *nonnull x);
+    int *id(int *p) { return p; }
+    int main(void) {
+      int *x = NULL;
+      int *y = id(x);
+      free(y);
+      return 0;
+    }
+    """
+    warnings = Mixy(buggy).run(entry="typed", entry_function="main")
+    print("paper's free/id example (a real NULL flow):")
+    for w in warnings:
+        print("  ", w)
+    assert len(warnings) == 1
+
+    # --- A false positive removed by a symbolic block ------------------
+    # sockaddr_clear frees its target only under a null check and only
+    # *before* nulling it; flow/path-insensitive inference cannot see
+    # either fact.
+    template = """
+    struct sockaddr {{ int family; }};
+    void sysutil_free(void *nonnull p_ptr) MIX(typed);
+    void sockaddr_clear(struct sockaddr **p_sock) {annotation} {{
+      if (*p_sock != NULL) {{
+        sysutil_free(*p_sock);
+        *p_sock = NULL;
+      }}
+    }}
+    int main(void) {{
+      struct sockaddr *p = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+      sockaddr_clear(&p);
+      return 0;
+    }}
+    """
+    plain = Mixy(template.format(annotation="")).run()
+    print("\nsockaddr_clear, pure qualifier inference:")
+    for w in plain:
+        print("  ", str(w)[:120])
+    print(f"  -> {len(plain)} false positive(s)")
+
+    mixed = Mixy(template.format(annotation="MIX(symbolic)")).run()
+    print("\nsockaddr_clear with MIX(symbolic):")
+    print(f"  -> {len(mixed)} warning(s) — the symbolic executor proves the")
+    print("     argument non-null at the sysutil_free call")
+    assert plain and not mixed
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The introduction's motivating example: locally adding path
+sensitivity to a path-insensitive analysis.
+
+The paper opens with a program that forks and locks only when
+``multithreaded`` is true.  A path-insensitive type-based analysis
+conflates both configurations; wrapping the program in a symbolic block
+makes the analysis explore each setting of ``multithreaded``
+independently, while the bulk of the code stays cheaply type checked
+inside typed blocks.
+
+Run:  python examples/path_sensitivity.py
+"""
+
+from repro.core import analyze_source
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL, INT
+
+
+def main() -> None:
+    program = """
+    {s
+      (if multithreaded then {t fork t} else {t 0 t});
+      {t work1 t};
+      (if multithreaded then {t lock t} else {t 0 t});
+      {t work2 t};
+      (if multithreaded then {t unlock t} else {t 0 t})
+    s}
+    """
+    env = TypeEnv(
+        {
+            "multithreaded": BOOL,
+            "fork": INT,
+            "lock": INT,
+            "unlock": INT,
+            "work1": INT,
+            "work2": INT,
+        }
+    )
+    report = analyze_source(program, env=env)
+    print("intro example:", report)
+    print(
+        "the type checker ran",
+        report.stats["typed_blocks"],
+        "times (once per typed block per feasible path) —",
+        "\n'these block annotations effectively cause the type-based analysis",
+        "to be run twice, once for each possible setting of multithreaded'",
+    )
+    assert report.ok
+
+    # Flow sensitivity: a reference reused at two points in time.  The
+    # symbolic executor distinguishes the two assignments; the typed block
+    # in between is checked against the value's type at that point.
+    reuse = "{s let v = ref 1 in {t !v + 1 t}; v := 2; !v s}"
+    print("\nflow-sensitive reuse:", analyze_source(reuse))
+
+    # Local initialization: the symbolic block tolerates the temporarily
+    # ill-typed placeholder because the well-typed overwrite erases it
+    # before any read (the paper's Overwrite-OK rule).
+    init = "{s let v = ref 1 in v := 1 = 1; v := 7; {t !v + 1 t} s}"
+    print("local init (ill-typed placeholder overwritten):", analyze_source(init))
+
+    # Without the overwrite the ⊢ m ok check correctly rejects entry to
+    # the typed block:
+    broken = "{s let v = ref 1 in v := 1 = 1; {t !v + 1 t} s}"
+    print("persisting ill-typed write:", analyze_source(broken))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation (Section 4.5): the four vsftpd case
+studies, before and after adding the paper's MIX annotations, plus the
+cost-versus-blocks sweep of Section 4.6.
+
+Run:  python examples/vsftpd_audit.py
+"""
+
+from repro.mixy import Mixy
+from repro.mixy.corpus import CASES, combined_program
+
+
+def main() -> None:
+    print("Case studies (paper Section 4.5)")
+    print("=" * 72)
+    for name in sorted(CASES):
+        case = CASES[name]
+        plain = Mixy(case.source(False)).run()
+        mixy = Mixy(case.source(True))
+        mixed = mixy.run()
+        print(f"\n{name}: {case.title}")
+        print(f"  pure inference : {len(plain)} warning(s)")
+        for w in plain:
+            print(f"      {str(w)[:110]}")
+        print(
+            f"  with MIX blocks: {len(mixed)} warning(s)   "
+            f"(symbolic blocks run: {mixy.stats['symbolic_blocks_run']}, "
+            f"solver calls: {mixy.executor.stats['solver_calls']})"
+        )
+
+    print("\nCost versus number of symbolic blocks (paper Section 4.6)")
+    print("=" * 72)
+    print(f"{'blocks':>7} {'warnings':>9} {'seconds':>9} {'solver calls':>13}")
+    for n in (0, 1, 2):
+        mixy = Mixy(combined_program(n))
+        warnings = mixy.run()
+        print(
+            f"{n:>7} {len(warnings):>9} "
+            f"{mixy.stats['analysis_seconds']:>9.4f} "
+            f"{mixy.executor.stats['solver_calls']:>13}"
+        )
+    print(
+        "\npaper's shape: each added block costs more analysis time and\n"
+        "removes one false positive (<1s / 5-25s / ~60s on their testbed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

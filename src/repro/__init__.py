@@ -1,0 +1,30 @@
+"""repro — a reproduction of *Mixing Type Checking and Symbolic
+Execution* (Khoo, Chang, Foster; PLDI 2010).
+
+Top-level map (see README.md and docs/ARCHITECTURE.md):
+
+- :mod:`repro.smt` — the SMT solver substrate (substitute for STP);
+- :mod:`repro.lang` — the MIX source language, parser, and concrete
+  big-step semantics;
+- :mod:`repro.typecheck` — the off-the-shelf type checker;
+- :mod:`repro.symexec` — the off-the-shelf symbolic executor (plus the
+  concolic driver and the executable soundness relations);
+- :mod:`repro.core` — MIX itself: the mix rules, the analysis driver,
+  and automatic block placement;
+- :mod:`repro.quals` — the §2 sign-qualifier system mixed with symbolic
+  execution;
+- :mod:`repro.mixy` — MIXY, the C prototype: mini-C frontend, null/
+  nonnull qualifier inference, Andersen points-to, C symbolic executor,
+  the §4.1–4.4 switching machinery, and the vsftpd-like corpora;
+- :mod:`repro.cli` — command-line front ends.
+
+Quick start::
+
+    from repro.core import analyze_source
+    report = analyze_source('{s if true then {t 5 t} else {t "x" + 1 t} s}')
+    assert report.ok
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

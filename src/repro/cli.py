@@ -1,0 +1,160 @@
+"""Command-line interface for the MIX and MIXY analyzers.
+
+Usage::
+
+    python -m repro.cli mix PROGRAM.mix [--entry typed|symbolic]
+                                        [--env "x:int,p:bool"]
+                                        [--defer] [--good-enough]
+                                        [--auto-refine]
+    python -m repro.cli mixy PROGRAM.c  [--entry typed|symbolic]
+                                        [--entry-function main]
+                                        [--strict-deref]
+
+Exit status: 0 when the analysis accepts / reports no warnings, 1 when
+it rejects or warns, 2 on usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import MixConfig, SoundnessMode, analyze, auto_place_blocks
+from repro.lang.parser import ParseError, parse, parse_type
+from repro.lang.lexer import LexError
+from repro.symexec import IfStrategy, SymConfig
+from repro.typecheck.types import TypeEnv
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MIX / MIXY static analysis (PLDI 2010 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mix = sub.add_parser("mix", help="analyze a MIX-language program")
+    mix.add_argument("file", help="program file ('-' for stdin)")
+    mix.add_argument("--entry", choices=["typed", "symbolic"], default="typed")
+    mix.add_argument(
+        "--env",
+        default="",
+        help="comma-separated free-variable types, e.g. 'x:int,p:bool,r:int ref'",
+    )
+    mix.add_argument(
+        "--defer",
+        action="store_true",
+        help="use the SEIf-Defer rule instead of forking at conditionals",
+    )
+    mix.add_argument(
+        "--good-enough",
+        action="store_true",
+        help="bounded (unsound) exploration instead of the exhaustiveness check",
+    )
+    mix.add_argument(
+        "--auto-refine",
+        action="store_true",
+        help="insert typed/symbolic blocks automatically on failure",
+    )
+    mix.add_argument("--max-unroll", type=int, default=64)
+
+    mixy = sub.add_parser("mixy", help="analyze a mini-C program for null errors")
+    mixy.add_argument("file", help="C source file ('-' for stdin)")
+    mixy.add_argument("--entry", choices=["typed", "symbolic"], default="typed")
+    mixy.add_argument("--entry-function", default="main")
+    mixy.add_argument(
+        "--strict-deref",
+        action="store_true",
+        help="require nonnull at every dereference (not just annotations)",
+    )
+    mixy.add_argument("--no-cache", action="store_true", help="disable block caching")
+
+    args = parser.parse_args(argv)
+    try:
+        source = _read(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.command == "mix":
+        return _run_mix(args, source)
+    return _run_mixy(args, source)
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_env(spec: str) -> TypeEnv:
+    bindings = {}
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        name, _, type_text = item.partition(":")
+        if not type_text:
+            raise ValueError(f"bad --env entry {item!r}; expected name:type")
+        bindings[name.strip()] = parse_type(type_text.strip())
+    return TypeEnv(bindings)
+
+
+def _run_mix(args: argparse.Namespace, source: str) -> int:
+    try:
+        program = parse(source)
+        env = _parse_env(args.env)
+    except (ParseError, LexError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = MixConfig(
+        sym=SymConfig(
+            if_strategy=IfStrategy.DEFER if args.defer else IfStrategy.FORK,
+            max_loop_unroll=args.max_unroll,
+        ),
+        soundness=SoundnessMode.GOOD_ENOUGH
+        if args.good_enough
+        else SoundnessMode.SOUND,
+    )
+    if args.auto_refine:
+        result = auto_place_blocks(program, env, args.entry, config)
+        for i, step in enumerate(result.steps, 1):
+            print(f"refinement step {i}: {step}")
+        if result.steps:
+            print(f"annotated program: {result.annotated_source}")
+        report = result.report
+    else:
+        report = analyze(program, env, args.entry, config)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _run_mixy(args: argparse.Namespace, source: str) -> int:
+    from repro.mixy import Mixy, MixyConfig
+    from repro.mixy.c.parser import CParseError
+    from repro.mixy.qual import QualConfig
+
+    config = MixyConfig(
+        qual=QualConfig(deref_requires_nonnull=args.strict_deref),
+        enable_cache=not args.no_cache,
+    )
+    try:
+        mixy = Mixy(source, config)
+        warnings = mixy.run(entry=args.entry, entry_function=args.entry_function)
+    except CParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: no such function {error}", file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(warning)
+    summary = (
+        f"{len(warnings)} warning(s); "
+        f"{mixy.stats['symbolic_blocks_run']} symbolic block run(s); "
+        f"{mixy.executor.stats['solver_calls']} solver call(s); "
+        f"{mixy.stats['analysis_seconds']:.3f}s"
+    )
+    print(summary)
+    return 0 if not warnings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

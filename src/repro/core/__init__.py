@@ -1,0 +1,44 @@
+"""MIX: the paper's primary contribution.
+
+Two *mix rules* connect the otherwise independent, off-the-shelf type
+checker (:mod:`repro.typecheck`) and symbolic executor
+(:mod:`repro.symexec`):
+
+- **TSymBlock** (:meth:`repro.core.mix.Mix._type_symbolic_block`) — type
+  checking a symbolic block ``{s e s}``: every variable of Γ becomes a
+  fresh symbolic α of its type, execution starts from ``⟨true; μ⟩`` with
+  a fresh arbitrary memory, *all* paths are explored, the disjunction of
+  their path conditions must be a tautology (``exhaustive``), all paths
+  must agree on one result type, and every final memory must satisfy
+  ``⊢ m ok``.
+
+- **SETypBlock** (:meth:`repro.core.mix.Mix._exec_typed_block`) —
+  symbolically executing a typed block ``{t e t}``: the symbolic
+  environment is abstracted to a typing environment (``⊢ Σ : Γ``), the
+  current memory must satisfy ``⊢ m ok``, the block is type checked, and
+  execution resumes with a fresh α of the block's type and a havocked
+  (fresh, arbitrary-but-consistent) memory μ'.
+
+Use :class:`repro.core.Mix` (or the convenience functions
+:func:`repro.core.analyze` / :func:`repro.core.analyze_source`) to run
+the whole mixed analysis.
+"""
+
+from repro.core.config import MixConfig, SoundnessMode
+from repro.core.mix import Mix, MixTypeError
+from repro.core.analysis import Diagnostic, MixReport, analyze, analyze_source
+from repro.core.refine import RefinementResult, RefinementStep, auto_place_blocks
+
+__all__ = [
+    "Diagnostic",
+    "Mix",
+    "MixConfig",
+    "MixReport",
+    "MixTypeError",
+    "RefinementResult",
+    "RefinementStep",
+    "SoundnessMode",
+    "analyze",
+    "analyze_source",
+    "auto_place_blocks",
+]

@@ -1,0 +1,41 @@
+"""Configuration for the MIX analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+from repro.symexec.executor import SymConfig
+
+
+@unique
+class SoundnessMode(Enum):
+    """How strictly rule TSymBlock treats exhaustiveness.
+
+    The paper: "Symbolic execution has typically been used as an unsound
+    analysis where there is no exhaustiveness check ...  We can also model
+    such unsound analysis by weakening exhaustive(...) to a 'good enough
+    check.'"
+    """
+
+    #: Require exhaustive(g1, ..., gn) — the disjunction of all explored
+    #: path conditions must be a tautology — and reject paths the executor
+    #: could not finish (e.g. loop-bound exhaustion).
+    SOUND = "sound"
+    #: Bounded, KLEE-style exploration: unfinished paths are dropped and
+    #: no tautology check is made.  Unsound but often useful.
+    GOOD_ENOUGH = "good-enough"
+
+
+@dataclass
+class MixConfig:
+    """All knobs of the mixed analysis (see DESIGN.md §6 for ablations)."""
+
+    sym: SymConfig = field(default_factory=SymConfig)
+    soundness: SoundnessMode = SoundnessMode.SOUND
+    #: cap on paths explored per symbolic block (safety valve; exceeding it
+    #: is an analysis failure in SOUND mode, truncation in GOOD_ENOUGH)
+    max_paths_per_block: int = 10_000
+    #: the paper's §3.2 refinement: skip SETypBlock's memory havoc when a
+    #: simple effect analysis shows the typed block makes no writes
+    effect_aware_havoc: bool = False

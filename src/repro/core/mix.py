@@ -1,0 +1,264 @@
+"""The two mix rules (paper Figure 4) wiring the analyses together.
+
+The type checker and symbolic executor are instantiated *unmodified*;
+each exposes a single hook for the foreign block form, and this module
+installs the mix rules into those hooks.  All information exchanged at a
+boundary flows through types (typed -> symbolic: ``Σ(x) = α_x : Γ(x)``;
+symbolic -> typed: the block's result type and nothing else), exactly the
+"thin interface" the paper advertises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro import smt
+from repro.core.config import MixConfig, SoundnessMode
+from repro.lang.ast import Pos, SymBlock, TypedBlock
+from repro.symexec.executor import ErrKind, Outcome, State, SymExecutor
+from repro.symexec.memory import fresh_memory, memory_ok
+from repro.symexec.values import NameSupply, SymEnv, SymValue, fresh_of_type, fun_value, UnknownFun
+from repro.typecheck.checker import TypeChecker, TypeError_
+from repro.typecheck.types import FunType, Type, TypeEnv
+
+
+class MixTypeError(TypeError_):
+    """A diagnostic produced by the mixed analysis.
+
+    ``origin`` says which engine detected the problem: ``"typed"`` for the
+    type checker, ``"symbolic"`` for the symbolic executor, ``"mix"`` for
+    the boundary rules themselves (exhaustiveness, memory consistency,
+    path blowup).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pos: Optional[Pos] = None,
+        origin: str = "mix",
+        kind: Optional[ErrKind] = None,
+    ) -> None:
+        super().__init__(message, pos)
+        self.origin = origin
+        self.kind = kind
+
+
+class Mix:
+    """The mixed analysis: a type checker and a symbolic executor, each
+    hooked to delegate the other's blocks."""
+
+    def __init__(
+        self, config: Optional[MixConfig] = None, names: Optional[NameSupply] = None
+    ) -> None:
+        self.config = config or MixConfig()
+        self.names = names or NameSupply()
+        self.checker = TypeChecker(symbolic_block_hook=self._type_symbolic_block)
+        self.executor = SymExecutor(
+            config=self.config.sym,
+            names=self.names,
+            typed_block_hook=self._exec_typed_block,
+        )
+        self.stats = {
+            "symbolic_blocks": 0,
+            "typed_blocks": 0,
+            "paths_explored": 0,
+            "exhaustiveness_checks": 0,
+            "feasibility_checks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Rule TSymBlock: type checking {s e s}
+    # ------------------------------------------------------------------
+
+    def _type_symbolic_block(self, gamma: TypeEnv, block: SymBlock) -> Type:
+        self.stats["symbolic_blocks"] += 1
+        sigma, state = self.make_symbolic_context(gamma)
+        outcomes = self._explore(block, sigma, state)
+        result_type: Optional[Type] = None
+        surviving: list[Outcome] = []
+        for out in outcomes:
+            if not out.ok:
+                self._raise_if_feasible(out, block)
+                continue  # infeasible failing path: discarded
+            surviving.append(out)
+        if not surviving:
+            raise MixTypeError(
+                "symbolic block has no feasible execution path", block.pos
+            )
+        for out in surviving:
+            assert out.value is not None
+            result_type = self._join_result_type(result_type, out.value, block)
+            # Premise ⊢ m(S_i) ok: all paths leave memory consistent.
+            if not memory_ok(
+                out.state.memory,
+                out.state.condition(),
+                self.config.sym.semantic_overwrite,
+            ):
+                raise MixTypeError(
+                    "symbolic block leaves memory inconsistently typed "
+                    "(⊢ m ok fails on a final state)",
+                    block.pos,
+                )
+        if self.config.soundness is SoundnessMode.SOUND:
+            self._check_exhaustive(surviving, block)
+        assert result_type is not None
+        return result_type
+
+    def make_symbolic_context(self, gamma: TypeEnv) -> tuple[SymEnv, State]:
+        """Σ(x) = α_x : Γ(x) for all x, and S = ⟨true; μ⟩ with fresh μ."""
+        bindings: dict[str, SymValue] = {}
+        env_constraints: list[smt.Term] = []
+        for name, typ in gamma.items():
+            value, constraints = fresh_of_type(typ, self.names)
+            bindings[name] = value
+            env_constraints.extend(constraints)
+        state = State(
+            guard=smt.true(),
+            memory=fresh_memory(self.names),
+            defs=tuple(env_constraints),
+        )
+        return SymEnv(bindings), state
+
+    def _explore(self, block: SymBlock, sigma: SymEnv, state: State) -> list[Outcome]:
+        outcomes: list[Outcome] = []
+        for out in self.executor.execute(block.body, sigma, state):
+            outcomes.append(out)
+            if len(outcomes) > self.config.max_paths_per_block:
+                if self.config.soundness is SoundnessMode.SOUND:
+                    raise MixTypeError(
+                        f"symbolic block exceeded {self.config.max_paths_per_block} "
+                        "paths; the analysis cannot finish soundly",
+                        block.pos,
+                    )
+                break  # good-enough mode: truncate exploration
+        self.stats["paths_explored"] += len(outcomes)
+        return outcomes
+
+    def _raise_if_feasible(self, out: Outcome, block: SymBlock) -> None:
+        if out.kind is ErrKind.LOOP_BOUND and (
+            self.config.soundness is SoundnessMode.GOOD_ENOUGH
+        ):
+            return  # bounded exploration drops unfinished paths
+        self.stats["feasibility_checks"] += 1
+        try:
+            feasible = smt.is_satisfiable(out.state.condition())
+        except smt.SolverError:
+            feasible = True  # undecided: conservatively report
+        if feasible:
+            origin = "symbolic"
+            raise MixTypeError(
+                f"symbolic execution failed: {out.error}",
+                out.pos or block.pos,  # type: ignore[arg-type]
+                origin=origin,
+                kind=out.kind,
+            )
+
+    def _join_result_type(
+        self, current: Optional[Type], value: SymValue, block: SymBlock
+    ) -> Type:
+        if value.term is None:
+            raise MixTypeError(
+                "a function value escapes the symbolic block; its result "
+                "type is latent, so the block cannot be given a type",
+                block.pos,
+            )
+        if current is not None and current != value.typ:
+            raise MixTypeError(
+                f"paths of the symbolic block disagree on the result type: "
+                f"{current} vs {value.typ}",
+                block.pos,
+            )
+        return value.typ
+
+    def _check_exhaustive(self, outcomes: list[Outcome], block: SymBlock) -> None:
+        """exhaustive(g(S_1), ..., g(S_n)): the disjunction is a tautology.
+
+        Definitional constraints (division axioms, base-location bounds)
+        are total on program inputs, so they are sound assumptions.
+        """
+        self.stats["exhaustiveness_checks"] += 1
+        guards = [out.state.guard for out in outcomes]
+        assumptions: list[smt.Term] = []
+        for out in outcomes:
+            for d in out.state.defs:
+                if d not in assumptions:
+                    assumptions.append(d)
+        try:
+            exhaustive = smt.is_valid(smt.or_(*guards), assuming=assumptions)
+        except smt.SolverError:
+            exhaustive = False
+        if not exhaustive:
+            raise MixTypeError(
+                "the explored paths of the symbolic block are not exhaustive "
+                "(the disjunction of path conditions is not a tautology)",
+                block.pos,
+            )
+
+    # ------------------------------------------------------------------
+    # Rule SETypBlock: symbolically executing {t e t}
+    # ------------------------------------------------------------------
+
+    def _exec_typed_block(
+        self, sigma: SymEnv, state: State, block: TypedBlock
+    ) -> Iterator[Outcome]:
+        self.stats["typed_blocks"] += 1
+        # Premise ⊢ m(S) ok: the type checker relies purely on types, so
+        # the memory it starts from must be consistently typed.
+        if not memory_ok(
+            state.memory, state.condition(), self.config.sym.semantic_overwrite
+        ):
+            yield Outcome(
+                state,
+                error=(
+                    "entering a typed block with inconsistently typed memory "
+                    "(⊢ m ok fails)"
+                ),
+                kind=ErrKind.TYPE_ERROR,
+                pos=block.pos,
+            )
+            return
+        # Premise ⊢ Σ : Γ — abstract the symbolic environment to types.
+        gamma = abstract_env(sigma)
+        try:
+            block_type = self.checker.check(block.body, gamma)
+        except MixTypeError as error:
+            yield Outcome(state, error=str(error), kind=error.kind or ErrKind.TYPE_ERROR, pos=error.pos or block.pos)
+            return
+        except TypeError_ as error:
+            yield Outcome(
+                state,
+                error=f"type error in typed block: {error.message}",
+                kind=ErrKind.TYPE_ERROR,
+                pos=error.pos or block.pos,
+            )
+            return
+        # Conclusion: a fresh α of the block's type, havocked memory μ'.
+        # With the effect refinement the paper sketches in §3.2, a typed
+        # block with no write effect keeps the current memory instead.
+        result, constraints = fresh_of_type(block_type, self.names)
+        if self.config.effect_aware_havoc:
+            from repro.lang.effects import may_write
+
+            havoc = may_write(block.body)
+        else:
+            havoc = True
+        memory = fresh_memory(self.names) if havoc else state.memory
+        new_state = state.with_memory(memory).add_defs(*constraints)
+        yield Outcome(new_state, value=result)
+
+
+def abstract_env(sigma: SymEnv) -> TypeEnv:
+    """⊢ Σ : Γ — the typing environment a symbolic environment conforms to.
+
+    Closures built inside symbolic code have a latent result type (the
+    executor types them at application), so they cannot be assigned a Γ
+    entry; such variables are omitted, making any use of them inside the
+    typed block an "unbound variable" type error — conservative but sound.
+    """
+    gamma = TypeEnv()
+    for name, value in sigma.items():
+        typ = value.typ
+        if isinstance(typ, FunType) and not isinstance(value.fun, UnknownFun):
+            continue
+        gamma = gamma.extend(name, typ)
+    return gamma

@@ -1,0 +1,213 @@
+"""Automatic placement of typed/symbolic blocks by refinement.
+
+The paper's stated future work (§4.6, §5): "One idea is to begin with
+just typed blocks and then incrementally add symbolic blocks to refine
+the result.  This approach resembles abstraction refinement (e.g., Ball
+and Rajamani [2002]; Henzinger et al. [2004]), except the refinement can
+be obtained using completely different analyses instead of one
+particular family of abstractions."
+
+This module implements that loop in both directions:
+
+- a **typed** failure (a type error at some node) is refined by wrapping
+  an enclosing expression in a *symbolic block* — precision is added
+  exactly where the coarse abstraction lost it;
+- a **symbolic** failure of the `UNSUPPORTED`/`LOOP_BOUND` kinds (an
+  unknown function, nonlinear arithmetic, an unbounded loop) is refined
+  by wrapping the offending expression in a *typed block* —
+  conservative abstraction is added exactly where execution is stuck
+  (§2's "Helping Symbolic Execution").
+
+The search is the natural counterexample-guided heuristic: locate the
+diagnostic's node, try wrapping each of its ancestors innermost-first,
+and keep the first wrap that removes (or strictly reduces) the
+diagnostics; iterate until the program is accepted or the budget is
+spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Optional
+
+from repro.core.analysis import Diagnostic, MixReport, analyze
+from repro.core.config import MixConfig
+from repro.lang.ast import Expr, Pos, SymBlock, TypedBlock, children
+from repro.lang.pretty import pretty
+from repro.symexec.executor import ErrKind
+from repro.typecheck.types import TypeEnv
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One accepted refinement: which node was wrapped, and how."""
+
+    block_kind: str  # "symbolic" | "typed"
+    wrapped: str  # pretty-printed wrapped expression (for reporting)
+    diagnostic: str  # the diagnostic that triggered the step
+
+    def __str__(self) -> str:
+        return f"wrap {{{self.block_kind}}} around: {self.wrapped}"
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the automatic placement loop."""
+
+    ok: bool
+    program: Expr  # the (possibly) annotated program
+    report: MixReport  # the final analysis report
+    steps: list[RefinementStep] = field(default_factory=list)
+
+    @property
+    def annotated_source(self) -> str:
+        return pretty(self.program)
+
+
+def auto_place_blocks(
+    program: Expr,
+    env: Optional[TypeEnv] = None,
+    entry: str = "typed",
+    config: Optional[MixConfig] = None,
+    max_steps: int = 8,
+) -> RefinementResult:
+    """Iteratively insert blocks until the mixed analysis accepts.
+
+    Returns the annotated program and the refinement trace.  ``entry``
+    chooses the outermost analysis, exactly as in :func:`analyze`.
+    """
+    env = env or TypeEnv()
+    current = program
+    steps: list[RefinementStep] = []
+    report = analyze(current, env, entry, config)
+    for _ in range(max_steps):
+        if report.ok:
+            break
+        refined = _refine_once(current, env, entry, config, report)
+        if refined is None:
+            break  # no wrap helps: give up with the best report we have
+        current, report, step = refined
+        steps.append(step)
+    return RefinementResult(report.ok, current, report, steps)
+
+
+def _refine_once(
+    program: Expr,
+    env: TypeEnv,
+    entry: str,
+    config: Optional[MixConfig],
+    report: MixReport,
+):
+    """Try to fix the first diagnostic by wrapping one node."""
+    diagnostic = report.diagnostics[0]
+    target = _locate(program, diagnostic.pos)
+    if target is None:
+        target = program
+    block_type = _block_for(diagnostic)
+    baseline = len(report.diagnostics)
+    for candidate in _ancestor_chain(program, target):
+        if isinstance(candidate, (TypedBlock, SymBlock)):
+            continue  # re-wrapping a block is never productive
+        block = block_type(candidate)
+        object.__setattr__(block, "pos", candidate.pos)  # keep the location
+        wrapped_program = _replace(program, candidate, block)
+        new_report = analyze(wrapped_program, env, entry, config)
+        # Progress means the triggering diagnostic is gone: either the
+        # program is accepted, or the analysis now fails strictly *outside*
+        # the wrapped region (the next error to refine).  A failure that is
+        # still inside the wrap bought nothing.
+        inside = {n.pos for n in _subtree(candidate) if n.pos is not None}
+        improved = new_report.ok or (
+            len(new_report.diagnostics) < baseline
+            or (
+                new_report.diagnostics[0].pos is not None
+                and new_report.diagnostics[0].pos not in inside
+            )
+        )
+        if improved:
+            step = RefinementStep(
+                "symbolic" if block_type is SymBlock else "typed",
+                pretty(candidate),
+                diagnostic.message,
+            )
+            return wrapped_program, new_report, step
+    return None
+
+
+def _block_for(diagnostic: Diagnostic):
+    """Typed failures want precision (symbolic block); stuck symbolic
+    execution wants abstraction (typed block)."""
+    if diagnostic.origin == "symbolic" and diagnostic.kind in (
+        ErrKind.UNSUPPORTED,
+        ErrKind.LOOP_BOUND,
+    ):
+        return TypedBlock
+    return SymBlock
+
+
+def _locate(root: Expr, pos: Optional[Pos]) -> Optional[Expr]:
+    """The innermost node carrying exactly this source position."""
+    if pos is None:
+        return None
+    best: Optional[Expr] = None
+
+    def walk(node: Expr) -> None:
+        nonlocal best
+        if node.pos == pos:
+            best = node  # deeper matches overwrite shallower ones
+        for child in children(node):
+            walk(child)
+
+    walk(root)
+    return best
+
+
+def _ancestor_chain(root: Expr, target: Expr) -> list[Expr]:
+    """``target`` and its ancestors, innermost first (identity-based)."""
+    chain: list[Expr] = []
+
+    def walk(node: Expr) -> bool:
+        if node is target:
+            chain.append(node)
+            return True
+        for child in children(node):
+            if walk(child):
+                chain.append(node)
+                return True
+        return False
+
+    walk(root)
+    return chain
+
+
+def _replace(root: Expr, target: Expr, replacement: Expr) -> Expr:
+    """Rebuild ``root`` with ``target`` (by identity) replaced."""
+    if root is target:
+        return replacement
+    rebuilt_children = {}
+    changed = False
+    for name in _child_fields(root):
+        value = getattr(root, name)
+        if isinstance(value, Expr):
+            new_value = _replace(value, target, replacement)
+            if new_value is not value:
+                changed = True
+            rebuilt_children[name] = new_value
+    if not changed:
+        return root
+    return dc_replace(root, **rebuilt_children)
+
+
+def _subtree(root: Expr) -> list[Expr]:
+    out = [root]
+    for child in children(root):
+        out.extend(_subtree(child))
+    return out
+
+
+def _child_fields(node: Expr) -> list[str]:
+    return [
+        name
+        for name, value in vars(node).items()
+        if isinstance(value, Expr) and name != "pos"
+    ]

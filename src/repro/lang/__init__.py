@@ -1,0 +1,81 @@
+"""The MIX source language (Figure 1 of the paper) and its tooling.
+
+The language is a small ML-like imperative calculus: integers, booleans,
+arithmetic and boolean operators, conditionals, ``let``, updatable
+references (``ref`` / ``!`` / ``:=``), and the two analysis-switching
+block forms — typed blocks ``{t e t}`` and symbolic blocks ``{s e s}``.
+
+Extensions beyond the paper's Figure 1, each motivated by an example in
+the paper's Section 2: string literals (the ``"foo" + 3`` false positive),
+``unit`` and sequencing, ``while`` loops (the "helping symbolic execution"
+idiom), and first-class functions (the context-sensitivity idioms).
+
+Submodules:
+
+- :mod:`repro.lang.ast` -- expression nodes and values;
+- :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- concrete syntax;
+- :mod:`repro.lang.pretty` -- pretty-printer (inverse of the parser);
+- :mod:`repro.lang.interp` -- the big-step concrete semantics used as the
+  ground truth for soundness (Theorem 1).
+"""
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.lang.interp import (
+    ConcreteResult,
+    EvalBudgetExceeded,
+    Interpreter,
+    RuntimeTypeError,
+    run,
+)
+from repro.lang.parser import ParseError, parse
+from repro.lang.pretty import pretty
+
+__all__ = [
+    "App",
+    "Assign",
+    "BinOp",
+    "BoolLit",
+    "ConcreteResult",
+    "Deref",
+    "EvalBudgetExceeded",
+    "Expr",
+    "Fun",
+    "If",
+    "IntLit",
+    "Interpreter",
+    "Let",
+    "Not",
+    "ParseError",
+    "Ref",
+    "RuntimeTypeError",
+    "Seq",
+    "StrLit",
+    "SymBlock",
+    "TypedBlock",
+    "UnitLit",
+    "Var",
+    "While",
+    "parse",
+    "pretty",
+    "run",
+]

@@ -1,0 +1,231 @@
+"""Abstract syntax for the MIX source language (paper Figure 1).
+
+Every node is an immutable dataclass.  ``pos`` carries the source
+location when the node came from the parser (``None`` for programmatically
+built trees) and is excluded from equality so that structurally identical
+programs compare equal regardless of provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Optional
+
+from repro.typecheck.types import Type
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A source position (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all expression nodes."""
+
+    pos: Optional[Pos] = field(default=None, compare=False, kw_only=True)
+
+
+@unique
+class BinOpKind(Enum):
+    """Binary operators.
+
+    The paper's Figure 1 has ``+``, ``=``, and ``/\\``; the rest are the
+    natural completions used by the Section 2 examples.
+    """
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    AND = "&&"
+    OR = "||"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class UnitLit(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: BinOpKind
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+    annotation: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """``e1; e2`` — evaluate ``e1`` for effect, then ``e2``."""
+
+    first: Expr
+    second: Expr
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """``ref e`` — allocate a fresh cell holding ``e``."""
+
+    init: Expr
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """``!e`` — read through a reference."""
+
+    ref: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    """``e1 := e2`` — write through a reference; evaluates to the value."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class While(Expr):
+    """``while e do e done`` — evaluates to unit (extension)."""
+
+    cond: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Fun(Expr):
+    """``fun x: t -> e`` — a function literal (extension).
+
+    The parameter annotation is required so the standard (non-inferring)
+    type checker of Section 3.1 stays a checker.
+    """
+
+    param: str
+    param_type: Type
+    body: Expr
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Function application ``f x`` (extension)."""
+
+    fn: Expr
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class TypedBlock(Expr):
+    """``{t e t}`` — analyze ``e`` with the type checker."""
+
+    body: Expr
+
+
+@dataclass(frozen=True)
+class SymBlock(Expr):
+    """``{s e s}`` — analyze ``e`` with the symbolic executor."""
+
+    body: Expr
+
+
+def free_vars(expr: Expr) -> frozenset[str]:
+    """The free program variables of ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Let):
+        return free_vars(expr.bound) | (free_vars(expr.body) - {expr.name})
+    if isinstance(expr, Fun):
+        return free_vars(expr.body) - {expr.param}
+    out: frozenset[str] = frozenset()
+    for child in children(expr):
+        out |= free_vars(child)
+    return out
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """Direct subexpressions of ``expr``, in evaluation order."""
+    if isinstance(expr, BinOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, Not):
+        return (expr.operand,)
+    if isinstance(expr, If):
+        return (expr.cond, expr.then, expr.els)
+    if isinstance(expr, Let):
+        return (expr.bound, expr.body)
+    if isinstance(expr, Seq):
+        return (expr.first, expr.second)
+    if isinstance(expr, Ref):
+        return (expr.init,)
+    if isinstance(expr, Deref):
+        return (expr.ref,)
+    if isinstance(expr, Assign):
+        return (expr.target, expr.value)
+    if isinstance(expr, While):
+        return (expr.cond, expr.body)
+    if isinstance(expr, Fun):
+        return (expr.body,)
+    if isinstance(expr, App):
+        return (expr.fn, expr.arg)
+    if isinstance(expr, (TypedBlock, SymBlock)):
+        return (expr.body,)
+    return ()
+
+
+def block_count(expr: Expr) -> tuple[int, int]:
+    """(number of typed blocks, number of symbolic blocks) in ``expr``."""
+    typed = 1 if isinstance(expr, TypedBlock) else 0
+    symbolic = 1 if isinstance(expr, SymBlock) else 0
+    for child in children(expr):
+        t, s = block_count(child)
+        typed += t
+        symbolic += s
+    return typed, symbolic

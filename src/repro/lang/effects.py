@@ -1,0 +1,39 @@
+"""A minimal effect analysis for typed blocks.
+
+The paper (§3.2, "Why Mix?"): "if we were to use a type and effect
+system rather than just a type system, we could avoid introducing a
+completely fresh memory μ' in SETypBlock — instead, we could find the
+effect of e and limit applying this 'havoc' operation only to locations
+that could have been changed."
+
+This module implements the coarsest useful version of that idea: a
+syntactic *write effect*.  An expression may write memory iff it
+contains an assignment, or an application (the callee could be a closure
+that writes).  Allocation (``ref``) and reads (``!``) are not write
+effects — fresh cells cannot alias existing ones, so keeping the current
+memory across an allocating-but-non-writing block is sound.
+
+When ``MixConfig.effect_aware_havoc`` is set, rule SETypBlock consults
+:func:`may_write` and skips the havoc for write-free blocks, preserving
+the symbolic memory across the boundary.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import App, Assign, Expr, Fun, children
+
+
+def may_write(expr: Expr) -> bool:
+    """Conservative write effect: could evaluating ``expr`` change any
+    existing memory location?"""
+    if isinstance(expr, Assign):
+        return True
+    if isinstance(expr, App):
+        # The callee may be (or return) a closure whose body writes; a
+        # type system without effects cannot rule that out.
+        return True
+    if isinstance(expr, Fun):
+        # Evaluating a function literal performs no writes; its body runs
+        # only at an application, which the App case already flags.
+        return False
+    return any(may_write(child) for child in children(expr))

@@ -1,0 +1,292 @@
+"""Big-step concrete semantics ``E ⊢ ⟨M; e⟩ → r`` (paper Section 3.3).
+
+The evaluation result ``r`` is either a memory/value pair or the
+distinguished ``error`` token; here a dynamic type error raises
+:class:`RuntimeTypeError`, which plays the role of ``error``.  Typed and
+symbolic blocks are transparent at run time — they only direct the static
+analyses.
+
+This interpreter is the ground truth for the soundness theorem: the
+differential test suite checks that programs accepted by MIX never
+evaluate to ``error`` and produce values of the predicted type.
+
+Division is total with ``x / 0 = 0`` (the SMT-LIB convention), so that
+well-typed programs cannot fail at run time for reasons the type system
+does not track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Union
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+
+
+class RuntimeTypeError(Exception):
+    """The paper's ``error`` result: a dynamic type mismatch."""
+
+
+class EvalBudgetExceeded(Exception):
+    """The step budget ran out (used to bound ``while`` in testing)."""
+
+
+@dataclass(frozen=True)
+class Location:
+    """A heap location; fresh per allocation."""
+
+    address: int
+
+    def __str__(self) -> str:
+        return f"loc#{self.address}"
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A function value: parameter, body, and captured environment."""
+
+    param: str
+    body: Expr
+    env: Mapping[str, "Value"]
+
+    def __str__(self) -> str:
+        return f"<fun {self.param}>"
+
+
+Value = Union[int, bool, str, None, Location, Closure]
+# ``None`` is the unit value.  Python ``bool`` is a subtype of ``int``, so
+# all type tests below check ``bool`` first.
+
+
+@dataclass
+class ConcreteResult:
+    """A successful evaluation ⟨M'; v⟩."""
+
+    value: Value
+    memory: dict[Location, Value]
+
+
+class Interpreter:
+    """Evaluates expressions under an environment and mutable memory."""
+
+    def __init__(self, step_budget: int = 100_000) -> None:
+        self._memory: dict[Location, Value] = {}
+        self._next_address = 0
+        self._steps_left = step_budget
+
+    @property
+    def memory(self) -> dict[Location, Value]:
+        return self._memory
+
+    def allocate(self, value: Value) -> Location:
+        loc = Location(self._next_address)
+        self._next_address += 1
+        self._memory[loc] = value
+        return loc
+
+    def eval(self, expr: Expr, env: Mapping[str, Value]) -> Value:
+        self._steps_left -= 1
+        if self._steps_left < 0:
+            raise EvalBudgetExceeded()
+        method: Callable = _DISPATCH[type(expr)]
+        return method(self, expr, env)
+
+    # -- node handlers ---------------------------------------------------------
+
+    def _var(self, expr: Var, env: Mapping[str, Value]) -> Value:
+        if expr.name not in env:
+            raise RuntimeTypeError(f"unbound variable {expr.name}")
+        return env[expr.name]
+
+    def _int(self, expr: IntLit, env: Mapping[str, Value]) -> Value:
+        return expr.value
+
+    def _bool(self, expr: BoolLit, env: Mapping[str, Value]) -> Value:
+        return expr.value
+
+    def _str(self, expr: StrLit, env: Mapping[str, Value]) -> Value:
+        return expr.value
+
+    def _unit(self, expr: UnitLit, env: Mapping[str, Value]) -> Value:
+        return None
+
+    def _binop(self, expr: BinOp, env: Mapping[str, Value]) -> Value:
+        op = expr.op
+        if op in (BinOpKind.AND, BinOpKind.OR):
+            # Strict, as in the paper's SEAnd rule: both subexpressions are
+            # evaluated (no short-circuiting), so the static analyses and
+            # the concrete semantics agree on which errors are reachable.
+            left = self._expect_bool(self.eval(expr.left, env), op.value)
+            right = self._expect_bool(self.eval(expr.right, env), op.value)
+            return (left and right) if op is BinOpKind.AND else (left or right)
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op is BinOpKind.EQ:
+            return self._equal(left, right)
+        if op in (BinOpKind.LT, BinOpKind.LE):
+            li = self._expect_int(left, op.value)
+            ri = self._expect_int(right, op.value)
+            return li < ri if op is BinOpKind.LT else li <= ri
+        li = self._expect_int(left, op.value)
+        ri = self._expect_int(right, op.value)
+        if op is BinOpKind.ADD:
+            return li + ri
+        if op is BinOpKind.SUB:
+            return li - ri
+        if op is BinOpKind.MUL:
+            return li * ri
+        if op is BinOpKind.DIV:
+            return 0 if ri == 0 else _int_div(li, ri)
+        raise AssertionError(f"unhandled operator {op}")
+
+    def _equal(self, left: Value, right: Value) -> bool:
+        # Equality is permitted at base and reference types; comparing a
+        # function is a dynamic type error, and comparing values of
+        # different types is a type error (the static systems agree).
+        if isinstance(left, Closure) or isinstance(right, Closure):
+            raise RuntimeTypeError("cannot compare functions")
+        if _runtime_type(left) != _runtime_type(right):
+            raise RuntimeTypeError(
+                f"'=' applied to {_runtime_type(left)} and {_runtime_type(right)}"
+            )
+        return left == right
+
+    def _not(self, expr: Not, env: Mapping[str, Value]) -> Value:
+        return not self._expect_bool(self.eval(expr.operand, env), "not")
+
+    def _if(self, expr: If, env: Mapping[str, Value]) -> Value:
+        cond = self._expect_bool(self.eval(expr.cond, env), "if")
+        return self.eval(expr.then if cond else expr.els, env)
+
+    def _let(self, expr: Let, env: Mapping[str, Value]) -> Value:
+        bound = self.eval(expr.bound, env)
+        child = dict(env)
+        child[expr.name] = bound
+        return self.eval(expr.body, child)
+
+    def _seq(self, expr: Seq, env: Mapping[str, Value]) -> Value:
+        self.eval(expr.first, env)
+        return self.eval(expr.second, env)
+
+    def _ref(self, expr: Ref, env: Mapping[str, Value]) -> Value:
+        return self.allocate(self.eval(expr.init, env))
+
+    def _deref(self, expr: Deref, env: Mapping[str, Value]) -> Value:
+        target = self.eval(expr.ref, env)
+        if not isinstance(target, Location):
+            raise RuntimeTypeError(f"dereference of non-reference {target!r}")
+        return self._memory[target]
+
+    def _assign(self, expr: Assign, env: Mapping[str, Value]) -> Value:
+        target = self.eval(expr.target, env)
+        if not isinstance(target, Location):
+            raise RuntimeTypeError(f"assignment through non-reference {target!r}")
+        value = self.eval(expr.value, env)
+        self._memory[target] = value
+        return value
+
+    def _while(self, expr: While, env: Mapping[str, Value]) -> Value:
+        while self._expect_bool(self.eval(expr.cond, env), "while"):
+            self.eval(expr.body, env)
+        return None
+
+    def _fun(self, expr: Fun, env: Mapping[str, Value]) -> Value:
+        return Closure(expr.param, expr.body, dict(env))
+
+    def _app(self, expr: App, env: Mapping[str, Value]) -> Value:
+        fn = self.eval(expr.fn, env)
+        arg = self.eval(expr.arg, env)
+        if not isinstance(fn, Closure):
+            raise RuntimeTypeError(f"application of non-function {fn!r}")
+        child = dict(fn.env)
+        child[fn.param] = arg
+        return self.eval(fn.body, child)
+
+    def _block(self, expr: Union[TypedBlock, SymBlock], env: Mapping[str, Value]) -> Value:
+        return self.eval(expr.body, env)
+
+    # -- dynamic type checks -----------------------------------------------------
+
+    def _expect_bool(self, value: Value, context: str) -> bool:
+        if not isinstance(value, bool):
+            raise RuntimeTypeError(f"{context} applied to non-boolean {value!r}")
+        return value
+
+    def _expect_int(self, value: Value, context: str) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RuntimeTypeError(f"{context!r} applied to non-integer {value!r}")
+        return value
+
+
+def _int_div(a: int, b: int) -> int:
+    """Truncating division (rounds toward zero), as in C and SMT-LIB."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _runtime_type(value: Value) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "unit"
+    if isinstance(value, Location):
+        return "ref"
+    return "fun"
+
+
+_DISPATCH: dict[type, Callable] = {
+    Var: Interpreter._var,
+    IntLit: Interpreter._int,
+    BoolLit: Interpreter._bool,
+    StrLit: Interpreter._str,
+    UnitLit: Interpreter._unit,
+    BinOp: Interpreter._binop,
+    Not: Interpreter._not,
+    If: Interpreter._if,
+    Let: Interpreter._let,
+    Seq: Interpreter._seq,
+    Ref: Interpreter._ref,
+    Deref: Interpreter._deref,
+    Assign: Interpreter._assign,
+    While: Interpreter._while,
+    Fun: Interpreter._fun,
+    App: Interpreter._app,
+    TypedBlock: Interpreter._block,
+    SymBlock: Interpreter._block,
+}
+
+
+def run(
+    expr: Expr,
+    env: Optional[Mapping[str, Value]] = None,
+    step_budget: int = 100_000,
+) -> ConcreteResult:
+    """Evaluate a program; raises :class:`RuntimeTypeError` on ``error``."""
+    interp = Interpreter(step_budget=step_budget)
+    value = interp.eval(expr, dict(env or {}))
+    return ConcreteResult(value, interp.memory)

@@ -1,0 +1,238 @@
+"""Lexer for the MIX source language.
+
+Concrete syntax follows the paper's ML-like notation.  The block
+delimiters are lexed specially:
+
+- ``{t`` / ``{s`` (brace immediately followed by ``t``/``s`` and a
+  non-identifier character) open a typed/symbolic block;
+- ``t}`` / ``s}`` (the letter immediately followed by ``}``) close one.
+
+The keyword forms ``typed { ... }`` and ``sym { ... }`` are also accepted
+and are what the pretty-printer emits.  Comments are ``(* ... *)`` and
+nest, as in ML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Iterator, Optional
+
+from repro.lang.ast import Pos
+
+
+class LexError(SyntaxError):
+    """Raised on malformed input."""
+
+
+@unique
+class TokKind(Enum):
+    INT = "int"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    BLOCK_OPEN_T = "{t"
+    BLOCK_OPEN_S = "{s"
+    BLOCK_CLOSE_T = "t}"
+    BLOCK_CLOSE_S = "s}"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "let",
+    "in",
+    "if",
+    "then",
+    "else",
+    "fun",
+    "while",
+    "do",
+    "done",
+    "ref",
+    "not",
+    "true",
+    "false",
+    "typed",
+    "sym",
+    "int",
+    "bool",
+    "str",
+    "unit",
+}
+
+# Longest first so that ``:=`` wins over ``:``, ``<=`` over ``<``, etc.
+SYMBOLS = [
+    ":=",
+    "->",
+    "&&",
+    "||",
+    "<=",
+    "<",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ":",
+    "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    pos: Pos
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.pos}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    return list(_Lexer(source).tokens())
+
+
+class _Lexer:
+    def __init__(self, source: str) -> None:
+        self._src = source
+        self._i = 0
+        self._line = 1
+        self._col = 1
+
+    def _pos(self) -> Pos:
+        return Pos(self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        j = self._i + offset
+        return self._src[j] if j < len(self._src) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self._i < len(self._src):
+                if self._src[self._i] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._i += 1
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            pos = self._pos()
+            ch = self._peek()
+            if not ch:
+                yield Token(TokKind.EOF, "", pos)
+                return
+            token = (
+                self._block_delimiter(pos)
+                or self._number(pos)
+                or self._string(pos)
+                or self._word(pos)
+                or self._symbol(pos)
+            )
+            if token is None:
+                raise LexError(f"unexpected character {ch!r} at {pos}")
+            yield token
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch.isspace():
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self._pos()
+        self._advance(2)
+        depth = 1
+        while depth:
+            if not self._peek():
+                raise LexError(f"unterminated comment starting at {start}")
+            if self._peek() == "(" and self._peek(1) == "*":
+                depth += 1
+                self._advance(2)
+            elif self._peek() == "*" and self._peek(1) == ")":
+                depth -= 1
+                self._advance(2)
+            else:
+                self._advance()
+
+    def _block_delimiter(self, pos: Pos) -> Optional[Token]:
+        ch = self._peek()
+        nxt = self._peek(1)
+        if ch == "{" and nxt in ("t", "s") and not _is_ident_char(self._peek(2)):
+            self._advance(2)
+            kind = TokKind.BLOCK_OPEN_T if nxt == "t" else TokKind.BLOCK_OPEN_S
+            return Token(kind, "{" + nxt, pos)
+        if ch in ("t", "s") and nxt == "}" and not _is_ident_char(self._peek(2)):
+            # Only a block close if `t`/`s` is a standalone word here; a
+            # longer identifier like `cost}` must lex as ident + `}`.
+            self._advance(2)
+            kind = TokKind.BLOCK_CLOSE_T if ch == "t" else TokKind.BLOCK_CLOSE_S
+            return Token(kind, ch + "}", pos)
+        return None
+
+    def _number(self, pos: Pos) -> Optional[Token]:
+        if not self._peek().isdigit():
+            return None
+        start = self._i
+        while self._peek().isdigit():
+            self._advance()
+        return Token(TokKind.INT, self._src[start : self._i], pos)
+
+    def _string(self, pos: Pos) -> Optional[Token]:
+        if self._peek() != '"':
+            return None
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError(f"unterminated string literal at {pos}")
+            if ch == '"':
+                self._advance()
+                return Token(TokKind.STRING, "".join(chars), pos)
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise LexError(f"bad escape \\{escape} at {self._pos()}")
+                chars.append(mapping[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _word(self, pos: Pos) -> Optional[Token]:
+        ch = self._peek()
+        if not (ch.isalpha() or ch == "_"):
+            return None
+        start = self._i
+        while _is_ident_char(self._peek()):
+            self._advance()
+        text = self._src[start : self._i]
+        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+        return Token(kind, text, pos)
+
+    def _symbol(self, pos: Pos) -> Optional[Token]:
+        for sym in SYMBOLS:
+            if self._src.startswith(sym, self._i):
+                self._advance(len(sym))
+                return Token(TokKind.SYMBOL, sym, pos)
+        return None
+
+
+def _is_ident_char(ch: str) -> bool:
+    return bool(ch) and (ch.isalnum() or ch == "_" or ch == "'")

@@ -1,0 +1,363 @@
+"""Recursive-descent parser for the MIX source language.
+
+Grammar (low to high precedence)::
+
+    expr     := 'let' ident (':' type)? '=' expr 'in' expr
+              | 'fun' ident ':' type '->' expr
+              | 'if' expr 'then' expr 'else' expr
+              | 'while' expr 'do' expr 'done'
+              | seq
+    seq      := assign (';' expr)?
+    assign   := or (':=' assign)?
+    or       := and ('||' and)*
+    and      := cmp ('&&' cmp)*
+    cmp      := add (('=' | '<' | '<=') add)?
+    add      := mul (('+' | '-') mul)*
+    mul      := unary (('*' | '/') unary)*
+    unary    := ('not' | '!' | 'ref' | '-') unary | app
+    app      := atom atom*
+    atom     := INT | STRING | 'true' | 'false' | ident
+              | '(' ')' | '(' expr ')'
+              | '{t' expr 't}' | '{s' expr 's}'
+              | 'typed' '{' expr '}' | 'sym' '{' expr '}'
+
+    type     := reftype ('->' type)?
+    reftype  := basetype 'ref'*
+    basetype := 'int' | 'bool' | 'str' | 'unit' | '(' type ')'
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Pos,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.lang.lexer import TokKind, Token, tokenize
+from repro.typecheck.types import BOOL, INT, STR, UNIT, FunType, RefType, Type
+
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid programs."""
+
+
+def parse(source: str) -> Expr:
+    """Parse a complete program into an expression tree."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect_eof()
+    return expr
+
+
+def parse_type(source: str) -> Type:
+    """Parse a type in concrete syntax (e.g. ``"int ref -> bool"``)."""
+    parser = _Parser(tokenize(source))
+    typ = parser.type_()
+    parser.expect_eof()
+    return typ
+
+
+_CMP_OPS = {"=": BinOpKind.EQ, "<": BinOpKind.LT, "<=": BinOpKind.LE}
+_ADD_OPS = {"+": BinOpKind.ADD, "-": BinOpKind.SUB}
+_MUL_OPS = {"*": BinOpKind.MUL, "/": BinOpKind.DIV}
+
+# Tokens that may start an atom — used to decide whether application
+# (juxtaposition) continues.
+_ATOM_STARTERS_KW = {"true", "false", "typed", "sym"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._i]
+        if token.kind is not TokKind.EOF:
+            self._i += 1
+        return token
+
+    def _at_symbol(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind is TokKind.SYMBOL and token.text == text
+
+    def _at_keyword(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind is TokKind.KEYWORD and token.text == text
+
+    def _eat_symbol(self, text: str) -> bool:
+        if self._at_symbol(text):
+            self._next()
+            return True
+        return False
+
+    def _expect_symbol(self, text: str) -> Token:
+        if not self._at_symbol(text):
+            raise ParseError(f"expected {text!r}, found {self._peek()}")
+        return self._next()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._at_keyword(text):
+            raise ParseError(f"expected keyword {text!r}, found {self._peek()}")
+        return self._next()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found {token}")
+        return self._next()
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind is not TokKind.EOF:
+            raise ParseError(f"trailing input at {token.pos}: {token}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokKind.KEYWORD:
+            if token.text == "let":
+                return self._let()
+            if token.text == "fun":
+                return self._fun()
+            if token.text == "if":
+                return self._if()
+        return self._seq()
+
+    def _let(self) -> Expr:
+        pos = self._expect_keyword("let").pos
+        name = self._expect_ident().text
+        annotation: Optional[Type] = None
+        if self._eat_symbol(":"):
+            annotation = self.type_()
+        self._expect_symbol("=")
+        bound = self.expr()
+        self._expect_keyword("in")
+        body = self.expr()
+        return Let(name, bound, body, annotation, pos=pos)
+
+    def _fun(self) -> Expr:
+        pos = self._expect_keyword("fun").pos
+        name = self._expect_ident().text
+        self._expect_symbol(":")
+        # The annotation stops before '->' (which introduces the body), so
+        # function-typed parameters must be written parenthesized:
+        # ``fun f : (int -> int) -> ...``.
+        param_type = self._ref_type()
+        self._expect_symbol("->")
+        body = self.expr()
+        return Fun(name, param_type, body, pos=pos)
+
+    def _if(self) -> Expr:
+        pos = self._expect_keyword("if").pos
+        cond = self.expr()
+        self._expect_keyword("then")
+        then = self.expr()
+        self._expect_keyword("else")
+        els = self.expr()
+        return If(cond, then, els, pos=pos)
+
+    def _while(self) -> Expr:
+        pos = self._expect_keyword("while").pos
+        cond = self.expr()
+        self._expect_keyword("do")
+        body = self.expr()
+        self._expect_keyword("done")
+        return While(cond, body, pos=pos)
+
+    def _seq(self) -> Expr:
+        # ``while .. done`` is self-delimiting, so it can be followed by
+        # ``;`` — it lives at the sequence level, unlike let/if/fun which
+        # extend maximally to the right.
+        first = self._while() if self._at_keyword("while") else self._assign()
+        if self._at_symbol(";"):
+            pos = self._next().pos
+            return Seq(first, self.expr(), pos=pos)
+        return first
+
+    def _assign(self) -> Expr:
+        target = self._or()
+        if self._at_symbol(":="):
+            pos = self._next().pos
+            return Assign(target, self._assign(), pos=pos)
+        return target
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._at_symbol("||"):
+            pos = self._next().pos
+            left = BinOp(BinOpKind.OR, left, self._and(), pos=pos)
+        return left
+
+    def _and(self) -> Expr:
+        left = self._cmp()
+        while self._at_symbol("&&"):
+            pos = self._next().pos
+            left = BinOp(BinOpKind.AND, left, self._cmp(), pos=pos)
+        return left
+
+    def _cmp(self) -> Expr:
+        left = self._add()
+        token = self._peek()
+        if token.kind is TokKind.SYMBOL and token.text in _CMP_OPS:
+            self._next()
+            return BinOp(_CMP_OPS[token.text], left, self._add(), pos=token.pos)
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while True:
+            token = self._peek()
+            if token.kind is TokKind.SYMBOL and token.text in _ADD_OPS:
+                self._next()
+                left = BinOp(_ADD_OPS[token.text], left, self._mul(), pos=token.pos)
+            else:
+                return left
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind is TokKind.SYMBOL and token.text in _MUL_OPS:
+                self._next()
+                left = BinOp(_MUL_OPS[token.text], left, self._unary(), pos=token.pos)
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokKind.KEYWORD and token.text == "not":
+            pos = self._next().pos
+            return Not(self._unary(), pos=pos)
+        if token.kind is TokKind.KEYWORD and token.text == "ref":
+            pos = self._next().pos
+            return Ref(self._unary(), pos=pos)
+        if token.kind is TokKind.SYMBOL and token.text == "!":
+            pos = self._next().pos
+            return Deref(self._unary(), pos=pos)
+        if token.kind is TokKind.SYMBOL and token.text == "-":
+            pos = self._next().pos
+            operand = self._unary()
+            if isinstance(operand, IntLit):
+                return IntLit(-operand.value, pos=pos)
+            return BinOp(BinOpKind.SUB, IntLit(0, pos=pos), operand, pos=pos)
+        return self._app()
+
+    def _app(self) -> Expr:
+        fn = self._atom()
+        while self._starts_atom():
+            arg = self._atom()
+            fn = App(fn, arg, pos=arg.pos)
+        return fn
+
+    def _starts_atom(self) -> bool:
+        token = self._peek()
+        if token.kind in (
+            TokKind.INT,
+            TokKind.STRING,
+            TokKind.IDENT,
+            TokKind.BLOCK_OPEN_T,
+            TokKind.BLOCK_OPEN_S,
+        ):
+            return True
+        if token.kind is TokKind.KEYWORD and token.text in _ATOM_STARTERS_KW:
+            return True
+        return token.kind is TokKind.SYMBOL and token.text == "("
+
+    def _atom(self) -> Expr:
+        token = self._next()
+        if token.kind is TokKind.INT:
+            return IntLit(int(token.text), pos=token.pos)
+        if token.kind is TokKind.STRING:
+            return StrLit(token.text, pos=token.pos)
+        if token.kind is TokKind.IDENT:
+            return Var(token.text, pos=token.pos)
+        if token.kind is TokKind.KEYWORD:
+            if token.text == "true":
+                return BoolLit(True, pos=token.pos)
+            if token.text == "false":
+                return BoolLit(False, pos=token.pos)
+            if token.text == "typed":
+                self._expect_symbol("{")
+                body = self.expr()
+                self._expect_symbol("}")
+                return TypedBlock(body, pos=token.pos)
+            if token.text == "sym":
+                self._expect_symbol("{")
+                body = self.expr()
+                self._expect_symbol("}")
+                return SymBlock(body, pos=token.pos)
+        if token.kind is TokKind.BLOCK_OPEN_T:
+            body = self.expr()
+            closing = self._next()
+            if closing.kind is not TokKind.BLOCK_CLOSE_T:
+                raise ParseError(f"expected 't}}' to close typed block, found {closing}")
+            return TypedBlock(body, pos=token.pos)
+        if token.kind is TokKind.BLOCK_OPEN_S:
+            body = self.expr()
+            closing = self._next()
+            if closing.kind is not TokKind.BLOCK_CLOSE_S:
+                raise ParseError(
+                    f"expected 's}}' to close symbolic block, found {closing}"
+                )
+            return SymBlock(body, pos=token.pos)
+        if token.kind is TokKind.SYMBOL and token.text == "(":
+            if self._eat_symbol(")"):
+                return UnitLit(pos=token.pos)
+            inner = self.expr()
+            self._expect_symbol(")")
+            return inner
+        raise ParseError(f"unexpected token {token}")
+
+    # -- types -------------------------------------------------------------------
+
+    def type_(self) -> Type:
+        left = self._ref_type()
+        if self._eat_symbol("->"):
+            return FunType(left, self.type_())
+        return left
+
+    def _ref_type(self) -> Type:
+        typ = self._base_type()
+        while self._at_keyword("ref"):
+            self._next()
+            typ = RefType(typ)
+        return typ
+
+    def _base_type(self) -> Type:
+        token = self._next()
+        if token.kind is TokKind.KEYWORD:
+            mapping = {"int": INT, "bool": BOOL, "str": STR, "unit": UNIT}
+            if token.text in mapping:
+                return mapping[token.text]
+        if token.kind is TokKind.SYMBOL and token.text == "(":
+            typ = self.type_()
+            self._expect_symbol(")")
+            return typ
+        raise ParseError(f"expected a type, found {token}")

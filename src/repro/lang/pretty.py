@@ -1,0 +1,142 @@
+"""Pretty-printer for the MIX source language.
+
+``parse(pretty(e))`` is structurally equal to ``e`` (tested by a
+round-trip property test), which makes the printer usable for
+diagnostics and for serializing generated programs.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+
+# Precedence levels mirror the parser grammar; a child is parenthesized
+# when its level is looser than its context requires.
+_LEVEL_EXPR = 0  # let / fun / if / while / seq
+_LEVEL_ASSIGN = 1
+_LEVEL_OR = 2
+_LEVEL_AND = 3
+_LEVEL_CMP = 4
+_LEVEL_ADD = 5
+_LEVEL_MUL = 6
+_LEVEL_UNARY = 7
+_LEVEL_APP = 8
+_LEVEL_ATOM = 9
+
+_BINOP_LEVEL = {
+    "||": _LEVEL_OR,
+    "&&": _LEVEL_AND,
+    "=": _LEVEL_CMP,
+    "<": _LEVEL_CMP,
+    "<=": _LEVEL_CMP,
+    "+": _LEVEL_ADD,
+    "-": _LEVEL_ADD,
+    "*": _LEVEL_MUL,
+    "/": _LEVEL_MUL,
+}
+
+
+def pretty(expr: Expr) -> str:
+    """Render ``expr`` in concrete syntax."""
+    return _render(expr, _LEVEL_EXPR)
+
+
+def _parens(text: str, context: int, node_level: int) -> str:
+    return f"({text})" if node_level < context else text
+
+
+def _render(expr: Expr, context: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntLit):
+        if expr.value < 0:
+            # A negative literal reads as unary minus, so it needs parens
+            # anywhere tighter than unary (e.g. application: `f (-1)`).
+            return _parens(str(expr.value), context, _LEVEL_UNARY)
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, UnitLit):
+        return "()"
+    if isinstance(expr, BinOp):
+        level = _BINOP_LEVEL[expr.op.value]
+        # Comparisons are non-associative (both operands must be tighter);
+        # arithmetic and boolean chains associate left.
+        left_level = level + 1 if level == _LEVEL_CMP else level
+        left = _render(expr.left, left_level)
+        right = _render(expr.right, level + 1)
+        return _parens(f"{left} {expr.op.value} {right}", context, level)
+    if isinstance(expr, Not):
+        return _parens(f"not {_render(expr.operand, _LEVEL_UNARY)}", context, _LEVEL_UNARY)
+    if isinstance(expr, Ref):
+        return _parens(f"ref {_render(expr.init, _LEVEL_UNARY)}", context, _LEVEL_UNARY)
+    if isinstance(expr, Deref):
+        return _parens(f"!{_render(expr.ref, _LEVEL_UNARY)}", context, _LEVEL_UNARY)
+    if isinstance(expr, Assign):
+        target = _render(expr.target, _LEVEL_ASSIGN + 1)
+        value = _render(expr.value, _LEVEL_ASSIGN)
+        return _parens(f"{target} := {value}", context, _LEVEL_ASSIGN)
+    if isinstance(expr, Seq):
+        first = _render(expr.first, _LEVEL_ASSIGN)
+        second = _render(expr.second, _LEVEL_EXPR)
+        return _parens(f"{first}; {second}", context, _LEVEL_EXPR)
+    if isinstance(expr, If):
+        text = (
+            f"if {_render(expr.cond, _LEVEL_EXPR)} "
+            f"then {_render(expr.then, _LEVEL_EXPR)} "
+            f"else {_render(expr.els, _LEVEL_EXPR)}"
+        )
+        return _parens(text, context, _LEVEL_EXPR)
+    if isinstance(expr, Let):
+        annot = f" : {expr.annotation}" if expr.annotation is not None else ""
+        text = (
+            f"let {expr.name}{annot} = {_render(expr.bound, _LEVEL_EXPR)} "
+            f"in {_render(expr.body, _LEVEL_EXPR)}"
+        )
+        return _parens(text, context, _LEVEL_EXPR)
+    if isinstance(expr, Fun):
+        from repro.typecheck.types import FunType
+
+        annot = str(expr.param_type)
+        if isinstance(expr.param_type, FunType):
+            annot = f"({annot})"  # the bare arrow would start the body
+        text = f"fun {expr.param} : {annot} -> {_render(expr.body, _LEVEL_EXPR)}"
+        return _parens(text, context, _LEVEL_EXPR)
+    if isinstance(expr, While):
+        text = (
+            f"while {_render(expr.cond, _LEVEL_EXPR)} "
+            f"do {_render(expr.body, _LEVEL_EXPR)} done"
+        )
+        return _parens(text, context, _LEVEL_EXPR)
+    if isinstance(expr, App):
+        fn = _render(expr.fn, _LEVEL_APP)
+        arg = _render(expr.arg, _LEVEL_ATOM)
+        return _parens(f"{fn} {arg}", context, _LEVEL_APP)
+    if isinstance(expr, TypedBlock):
+        return f"typed {{ {_render(expr.body, _LEVEL_EXPR)} }}"
+    if isinstance(expr, SymBlock):
+        return f"sym {{ {_render(expr.body, _LEVEL_EXPR)} }}"
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,37 @@
+"""MIXY: the paper's prototype of MIX for C (Section 4).
+
+MIXY detects null-pointer errors by mixing a flow-insensitive null/nonnull
+*type qualifier inference* (a reimplementation of Foster et al. 2006, the
+paper's CilQual) with a C symbolic executor (standing in for Otter).
+
+Subpackages and modules:
+
+- :mod:`repro.mixy.c` -- the mini-C frontend (AST, lexer, parser, types),
+  substituting for CIL;
+- :mod:`repro.mixy.pointers` -- Andersen-style may points-to analysis and
+  call-graph construction, substituting for CIL's pointer analysis;
+- :mod:`repro.mixy.qual` -- the qualifier inference engine;
+- :mod:`repro.mixy.symexec` -- the mini-C symbolic executor;
+- :mod:`repro.mixy.driver` -- the block-switching driver with the
+  machinery of Sections 4.1-4.4: qualifier/symbolic-value translation
+  with optimistic assumptions and fixpoint iteration, the aliasing-aware
+  memory model, block caching, and recursion handling;
+- :mod:`repro.mixy.corpus` -- vsftpd-like benchmark programs transcribing
+  the paper's four case studies.
+
+Entry point: :class:`repro.mixy.driver.Mixy`.
+"""
+
+_LAZY = {"Mixy", "MixyConfig", "Warning_"}
+
+__all__ = ["Mixy", "MixyConfig", "Warning_"]
+
+
+def __getattr__(name: str):
+    # Loaded lazily so the frontend subpackage can be imported while the
+    # driver is under construction in tests of individual components.
+    if name in _LAZY:
+        from repro.mixy import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

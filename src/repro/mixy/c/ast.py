@@ -1,0 +1,287 @@
+"""Abstract syntax for the mini-C language analyzed by MIXY."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """Base class of mini-C types."""
+
+
+@dataclass(frozen=True)
+class Scalar(CType):
+    name: str  # "int", "char", "void"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT_T = Scalar("int")
+CHAR_T = Scalar("char")
+VOID_T = Scalar("void")
+
+
+@dataclass(frozen=True)
+class PtrType(CType):
+    elem: CType
+
+    def __str__(self) -> str:
+        return f"{self.elem}*"
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    """A reference to ``struct name`` (fields live in the program table)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FunType(CType):
+    params: tuple[CType, ...]
+    ret: CType
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} (*)({inner})"
+
+
+def pointer_depth(typ: CType) -> int:
+    depth = 0
+    while isinstance(typ, PtrType):
+        depth += 1
+        typ = typ.elem
+    return depth
+
+
+def pointee(typ: CType) -> CType:
+    if not isinstance(typ, PtrType):
+        raise TypeError(f"{typ} is not a pointer type")
+    return typ.elem
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class StrLit(CExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class NullLit(CExpr):
+    """The NULL macro — the qualifier system auto-annotates it ``null``."""
+
+
+@dataclass(frozen=True)
+class VarRef(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Deref(CExpr):
+    """``*e``"""
+
+    ptr: CExpr
+
+
+@dataclass(frozen=True)
+class AddrOf(CExpr):
+    """``&e``"""
+
+    target: CExpr
+
+
+@dataclass(frozen=True)
+class Field(CExpr):
+    """``e.name`` (arrow=False) or ``e->name`` (arrow=True)."""
+
+    obj: CExpr
+    name: str
+    arrow: bool
+
+
+@dataclass(frozen=True)
+class Unary(CExpr):
+    op: str  # "!", "-"
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class Binary(CExpr):
+    op: str  # + - * == != < <= > >= && ||
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class Assign(CExpr):
+    """``lhs = rhs`` — an expression, as in C."""
+
+    lhs: CExpr
+    rhs: CExpr
+
+
+@dataclass(frozen=True)
+class Call(CExpr):
+    """A call; ``fn`` is a VarRef for direct calls or any pointer expression
+    for calls through function pointers."""
+
+    fn: CExpr
+    args: tuple[CExpr, ...]
+
+
+@dataclass(frozen=True)
+class Malloc(CExpr):
+    """``malloc(sizeof(T))`` — allocation of one object of type T."""
+
+    typ: CType
+
+
+@dataclass(frozen=True)
+class Cast(CExpr):
+    typ: CType
+    operand: CExpr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(CStmt):
+    name: str
+    typ: CType
+    init: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class ExprStmt(CStmt):
+    expr: CExpr
+
+
+@dataclass(frozen=True)
+class If(CStmt):
+    cond: CExpr
+    then: "Block"
+    els: Optional["Block"] = None
+
+
+@dataclass(frozen=True)
+class While(CStmt):
+    cond: CExpr
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class Return(CStmt):
+    value: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class Block(CStmt):
+    stmts: tuple[CStmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    typ: CType
+    nonnull: bool = False  # the `nonnull` qualifier annotation
+
+
+@dataclass(frozen=True)
+class CFunction:
+    name: str
+    params: tuple[Param, ...]
+    ret: CType
+    body: Optional[Block]  # None for extern declarations
+    mix: Optional[str] = None  # None | "typed" | "symbolic"
+    nonnull_return: bool = False
+
+
+@dataclass(frozen=True)
+class Global:
+    name: str
+    typ: CType
+    init: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class CStructDef:
+    name: str
+    fields: tuple[tuple[str, CType], ...]
+
+    def field_type(self, name: str) -> CType:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise KeyError(f"struct {self.name} has no field {name}")
+
+    def field_index(self, name: str) -> int:
+        for i, (fname, _t) in enumerate(self.fields):
+            if fname == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name}")
+
+
+CDecl = Union[CFunction, Global, CStructDef]
+
+
+@dataclass
+class CProgram:
+    structs: dict[str, CStructDef] = field(default_factory=dict)
+    globals: dict[str, Global] = field(default_factory=dict)
+    functions: dict[str, CFunction] = field(default_factory=dict)
+
+    def struct_def(self, typ: CType) -> CStructDef:
+        if not isinstance(typ, StructType):
+            raise TypeError(f"{typ} is not a struct type")
+        return self.structs[typ.name]
+
+    def add(self, decl: CDecl) -> None:
+        if isinstance(decl, CStructDef):
+            self.structs[decl.name] = decl
+        elif isinstance(decl, Global):
+            self.globals[decl.name] = decl
+        elif isinstance(decl, CFunction):
+            existing = self.functions.get(decl.name)
+            # A definition supersedes an extern declaration.
+            if existing is None or existing.body is None:
+                self.functions[decl.name] = decl
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown declaration {decl!r}")

@@ -1,0 +1,306 @@
+"""A concrete interpreter for mini-C — the ground truth the C symbolic
+executor is differentially tested against.
+
+The value model mirrors :mod:`repro.mixy.symexec`: every value is an
+integer; pointers are cell addresses with 0 for NULL; struct fields live
+at ``base + field_index``; functions have addresses so function pointers
+work.  Dereferencing NULL raises :class:`CNullDereference` — the
+concrete counterpart of the executor's NULL_DEREF warning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mixy.c.ast import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    CExpr,
+    CFunction,
+    CProgram,
+    CStmt,
+    CType,
+    Deref,
+    ExprStmt,
+    Field,
+    If,
+    IntLit,
+    Malloc,
+    NullLit,
+    PtrType,
+    Return,
+    Scalar,
+    StrLit,
+    StructType,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.mixy.c.typeinfo import CTypeError, TypeInfo
+
+
+class CRuntimeError(Exception):
+    """A dynamic error (wild pointer, unknown identifier, ...)."""
+
+
+class CNullDereference(CRuntimeError):
+    """NULL was dereferenced — what the null checker guards against."""
+
+
+class CStepBudgetExceeded(CRuntimeError):
+    """The step budget ran out (bounds runaway loops in testing)."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+@dataclass
+class _Frame:
+    fn: CFunction
+    env: dict[str, int]  # variable -> cell address
+    types: TypeInfo
+
+
+class CInterpreter:
+    """Executes mini-C programs concretely."""
+
+    def __init__(self, program: CProgram, step_budget: int = 200_000) -> None:
+        self.program = program
+        self.memory: dict[int, int] = {}
+        self._next_address = 1
+        self._steps = step_budget
+        self.fn_addresses: dict[str, int] = {}
+        self._fn_by_address: dict[int, str] = {}
+        for name in program.functions:
+            address = self._alloc(1)
+            self.fn_addresses[name] = address
+            self._fn_by_address[address] = name
+        self.global_env: dict[str, int] = {}
+        self._init_globals()
+
+    # -- memory ------------------------------------------------------------------
+
+    def _alloc(self, size: int) -> int:
+        base = self._next_address
+        self._next_address += max(size, 1)
+        for i in range(size):
+            self.memory[base + i] = 0
+        return base
+
+    def _size_of(self, ctype: CType) -> int:
+        if isinstance(ctype, StructType):
+            return max(len(self.program.struct_def(ctype).fields), 1)
+        return 1
+
+    def _init_globals(self) -> None:
+        for name, g in sorted(self.program.globals.items()):
+            self.global_env[name] = self._alloc(self._size_of(g.typ))
+        for name, g in sorted(self.program.globals.items()):
+            if g.init is None:
+                continue
+            value = self._eval_const_init(g.init)
+            self.memory[self.global_env[name]] = value
+
+    def _eval_const_init(self, init: CExpr) -> int:
+        if isinstance(init, IntLit):
+            return init.value
+        if isinstance(init, NullLit):
+            return 0
+        if isinstance(init, VarRef) and init.name in self.fn_addresses:
+            return self.fn_addresses[init.name]
+        raise CRuntimeError(f"unsupported static initializer {init!r}")
+
+    # -- function calls -----------------------------------------------------------
+
+    def call(self, name: str, args: Optional[list[int]] = None) -> int:
+        fn = self.program.functions[name]
+        if fn.body is None:
+            raise CRuntimeError(f"call to extern {name} with no model")
+        args = args or []
+        env: dict[str, int] = {}
+        local_types = {p.name: p.typ for p in fn.params}
+        _collect(fn.body, local_types)
+        for param, value in zip(fn.params, args):
+            cell = self._alloc(self._size_of(param.typ))
+            self.memory[cell] = value
+            env[param.name] = cell
+        for lname, ltype in local_types.items():
+            if lname not in env:
+                env[lname] = self._alloc(self._size_of(ltype))
+        frame = _Frame(fn, env, TypeInfo(self.program, local_types))
+        try:
+            self._stmt(fn.body, frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        return 0
+
+    # -- statements ---------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps -= 1
+        if self._steps < 0:
+            raise CStepBudgetExceeded()
+
+    def _stmt(self, stmt: CStmt, frame: _Frame) -> None:
+        self._tick()
+        if isinstance(stmt, Block):
+            for inner in stmt.stmts:
+                self._stmt(inner, frame)
+        elif isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                self.memory[frame.env[stmt.name]] = self._eval(stmt.init, frame)
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, If):
+            if self._eval(stmt.cond, frame) != 0:
+                self._stmt(stmt.then, frame)
+            elif stmt.els is not None:
+                self._stmt(stmt.els, frame)
+        elif isinstance(stmt, While):
+            while self._eval(stmt.cond, frame) != 0:
+                self._tick()
+                self._stmt(stmt.body, frame)
+        elif isinstance(stmt, Return):
+            raise _ReturnSignal(
+                self._eval(stmt.value, frame) if stmt.value is not None else 0
+            )
+        else:  # pragma: no cover - defensive
+            raise CRuntimeError(f"unknown statement {stmt!r}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _eval(self, expr: CExpr, frame: _Frame) -> int:
+        self._tick()
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, NullLit):
+            return 0
+        if isinstance(expr, StrLit):
+            return self._alloc(1)  # a fresh one-cell buffer, non-null
+        if isinstance(expr, VarRef):
+            if expr.name in frame.env or expr.name in self.global_env:
+                return self.memory[self._lvalue_address(expr, frame)]
+            if expr.name in self.fn_addresses:
+                return self.fn_addresses[expr.name]
+            raise CRuntimeError(f"unknown identifier {expr.name}")
+        if isinstance(expr, Deref):
+            return self.memory.get(self._checked_target(expr.ptr, frame), 0)
+        if isinstance(expr, AddrOf):
+            return self._lvalue_address(expr.target, frame)
+        if isinstance(expr, Field):
+            return self.memory.get(self._lvalue_address(expr, frame), 0)
+        if isinstance(expr, Unary):
+            value = self._eval(expr.operand, frame)
+            return -value if expr.op == "-" else (1 if value == 0 else 0)
+        if isinstance(expr, Binary):
+            return self._binary(expr, frame)
+        if isinstance(expr, Assign):
+            value = self._eval(expr.rhs, frame)
+            self.memory[self._lvalue_address(expr.lhs, frame)] = value
+            return value
+        if isinstance(expr, Call):
+            return self._call_expr(expr, frame)
+        if isinstance(expr, Malloc):
+            return self._alloc(self._size_of(expr.typ))
+        if isinstance(expr, Cast):
+            return self._eval(expr.operand, frame)
+        raise CRuntimeError(f"cannot evaluate {expr!r}")
+
+    def _binary(self, expr: Binary, frame: _Frame) -> int:
+        op = expr.op
+        left = self._eval(expr.left, frame)
+        # && and || short-circuit in C.
+        if op == "&&":
+            return 1 if left != 0 and self._eval(expr.right, frame) != 0 else 0
+        if op == "||":
+            return 1 if left != 0 or self._eval(expr.right, frame) != 0 else 0
+        right = self._eval(expr.right, frame)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise CRuntimeError("division by zero")
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        comparisons = {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }
+        return 1 if comparisons[op] else 0
+
+    def _lvalue_address(self, expr: CExpr, frame: _Frame) -> int:
+        if isinstance(expr, VarRef):
+            if expr.name in frame.env:
+                return frame.env[expr.name]
+            if expr.name in self.global_env:
+                return self.global_env[expr.name]
+            raise CRuntimeError(f"unknown identifier {expr.name}")
+        if isinstance(expr, Deref):
+            return self._checked_target(expr.ptr, frame)
+        if isinstance(expr, Field):
+            if expr.arrow:
+                base = self._checked_target(expr.obj, frame)
+                struct_type = frame.types.type_of(expr.obj)
+                assert isinstance(struct_type, PtrType)
+                struct = self.program.struct_def(struct_type.elem)
+            else:
+                base = self._lvalue_address(expr.obj, frame)
+                struct = self.program.struct_def(frame.types.type_of(expr.obj))
+            return base + struct.field_index(expr.name)
+        raise CRuntimeError(f"not an lvalue: {expr!r}")
+
+    def _checked_target(self, ptr_expr: CExpr, frame: _Frame) -> int:
+        address = self._eval(ptr_expr, frame)
+        if address == 0:
+            raise CNullDereference(f"NULL dereference at {ptr_expr!r}")
+        if address not in self.memory:
+            raise CRuntimeError(f"wild pointer {address}")
+        return address
+
+    def _call_expr(self, expr: Call, frame: _Frame) -> int:
+        args = [self._eval(a, frame) for a in expr.args]
+        if isinstance(expr.fn, VarRef) and expr.fn.name in self.program.functions:
+            return self.call(expr.fn.name, args)
+        address = self._eval(expr.fn, frame)
+        name = self._fn_by_address.get(address)
+        if name is None:
+            raise CRuntimeError(f"call through bad function pointer {address}")
+        return self.call(name, args)
+
+
+def _collect(stmt: CStmt, env: dict[str, CType]) -> None:
+    if isinstance(stmt, VarDecl):
+        env[stmt.name] = stmt.typ
+    elif isinstance(stmt, Block):
+        for inner in stmt.stmts:
+            _collect(inner, env)
+    elif isinstance(stmt, If):
+        _collect(stmt.then, env)
+        if stmt.els is not None:
+            _collect(stmt.els, env)
+    elif isinstance(stmt, While):
+        _collect(stmt.body, env)
+
+
+def run_function(
+    program: CProgram, name: str, args: Optional[list[int]] = None
+) -> int:
+    """Convenience wrapper: interpret ``name`` with integer arguments."""
+    return CInterpreter(program).call(name, args)

@@ -1,0 +1,553 @@
+"""Lexer and recursive-descent parser for mini-C.
+
+The accepted subset covers the paper's vsftpd case studies: struct
+definitions, globals (including function pointers declared as
+``ret (*name)(params)``), function definitions with ``MIX(typed)`` /
+``MIX(symbolic)`` annotations and ``nonnull`` qualifiers, and the usual
+statement and expression forms.  ``malloc(sizeof(T))`` is a primitive
+expression; string literals denote fresh non-null character buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mixy.c.ast import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    CExpr,
+    CFunction,
+    CProgram,
+    CStmt,
+    CStructDef,
+    CType,
+    CHAR_T,
+    Deref,
+    ExprStmt,
+    Field,
+    FunType,
+    Global,
+    If,
+    INT_T,
+    IntLit,
+    Malloc,
+    NullLit,
+    Param,
+    PtrType,
+    Return,
+    StrLit,
+    StructType,
+    Unary,
+    VarDecl,
+    VarRef,
+    VOID_T,
+    While,
+)
+
+
+class CParseError(SyntaxError):
+    """Raised on input outside the supported C subset."""
+
+
+_KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "return",
+    "sizeof",
+    "malloc",
+    "NULL",
+    "MIX",
+    "nonnull",
+    "typed",
+    "symbolic",
+    "const",
+}
+
+_SYMBOLS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "->",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "!",
+    "&",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str  # "int" | "string" | "ident" | "kw" | "sym" | "eof"
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CParseError(f"unterminated comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(_Tok("int", source[i:j], line))
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise CParseError(f"unterminated string at line {line}")
+            tokens.append(_Tok("string", source[i + 1 : j], line))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(_Tok("kw" if text in _KEYWORDS else "ident", text, line))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(_Tok("sym", sym, line))
+                i += len(sym)
+                break
+        else:
+            raise CParseError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(_Tok("eof", "", line))
+    return tokens
+
+
+_TYPE_KEYWORDS = {"int", "char", "void", "struct", "const"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Tok]) -> None:
+        self._toks = tokens
+        self._i = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Tok:
+        return self._toks[min(self._i + offset, len(self._toks) - 1)]
+
+    def _next(self) -> _Tok:
+        tok = self._toks[self._i]
+        if tok.kind != "eof":
+            self._i += 1
+        return tok
+
+    def _at(self, kind: str, text: Optional[str] = None, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _eat(self, kind: str, text: Optional[str] = None) -> bool:
+        if self._at(kind, text):
+            self._next()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Tok:
+        if not self._at(kind, text):
+            tok = self._peek()
+            want = text or kind
+            raise CParseError(
+                f"expected {want!r} but found {tok.text!r} at line {tok.line}"
+            )
+        return self._next()
+
+    # -- program -----------------------------------------------------------------
+
+    def program(self) -> CProgram:
+        program = CProgram()
+        while not self._at("eof"):
+            for decl in self._declaration():
+                program.add(decl)
+        return program
+
+    def _declaration(self):
+        if self._at("kw", "struct") and self._at("sym", "{", offset=2):
+            yield self._struct_def()
+            return
+        base, nonnull = self._base_type()
+        # Function-pointer declarator: ret (*name)(params)
+        if self._at("sym", "("):
+            yield self._fun_ptr_global(base)
+            return
+        depth, nonnull2 = self._stars_and_quals()
+        typ = _apply_ptrs(base, depth)
+        name = self._expect("ident").text
+        if self._at("sym", "("):
+            yield self._function(typ, nonnull or nonnull2, name)
+        else:
+            init = self._expr() if self._eat("sym", "=") else None
+            self._expect("sym", ";")
+            yield Global(name, typ, init)
+
+    def _struct_def(self) -> CStructDef:
+        self._expect("kw", "struct")
+        name = self._expect("ident").text
+        self._expect("sym", "{")
+        fields: list[tuple[str, CType]] = []
+        while not self._eat("sym", "}"):
+            base, _ = self._base_type()
+            depth, _ = self._stars_and_quals()
+            fname = self._expect("ident").text
+            fields.append((fname, _apply_ptrs(base, depth)))
+            self._expect("sym", ";")
+        self._expect("sym", ";")
+        return CStructDef(name, tuple(fields))
+
+    def _fun_ptr_global(self, ret: CType) -> Global:
+        self._expect("sym", "(")
+        self._expect("sym", "*")
+        name = self._expect("ident").text
+        self._expect("sym", ")")
+        self._expect("sym", "(")
+        param_types: list[CType] = []
+        if not self._at("sym", ")"):
+            if not (self._at("kw", "void") and self._at("sym", ")", offset=1)):
+                while True:
+                    base, _ = self._base_type()
+                    depth, _ = self._stars_and_quals()
+                    if self._at("ident"):
+                        self._next()  # optional parameter name
+                    param_types.append(_apply_ptrs(base, depth))
+                    if not self._eat("sym", ","):
+                        break
+            else:
+                self._next()  # consume 'void'
+        self._expect("sym", ")")
+        init = self._expr() if self._eat("sym", "=") else None
+        self._expect("sym", ";")
+        typ = PtrType(FunType(tuple(param_types), ret))
+        return Global(name, typ, init)
+
+    def _function(self, ret: CType, nonnull_return: bool, name: str) -> CFunction:
+        self._expect("sym", "(")
+        params: list[Param] = []
+        if not self._at("sym", ")"):
+            if self._at("kw", "void") and self._at("sym", ")", offset=1):
+                self._next()
+            else:
+                while True:
+                    params.append(self._param())
+                    if not self._eat("sym", ","):
+                        break
+        self._expect("sym", ")")
+        mix: Optional[str] = None
+        if self._eat("kw", "MIX"):
+            self._expect("sym", "(")
+            tok = self._next()
+            if tok.text not in ("typed", "symbolic"):
+                raise CParseError(
+                    f"MIX annotation must be typed or symbolic, got {tok.text!r}"
+                )
+            mix = tok.text
+            self._expect("sym", ")")
+        body: Optional[Block] = None
+        if self._at("sym", "{"):
+            body = self._block()
+        else:
+            self._expect("sym", ";")
+        return CFunction(name, tuple(params), ret, body, mix, nonnull_return)
+
+    def _param(self) -> Param:
+        base, nonnull = self._base_type()
+        if self._at("sym", "(") and self._at("sym", "*", offset=1):
+            name, typ = self._fn_ptr_declarator(base)
+            return Param(name, typ, False)
+        depth, nonnull2 = self._stars_and_quals()
+        name = self._expect("ident").text
+        return Param(name, _apply_ptrs(base, depth), nonnull or nonnull2)
+
+    def _fn_ptr_declarator(self, ret: CType) -> tuple[str, CType]:
+        """``(*name)(param-types)`` — a function-pointer declarator."""
+        self._expect("sym", "(")
+        self._expect("sym", "*")
+        name = self._expect("ident").text
+        self._expect("sym", ")")
+        self._expect("sym", "(")
+        param_types: list[CType] = []
+        if not self._at("sym", ")"):
+            if self._at("kw", "void") and self._at("sym", ")", offset=1):
+                self._next()
+            else:
+                while True:
+                    base, _ = self._base_type()
+                    depth, _ = self._stars_and_quals()
+                    if self._at("ident"):
+                        self._next()  # optional parameter name
+                    param_types.append(_apply_ptrs(base, depth))
+                    if not self._eat("sym", ","):
+                        break
+        self._expect("sym", ")")
+        return name, PtrType(FunType(tuple(param_types), ret))
+
+    # -- types -------------------------------------------------------------------
+
+    def _base_type(self) -> tuple[CType, bool]:
+        nonnull = False
+        while self._eat("kw", "const"):
+            pass
+        if self._eat("kw", "struct"):
+            name = self._expect("ident").text
+            base: CType = StructType(name)
+        else:
+            tok = self._next()
+            mapping = {"int": INT_T, "char": CHAR_T, "void": VOID_T}
+            if tok.text not in mapping:
+                raise CParseError(f"expected a type, got {tok.text!r} at line {tok.line}")
+            base = mapping[tok.text]
+        while self._eat("kw", "const"):
+            pass
+        return base, nonnull
+
+    def _stars_and_quals(self) -> tuple[int, bool]:
+        depth = 0
+        nonnull = False
+        while True:
+            if self._eat("sym", "*"):
+                depth += 1
+            elif self._eat("kw", "nonnull"):
+                nonnull = True
+            elif self._eat("kw", "const"):
+                pass
+            else:
+                return depth, nonnull
+
+    def _looks_like_type(self) -> bool:
+        return self._peek().kind == "kw" and self._peek().text in _TYPE_KEYWORDS
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self) -> Block:
+        self._expect("sym", "{")
+        stmts: list[CStmt] = []
+        while not self._eat("sym", "}"):
+            stmts.append(self._stmt())
+        return Block(tuple(stmts))
+
+    def _stmt(self) -> CStmt:
+        if self._at("sym", "{"):
+            return self._block()
+        if self._at("kw", "if"):
+            return self._if()
+        if self._at("kw", "while"):
+            self._next()
+            self._expect("sym", "(")
+            cond = self._expr()
+            self._expect("sym", ")")
+            return While(cond, self._as_block(self._stmt()))
+        if self._at("kw", "return"):
+            self._next()
+            value = None if self._at("sym", ";") else self._expr()
+            self._expect("sym", ";")
+            return Return(value)
+        if self._looks_like_type():
+            base, _ = self._base_type()
+            if self._at("sym", "(") and self._at("sym", "*", offset=1):
+                name, typ = self._fn_ptr_declarator(base)
+                init = self._expr() if self._eat("sym", "=") else None
+                self._expect("sym", ";")
+                return VarDecl(name, typ, init)
+            depth, _ = self._stars_and_quals()
+            name = self._expect("ident").text
+            init = self._expr() if self._eat("sym", "=") else None
+            self._expect("sym", ";")
+            return VarDecl(name, _apply_ptrs(base, depth), init)
+        expr = self._expr()
+        self._expect("sym", ";")
+        return ExprStmt(expr)
+
+    def _if(self) -> If:
+        self._expect("kw", "if")
+        self._expect("sym", "(")
+        cond = self._expr()
+        self._expect("sym", ")")
+        then = self._as_block(self._stmt())
+        els = None
+        if self._eat("kw", "else"):
+            els = self._as_block(self._stmt())
+        return If(cond, then, els)
+
+    @staticmethod
+    def _as_block(stmt: CStmt) -> Block:
+        return stmt if isinstance(stmt, Block) else Block((stmt,))
+
+    # -- expressions (C precedence) --------------------------------------------------
+
+    def _expr(self) -> CExpr:
+        return self._assign()
+
+    def _assign(self) -> CExpr:
+        lhs = self._or()
+        if self._eat("sym", "="):
+            return Assign(lhs, self._assign())
+        return lhs
+
+    def _or(self) -> CExpr:
+        left = self._and()
+        while self._eat("sym", "||"):
+            left = Binary("||", left, self._and())
+        return left
+
+    def _and(self) -> CExpr:
+        left = self._equality()
+        while self._eat("sym", "&&"):
+            left = Binary("&&", left, self._equality())
+        return left
+
+    def _equality(self) -> CExpr:
+        left = self._relational()
+        while self._at("sym", "==") or self._at("sym", "!="):
+            op = self._next().text
+            left = Binary(op, left, self._relational())
+        return left
+
+    def _relational(self) -> CExpr:
+        left = self._additive()
+        while any(self._at("sym", s) for s in ("<", "<=", ">", ">=")):
+            op = self._next().text
+            left = Binary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> CExpr:
+        left = self._multiplicative()
+        while self._at("sym", "+") or self._at("sym", "-"):
+            op = self._next().text
+            left = Binary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> CExpr:
+        left = self._unary()
+        while self._at("sym", "*") or self._at("sym", "/"):
+            op = self._next().text
+            left = Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> CExpr:
+        if self._eat("sym", "!"):
+            return Unary("!", self._unary())
+        if self._eat("sym", "-"):
+            return Unary("-", self._unary())
+        if self._eat("sym", "*"):
+            return Deref(self._unary())
+        if self._eat("sym", "&"):
+            return AddrOf(self._unary())
+        # Cast: '(' type ... ')'
+        if self._at("sym", "(") and self._peek(1).kind == "kw" and self._peek(
+            1
+        ).text in _TYPE_KEYWORDS:
+            self._next()
+            base, _ = self._base_type()
+            depth, _ = self._stars_and_quals()
+            self._expect("sym", ")")
+            return Cast(_apply_ptrs(base, depth), self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> CExpr:
+        expr = self._primary()
+        while True:
+            if self._eat("sym", "("):
+                args: list[CExpr] = []
+                if not self._at("sym", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self._eat("sym", ","):
+                            break
+                self._expect("sym", ")")
+                expr = Call(expr, tuple(args))
+            elif self._eat("sym", "->"):
+                expr = Field(expr, self._expect("ident").text, arrow=True)
+            elif self._eat("sym", "."):
+                expr = Field(expr, self._expect("ident").text, arrow=False)
+            else:
+                return expr
+
+    def _primary(self) -> CExpr:
+        if self._at("int"):
+            return IntLit(int(self._next().text))
+        if self._at("string"):
+            return StrLit(self._next().text)
+        if self._eat("kw", "NULL"):
+            return NullLit()
+        if self._eat("kw", "malloc"):
+            self._expect("sym", "(")
+            self._expect("kw", "sizeof")
+            self._expect("sym", "(")
+            base, _ = self._base_type()
+            depth, _ = self._stars_and_quals()
+            self._expect("sym", ")")
+            self._expect("sym", ")")
+            return Malloc(_apply_ptrs(base, depth))
+        if self._at("ident"):
+            return VarRef(self._next().text)
+        if self._eat("sym", "("):
+            inner = self._expr()
+            self._expect("sym", ")")
+            return inner
+        tok = self._peek()
+        raise CParseError(f"unexpected token {tok.text!r} at line {tok.line}")
+
+
+def _apply_ptrs(base: CType, depth: int) -> CType:
+    for _ in range(depth):
+        base = PtrType(base)
+    return base
+
+
+def parse_program(source: str) -> CProgram:
+    """Parse a mini-C translation unit."""
+    return _Parser(_tokenize(source)).program()

@@ -1,0 +1,202 @@
+"""Pretty-printer for mini-C — the inverse of the parser.
+
+``parse_program(pretty_program(p))`` is structurally equal to ``p``
+(modulo the extern-vs-definition merge the program table performs),
+which the round-trip tests pin down.  Useful for emitting generated or
+refactored corpus programs.
+"""
+
+from __future__ import annotations
+
+from repro.mixy.c.ast import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    CExpr,
+    CFunction,
+    CProgram,
+    CStmt,
+    CStructDef,
+    CType,
+    Deref,
+    ExprStmt,
+    Field,
+    FunType,
+    Global,
+    If,
+    IntLit,
+    Malloc,
+    NullLit,
+    PtrType,
+    Return,
+    Scalar,
+    StrLit,
+    StructType,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+}
+_UNARY_LEVEL = 7
+_POSTFIX_LEVEL = 8
+
+
+def type_text(typ: CType) -> str:
+    """Render a type in declaration-prefix form (pointers as suffixes)."""
+    if isinstance(typ, Scalar):
+        return typ.name
+    if isinstance(typ, StructType):
+        return f"struct {typ.name}"
+    if isinstance(typ, PtrType):
+        return f"{type_text(typ.elem)} *"
+    raise TypeError(f"cannot render type {typ}")
+
+
+def declarator(name: str, typ: CType) -> str:
+    """``typ name`` with C's function-pointer declarator when needed."""
+    if isinstance(typ, PtrType) and isinstance(typ.elem, FunType):
+        fun = typ.elem
+        params = ", ".join(type_text(p) for p in fun.params) or "void"
+        return f"{type_text(fun.ret)} (*{name})({params})"
+    return f"{type_text(typ)}{name}" if type_text(typ).endswith("*") else f"{type_text(typ)} {name}"
+
+
+def expr_text(expr: CExpr, context: int = 0) -> str:
+    text, level = _expr(expr)
+    return f"({text})" if level < context else text
+
+
+def _expr(expr: CExpr) -> tuple[str, int]:
+    if isinstance(expr, IntLit):
+        if expr.value < 0:
+            return f"(-{-expr.value})", _POSTFIX_LEVEL
+        return str(expr.value), _POSTFIX_LEVEL
+    if isinstance(expr, StrLit):
+        return f'"{expr.value}"', _POSTFIX_LEVEL
+    if isinstance(expr, NullLit):
+        return "NULL", _POSTFIX_LEVEL
+    if isinstance(expr, VarRef):
+        return expr.name, _POSTFIX_LEVEL
+    if isinstance(expr, Deref):
+        return f"*{expr_text(expr.ptr, _UNARY_LEVEL)}", _UNARY_LEVEL
+    if isinstance(expr, AddrOf):
+        return f"&{expr_text(expr.target, _UNARY_LEVEL)}", _UNARY_LEVEL
+    if isinstance(expr, Field):
+        sep = "->" if expr.arrow else "."
+        return f"{expr_text(expr.obj, _POSTFIX_LEVEL)}{sep}{expr.name}", _POSTFIX_LEVEL
+    if isinstance(expr, Unary):
+        return f"{expr.op}{expr_text(expr.operand, _UNARY_LEVEL)}", _UNARY_LEVEL
+    if isinstance(expr, Binary):
+        level = _PRECEDENCE[expr.op]
+        left = expr_text(expr.left, level)
+        right = expr_text(expr.right, level + 1)
+        return f"{left} {expr.op} {right}", level
+    if isinstance(expr, Assign):
+        return (
+            f"{expr_text(expr.lhs, _UNARY_LEVEL)} = {expr_text(expr.rhs, 0)}",
+            0,
+        )
+    if isinstance(expr, Call):
+        args = ", ".join(expr_text(a, 0) for a in expr.args)
+        return f"{expr_text(expr.fn, _POSTFIX_LEVEL)}({args})", _POSTFIX_LEVEL
+    if isinstance(expr, Malloc):
+        return f"malloc(sizeof({type_text(expr.typ).strip()}))", _POSTFIX_LEVEL
+    if isinstance(expr, Cast):
+        return (
+            f"({type_text(expr.typ).strip()}) {expr_text(expr.operand, _UNARY_LEVEL)}",
+            _UNARY_LEVEL,
+        )
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def stmt_text(stmt: CStmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Block):
+        inner = "\n".join(stmt_text(s, indent + 1) for s in stmt.stmts)
+        return f"{pad}{{\n{inner}\n{pad}}}" if stmt.stmts else f"{pad}{{ }}"
+    if isinstance(stmt, VarDecl):
+        decl = declarator(stmt.name, stmt.typ)
+        if stmt.init is not None:
+            return f"{pad}{decl} = {expr_text(stmt.init)};"
+        return f"{pad}{decl};"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{expr_text(stmt.expr)};"
+    if isinstance(stmt, If):
+        text = f"{pad}if ({expr_text(stmt.cond)})\n{stmt_text(stmt.then, indent)}"
+        if stmt.els is not None:
+            text += f"\n{pad}else\n{stmt_text(stmt.els, indent)}"
+        return text
+    if isinstance(stmt, While):
+        return f"{pad}while ({expr_text(stmt.cond)})\n{stmt_text(stmt.body, indent)}"
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {expr_text(stmt.value)};"
+    raise TypeError(f"cannot render statement {stmt!r}")
+
+
+def function_text(fn: CFunction) -> str:
+    ret = type_text(fn.ret).strip()
+    params = []
+    for p in fn.params:
+        text = declarator(p.name, p.typ)
+        if p.nonnull:
+            # nonnull sits between the stars and the name.
+            text = text.replace(f"*{p.name}", f"*nonnull {p.name}").replace(
+                f"* {p.name}", f"*nonnull {p.name}"
+            )
+            if "nonnull" not in text:
+                text = text.replace(f" {p.name}", f" nonnull {p.name}")
+        params.append(text)
+    header = f"{ret} {'*nonnull ' if fn.nonnull_return else ''}".strip()
+    if fn.nonnull_return:
+        header = f"{type_text(fn.ret).rstrip(' *')} *nonnull"
+    signature = f"{header} {fn.name}({', '.join(params) or 'void'})"
+    if fn.mix is not None:
+        signature += f" MIX({fn.mix})"
+    if fn.body is None:
+        return signature + ";"
+    return signature + "\n" + stmt_text(fn.body)
+
+
+def struct_text(struct: CStructDef) -> str:
+    fields = "\n".join(
+        f"  {declarator(name, typ)};" for name, typ in struct.fields
+    )
+    return f"struct {struct.name} {{\n{fields}\n}};"
+
+
+def global_text(g: Global) -> str:
+    decl = declarator(g.name, g.typ)
+    if g.init is not None:
+        return f"{decl} = {expr_text(g.init)};"
+    return f"{decl};"
+
+
+def pretty_program(program: CProgram) -> str:
+    parts: list[str] = []
+    for struct in program.structs.values():
+        parts.append(struct_text(struct))
+    for g in program.globals.values():
+        parts.append(global_text(g))
+    for fn in program.functions.values():
+        parts.append(function_text(fn))
+    return "\n\n".join(parts) + "\n"

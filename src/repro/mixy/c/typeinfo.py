@@ -1,0 +1,115 @@
+"""Expression typing for mini-C.
+
+A lightweight type computation (not a checker — mini-C programs in the
+corpus are assumed compilable); the qualifier inference, pointer
+analysis, and symbolic executor all need to know the static type of an
+expression to mirror its qualifier/points-to/value structure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.mixy.c.ast import (
+    AddrOf,
+    Assign,
+    Binary,
+    Call,
+    Cast,
+    CExpr,
+    CProgram,
+    CType,
+    CHAR_T,
+    Deref,
+    Field,
+    FunType,
+    INT_T,
+    IntLit,
+    Malloc,
+    NullLit,
+    PtrType,
+    StrLit,
+    StructType,
+    Unary,
+    VarRef,
+    VOID_T,
+)
+
+
+class CTypeError(TypeError):
+    """The expression does not type in mini-C."""
+
+
+class TypeInfo:
+    """Types expressions against a program and a local environment."""
+
+    def __init__(self, program: CProgram, locals_: Optional[Mapping[str, CType]] = None):
+        self.program = program
+        self.locals = dict(locals_ or {})
+
+    def with_locals(self, locals_: Mapping[str, CType]) -> "TypeInfo":
+        return TypeInfo(self.program, locals_)
+
+    def var_type(self, name: str) -> CType:
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.program.globals:
+            return self.program.globals[name].typ
+        if name in self.program.functions:
+            f = self.program.functions[name]
+            return FunType(tuple(p.typ for p in f.params), f.ret)
+        raise CTypeError(f"unknown identifier {name}")
+
+    def type_of(self, expr: CExpr) -> CType:
+        if isinstance(expr, IntLit):
+            return INT_T
+        if isinstance(expr, StrLit):
+            return PtrType(CHAR_T)
+        if isinstance(expr, NullLit):
+            return PtrType(VOID_T)
+        if isinstance(expr, VarRef):
+            return self.var_type(expr.name)
+        if isinstance(expr, Deref):
+            inner = self.type_of(expr.ptr)
+            if not isinstance(inner, PtrType):
+                raise CTypeError(f"dereference of non-pointer type {inner}")
+            return inner.elem
+        if isinstance(expr, AddrOf):
+            return PtrType(self.type_of(expr.target))
+        if isinstance(expr, Field):
+            obj_type = self.type_of(expr.obj)
+            if expr.arrow:
+                if not isinstance(obj_type, PtrType):
+                    raise CTypeError(f"-> on non-pointer type {obj_type}")
+                obj_type = obj_type.elem
+            struct = self.program.struct_def(obj_type)
+            return struct.field_type(expr.name)
+        if isinstance(expr, Unary):
+            return INT_T
+        if isinstance(expr, Binary):
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return INT_T
+            left = self.type_of(expr.left)
+            # Pointer arithmetic keeps the pointer type.
+            return left if isinstance(left, PtrType) else INT_T
+        if isinstance(expr, Assign):
+            return self.type_of(expr.lhs)
+        if isinstance(expr, Call):
+            fn_type = self.callee_type(expr)
+            return fn_type.ret
+        if isinstance(expr, Malloc):
+            return PtrType(expr.typ)
+        if isinstance(expr, Cast):
+            return expr.typ
+        raise CTypeError(f"cannot type expression {expr!r}")
+
+    def callee_type(self, call: Call) -> FunType:
+        fn_type = self.type_of(call.fn)
+        if isinstance(fn_type, PtrType) and isinstance(fn_type.elem, FunType):
+            fn_type = fn_type.elem
+        if not isinstance(fn_type, FunType):
+            raise CTypeError(f"call through non-function type {fn_type}")
+        return fn_type
+
+    def is_lvalue(self, expr: CExpr) -> bool:
+        return isinstance(expr, (VarRef, Deref, Field))

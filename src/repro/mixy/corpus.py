@@ -1,0 +1,332 @@
+"""vsftpd-like benchmark programs (paper Section 4.5).
+
+We cannot push the real vsftpd-2.0.7 through a from-scratch C frontend,
+so each of the paper's four case studies is transcribed into mini-C,
+faithfully preserving the code shape the paper prints (function names,
+the ``sysutil_free`` nonnull wrapper, the null-assignment patterns, the
+function-pointer exit hook).  Each case is available *unannotated* (pure
+qualifier inference — the false positive fires) and *annotated* (with
+the paper's ``MIX(symbolic)`` / ``MIX(typed)`` placement — the false
+positive is eliminated).
+
+``combined_program(n_symbolic)`` merges the cases plus distractor
+modules into one translation unit with the first ``n`` symbolic
+annotations enabled; the timing benchmark (EXPERIMENTS.md, E2) sweeps
+``n`` to reproduce the paper's cost-versus-blocks observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+# The common prelude: the one annotation the paper added to vsftpd.
+_PRELUDE = """
+void sysutil_free(void *nonnull p_ptr) MIX(typed);
+"""
+
+
+def _case1(annotated: bool) -> str:
+    sym = "MIX(symbolic)" if annotated else ""
+    return (
+        _PRELUDE
+        + f"""
+struct sockaddr {{ int family; int port; }};
+
+/* Case 1: flow and path insensitivity in sockaddr_clear. */
+void sockaddr_clear(struct sockaddr **p_sock) {sym} {{
+  if (*p_sock != NULL) {{
+    sysutil_free(*p_sock);
+    *p_sock = NULL;
+  }}
+}}
+
+int main(void) {{
+  struct sockaddr *p_addr = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+  sockaddr_clear(&p_addr);
+  return 0;
+}}
+"""
+    )
+
+
+def _case2(annotated: bool) -> str:
+    sym = "MIX(symbolic)" if annotated else ""
+    return (
+        _PRELUDE
+        + f"""
+struct mystr {{ char *p_buf; int len; }};
+
+void str_alloc_text(struct mystr *p_str, char *p_src) MIX(typed) {{
+  p_str->p_buf = p_src;
+  p_str->len = 1;
+}}
+
+char *sysutil_next_dirent(int p_dirent) MIX(typed) {{
+  if (p_dirent == 0) {{
+    return NULL;
+  }}
+  return "dirent";
+}}
+
+/* Case 2: path and context insensitivity in str_next_dirent. */
+void str_next_dirent(struct mystr *p_str, int d) {sym} {{
+  char *p_filename = sysutil_next_dirent(d);
+  if (p_filename != NULL) {{
+    str_alloc_text(p_str, p_filename);
+  }}
+}}
+
+void other_use(struct mystr *p_str) {{
+  str_alloc_text(p_str, "hello");
+  sysutil_free(p_str->p_buf);
+}}
+
+int main(void) {{
+  struct mystr s;
+  s.p_buf = "init";
+  s.len = 0;
+  str_next_dirent(&s, 1);
+  other_use(&s);
+  return 0;
+}}
+"""
+    )
+
+
+def _case3(annotated: bool) -> str:
+    sym = "MIX(symbolic)" if annotated else ""
+    return (
+        _PRELUDE
+        + f"""
+struct sockaddr {{ int family; int port; }};
+struct hostent {{ int h_addrtype; }};
+
+char *tunable_pasv_address;
+
+void die(char *p_text);   /* eventually calls a function pointer */
+
+/* A well-behaved symbolic model of gethostbyname: only AF_INET (2) and
+   AF_INET6 (10) results, as the paper's Case 3 describes. */
+struct hostent *gethostbyname_model(char *p_name) {{
+  struct hostent *hent = (struct hostent *) malloc(sizeof(struct hostent));
+  if (p_name == NULL) {{
+    hent->h_addrtype = 2;
+  }} else {{
+    hent->h_addrtype = 10;
+  }}
+  return hent;
+}}
+
+void sockaddr_clear(struct sockaddr **p_sock) {sym} {{
+  if (*p_sock != NULL) {{
+    sysutil_free(*p_sock);
+    *p_sock = NULL;
+  }}
+}}
+
+void sockaddr_alloc_ipv4(struct sockaddr **p_sock) {{
+  *p_sock = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+  (*p_sock)->family = 2;
+}}
+
+void sockaddr_alloc_ipv6(struct sockaddr **p_sock) {{
+  *p_sock = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+  (*p_sock)->family = 10;
+}}
+
+void dns_resolve(struct sockaddr **p_sock, char *p_name) {{
+  struct hostent *hent = gethostbyname_model(p_name);
+  sockaddr_clear(p_sock);
+  if (hent->h_addrtype == 2) {{
+    sockaddr_alloc_ipv4(p_sock);
+  }} else {{
+    if (hent->h_addrtype == 10) {{
+      sockaddr_alloc_ipv6(p_sock);
+    }} else {{
+      die("gethostbyname(): neither IPv4 nor IPv6");
+    }}
+  }}
+}}
+
+/* Case 3: the null sources of main extracted into one symbolic block. */
+void main_BLOCK(struct sockaddr **p_sock) {sym} {{
+  *p_sock = NULL;
+  dns_resolve(p_sock, tunable_pasv_address);
+}}
+
+int main(void) {{
+  struct sockaddr *p_addr;
+  main_BLOCK(&p_addr);
+  sysutil_free(p_addr);
+  return 0;
+}}
+"""
+    )
+
+
+def _case4(annotated: bool) -> str:
+    typed = "MIX(typed)" if annotated else ""
+    return (
+        _PRELUDE
+        + f"""
+void (*s_exit_func)(void);
+void exit_model(int code);
+
+/* Case 4: the function-pointer call extracted into a typed block so the
+   symbolic executor need not resolve a symbolic function pointer. */
+void sysutil_exit_BLOCK(void) {typed} {{
+  if (s_exit_func != NULL) {{
+    s_exit_func();
+  }}
+}}
+
+void sysutil_exit(int exit_code) {{
+  sysutil_exit_BLOCK();
+  exit_model(exit_code);
+}}
+
+void cleanup_session(int *p_state) MIX(symbolic) {{
+  if (p_state != NULL) {{
+    sysutil_free(p_state);
+  }}
+  sysutil_exit(1);
+}}
+
+int main(void) {{
+  int *state = (int *) malloc(sizeof(int));
+  cleanup_session(state);
+  return 0;
+}}
+"""
+    )
+
+
+# Distractor modules: realistic clean code that pure inference should not
+# warn on, giving the combined program more typed-region surface.
+_DISTRACTORS = """
+struct str_buf { char *p_data; int size; };
+
+int vsf_count(int n) {
+  int total = 0;
+  int i = 0;
+  while (i < n) {
+    total = total + i;
+    i = i + 1;
+  }
+  return total;
+}
+
+char *vsf_dup(char *src) {
+  if (src == NULL) {
+    return NULL;
+  }
+  return src;
+}
+
+void buf_init(struct str_buf *b) {
+  b->p_data = "empty";
+  b->size = 0;
+}
+
+int buf_use(void) {
+  struct str_buf b;
+  buf_init(&b);
+  return b.size + vsf_count(3);
+}
+"""
+
+
+@dataclass(frozen=True)
+class Case:
+    """One of the paper's case studies."""
+
+    name: str
+    title: str
+    source: Callable[[bool], str]
+    #: substring identifying the false positive in the unannotated run
+    warning_marker: str
+
+
+CASES: dict[str, Case] = {
+    "case1": Case(
+        "case1",
+        "Flow and path insensitivity in sockaddr_clear",
+        _case1,
+        "sysutil_free",
+    ),
+    "case2": Case(
+        "case2",
+        "Path and context insensitivity in str_next_dirent",
+        _case2,
+        "sysutil_free",
+    ),
+    "case3": Case(
+        "case3",
+        "Flow- and path-insensitivity in dns_resolve and main",
+        _case3,
+        "sysutil_free",
+    ),
+    "case4": Case(
+        "case4",
+        "Helping symbolic execution with symbolic function pointers",
+        _case4,
+        "function pointer",
+    ),
+}
+
+
+def combined_program(n_symbolic: int) -> str:
+    """A vsftpd-like translation unit with ``n_symbolic`` in 0..2
+    *independent* symbolic blocks enabled, each guarding a distinct
+    sockaddr_clear-shaped false positive.
+
+    Used by the timing/precision sweep (EXPERIMENTS.md, E2): the paper
+    reports <1 s with no symbolic blocks, 5-25 s with one, ~60 s with two
+    on vsftpd — cost grows with each block (translation, execution,
+    fixpoint), while one false positive disappears per block.
+    """
+    if not 0 <= n_symbolic <= 2:
+        raise ValueError("n_symbolic must be 0, 1, or 2")
+    sym1 = "MIX(symbolic)" if n_symbolic >= 1 else ""
+    sym2 = "MIX(symbolic)" if n_symbolic >= 2 else ""
+    return (
+        _PRELUDE
+        + _DISTRACTORS
+        + f"""
+struct sockaddr {{ int family; int port; }};
+struct mystr2 {{ char *p_buf; int len; }};
+
+/* Block candidate 1: the Case 1 pattern on sockaddrs. */
+void sockaddr_clear(struct sockaddr **p_sock) {sym1} {{
+  if (*p_sock != NULL) {{
+    sysutil_free(*p_sock);
+    *p_sock = NULL;
+  }}
+}}
+
+/* Block candidate 2: the same pattern, independently, on strings. */
+void str_free(struct mystr2 **p_str) {sym2} {{
+  if (*p_str != NULL) {{
+    sysutil_free(*p_str);
+    *p_str = NULL;
+  }}
+}}
+
+void session_init(struct sockaddr **p_sock, struct mystr2 **p_str) {{
+  *p_sock = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+  *p_str = (struct mystr2 *) malloc(sizeof(struct mystr2));
+  (*p_str)->len = 0;
+}}
+
+int main(void) {{
+  struct sockaddr *p_addr;
+  struct mystr2 *p_text;
+  int unused = buf_use();
+  session_init(&p_addr, &p_text);
+  sockaddr_clear(&p_addr);
+  str_free(&p_text);
+  return 0;
+}}
+"""
+    )

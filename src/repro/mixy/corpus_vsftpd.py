@@ -1,0 +1,296 @@
+"""A miniature vsftpd: a multi-module mini-C program in the shape of
+vsftpd-2.0.7, the paper's benchmark.
+
+The real daemon is ~12 kLoC of C which our from-scratch frontend cannot
+ingest; this transcription reconstructs the modules the paper's four
+cases live in (``sysutil``, ``sysstr``, the sockaddr utilities,
+``sysdeputil``'s exit hook) plus session/command-loop scaffolding, all
+within the supported mini-C subset.  It carries the paper's single
+``nonnull`` annotation on ``sysutil_free`` and four optional MIX
+annotation sites — one per case study.
+
+``mini_vsftpd(annotations)`` renders the program with any subset of
+{"sockaddr_clear", "str_next_dirent", "main_BLOCK", "sysutil_exit_BLOCK"}
+enabled; each annotation eliminates the corresponding family of false
+positives, at increasing analysis cost (EXPERIMENTS.md E2').
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet
+
+ANNOTATION_SITES = (
+    "sockaddr_clear",
+    "str_next_dirent",
+    "main_BLOCK",
+    "sysutil_exit_BLOCK",
+)
+
+
+def mini_vsftpd(annotations: AbstractSet[str] = frozenset()) -> str:
+    unknown = set(annotations) - set(ANNOTATION_SITES)
+    if unknown:
+        raise ValueError(f"unknown annotation sites: {sorted(unknown)}")
+
+    def sym(site: str) -> str:
+        return "MIX(symbolic)" if site in annotations else ""
+
+    def typ(site: str) -> str:
+        return "MIX(typed)" if site in annotations else ""
+
+    return f"""
+/* ================= tunables.c ================= */
+char *tunable_pasv_address;
+char *tunable_banner_file;
+char *tunable_listen_address;
+int tunable_max_clients;
+int tunable_listen_port;
+
+/* ================= sysutil.c ================= */
+void sysutil_free(void *nonnull p_ptr) MIX(typed);
+void exit_model(int code);
+
+int *sysutil_malloc_int(void) {{
+  return (int *) malloc(sizeof(int));
+}}
+
+void (*s_exit_func)(void);
+
+void sysutil_set_exit_func(void (*f)(void)) {{
+  s_exit_func = f;
+}}
+
+void sysutil_exit_BLOCK(void) {typ("sysutil_exit_BLOCK")} {{
+  if (s_exit_func != NULL) {{
+    s_exit_func();
+  }}
+}}
+
+void sysutil_exit(int exit_code) {{
+  sysutil_exit_BLOCK();
+  exit_model(exit_code);
+}}
+
+/* ================= sysstr.c ================= */
+struct mystr {{
+  char *p_buf;
+  int len;
+  int alloc_bytes;
+}};
+
+void str_alloc_text(struct mystr *p_str, char *p_src) MIX(typed) {{
+  p_str->p_buf = p_src;
+  p_str->len = 1;
+  p_str->alloc_bytes = 32;
+}}
+
+void str_empty(struct mystr *p_str) {{
+  p_str->p_buf = "";
+  p_str->len = 0;
+}}
+
+void str_copy(struct mystr *p_dest, struct mystr *p_src) {{
+  p_dest->p_buf = p_src->p_buf;
+  p_dest->len = p_src->len;
+}}
+
+int str_getlen(struct mystr *p_str) {{
+  return p_str->len;
+}}
+
+int str_isempty(struct mystr *p_str) {{
+  return p_str->len == 0;
+}}
+
+char *sysutil_next_dirent(int p_dirent) MIX(typed) {{
+  if (p_dirent == 0) {{
+    return NULL;
+  }}
+  return "dirent";
+}}
+
+void str_next_dirent(struct mystr *p_str, int d) {sym("str_next_dirent")} {{
+  char *p_filename = sysutil_next_dirent(d);
+  if (p_filename != NULL) {{
+    str_alloc_text(p_str, p_filename);
+  }}
+}}
+
+/* ================= syssock.c ================= */
+struct sockaddr {{
+  int family;
+  int port;
+  int addr;
+}};
+
+struct hostent {{
+  int h_addrtype;
+}};
+
+void die(char *p_text);
+
+struct hostent *gethostbyname_model(char *p_name) {{
+  struct hostent *hent = (struct hostent *) malloc(sizeof(struct hostent));
+  if (p_name == NULL) {{
+    hent->h_addrtype = 2;
+  }} else {{
+    hent->h_addrtype = 10;
+  }}
+  return hent;
+}}
+
+void sockaddr_clear(struct sockaddr **p_sock) {sym("sockaddr_clear")} {{
+  if (*p_sock != NULL) {{
+    sysutil_free(*p_sock);
+    *p_sock = NULL;
+  }}
+}}
+
+void sockaddr_alloc(struct sockaddr **p_sock) {{
+  *p_sock = (struct sockaddr *) malloc(sizeof(struct sockaddr));
+  (*p_sock)->family = 0;
+  (*p_sock)->port = 0;
+}}
+
+void sockaddr_alloc_ipv4(struct sockaddr **p_sock) {{
+  sockaddr_alloc(p_sock);
+  (*p_sock)->family = 2;
+}}
+
+void sockaddr_alloc_ipv6(struct sockaddr **p_sock) {{
+  sockaddr_alloc(p_sock);
+  (*p_sock)->family = 10;
+}}
+
+void sockaddr_set_port(struct sockaddr *p_sock, int port) {{
+  p_sock->port = port;
+}}
+
+int sockaddr_get_port(struct sockaddr *p_sock) {{
+  return p_sock->port;
+}}
+
+void dns_resolve(struct sockaddr **p_sock, char *p_name) {{
+  struct hostent *hent = gethostbyname_model(p_name);
+  sockaddr_clear(p_sock);
+  if (hent->h_addrtype == 2) {{
+    sockaddr_alloc_ipv4(p_sock);
+  }} else {{
+    if (hent->h_addrtype == 10) {{
+      sockaddr_alloc_ipv6(p_sock);
+    }} else {{
+      die("gethostbyname(): neither IPv4 nor IPv6");
+    }}
+  }}
+}}
+
+/* ================= session.c ================= */
+struct vsf_session {{
+  struct sockaddr *p_local_addr;
+  struct sockaddr *p_remote_addr;
+  struct mystr user_str;
+  struct mystr remote_ip_str;
+  int is_anonymous;
+  int login_fails;
+}};
+
+void session_init(struct vsf_session *p_sess) {{
+  p_sess->p_local_addr = NULL;
+  p_sess->p_remote_addr = NULL;
+  str_empty(&(p_sess->user_str));
+  str_empty(&(p_sess->remote_ip_str));
+  p_sess->is_anonymous = 0;
+  p_sess->login_fails = 0;
+}}
+
+void session_shutdown(struct vsf_session *p_sess) {{
+  sockaddr_clear(&(p_sess->p_local_addr));
+  sockaddr_clear(&(p_sess->p_remote_addr));
+}}
+
+/* ================= netio.c ================= */
+void main_BLOCK(struct sockaddr **p_sock) {sym("main_BLOCK")} {{
+  *p_sock = NULL;
+  dns_resolve(p_sock, tunable_pasv_address);
+}}
+
+int bind_listen(struct sockaddr *p_accept) {{
+  if (p_accept == NULL) {{
+    return 0 - 1;
+  }}
+  sockaddr_set_port(p_accept, tunable_listen_port);
+  return sockaddr_get_port(p_accept);
+}}
+
+/* ================= postlogin.c ================= */
+int handle_dir_listing(struct vsf_session *p_sess, int dir_handle) {{
+  int count = 0;
+  struct mystr entry_str;
+  str_empty(&entry_str);
+  while (dir_handle > 0) {{
+    str_next_dirent(&entry_str, dir_handle);
+    if (str_isempty(&entry_str)) {{
+      dir_handle = 0;
+    }} else {{
+      count = count + 1;
+      dir_handle = dir_handle - 1;
+    }}
+  }}
+  sysutil_free(entry_str.p_buf);
+  return count;
+}}
+
+/* The Case 4 pairing: a symbolic block that needs sysutil_exit, which
+   in turn needs its function-pointer call extracted into a typed block. */
+void login_check(struct vsf_session *p_sess) {sym("sysutil_exit_BLOCK")} {{
+  p_sess->login_fails = p_sess->login_fails + 1;
+  if (p_sess->login_fails > 3) {{
+    sysutil_exit(1);
+  }}
+}}
+
+int handle_user_command(struct vsf_session *p_sess, int cmd) {{
+  if (cmd == 1) {{
+    return handle_dir_listing(p_sess, 4);
+  }}
+  if (cmd == 2) {{
+    login_check(p_sess);
+    return 0;
+  }}
+  return 0 - 1;
+}}
+
+/* ================= main.c ================= */
+void cleanup_handler(void) {{
+  exit_model(0);
+}}
+
+int main(void) {{
+  struct vsf_session the_session;
+  struct sockaddr *p_addr;
+  int rc;
+  int cmd;
+  session_init(&the_session);
+  sysutil_set_exit_func(cleanup_handler);
+  main_BLOCK(&p_addr);
+  rc = bind_listen(p_addr);
+  cmd = 1;
+  while (cmd <= 2) {{
+    rc = handle_user_command(&the_session, cmd);
+    cmd = cmd + 1;
+  }}
+  session_shutdown(&the_session);
+  sysutil_free(p_addr);
+  return rc;
+}}
+"""
+
+
+def annotation_subsets() -> list[FrozenSet[str]]:
+    """The cumulative annotation schedule used by the scale benchmark."""
+    out: list[FrozenSet[str]] = [frozenset()]
+    current: set[str] = set()
+    for site in ANNOTATION_SITES:
+        current.add(site)
+        out.append(frozenset(current))
+    return out

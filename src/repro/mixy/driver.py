@@ -1,0 +1,671 @@
+"""The MIXY driver: switching between qualifier inference and symbolic
+execution at function boundaries (paper Sections 4.1-4.4).
+
+In **typed entry** mode (how the paper's evaluation ran), qualifier
+inference starts at the entry function and covers every function
+reachable in the call graph "up to the frontier of any functions that are
+marked with MIX(symbolic)"; each frontier function is then analyzed
+symbolically:
+
+- *types -> symbolic values* (§4.1): a parameter or global whose inferred
+  qualifier is ``nonnull`` becomes a pointer to a fresh memory cell; one
+  that may be ``null`` becomes ``ite(α, loc, 0)`` so the executor tries
+  both; an unconstrained qualifier variable is optimistically assumed
+  ``nonnull`` — which is what forces the **fixpoint iteration**: later
+  discoveries re-run the symbolic block until nothing changes.
+- *symbolic values -> types* (§4.1): for each translated cell with final
+  value ``s``, if ``g ∧ (s = 0)`` is satisfiable the corresponding slot
+  is constrained ``null``; "there are no nonnull constraints to be
+  added".
+- *aliasing* (§4.2): when returning to typed code, may-aliased
+  expressions (per the Andersen analysis) are unified so the inference
+  sees the aliasing the symbolic block exploited.
+- *caching* (§4.3): symbolic block results are cached keyed on the
+  calling context — "the types for all variables that will be translated
+  into symbolic values"; compatible contexts reuse the translated types.
+- *recursion* (§4.4): a block stack detects a block re-entered with a
+  compatible context; the recursive entry returns the optimistic
+  assumption and the whole analysis iterates to a fixpoint.
+
+In **symbolic entry** mode the executor starts at the entry function
+(globals zero-initialized, C-style); calls to ``MIX(typed)`` or extern
+functions switch to the qualifier engine through the executor's call
+hook and resume with a havocked return value and memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro import smt
+from repro.mixy.c.ast import (
+    Call,
+    CFunction,
+    CProgram,
+    CType,
+    FunType,
+    PtrType,
+    Scalar,
+    StructType,
+    VOID_T,
+)
+from repro.mixy.c.parser import parse_program
+from repro.mixy.pointers import PointsTo, obj_global, obj_local
+from repro.mixy.qual import (
+    NONNULL,
+    NULL,
+    QConst,
+    QualConfig,
+    QualInference,
+    QualType,
+    QualWarning,
+    QVar,
+)
+from repro.mixy.symexec import (
+    CErrKind,
+    CObj,
+    CState,
+    CSymConfig,
+    CSymExecutor,
+    CWarning,
+    PathResult,
+)
+from repro.smt.simplify import simplify
+
+
+@dataclass(frozen=True)
+class Warning_:
+    """A MIXY warning, from either engine."""
+
+    origin: str  # "qual" | "symbolic"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.origin}] {self.message}"
+
+
+@dataclass
+class MixyConfig:
+    qual: QualConfig = field(default_factory=QualConfig)
+    csym: CSymConfig = field(default_factory=CSymConfig)
+    #: cache symbolic-block results per calling context (§4.3)
+    enable_cache: bool = True
+    #: restore may-alias relationships when entering typed code (§4.2)
+    restore_aliasing: bool = True
+    #: havoc memory reachable from a typed call's arguments and globals
+    #: (False approximates the paper's proposed effect-based refinement)
+    havoc_on_typed_call: bool = True
+    #: fixpoint iteration cap (§4.1)
+    max_fixpoint_iters: int = 8
+
+
+@dataclass
+class _CacheEntry:
+    null_slots: list[QVar]
+    warnings: list[CWarning]
+
+
+class Mixy:
+    """The MIXY analysis over one mini-C program."""
+
+    def __init__(
+        self, program: Union[CProgram, str], config: Optional[MixyConfig] = None
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.config = config or MixyConfig()
+        self.points_to = PointsTo(program)
+        self.qual = QualInference(
+            program, self.config.qual, callees_of=self.points_to.callees
+        )
+        self.executor = CSymExecutor(
+            program, self.config.csym, call_hook=self._typed_call_hook
+        )
+        self._cache: dict[tuple, _CacheEntry] = {}
+        self._block_stack: list[tuple] = []
+        self._cell_slots: dict[int, QVar] = {}  # provenance: cell -> qual var
+        self.stats = {
+            "fixpoint_iterations": 0,
+            "symbolic_blocks_run": 0,
+            "cache_hits": 0,
+            "recursion_detected": 0,
+            "typed_calls": 0,
+            "analysis_seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "typed", entry_function: str = "main") -> list[Warning_]:
+        """Analyze the program; returns all warnings."""
+        started = time.perf_counter()
+        if entry_function not in self.program.functions:
+            raise KeyError(entry_function)
+        if entry == "typed":
+            self._run_typed(entry_function)
+        elif entry == "symbolic":
+            self._run_symbolic(entry_function)
+        else:
+            raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
+        self.stats["analysis_seconds"] = time.perf_counter() - started
+        return self.warnings()
+
+    def warnings(self) -> list[Warning_]:
+        out = [Warning_("qual", str(w)) for w in self.qual.warnings()]
+        out.extend(
+            Warning_("symbolic", str(w))
+            for w in self.executor.warnings
+            if w.kind is not CErrKind.LOOP_BOUND
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Typed entry: qualifier inference up to the symbolic frontier
+    # ------------------------------------------------------------------
+
+    def _run_typed(self, entry_function: str) -> None:
+        self.qual.constrain_globals()
+        for iteration in range(self.config.max_fixpoint_iters):
+            self.stats["fixpoint_iterations"] += 1
+            edges_before = self.qual.graph.num_edges
+            warnings_before = len(self.executor.warnings)
+            typed, frontier = self._reachable_partition(entry_function)
+            for name in typed:
+                self.qual.constrain_function(name)
+            for name in sorted(frontier):
+                self._analyze_symbolic_function(name)
+            unchanged = (
+                self.qual.graph.num_edges == edges_before
+                and len(self.executor.warnings) == warnings_before
+            )
+            if unchanged and iteration > 0:
+                break
+
+    def _reachable_partition(self, entry_function: str) -> tuple[set[str], set[str]]:
+        """Functions reachable from the entry, split into (typed region,
+        symbolic frontier)."""
+        typed: set[str] = set()
+        frontier: set[str] = set()
+        stack = [entry_function]
+        while stack:
+            name = stack.pop()
+            fn = self.program.functions.get(name)
+            if fn is None:
+                continue
+            if fn.mix == "symbolic":
+                frontier.add(name)
+                continue
+            if name in typed:
+                continue
+            typed.add(name)
+            if fn.body is not None:
+                stack.extend(self._called_functions(fn))
+        return typed, frontier
+
+    def _called_functions(self, fn: CFunction) -> list[str]:
+        out: list[str] = []
+        for call, _ in _find_calls(fn):
+            out.extend(self.points_to.callees(call, fn.name))
+        return out
+
+    # ------------------------------------------------------------------
+    # Symbolic blocks from typed context (rule TSymBlock's MIXY analog)
+    # ------------------------------------------------------------------
+
+    def _analyze_symbolic_function(self, name: str) -> None:
+        fn = self.program.functions[name]
+        if fn.body is None:
+            return
+        context_key, context_slots = self._calling_context(fn)
+        stack_key = (name, context_key)
+        if stack_key in self._block_stack:
+            # §4.4: recursion — return the optimistic assumption; the outer
+            # fixpoint iterates until assumption and result agree.
+            self.stats["recursion_detected"] += 1
+            return
+        if self.config.enable_cache:
+            cached = self._cache.get(stack_key)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                self._apply_conclusions(cached.null_slots, name)
+                return
+        self._block_stack.append(stack_key)
+        try:
+            null_slots, warnings = self._execute_symbolic_block(fn, context_slots)
+        finally:
+            self._block_stack.pop()
+        self._apply_conclusions(null_slots, name)
+        if self.config.enable_cache:
+            self._cache[stack_key] = _CacheEntry(null_slots, warnings)
+        if self.config.restore_aliasing:
+            self._restore_aliasing(fn)
+
+    def _calling_context(self, fn: CFunction):
+        """§4.3: the calling context is the (solved) types of everything
+        translated into symbolic values: parameters and globals."""
+        slots: list[tuple[str, QualType]] = []
+        for i, param in enumerate(fn.params):
+            slots.append((f"param:{param.name}", self.qual.param_slot(fn, i)))
+        for gname, g in sorted(self.program.globals.items()):
+            slots.append((f"global:{gname}", self.qual.global_slot(gname, g.typ)))
+        key = tuple(
+            (label, self._context_type(qt)) for label, qt in slots
+        )
+        return key, slots
+
+    def _context_type(self, qt: QualType) -> tuple:
+        return (str(qt.ctype),) + tuple(
+            "null" if self.qual.graph.may_null(q) else "nonnull" for q in qt.quals
+        )
+
+    def _execute_symbolic_block(
+        self, fn: CFunction, context_slots: list[tuple[str, QualType]]
+    ) -> tuple[list[QVar], list[CWarning]]:
+        """Translate types to symbolic values, run, translate back."""
+        self.stats["symbolic_blocks_run"] += 1
+        state = self.executor.initial_state()
+        watched: list[tuple[int, QVar]] = []  # (cell, slot) to read back
+        # Globals first (shared addresses for this block run).  The global
+        # environment is saved and restored so that a nested symbolic block
+        # (reached through a typed call made *during* another symbolic
+        # execution) does not clobber the outer block's globals.
+        saved_global_env = self.executor.global_env
+        self.executor.global_env = {}
+        for label, qt in context_slots:
+            if not label.startswith("global:"):
+                continue
+            gname = label.split(":", 1)[1]
+            state, cell = self._materialize_slot(state, qt, gname, watched)
+            self.executor.global_env[gname] = cell
+        args: list[smt.Term] = []
+        for label, qt in context_slots:
+            if not label.startswith("param:"):
+                continue
+            pname = label.split(":", 1)[1]
+            state, value = self._translate_in(state, qt, f"{fn.name}.{pname}", watched)
+            args.append(value)
+        warnings_before = len(self.executor.warnings)
+        try:
+            results = list(self.executor.execute_function(fn, args, state))
+        finally:
+            self.executor.global_env = saved_global_env
+        new_warnings = self.executor.warnings[warnings_before:]
+        # §4.1 symbolic values -> types: a watched cell whose final value
+        # may be 0 on some feasible path constrains its slot to null.
+        # Cells last written by a typed call's havoc are skipped: the
+        # typed callee's own qualifier constraints already describe that
+        # write, and the havoc placeholder carries no information.
+        null_slots: list[QVar] = []
+        for result in results:
+            for cell, slot in watched:
+                final = result.state.cells.get(cell)
+                if final is None or _is_havoc(final):
+                    continue
+                if self._may_be_null(result.state, final):
+                    null_slots.append(slot)
+        return null_slots, new_warnings
+
+    def _materialize_slot(
+        self, state: CState, qt: QualType, label: str, watched: list[tuple[int, QVar]]
+    ) -> tuple[CState, int]:
+        """Allocate the cell behind a global/param slot and fill it."""
+        state, value = self._translate_in(state, qt, label, watched)
+        state, obj = self.executor.allocate_object(state, qt.ctype, label)
+        state = state.write(obj.base, value)
+        if qt.quals:
+            # The global's own cell is observable from typed code: watch it
+            # so e.g. `g = NULL;` inside the block constrains g's qualifier.
+            watched.append((obj.base, qt.quals[0]))
+            self._cell_slots[obj.base] = qt.quals[0]
+        return state, obj.base
+
+    def _translate_in(
+        self,
+        state: CState,
+        qt: QualType,
+        label: str,
+        watched: list[tuple[int, QVar]],
+    ) -> tuple[CState, smt.Term]:
+        """§4.1 types -> symbolic values for one qualified type."""
+        ctype = qt.ctype
+        if isinstance(ctype, PtrType) and not isinstance(ctype.elem, FunType):
+            assert qt.top is not None
+            solution = self.qual.solution(qt)
+            # One level of the pointed-to structure is materialized; the
+            # pointee cell(s) are *watched* so their final values can be
+            # read back when returning to the typed world.
+            if isinstance(ctype.elem, StructType):
+                state, obj = self._materialize_struct(
+                    state, ctype.elem, f"*{label}", watched
+                )
+            else:
+                inner = qt.deref()
+                if inner.quals:
+                    state, inner_value = self._translate_in(
+                        state, inner, f"*{label}", watched
+                    )
+                else:
+                    inner_value = self.executor.fresh_symbol(f"{label}_val")
+                state, obj = self.executor.allocate_object(
+                    state, ctype.elem, f"*{label}"
+                )
+                state = state.write(obj.base, inner_value)
+                if inner.quals:
+                    watched.append((obj.base, inner.quals[0]))
+                    self._cell_slots[obj.base] = inner.quals[0]
+            address = smt.int_const(obj.base)
+            if solution is NONNULL:
+                # Optimistic (or proven) nonnull: points at the fresh cell.
+                return state, address
+            # May be null: ite(α, loc, 0) — "the symbolic executor will
+            # try both possibilities".
+            choice = self.executor.fresh_symbol(f"{label}_isnull")
+            value = smt.ite(
+                smt.eq(choice, smt.int_const(0)), smt.int_const(0), address
+            )
+            return state, simplify(value)
+        if isinstance(ctype, StructType):
+            return state, self.executor.fresh_symbol(label)
+        # Scalars, void, function pointers: an unconstrained symbol.  A
+        # symbolic function pointer stays opaque — calling it is the
+        # unsupported operation of Case 4.
+        return state, self.executor.fresh_symbol(label)
+
+    def _materialize_struct(
+        self,
+        state: CState,
+        struct_type,
+        label: str,
+        watched: list[tuple[int, QVar]],
+    ):
+        """Materialize one struct level: scalar fields become fresh
+        symbols; pointer fields get values matching their (monomorphic)
+        field qualifier solutions, with deeper structure left to lazy
+        initialization — "MIXY only initializes as much as is required by
+        the symbolic block" (§4.2), which also sidesteps recursive types.
+        """
+        struct = self.program.struct_def(struct_type)
+        state, obj = self.executor.allocate_object(state, struct_type, label)
+        for i, (fname, ftype) in enumerate(struct.fields):
+            cell = obj.base + i
+            value = self.executor.fresh_symbol(f"{label}.{fname}")
+            if isinstance(ftype, PtrType) and not isinstance(ftype.elem, FunType):
+                fq = self.qual.field_slot(struct.name, fname, ftype)
+                if self.qual.solution(fq) is NONNULL:
+                    # Optimistic/proven nonnull: constrain the symbol away
+                    # from 0; the target object is materialized lazily.
+                    state = state.add_defs(
+                        smt.not_(smt.eq(value, smt.int_const(0)))
+                    )
+                if fq.quals:
+                    watched.append((cell, fq.quals[0]))
+                    self._cell_slots[cell] = fq.quals[0]
+            state = state.write(cell, value)
+        return state, obj
+
+    def _may_be_null(self, state: CState, value: smt.Term) -> bool:
+        self.executor.stats["solver_calls"] += 1
+        try:
+            return smt.is_satisfiable(
+                smt.and_(state.condition(), smt.eq(value, smt.int_const(0)))
+            )
+        except smt.SolverError:
+            return True
+
+    def _apply_conclusions(self, null_slots: list[QVar], block: str) -> None:
+        for slot in null_slots:
+            self.qual.graph.add_flow(
+                NULL, slot, f"result of symbolic block {block}"
+            )
+
+    def _restore_aliasing(self, fn: CFunction) -> None:
+        """§4.2: unify qualifiers of may-aliased parameter/global targets."""
+        nodes: list[tuple[QualType, set]] = []
+        for i, param in enumerate(fn.params):
+            if isinstance(param.typ, PtrType):
+                qt = self.qual.param_slot(fn, i)
+                pts = self.points_to.pts(obj_local(fn.name, param.name))
+                nodes.append((qt, pts))
+        for gname, g in self.program.globals.items():
+            if isinstance(g.typ, PtrType):
+                qt = self.qual.global_slot(gname, g.typ)
+                pts = self.points_to.pts(obj_global(gname))
+                nodes.append((qt, pts))
+        for (qt1, pts1), (qt2, pts2) in itertools.combinations(nodes, 2):
+            if pts1 & pts2 and len(qt1.quals) > 1 and len(qt2.quals) > 1:
+                self.qual.graph.unify(
+                    qt1.quals[1],
+                    qt2.quals[1],
+                    f"may-alias restore after {fn.name}",
+                )
+
+    # ------------------------------------------------------------------
+    # Typed calls from symbolic context (rule SETypBlock's MIXY analog)
+    # ------------------------------------------------------------------
+
+    def _typed_call_hook(
+        self, name: str, args: list[smt.Term], state: CState
+    ) -> Iterator[tuple[CState, Optional[smt.Term]]]:
+        self.stats["typed_calls"] += 1
+        fn = self.program.functions[name]
+        # §4.3 "Caching Typed Blocks": "we first translate symbolic values
+        # into types, then use the translated types as the calling
+        # context".  The translation (may-be-null per pointer argument)
+        # costs one solver query per argument, so compute it once and use
+        # it both as the cache key and as the constraint seed.
+        arg_nullness: list[Optional[bool]] = []
+        for i, arg in enumerate(args):
+            if i < len(fn.params) and isinstance(fn.params[i].typ, PtrType):
+                arg_nullness.append(self._may_be_null(state, arg))
+            else:
+                arg_nullness.append(None)
+        cache_key = ("typed-block", name, tuple(arg_nullness))
+        if self.config.enable_cache and cache_key in self._cache:
+            self.stats["cache_hits"] += 1
+            # The constraints this context contributes were already added
+            # (the graph grows monotonically), so only the state effects
+            # (havoc + return shaping) are replayed below.
+        else:
+            # Run qualifier inference over the typed region rooted here.
+            typed, frontier = self._reachable_partition(name)
+            for t in typed:
+                self.qual.constrain_function(t)
+            for f in sorted(frontier):
+                self._analyze_symbolic_function(f)
+            # §4.1: translate argument symbolic values to type constraints.
+            for i, maybe_null in enumerate(arg_nullness):
+                if maybe_null:
+                    slot = self.qual.param_slot(fn, i)
+                    if slot.top is not None:
+                        self.qual.graph.add_flow(
+                            NULL,
+                            slot.top,
+                            f"symbolic argument {i + 1} of call to {name}",
+                        )
+            if self.config.enable_cache:
+                self._cache[cache_key] = _CacheEntry([], [])
+        # Havoc memory the typed callee may reach (§4.2-flavored SETypBlock).
+        if self.config.havoc_on_typed_call:
+            state = self._havoc_reachable(state, args)
+        # Conservative return value from the callee's (inferred) type.
+        state, ret = self._havoc_return_value(fn, state)
+        yield state, ret
+
+    def _havoc_reachable(self, state: CState, args: list[smt.Term]) -> CState:
+        """Forget cells reachable from the arguments and globals — the
+        typed block 'may make any number of writes not captured by the
+        type system'."""
+        from repro.mixy.symexec import _constant_leaves
+
+        reachable: set[int] = set()
+        queue: list[int] = []
+        for arg in args:
+            queue.extend(_constant_leaves(arg))
+        queue.extend(self.executor.global_env.values())
+        while queue:
+            address = queue.pop()
+            obj = self._object_containing(state, address)
+            if obj is None or obj.base in reachable:
+                continue
+            reachable.add(obj.base)
+            for i in range(obj.size):
+                value = state.cells.get(obj.base + i)
+                if value is not None:
+                    queue.extend(_constant_leaves(value))
+        for base in reachable:
+            obj = state.objects[base]
+            for i in range(obj.size):
+                state = state.write(
+                    obj.base + i, self.executor.fresh_symbol("havoc")
+                )
+        return state
+
+    @staticmethod
+    def _object_containing(state: CState, address: int) -> Optional[CObj]:
+        for base, obj in state.objects.items():
+            if base <= address < base + obj.size:
+                return obj
+        return None
+
+    def _havoc_return_value(
+        self, fn: CFunction, state: CState
+    ) -> tuple[CState, Optional[smt.Term]]:
+        if fn.ret == VOID_T:
+            return state, None
+        if isinstance(fn.ret, PtrType) and not isinstance(fn.ret.elem, FunType):
+            ret_slot = self.qual.return_slot(fn)
+            solution = self.qual.solution(ret_slot)
+            state, obj = self.executor.allocate_object(
+                state,
+                fn.ret.elem,
+                f"ret:{fn.name}",
+                init=self.executor.fresh_symbol(f"ret_{fn.name}_mem"),
+            )
+            address = smt.int_const(obj.base)
+            if solution is NONNULL or fn.nonnull_return:
+                return state, address
+            choice = self.executor.fresh_symbol(f"{fn.name}_retnull")
+            value = simplify(
+                smt.ite(smt.eq(choice, smt.int_const(0)), smt.int_const(0), address)
+            )
+            return state, value
+        return state, self.executor.fresh_symbol(f"ret_{fn.name}")
+
+    # ------------------------------------------------------------------
+    # Symbolic entry
+    # ------------------------------------------------------------------
+
+    def _run_symbolic(self, entry_function: str) -> None:
+        fn = self.program.functions[entry_function]
+        assert fn.body is not None
+        state = self.executor.initial_state()
+        # C semantics: globals are zero-initialized (or take initializers).
+        self.executor.global_env = {}
+        init_frame_types = {}
+        from repro.mixy.c.typeinfo import TypeInfo
+
+        typeinfo = TypeInfo(self.program, init_frame_types)
+        for gname, g in sorted(self.program.globals.items()):
+            state, obj = self.executor.allocate_object(state, g.typ, gname)
+            self.executor.global_env[gname] = obj.base
+        for gname, g in sorted(self.program.globals.items()):
+            if g.init is None:
+                continue
+            value = self._eval_global_init(g.init, state)
+            if value is not None:
+                state = state.write(self.executor.global_env[gname], value)
+        args = [
+            self.executor.fresh_symbol(f"arg_{p.name}") for p in fn.params
+        ]
+        for _result in self.executor.execute_function(fn, args, state):
+            pass
+
+    def _eval_global_init(self, init, state: CState) -> Optional[smt.Term]:
+        from repro.mixy.c.ast import IntLit, NullLit, VarRef
+
+        if isinstance(init, IntLit):
+            return smt.int_const(init.value)
+        if isinstance(init, NullLit):
+            return smt.int_const(0)
+        if isinstance(init, VarRef) and init.name in self.executor.fn_addresses:
+            return smt.int_const(self.executor.fn_addresses[init.name])
+        return None
+
+
+def _is_havoc(term: smt.Term) -> bool:
+    from repro.smt.terms import Kind
+
+    return term.kind is Kind.VAR and str(term.payload).startswith("havoc!")
+
+
+def _find_calls(fn: CFunction) -> list[tuple[Call, str]]:
+    """All call expressions in a function body."""
+    from repro.mixy.c.ast import (
+        AddrOf,
+        Assign,
+        Binary,
+        Block,
+        Cast,
+        CExpr,
+        CStmt,
+        Deref,
+        ExprStmt,
+        Field,
+        If,
+        Malloc,
+        Return,
+        Unary,
+        VarDecl,
+        While,
+    )
+
+    calls: list[tuple[Call, str]] = []
+
+    def walk_expr(e: CExpr) -> None:
+        if isinstance(e, Call):
+            calls.append((e, fn.name))
+            walk_expr(e.fn)
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, (Deref, AddrOf)):
+            walk_expr(e.ptr if isinstance(e, Deref) else e.target)
+        elif isinstance(e, Field):
+            walk_expr(e.obj)
+        elif isinstance(e, Unary):
+            walk_expr(e.operand)
+        elif isinstance(e, Binary):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, Assign):
+            walk_expr(e.lhs)
+            walk_expr(e.rhs)
+        elif isinstance(e, Cast):
+            walk_expr(e.operand)
+
+    def walk_stmt(s: CStmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                walk_stmt(inner)
+        elif isinstance(s, VarDecl) and s.init is not None:
+            walk_expr(s.init)
+        elif isinstance(s, ExprStmt):
+            walk_expr(s.expr)
+        elif isinstance(s, If):
+            walk_expr(s.cond)
+            walk_stmt(s.then)
+            if s.els is not None:
+                walk_stmt(s.els)
+        elif isinstance(s, While):
+            walk_expr(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, Return) and s.value is not None:
+            walk_expr(s.value)
+
+    if fn.body is not None:
+        walk_stmt(fn.body)
+    return calls

@@ -1,0 +1,434 @@
+"""Andersen-style may points-to analysis and call graph for mini-C.
+
+MIXY's substitute for "CIL's built-in pointer analysis" (paper §4.2): an
+inclusion-based, flow- and context-insensitive analysis.  Abstract
+objects are globals, locals (per function), allocation sites (one per
+``malloc``, conflating call sites — the imprecision the paper's §4.6
+discusses), string literals, external returns, function objects (for
+function pointers), and per-object struct fields.
+
+The analysis is used by the MIXY driver to
+
+- resolve calls through function pointers (the call graph),
+- restore aliasing relationships when switching from a symbolic block to
+  a typed block (§4.2: "we add constraints to require that all
+  may-aliased expressions have the same type").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.mixy.c.ast import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    CExpr,
+    CFunction,
+    CProgram,
+    CStmt,
+    CType,
+    Deref,
+    ExprStmt,
+    Field,
+    FunType,
+    If,
+    IntLit,
+    Malloc,
+    NullLit,
+    PtrType,
+    Return,
+    StrLit,
+    StructType,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.mixy.c.typeinfo import CTypeError, TypeInfo
+
+Node = tuple  # hashable abstract location / variable keys
+
+
+def obj_global(name: str) -> Node:
+    return ("global", name)
+
+
+def obj_local(fn: str, name: str) -> Node:
+    return ("local", fn, name)
+
+
+def obj_malloc(site: int) -> Node:
+    return ("malloc", site)
+
+
+def obj_fun(name: str) -> Node:
+    return ("fun", name)
+
+
+def obj_field(base: Node, fname: str) -> Node:
+    return ("field", base, fname)
+
+
+def obj_ret(fn: str) -> Node:
+    return ("ret", fn)
+
+
+def obj_ext(name: str) -> Node:
+    return ("ext", name)
+
+
+@dataclass
+class _Constraints:
+    copies: dict[Node, set[Node]] = field(default_factory=dict)  # src -> {dst}
+    loads: list[tuple[Node, Node, Optional[str]]] = field(default_factory=list)
+    stores: list[tuple[Node, Node, Optional[str]]] = field(default_factory=list)
+
+    def copy(self, src: Node, dst: Node) -> None:
+        if src != dst:
+            self.copies.setdefault(src, set()).add(dst)
+
+    def load(self, dst: Node, ptr: Node, fname: Optional[str] = None) -> None:
+        self.loads.append((dst, ptr, fname))
+
+    def store(self, ptr: Node, src: Node, fname: Optional[str] = None) -> None:
+        self.stores.append((ptr, src, fname))
+
+
+class PointsTo:
+    """Builds and solves the inclusion constraints for a program."""
+
+    def __init__(self, program: CProgram) -> None:
+        self.program = program
+        self._constraints = _Constraints()
+        self._pts: dict[Node, set[Node]] = {}
+        self._expr_nodes: dict[int, Node] = {}  # id(expr) -> node
+        self._temp_counter = itertools.count(1)
+        self._malloc_counter = itertools.count(1)
+        self._indirect_calls: list[tuple[str, Call]] = []
+        self._resolved_calls: dict[int, set[str]] = {}
+        self._build()
+        self._solve()
+
+    # -- public queries ------------------------------------------------------------
+
+    def pts(self, node: Node) -> set[Node]:
+        return self._pts.get(node, set())
+
+    def expr_node(self, expr: CExpr) -> Optional[Node]:
+        return self._expr_nodes.get(id(expr))
+
+    def pts_of_expr(self, expr: CExpr) -> set[Node]:
+        node = self.expr_node(expr)
+        return self.pts(node) if node is not None else set()
+
+    def may_alias(self, e1: CExpr, e2: CExpr) -> bool:
+        return bool(self.pts_of_expr(e1) & self.pts_of_expr(e2))
+
+    def callees(self, call: Call, fn: str) -> list[str]:
+        """Possible targets of a call (direct or through a pointer)."""
+        if isinstance(call.fn, VarRef) and call.fn.name in self.program.functions:
+            return [call.fn.name]
+        return sorted(self._resolved_calls.get(id(call), set()))
+
+    def node_of_lvalue(self, fn: str, expr: CExpr) -> Optional[Node]:
+        """The storage node an lvalue denotes, when statically unique."""
+        if isinstance(expr, VarRef):
+            if expr.name in self.program.globals:
+                return obj_global(expr.name)
+            return obj_local(fn, expr.name)
+        return None
+
+    # -- constraint generation -------------------------------------------------------
+
+    def _build(self) -> None:
+        for g in self.program.globals.values():
+            if g.init is not None:
+                typeinfo = TypeInfo(self.program, {})
+                node = self._rvalue("<global-init>", g.init, typeinfo)
+                if node is not None:
+                    self._constraints.copy(node, obj_global(g.name))
+        for fn in self.program.functions.values():
+            if fn.body is None:
+                continue
+            env = {p.name: p.typ for p in fn.params}
+            _collect_local_types(fn.body, env)
+            typeinfo = TypeInfo(self.program, env)
+            self._stmt(fn.name, fn.body, typeinfo)
+
+    def _temp(self) -> Node:
+        return ("tmp", next(self._temp_counter))
+
+    def _stmt(self, fn: str, node: CStmt, typeinfo: TypeInfo) -> None:
+        if isinstance(node, Block):
+            for s in node.stmts:
+                self._stmt(fn, s, typeinfo)
+        elif isinstance(node, VarDecl):
+            if node.init is not None:
+                src = self._rvalue(fn, node.init, typeinfo)
+                if src is not None:
+                    self._constraints.copy(src, obj_local(fn, node.name))
+        elif isinstance(node, ExprStmt):
+            self._rvalue(fn, node.expr, typeinfo)
+        elif isinstance(node, If):
+            self._rvalue(fn, node.cond, typeinfo)
+            self._stmt(fn, node.then, typeinfo)
+            if node.els is not None:
+                self._stmt(fn, node.els, typeinfo)
+        elif isinstance(node, While):
+            self._rvalue(fn, node.cond, typeinfo)
+            self._stmt(fn, node.body, typeinfo)
+        elif isinstance(node, Return):
+            if node.value is not None:
+                src = self._rvalue(fn, node.value, typeinfo)
+                if src is not None:
+                    self._constraints.copy(src, obj_ret(fn))
+
+    def _rvalue(self, fn: str, expr: CExpr, typeinfo: TypeInfo) -> Optional[Node]:
+        """Node holding the expression's points-to set (None for scalars)."""
+        node = self._rvalue_uncached(fn, expr, typeinfo)
+        if node is not None:
+            self._expr_nodes[id(expr)] = node
+        return node
+
+    def _rvalue_uncached(
+        self, fn: str, expr: CExpr, typeinfo: TypeInfo
+    ) -> Optional[Node]:
+        if isinstance(expr, (IntLit, NullLit)):
+            return None
+        if isinstance(expr, StrLit):
+            temp = self._temp()
+            self._seed(temp, ("strlit", expr.value))
+            return temp
+        if isinstance(expr, VarRef):
+            if expr.name in self.program.functions:
+                temp = self._temp()
+                self._seed(temp, obj_fun(expr.name))
+                return temp
+            if expr.name in self.program.globals:
+                return obj_global(expr.name)
+            return obj_local(fn, expr.name)
+        if isinstance(expr, Deref):
+            ptr = self._rvalue(fn, expr.ptr, typeinfo)
+            if ptr is None:
+                return None
+            temp = self._temp()
+            self._constraints.load(temp, ptr)
+            return temp
+        if isinstance(expr, AddrOf):
+            target_obj = self._lvalue_object(fn, expr.target, typeinfo)
+            temp = self._temp()
+            if target_obj is not None:
+                if isinstance(target_obj, tuple) and target_obj[0] == "<indirect>":
+                    # &(*p) is p; &(p->f) handled via field objects below.
+                    return target_obj[1]
+                self._seed(temp, target_obj)
+            return temp
+        if isinstance(expr, Field):
+            obj = self._rvalue(fn, expr.obj, typeinfo)
+            if obj is None:
+                return None
+            temp = self._temp()
+            if expr.arrow:
+                self._constraints.load(temp, obj, expr.name)
+            else:
+                # Direct field of a known storage object.
+                base = self._lvalue_object(fn, expr.obj, typeinfo)
+                if base is not None and not (
+                    isinstance(base, tuple) and base[0] == "<indirect>"
+                ):
+                    self._constraints.copy(obj_field(base, expr.name), temp)
+            return temp
+        if isinstance(expr, Unary):
+            self._rvalue(fn, expr.operand, typeinfo)
+            return None
+        if isinstance(expr, Binary):
+            left = self._rvalue(fn, expr.left, typeinfo)
+            self._rvalue(fn, expr.right, typeinfo)
+            if expr.op in ("+", "-") and left is not None:
+                return left  # pointer arithmetic stays within the object
+            return None
+        if isinstance(expr, Assign):
+            return self._assign(fn, expr, typeinfo)
+        if isinstance(expr, Call):
+            return self._call(fn, expr, typeinfo)
+        if isinstance(expr, Malloc):
+            site = next(self._malloc_counter)
+            temp = self._temp()
+            self._seed(temp, obj_malloc(site))
+            return temp
+        if isinstance(expr, Cast):
+            return self._rvalue(fn, expr.operand, typeinfo)
+        return None
+
+    def _assign(self, fn: str, expr: Assign, typeinfo: TypeInfo) -> Optional[Node]:
+        src = self._rvalue(fn, expr.rhs, typeinfo)
+        lhs = expr.lhs
+        if src is None:
+            self._rvalue(fn, lhs, typeinfo)  # still record lhs nodes
+            return None
+        if isinstance(lhs, VarRef):
+            dst = (
+                obj_global(lhs.name)
+                if lhs.name in self.program.globals
+                else obj_local(fn, lhs.name)
+            )
+            self._constraints.copy(src, dst)
+            self._expr_nodes[id(lhs)] = dst
+            return src
+        if isinstance(lhs, Deref):
+            ptr = self._rvalue(fn, lhs.ptr, typeinfo)
+            if ptr is not None:
+                self._constraints.store(ptr, src)
+            return src
+        if isinstance(lhs, Field):
+            if lhs.arrow:
+                ptr = self._rvalue(fn, lhs.obj, typeinfo)
+                if ptr is not None:
+                    self._constraints.store(ptr, src, lhs.name)
+            else:
+                base = self._lvalue_object(fn, lhs.obj, typeinfo)
+                if base is not None and not (
+                    isinstance(base, tuple) and base[0] == "<indirect>"
+                ):
+                    self._constraints.copy(src, obj_field(base, lhs.name))
+            return src
+        return src
+
+    def _call(self, fn: str, expr: Call, typeinfo: TypeInfo) -> Optional[Node]:
+        arg_nodes = [self._rvalue(fn, a, typeinfo) for a in expr.args]
+        if isinstance(expr.fn, VarRef) and expr.fn.name in self.program.functions:
+            targets = [expr.fn.name]
+            fn_node = None
+        else:
+            fn_node = self._rvalue(fn, expr.fn, typeinfo)
+            targets = []
+            self._indirect_calls.append((fn, expr))
+        temp = self._temp()
+        self._link_call(expr, targets, arg_nodes, temp)
+        self._call_args: dict[int, tuple[list[Optional[Node]], Node]]
+        if not hasattr(self, "_call_arg_map"):
+            self._call_arg_map = {}
+        self._call_arg_map[id(expr)] = (arg_nodes, temp, fn_node)
+        return temp
+
+    def _link_call(
+        self,
+        call: Call,
+        targets: Iterable[str],
+        arg_nodes: list[Optional[Node]],
+        result: Node,
+    ) -> None:
+        for target in targets:
+            callee = self.program.functions.get(target)
+            if callee is None:
+                continue
+            if callee.body is None and isinstance(callee.ret, PtrType):
+                # External function returning a pointer: its own object.
+                self._seed(obj_ret(target), obj_ext(target))
+            for i, arg in enumerate(arg_nodes):
+                if arg is not None and i < len(callee.params):
+                    self._constraints.copy(arg, obj_local(target, callee.params[i].name))
+            self._constraints.copy(obj_ret(target), result)
+
+    def _lvalue_object(self, fn: str, expr: CExpr, typeinfo: TypeInfo):
+        """The abstract object an lvalue denotes (for &)."""
+        if isinstance(expr, VarRef):
+            if expr.name in self.program.globals:
+                return obj_global(expr.name)
+            if expr.name in self.program.functions:
+                return obj_fun(expr.name)
+            return obj_local(fn, expr.name)
+        if isinstance(expr, Deref):
+            inner = self._rvalue(fn, expr.ptr, typeinfo)
+            return ("<indirect>", inner) if inner is not None else None
+        return None
+
+    def _seed(self, node: Node, obj: Node) -> None:
+        self._pts.setdefault(node, set()).add(obj)
+
+    # -- solving -----------------------------------------------------------------
+
+    def _solve(self) -> None:
+        changed = True
+        rounds = 0
+        while changed and rounds < 100:
+            rounds += 1
+            changed = self._solve_round()
+            changed |= self._resolve_indirect_calls()
+
+    def _solve_round(self) -> bool:
+        changed_any = False
+        inner_changed = True
+        while inner_changed:
+            inner_changed = False
+            for src, dsts in list(self._constraints.copies.items()):
+                src_pts = self._pts.get(src)
+                if not src_pts:
+                    continue
+                for dst in dsts:
+                    dst_pts = self._pts.setdefault(dst, set())
+                    before = len(dst_pts)
+                    dst_pts |= src_pts
+                    if len(dst_pts) != before:
+                        inner_changed = True
+            for dst, ptr, fname in self._constraints.loads:
+                for obj in list(self._pts.get(ptr, ())):
+                    src = obj if fname is None else obj_field(obj, fname)
+                    src_pts = self._pts.get(src)
+                    if not src_pts:
+                        continue
+                    dst_pts = self._pts.setdefault(dst, set())
+                    before = len(dst_pts)
+                    dst_pts |= src_pts
+                    if len(dst_pts) != before:
+                        inner_changed = True
+            for ptr, src, fname in self._constraints.stores:
+                src_pts = self._pts.get(src)
+                if not src_pts:
+                    continue
+                for obj in list(self._pts.get(ptr, ())):
+                    dst = obj if fname is None else obj_field(obj, fname)
+                    dst_pts = self._pts.setdefault(dst, set())
+                    before = len(dst_pts)
+                    dst_pts |= src_pts
+                    if len(dst_pts) != before:
+                        inner_changed = True
+            changed_any |= inner_changed
+        return changed_any
+
+    def _resolve_indirect_calls(self) -> bool:
+        changed = False
+        for fn, call in self._indirect_calls:
+            arg_nodes, result, fn_node = self._call_arg_map[id(call)]
+            if fn_node is None:
+                continue
+            targets = {
+                obj[1] for obj in self._pts.get(fn_node, ()) if obj[0] == "fun"
+            }
+            known = self._resolved_calls.setdefault(id(call), set())
+            new = targets - known
+            if new:
+                changed = True
+                known |= new
+                self._link_call(call, new, arg_nodes, result)
+        return changed
+
+
+def _collect_local_types(stmt: CStmt, env: dict[str, CType]) -> None:
+    if isinstance(stmt, VarDecl):
+        env[stmt.name] = stmt.typ
+    elif isinstance(stmt, Block):
+        for s in stmt.stmts:
+            _collect_local_types(s, env)
+    elif isinstance(stmt, If):
+        _collect_local_types(stmt.then, env)
+        if stmt.els is not None:
+            _collect_local_types(stmt.els, env)
+    elif isinstance(stmt, While):
+        _collect_local_types(stmt.body, env)

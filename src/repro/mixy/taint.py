@@ -1,0 +1,106 @@
+"""A second qualifier client: taint tracking for C strings.
+
+The paper's conclusion: "we plan to extend MIXY to check other
+properties ... and to mix other types of analysis together."  The
+qualifier machinery of :mod:`repro.mixy.qual` is a generic
+source-to-sink flow engine; this module instantiates it with
+
+- source constant ``tainted`` — seeded at the returns of configured
+  *source* functions (e.g. ``read_user_input``),
+- sink constant ``untainted`` — required at configured parameter
+  positions of *sink* functions (e.g. the query argument of
+  ``exec_query``),
+
+so a warning is a flow of attacker-controlled data into a trusted
+position.  The whole value-flow skeleton (assignments, calls, fields,
+deep unification, call-graph integration) is inherited unchanged from
+the nullness engine — the nullness-specific seeds (``NULL`` literals,
+``malloc``, ``nonnull`` annotations) land on lattice constants that are
+simply not this instance's poles, so they are inert.
+
+*Sanitizers* are modeled the natural way: an extern function not listed
+as a source breaks the flow (its return is a fresh unconstrained slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.mixy.c.ast import Call, CFunction, CProgram
+from repro.mixy.qual import (
+    QConst,
+    QualConfig,
+    QualGraph,
+    QualInference,
+    QualType,
+    QualWarning,
+)
+
+TAINTED = QConst("tainted")
+UNTAINTED = QConst("untainted")
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Which functions produce and which consume sensitive data."""
+
+    #: functions whose return value is attacker-controlled
+    sources: frozenset[str] = frozenset()
+    #: function -> parameter indices that must stay untainted
+    sinks: Mapping[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = self.sources & set(self.sinks)
+        if overlap:
+            raise ValueError(f"functions cannot be both source and sink: {overlap}")
+
+
+class TaintInference(QualInference):
+    """Flow-insensitive taint inference over mini-C."""
+
+    def __init__(
+        self,
+        program: CProgram,
+        spec: TaintSpec,
+        config: Optional[QualConfig] = None,
+        callees_of: Optional[Callable[[Call, str], list[str]]] = None,
+    ) -> None:
+        super().__init__(
+            program, config, callees_of, graph=QualGraph(TAINTED, UNTAINTED)
+        )
+        self.spec = spec
+
+    # -- seed points (the only taint-specific behavior) ------------------------
+
+    def return_slot(self, fn: CFunction) -> QualType:
+        qt = super().return_slot(fn)
+        if fn.name in self.spec.sources and qt.top is not None:
+            self.graph.add_flow(
+                TAINTED, qt.top, f"return of taint source {fn.name}"
+            )
+        return qt
+
+    def param_slot(self, fn: CFunction, index: int) -> QualType:
+        qt = super().param_slot(fn, index)
+        indices = self.spec.sinks.get(fn.name, ())
+        if index in indices and qt.top is not None:
+            self.graph.add_flow(
+                qt.top,
+                UNTAINTED,
+                f"untainted argument {index + 1} of sink {fn.name}",
+            )
+        return qt
+
+
+def analyze_taint(
+    program: CProgram,
+    spec: TaintSpec,
+    callees_of: Optional[Callable[[Call, str], list[str]]] = None,
+) -> list[QualWarning]:
+    """Run taint inference over every function; return the flows found."""
+    inference = TaintInference(program, spec, callees_of=callees_of)
+    inference.constrain_globals()
+    for name in program.functions:
+        inference.constrain_function(name)
+    return inference.warnings()

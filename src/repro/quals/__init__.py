@@ -1,0 +1,33 @@
+"""Sign qualifiers: the paper's second example of a non-standard type
+system profiting from MIX (§2, "Local Refinements of Data").
+
+"As one example, suppose we introduce a type qualifier system that
+distinguishes the sign of an integer as either positive, negative, zero,
+or unknown.  Then we can use symbolic execution to refine the type of an
+integer after a test."
+
+This package implements that system for the MIX source language:
+
+- :mod:`repro.quals.signs` -- the sign lattice and transfer functions;
+- :mod:`repro.quals.checker` -- a qualifier-refined type checker whose
+  client property is *division-by-zero freedom*: ``e1 / e2`` checks only
+  when the divisor's sign excludes zero;
+- :mod:`repro.quals.mix` -- the mix rules instantiated for this checker:
+  entering a typed block, each integer's sign is *refined from the path
+  condition* with solver validity queries; a symbolic block started from
+  a sign-qualified environment receives the matching constraints.
+"""
+
+from repro.quals.signs import Sign, sign_of_int
+from repro.quals.checker import QualTypeError, SignChecker, SignEnv
+from repro.quals.mix import SignMix, analyze_signs
+
+__all__ = [
+    "QualTypeError",
+    "Sign",
+    "SignChecker",
+    "SignEnv",
+    "SignMix",
+    "analyze_signs",
+    "sign_of_int",
+]

@@ -1,0 +1,262 @@
+"""A sign-qualified type checker for the MIX source language.
+
+Judgments extend the standard checker's with a sign qualifier on every
+``int``: ``Γ ⊢ e : int(q)`` where ``q ∈ {pos, neg, zero, unknown}``.
+The client property is **division-by-zero freedom**: ``e1 / e2`` is well
+typed only when the divisor's sign excludes zero.  Like the standard
+checker, this one is flow- and path-insensitive — ``if x = 0 then 1 else
+10 / x`` is a false positive — which is exactly the imprecision the
+paper's §2 sign example removes with a symbolic block.
+
+The checker is off the shelf in the MIX sense: its single extension
+point is ``symbolic_block_hook``, installed by
+:class:`repro.quals.mix.SignMix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Pos,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.quals import signs
+from repro.quals.signs import Sign, sign_of_int
+from repro.typecheck.checker import TypeError_
+from repro.typecheck.types import (
+    BOOL,
+    FunType,
+    INT,
+    RefType,
+    STR,
+    Type,
+    UNIT,
+)
+
+
+class QualTypeError(TypeError_):
+    """A sign-qualifier type error (includes division-by-zero risks)."""
+
+
+@dataclass(frozen=True)
+class QType:
+    """A type with a sign qualifier on (exactly) integer types."""
+
+    typ: Type
+    sign: Optional[Sign] = None
+
+    def __post_init__(self) -> None:
+        if (self.typ == INT) != (self.sign is not None):
+            raise ValueError("exactly integer types carry a sign")
+
+    def __str__(self) -> str:
+        if self.sign is None:
+            return str(self.typ)
+        return f"{self.sign} {self.typ}"
+
+
+def int_q(sign: Sign) -> QType:
+    return QType(INT, sign)
+
+
+class SignEnv:
+    """Γ for the qualified system: variable -> qualified type."""
+
+    def __init__(self, bindings: Optional[Mapping[str, QType]] = None) -> None:
+        self._bindings = dict(bindings or {})
+
+    def lookup(self, name: str) -> Optional[QType]:
+        return self._bindings.get(name)
+
+    def extend(self, name: str, qt: QType) -> "SignEnv":
+        child = dict(self._bindings)
+        child[name] = qt
+        return SignEnv(child)
+
+    def items(self):
+        return iter(sorted(self._bindings.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+
+SymbolicBlockHook = Callable[["SignEnv", SymBlock], QType]
+
+
+@dataclass
+class SignChecker:
+    """The qualified checker; plug ``symbolic_block_hook`` to mix."""
+
+    symbolic_block_hook: Optional[SymbolicBlockHook] = None
+    #: reject division whose divisor may be zero (the client property)
+    strict_division: bool = True
+
+    def check(self, expr: Expr, env: Optional[SignEnv] = None) -> QType:
+        return self._check(expr, env or SignEnv())
+
+    # -- rules -----------------------------------------------------------------
+
+    def _check(self, expr: Expr, env: SignEnv) -> QType:
+        if isinstance(expr, Var):
+            qt = env.lookup(expr.name)
+            if qt is None:
+                raise QualTypeError(f"unbound variable {expr.name}", expr.pos)
+            return qt
+        if isinstance(expr, IntLit):
+            return int_q(sign_of_int(expr.value))
+        if isinstance(expr, BoolLit):
+            return QType(BOOL)
+        if isinstance(expr, StrLit):
+            return QType(STR)
+        if isinstance(expr, UnitLit):
+            return QType(UNIT)
+        if isinstance(expr, BinOp):
+            return self._check_binop(expr, env)
+        if isinstance(expr, Not):
+            self._expect(expr.operand, env, BOOL, "'not'")
+            return QType(BOOL)
+        if isinstance(expr, If):
+            self._expect(expr.cond, env, BOOL, "'if' condition")
+            then_qt = self._check(expr.then, env)
+            else_qt = self._check(expr.els, env)
+            if then_qt.typ != else_qt.typ:
+                raise QualTypeError(
+                    f"branches of 'if' disagree: {then_qt.typ} vs {else_qt.typ}",
+                    expr.pos,
+                )
+            if then_qt.sign is not None:
+                assert else_qt.sign is not None
+                return int_q(signs.join(then_qt.sign, else_qt.sign))
+            return then_qt
+        if isinstance(expr, Let):
+            bound = self._check(expr.bound, env)
+            if expr.annotation is not None and expr.annotation != bound.typ:
+                raise QualTypeError(
+                    f"let annotation {expr.annotation} does not match {bound.typ}",
+                    expr.pos,
+                )
+            return self._check(expr.body, env.extend(expr.name, bound))
+        if isinstance(expr, Seq):
+            self._check(expr.first, env)
+            return self._check(expr.second, env)
+        if isinstance(expr, Ref):
+            init = self._check(expr.init, env)
+            # References erase sign refinements: a cell's content may be
+            # overwritten, so only the unqualified type is invariant.
+            return QType(RefType(init.typ))
+        if isinstance(expr, Deref):
+            target = self._check(expr.ref, env)
+            if not isinstance(target.typ, RefType):
+                raise QualTypeError(f"dereference of {target.typ}", expr.pos)
+            return self._of_type(target.typ.elem)
+        if isinstance(expr, Assign):
+            target = self._check(expr.target, env)
+            if not isinstance(target.typ, RefType):
+                raise QualTypeError(f"assignment through {target.typ}", expr.pos)
+            value = self._check(expr.value, env)
+            if value.typ != target.typ.elem:
+                raise QualTypeError(
+                    f"':=' writes {value.typ} into {target.typ}", expr.pos
+                )
+            return self._of_type(target.typ.elem)
+        if isinstance(expr, While):
+            self._expect(expr.cond, env, BOOL, "'while' condition")
+            self._check(expr.body, env)
+            return QType(UNIT)
+        if isinstance(expr, Fun):
+            body = self._check(
+                expr.body, env.extend(expr.param, self._of_type(expr.param_type))
+            )
+            return QType(FunType(expr.param_type, body.typ))
+        if isinstance(expr, App):
+            fn = self._check(expr.fn, env)
+            if not isinstance(fn.typ, FunType):
+                raise QualTypeError(f"application of {fn.typ}", expr.pos)
+            arg = self._check(expr.arg, env)
+            if arg.typ != fn.typ.param:
+                raise QualTypeError(
+                    f"argument has type {arg.typ}, expected {fn.typ.param}", expr.pos
+                )
+            return self._of_type(fn.typ.result)
+        if isinstance(expr, TypedBlock):
+            return self._check(expr.body, env)
+        if isinstance(expr, SymBlock):
+            if self.symbolic_block_hook is None:
+                raise QualTypeError(
+                    "symbolic block encountered but no symbolic executor is "
+                    "attached (run under SignMix)",
+                    expr.pos,
+                )
+            return self.symbolic_block_hook(env, expr)
+        raise QualTypeError(f"unknown expression node {expr!r}", expr.pos)
+
+    def _check_binop(self, expr: BinOp, env: SignEnv) -> QType:
+        op = expr.op
+        if op in (BinOpKind.AND, BinOpKind.OR):
+            self._expect(expr.left, env, BOOL, f"'{op.value}'")
+            self._expect(expr.right, env, BOOL, f"'{op.value}'")
+            return QType(BOOL)
+        if op is BinOpKind.EQ:
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            if left.typ != right.typ:
+                raise QualTypeError(f"'=' compares {left.typ} with {right.typ}", expr.pos)
+            if isinstance(left.typ, FunType):
+                raise QualTypeError("'=' is not defined on functions", expr.pos)
+            return QType(BOOL)
+        if op in (BinOpKind.LT, BinOpKind.LE):
+            self._expect(expr.left, env, INT, f"'{op.value}'")
+            self._expect(expr.right, env, INT, f"'{op.value}'")
+            return QType(BOOL)
+        left = self._check(expr.left, env)
+        right = self._check(expr.right, env)
+        if left.typ != INT or right.typ != INT:
+            raise QualTypeError(
+                f"'{op.value}' applied to {left.typ} and {right.typ}", expr.pos
+            )
+        assert left.sign is not None and right.sign is not None
+        if op is BinOpKind.ADD:
+            return int_q(signs.add(left.sign, right.sign))
+        if op is BinOpKind.SUB:
+            return int_q(signs.sub(left.sign, right.sign))
+        if op is BinOpKind.MUL:
+            return int_q(signs.mul(left.sign, right.sign))
+        # Division: the client property.
+        if self.strict_division and not right.sign.excludes_zero:
+            raise QualTypeError(
+                f"divisor has sign '{right.sign}': it may be zero", expr.pos
+            )
+        return int_q(signs.div(left.sign, right.sign))
+
+    def _expect(self, expr: Expr, env: SignEnv, typ: Type, context: str) -> None:
+        actual = self._check(expr, env)
+        if actual.typ != typ:
+            raise QualTypeError(
+                f"{context} has type {actual.typ}, expected {typ}", expr.pos
+            )
+
+    @staticmethod
+    def _of_type(typ: Type) -> QType:
+        """The top qualified type at ``typ`` (unknown sign for ints)."""
+        return int_q(Sign.UNKNOWN) if typ == INT else QType(typ)

@@ -1,0 +1,266 @@
+"""Mix rules instantiated for the sign-qualifier checker.
+
+This is the paper's §2 sign example made executable.  The interface
+between the analyses is one notch richer than plain MIX: alongside each
+variable's type, a *sign* crosses the boundary.
+
+- **typed -> symbolic** (TSymBlock analog): a variable of type
+  ``pos int`` becomes a fresh α with the side constraint ``α > 0``
+  (similarly ``neg``/``zero``); ``unknown int`` is unconstrained.
+- **symbolic -> typed** (SETypBlock analog): entering a typed block,
+  each integer's sign is computed from the path condition with solver
+  validity queries — "since the value of x is constrained in the
+  symbolic execution, the type system will start with the appropriate
+  type for x, either pos, zero, or neg int".
+
+The client property (division-by-zero freedom) then demonstrates the
+paper's headline: the pure checker rejects ``if x = 0 then 1 else
+10 / x`` (path-insensitive), the mixed analysis accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro import smt
+from repro.core.config import MixConfig, SoundnessMode
+from repro.lang.ast import Expr, SymBlock, TypedBlock
+from repro.lang.parser import parse
+from repro.quals import signs
+from repro.quals.checker import QType, QualTypeError, SignChecker, SignEnv, int_q
+from repro.quals.signs import Sign
+from repro.symexec.executor import ErrKind, Outcome, State, SymExecutor
+from repro.symexec.memory import fresh_memory, memory_ok
+from repro.symexec.values import (
+    NameSupply,
+    SymEnv,
+    SymValue,
+    UnknownFun,
+    fresh_of_type,
+)
+from repro.typecheck.types import FunType, INT, Type
+
+
+@dataclass
+class SignReport:
+    ok: bool
+    qtype: Optional[QType] = None
+    diagnostics: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"accepted: {self.qtype}"
+        return "rejected: " + "; ".join(self.diagnostics)
+
+
+class SignMix:
+    """The mixed sign analysis."""
+
+    def __init__(self, config: Optional[MixConfig] = None) -> None:
+        self.config = config or MixConfig()
+        self.names = NameSupply()
+        self.checker = SignChecker(symbolic_block_hook=self._type_symbolic_block)
+        self.executor = SymExecutor(
+            config=self.config.sym,
+            names=self.names,
+            typed_block_hook=self._exec_typed_block,
+        )
+        self.stats = {"sign_queries": 0, "symbolic_blocks": 0, "typed_blocks": 0}
+
+    # ------------------------------------------------------------------
+    # Sign <-> constraint translation
+    # ------------------------------------------------------------------
+
+    def sign_constraint(self, term: smt.Term, sign: Sign) -> Optional[smt.Term]:
+        zero = smt.int_const(0)
+        if sign is Sign.POS:
+            return smt.gt(term, zero)
+        if sign is Sign.NEG:
+            return smt.lt(term, zero)
+        if sign is Sign.ZERO:
+            return smt.eq(term, zero)
+        return None
+
+    def classify(self, term: smt.Term, assumptions: list[smt.Term]) -> Sign:
+        """The strongest sign valid under the assumptions."""
+        self.stats["sign_queries"] += 1
+        zero = smt.int_const(0)
+        for sign, formula in (
+            (Sign.POS, smt.gt(term, zero)),
+            (Sign.NEG, smt.lt(term, zero)),
+            (Sign.ZERO, smt.eq(term, zero)),
+        ):
+            try:
+                if smt.is_valid(formula, assuming=assumptions):
+                    return sign
+            except smt.SolverError:
+                continue
+        return Sign.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # TSymBlock analog
+    # ------------------------------------------------------------------
+
+    def _type_symbolic_block(self, gamma: SignEnv, block: SymBlock) -> QType:
+        self.stats["symbolic_blocks"] += 1
+        bindings: dict[str, SymValue] = {}
+        env_constraints: list[smt.Term] = []
+        for name, qt in gamma.items():
+            value, constraints = fresh_of_type(qt.typ, self.names)
+            bindings[name] = value
+            env_constraints.extend(constraints)
+            if qt.sign is not None and value.term is not None:
+                constraint = self.sign_constraint(value.term, qt.sign)
+                if constraint is not None:
+                    env_constraints.append(constraint)
+        state = State(smt.true(), fresh_memory(self.names), tuple(env_constraints))
+        outcomes = list(self.executor.execute(block.body, SymEnv(bindings), state))
+        surviving: list[Outcome] = []
+        for out in outcomes:
+            if out.ok:
+                surviving.append(out)
+                continue
+            if out.kind is ErrKind.LOOP_BOUND and (
+                self.config.soundness is SoundnessMode.GOOD_ENOUGH
+            ):
+                continue
+            if self._feasible(out.state):
+                raise QualTypeError(
+                    f"symbolic execution failed: {out.error}", out.pos or block.pos  # type: ignore[arg-type]
+                )
+        if not surviving:
+            raise QualTypeError("symbolic block has no feasible path", block.pos)
+        result_type: Optional[Type] = None
+        result_sign: Optional[Sign] = None
+        for out in surviving:
+            assert out.value is not None
+            if out.value.term is None:
+                raise QualTypeError(
+                    "a function value escapes the symbolic block", block.pos
+                )
+            if result_type is None:
+                result_type = out.value.typ
+            elif result_type != out.value.typ:
+                raise QualTypeError(
+                    f"paths disagree on the result type: {result_type} vs "
+                    f"{out.value.typ}",
+                    block.pos,
+                )
+            if not memory_ok(out.state.memory, out.state.condition()):
+                raise QualTypeError(
+                    "symbolic block leaves memory inconsistently typed", block.pos
+                )
+            if out.value.typ == INT:
+                path_sign = self.classify(
+                    out.value.term, [out.state.guard, *out.state.defs]
+                )
+                result_sign = (
+                    path_sign
+                    if result_sign is None
+                    else signs.join(result_sign, path_sign)
+                )
+        if self.config.soundness is SoundnessMode.SOUND:
+            self._check_exhaustive(surviving, block)
+        assert result_type is not None
+        return int_q(result_sign or Sign.UNKNOWN) if result_type == INT else QType(result_type)
+
+    def _check_exhaustive(self, outcomes: list[Outcome], block: SymBlock) -> None:
+        guards = [o.state.guard for o in outcomes]
+        assumptions: list[smt.Term] = []
+        for out in outcomes:
+            for d in out.state.defs:
+                if d not in assumptions:
+                    assumptions.append(d)
+        try:
+            exhaustive = smt.is_valid(smt.or_(*guards), assuming=assumptions)
+        except smt.SolverError:
+            exhaustive = False
+        if not exhaustive:
+            raise QualTypeError(
+                "the explored paths are not exhaustive", block.pos
+            )
+
+    def _feasible(self, state: State) -> bool:
+        try:
+            return smt.is_satisfiable(state.condition())
+        except smt.SolverError:
+            return True
+
+    # ------------------------------------------------------------------
+    # SETypBlock analog
+    # ------------------------------------------------------------------
+
+    def _exec_typed_block(
+        self, sigma: SymEnv, state: State, block: TypedBlock
+    ) -> Iterator[Outcome]:
+        self.stats["typed_blocks"] += 1
+        if not memory_ok(state.memory, state.condition()):
+            yield Outcome(
+                state,
+                error="entering a typed block with inconsistent memory",
+                kind=ErrKind.TYPE_ERROR,
+                pos=block.pos,
+            )
+            return
+        # ⊢ Σ : Γ, refined: integer signs are read off the path condition.
+        assumptions = [state.guard, *state.defs]
+        gamma = SignEnv()
+        for name, value in sigma.items():
+            if isinstance(value.typ, FunType):
+                if isinstance(value.fun, UnknownFun):
+                    gamma = gamma.extend(name, QType(value.typ))
+                continue  # latent closures are omitted, as in plain MIX
+            if value.typ == INT:
+                assert value.term is not None
+                gamma = gamma.extend(
+                    name, int_q(self.classify(value.term, assumptions))
+                )
+            else:
+                gamma = gamma.extend(name, QType(value.typ))
+        try:
+            block_qt = self.checker.check(block.body, gamma)
+        except QualTypeError as error:
+            yield Outcome(
+                state,
+                error=f"sign-type error in typed block: {error.message}",
+                kind=ErrKind.TYPE_ERROR,
+                pos=error.pos or block.pos,
+            )
+            return
+        result, constraints = fresh_of_type(block_qt.typ, self.names)
+        extra: list[smt.Term] = list(constraints)
+        if block_qt.sign is not None and result.term is not None:
+            # The block's sign survives the boundary as a constraint on α.
+            sign_c = self.sign_constraint(result.term, block_qt.sign)
+            if sign_c is not None:
+                extra.append(sign_c)
+        new_state = state.with_memory(fresh_memory(self.names)).add_defs(*extra)
+        yield Outcome(new_state, value=result)
+
+
+def analyze_signs(
+    program: Union[str, Expr],
+    env: Optional[SignEnv] = None,
+    entry: str = "typed",
+    config: Optional[MixConfig] = None,
+) -> SignReport:
+    """Run the mixed sign analysis over a program or source text."""
+    if isinstance(program, str):
+        program = parse(program)
+    mix = SignMix(config=config)
+    env = env or SignEnv()
+    if entry == "symbolic":
+        program = SymBlock(program, pos=getattr(program, "pos", None))
+        try:
+            qt = mix._type_symbolic_block(env, program)
+        except QualTypeError as error:
+            return SignReport(False, diagnostics=[str(error)])
+        return SignReport(True, qt)
+    if entry != "typed":
+        raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
+    try:
+        qt = mix.checker.check(program, env)
+    except QualTypeError as error:
+        return SignReport(False, diagnostics=[str(error)])
+    return SignReport(True, qt)

@@ -1,0 +1,83 @@
+"""The sign qualifier lattice and its arithmetic transfer functions.
+
+The lattice is the flat one from the paper's example::
+
+            unknown
+           /   |   \\
+        neg   zero   pos
+
+with ``join`` moving up and abstract arithmetic defined pointwise.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class Sign(Enum):
+    POS = "pos"
+    NEG = "neg"
+    ZERO = "zero"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def excludes_zero(self) -> bool:
+        return self in (Sign.POS, Sign.NEG)
+
+
+def sign_of_int(value: int) -> Sign:
+    if value > 0:
+        return Sign.POS
+    if value < 0:
+        return Sign.NEG
+    return Sign.ZERO
+
+
+def join(a: Sign, b: Sign) -> Sign:
+    """Least upper bound in the flat lattice."""
+    return a if a is b else Sign.UNKNOWN
+
+
+def add(a: Sign, b: Sign) -> Sign:
+    if a is Sign.ZERO:
+        return b
+    if b is Sign.ZERO:
+        return a
+    if a is b and a in (Sign.POS, Sign.NEG):
+        return a
+    return Sign.UNKNOWN
+
+
+def negate(a: Sign) -> Sign:
+    if a is Sign.POS:
+        return Sign.NEG
+    if a is Sign.NEG:
+        return Sign.POS
+    return a  # zero and unknown are fixed points
+
+
+def sub(a: Sign, b: Sign) -> Sign:
+    return add(a, negate(b))
+
+
+def mul(a: Sign, b: Sign) -> Sign:
+    if Sign.ZERO in (a, b):
+        return Sign.ZERO
+    if Sign.UNKNOWN in (a, b):
+        return Sign.UNKNOWN
+    return Sign.POS if a is b else Sign.NEG
+
+
+def div(a: Sign, b: Sign) -> Sign:
+    """Abstract truncating division, assuming the divisor is nonzero.
+
+    Truncation can collapse magnitude-1 quotients to zero (e.g. 1/2 = 0),
+    so any inexact case widens to unknown; only zero dividends stay zero.
+    """
+    if a is Sign.ZERO:
+        return Sign.ZERO
+    return Sign.UNKNOWN

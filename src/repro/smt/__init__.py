@@ -1,0 +1,97 @@
+"""A small, self-contained SMT solver for quantifier-free formulas.
+
+This package is the reproduction's substitute for STP (the solver used by
+the paper's MIXY prototype).  It decides the fragment that MIX and MIXY
+actually generate: propositional structure over linear integer arithmetic,
+equality with uninterpreted functions (via Ackermann expansion), and
+McCarthy arrays (via select-over-store rewriting).
+
+The public surface:
+
+- :mod:`repro.smt.terms` -- sorts, hash-consed terms, term constructors.
+- :class:`repro.smt.solver.Solver` -- ``add`` / ``check`` / ``model``.
+- :func:`repro.smt.solver.is_valid` / :func:`is_satisfiable` -- one-shot
+  queries used by the mix rules (e.g. the ``exhaustive`` tautology check).
+"""
+
+from repro.smt.terms import (
+    BOOL,
+    INT,
+    FuncDecl,
+    Sort,
+    SortError,
+    Term,
+    add,
+    and_,
+    apply_func,
+    array_sort,
+    bool_const,
+    distinct,
+    eq,
+    false,
+    ge,
+    gt,
+    iff,
+    implies,
+    int_const,
+    ite,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    select,
+    store,
+    sub,
+    true,
+    var,
+)
+from repro.smt.solver import (
+    Model,
+    SatResult,
+    Solver,
+    SolverError,
+    is_satisfiable,
+    is_valid,
+)
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "FuncDecl",
+    "Model",
+    "SatResult",
+    "Solver",
+    "SolverError",
+    "Sort",
+    "SortError",
+    "Term",
+    "add",
+    "and_",
+    "apply_func",
+    "array_sort",
+    "bool_const",
+    "distinct",
+    "eq",
+    "false",
+    "ge",
+    "gt",
+    "iff",
+    "implies",
+    "int_const",
+    "is_satisfiable",
+    "is_valid",
+    "ite",
+    "le",
+    "lt",
+    "mul",
+    "neg",
+    "not_",
+    "or_",
+    "select",
+    "store",
+    "sub",
+    "true",
+    "var",
+]

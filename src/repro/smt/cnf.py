@@ -1,0 +1,117 @@
+"""Tseitin CNF conversion from core-fragment terms to SAT clauses.
+
+The input must already be in the solver core fragment produced by
+:mod:`repro.smt.preprocess`: boolean structure over boolean variables and
+linear integer comparisons.  Each distinct canonical :class:`LinAtom`
+(and each boolean variable) is mapped to one SAT variable; the mapping is
+exposed so the lazy theory loop can read theory literals back out of SAT
+models and push blocking clauses back in.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.smt.linear import LinAtom, atom_from_comparison
+from repro.smt.sat import SatSolver
+from repro.smt.terms import BOOL, Kind, SortError, Term
+
+AtomKey = Union[LinAtom, Term]  # LinAtom or a boolean variable term
+
+
+class CnfBuilder:
+    """Encodes assertions into a :class:`SatSolver`, tracking atom maps."""
+
+    def __init__(self, sat: SatSolver) -> None:
+        self.sat = sat
+        self.atom_to_var: dict[AtomKey, int] = {}
+        self.var_to_atom: dict[int, AtomKey] = {}
+        self._term_lits: dict[Term, int] = {}
+        self._true_lit: int | None = None
+
+    # -- literals ------------------------------------------------------------
+
+    def true_literal(self) -> int:
+        if self._true_lit is None:
+            v = self.sat.new_var()
+            self.sat.add_clause([v])
+            self._true_lit = v
+        return self._true_lit
+
+    def atom_literal(self, key: AtomKey) -> int:
+        v = self.atom_to_var.get(key)
+        if v is None:
+            v = self.sat.new_var()
+            self.atom_to_var[key] = v
+            self.var_to_atom[v] = key
+        return v
+
+    # -- encoding ------------------------------------------------------------
+
+    def add_assertion(self, term: Term) -> None:
+        self.sat.add_clause([self.encode(term)])
+
+    def encode(self, term: Term) -> int:
+        """Return a literal equisatisfiably representing ``term``."""
+        if term.sort != BOOL:
+            raise SortError(f"cannot encode non-boolean term {term}")
+        cached = self._term_lits.get(term)
+        if cached is not None:
+            return cached
+        lit = self._encode_uncached(term)
+        self._term_lits[term] = lit
+        return lit
+
+    def _encode_uncached(self, term: Term) -> int:
+        kind = term.kind
+        if kind is Kind.CONST_BOOL:
+            return self.true_literal() if term.payload else -self.true_literal()
+        if kind is Kind.VAR:
+            return self.atom_literal(term)
+        if kind is Kind.NOT:
+            return -self.encode(term.args[0])
+        if kind in (Kind.LE, Kind.LT):
+            atom = atom_from_comparison(kind, term.args[0], term.args[1])
+            if atom.is_trivially_true:
+                return self.true_literal()
+            if atom.is_trivially_false:
+                return -self.true_literal()
+            return self.atom_literal(atom)
+        if kind is Kind.AND:
+            return self._encode_and([self.encode(a) for a in term.args])
+        if kind is Kind.OR:
+            return -self._encode_and([-self.encode(a) for a in term.args])
+        if kind is Kind.IMPLIES:
+            a, b = (self.encode(x) for x in term.args)
+            return -self._encode_and([a, -b])
+        if kind is Kind.IFF:
+            return self._encode_iff(self.encode(term.args[0]), self.encode(term.args[1]))
+        if kind is Kind.ITE:
+            c, t, e = (self.encode(x) for x in term.args)
+            return self._encode_ite(c, t, e)
+        raise SortError(
+            f"term kind {kind.value} survived preprocessing; cannot CNF-encode {term}"
+        )
+
+    def _encode_and(self, lits: list[int]) -> int:
+        v = self.sat.new_var()
+        for lit in lits:
+            self.sat.add_clause([-v, lit])
+        self.sat.add_clause([v] + [-lit for lit in lits])
+        return v
+
+    def _encode_iff(self, a: int, b: int) -> int:
+        v = self.sat.new_var()
+        self.sat.add_clause([-v, -a, b])
+        self.sat.add_clause([-v, a, -b])
+        self.sat.add_clause([v, a, b])
+        self.sat.add_clause([v, -a, -b])
+        return v
+
+    def _encode_ite(self, c: int, t: int, e: int) -> int:
+        v = self.sat.new_var()
+        self.sat.add_clause([-v, -c, t])
+        self.sat.add_clause([-v, c, e])
+        self.sat.add_clause([v, -c, -t])
+        self.sat.add_clause([v, c, -e])
+        return v

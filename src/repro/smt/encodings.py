@@ -1,0 +1,47 @@
+"""Shared encodings of operations outside the solver's native language.
+
+Currently: truncating integer division by a non-zero constant, used by
+both symbolic executors.  The quotient becomes a fresh variable pinned
+by a definitional constraint; the encoding is exact for C-style
+(round-toward-zero) division::
+
+    q = trunc(x / c)   <=>   (x >= 0  and  |c|q <= x' <= |c|q + |c|-1)
+                          or (x <  0  and  x' <= |c|q <= x' + |c|-1)
+
+where ``x' = x`` for positive ``c`` and ``x' = -x`` otherwise.
+"""
+
+from __future__ import annotations
+
+from repro import smt
+from repro.smt.simplify import simplify
+
+
+def trunc_div_constant(a: int, c: int) -> int:
+    """Concrete truncating division (c != 0)."""
+    q = abs(a) // abs(c)
+    return q if (a >= 0) == (c >= 0) else -q
+
+
+def encode_trunc_div(
+    dividend: smt.Term, divisor: int, quotient: smt.Term
+) -> smt.Term:
+    """The definitional constraint pinning ``quotient = dividend / divisor``
+    (truncating, ``divisor`` a non-zero integer constant)."""
+    if divisor == 0:
+        raise ZeroDivisionError("encode_trunc_div requires a non-zero divisor")
+    magnitude = abs(divisor)
+    x = dividend if divisor > 0 else simplify(smt.neg(dividend))
+    prod = smt.mul(smt.int_const(magnitude), quotient)
+    zero = smt.int_const(0)
+    nonneg = smt.and_(
+        smt.ge(x, zero),
+        smt.le(prod, x),
+        smt.le(x, smt.add(prod, smt.int_const(magnitude - 1))),
+    )
+    negative = smt.and_(
+        smt.lt(x, zero),
+        smt.le(x, prod),
+        smt.le(prod, smt.add(x, smt.int_const(magnitude - 1))),
+    )
+    return smt.or_(nonneg, negative)

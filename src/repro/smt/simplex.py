@@ -1,0 +1,228 @@
+"""Exact rational simplex for feasibility of conjunctions of linear atoms.
+
+This is the "general simplex" of Dutertre and de Moura (the algorithm used
+inside most SMT solvers, including the paper's STP-era contemporaries):
+every input row ``e <= k`` introduces a slack variable ``s = e`` with upper
+bound ``k``; the tableau expresses basic variables over non-basic ones; a
+pivoting loop with Bland's rule repairs bound violations and either reaches
+a feasible assignment or proves infeasibility.
+
+All arithmetic is exact (:class:`fractions.Fraction`), so the verdicts are
+sound — there is no floating-point drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Hashable, Iterable, Optional
+
+from repro.smt.linear import LinAtom
+
+
+@dataclass
+class SimplexResult:
+    feasible: bool
+    assignment: dict[Hashable, Fraction] = field(default_factory=dict)
+
+
+class Simplex:
+    """Feasibility checker over rationals with per-variable bounds."""
+
+    def __init__(self) -> None:
+        # Tableau: rows[basic] = {nonbasic: coeff}; basic = sum(coeff * nb).
+        self._rows: dict[Hashable, dict[Hashable, Fraction]] = {}
+        self._assignment: dict[Hashable, Fraction] = {}
+        self._lower: dict[Hashable, Fraction] = {}
+        self._upper: dict[Hashable, Fraction] = {}
+        self._slack_index: dict[tuple[tuple[Hashable, int], ...], Hashable] = {}
+        self._order: dict[Hashable, int] = {}
+        self._next_order = 0
+
+    # -- construction --------------------------------------------------------
+
+    def _register(self, v: Hashable) -> None:
+        if v not in self._order:
+            self._order[v] = self._next_order
+            self._next_order += 1
+            self._assignment.setdefault(v, Fraction(0))
+
+    def add_atom(self, atom: LinAtom) -> None:
+        """Assert ``atom`` (``sum coeffs <= constant``)."""
+        if not atom.coeffs:
+            if atom.constant < 0:
+                # Trivially false row: encode as 0 <= -1 via an impossible
+                # bound on a dedicated variable.
+                v = ("__false__",)
+                self._register(v)
+                self._set_upper(v, Fraction(-1))
+                self._set_lower(v, Fraction(0))
+            return
+        if len(atom.coeffs) == 1:
+            ((v, c),) = atom.coeffs
+            self._register(v)
+            bound = Fraction(atom.constant, c)
+            if c > 0:
+                self._set_upper(v, bound)
+            else:
+                self._set_lower(v, bound)
+            return
+        key = atom.coeffs
+        slack = self._slack_index.get(key)
+        if slack is None:
+            slack = ("__slack__", len(self._slack_index))
+            self._slack_index[key] = slack
+            self._register(slack)
+            row: dict[Hashable, Fraction] = {}
+            for v, c in atom.coeffs:
+                self._register(v)
+                row[v] = Fraction(c)
+            self._rows[slack] = row
+            self._recompute(slack)
+        self._set_upper(slack, Fraction(atom.constant))
+
+    def _set_upper(self, v: Hashable, bound: Fraction) -> None:
+        current = self._upper.get(v)
+        if current is None or bound < current:
+            self._upper[v] = bound
+
+    def _set_lower(self, v: Hashable, bound: Fraction) -> None:
+        current = self._lower.get(v)
+        if current is None or bound > current:
+            self._lower[v] = bound
+
+    def set_bounds(
+        self, v: Hashable, lower: Optional[Fraction], upper: Optional[Fraction]
+    ) -> None:
+        """Externally constrain a variable (used by branch-and-bound)."""
+        self._register(v)
+        if lower is not None:
+            self._set_lower(v, lower)
+        if upper is not None:
+            self._set_upper(v, upper)
+
+    def _recompute(self, basic: Hashable) -> None:
+        row = self._rows[basic]
+        self._assignment[basic] = sum(
+            (c * self._assignment[v] for v, c in row.items()), Fraction(0)
+        )
+
+    # -- solving --------------------------------------------------------------
+
+    def check(self) -> SimplexResult:
+        """Decide feasibility of all asserted rows and bounds."""
+        # Immediately contradictory bounds are infeasible regardless of the
+        # tableau, and catching them here keeps the pivot loop cycle-free.
+        for v in self._order:
+            lo, hi = self._lower.get(v), self._upper.get(v)
+            if lo is not None and hi is not None and lo > hi:
+                return SimplexResult(False)
+        # Ensure non-basic variables sit within their own bounds.
+        for v in list(self._order):
+            if v in self._rows:
+                continue
+            value = self._assignment[v]
+            lo, hi = self._lower.get(v), self._upper.get(v)
+            if lo is not None and value < lo:
+                self._update_nonbasic(v, lo)
+            elif hi is not None and value > hi:
+                self._update_nonbasic(v, hi)
+        while True:
+            violated = self._find_violated_basic()
+            if violated is None:
+                return SimplexResult(True, dict(self._assignment))
+            basic, need_increase = violated
+            pivot = self._find_pivot(basic, need_increase)
+            if pivot is None:
+                return SimplexResult(False)
+            target = (
+                self._lower[basic] if need_increase else self._upper[basic]
+            )
+            self._pivot_and_update(basic, pivot, target)
+
+    def _find_violated_basic(self) -> Optional[tuple[Hashable, bool]]:
+        candidates = sorted(self._rows, key=lambda v: self._order[v])
+        for basic in candidates:
+            value = self._assignment[basic]
+            lo = self._lower.get(basic)
+            if lo is not None and value < lo:
+                return basic, True
+            hi = self._upper.get(basic)
+            if hi is not None and value > hi:
+                return basic, False
+        return None
+
+    def _find_pivot(self, basic: Hashable, need_increase: bool) -> Optional[Hashable]:
+        row = self._rows[basic]
+        for nonbasic in sorted(row, key=lambda v: self._order[v]):  # Bland's rule
+            coeff = row[nonbasic]
+            value = self._assignment[nonbasic]
+            hi = self._upper.get(nonbasic)
+            lo = self._lower.get(nonbasic)
+            if need_increase:
+                can_help = (coeff > 0 and (hi is None or value < hi)) or (
+                    coeff < 0 and (lo is None or value > lo)
+                )
+            else:
+                can_help = (coeff > 0 and (lo is None or value > lo)) or (
+                    coeff < 0 and (hi is None or value < hi)
+                )
+            if can_help:
+                return nonbasic
+        return None
+
+    def _update_nonbasic(self, v: Hashable, value: Fraction) -> None:
+        delta = value - self._assignment[v]
+        if delta == 0:
+            return
+        self._assignment[v] = value
+        for basic, row in self._rows.items():
+            coeff = row.get(v)
+            if coeff:
+                self._assignment[basic] += coeff * delta
+
+    def _pivot_and_update(
+        self, basic: Hashable, nonbasic: Hashable, target: Fraction
+    ) -> None:
+        row = self._rows.pop(basic)
+        coeff = row.pop(nonbasic)
+        # basic = coeff * nonbasic + rest  =>  nonbasic = (basic - rest)/coeff
+        new_row: dict[Hashable, Fraction] = {basic: Fraction(1) / coeff}
+        for v, c in row.items():
+            new_row[v] = -c / coeff
+        self._rows[nonbasic] = new_row
+        # Substitute into every other row.
+        for other, other_row in self._rows.items():
+            if other is nonbasic:
+                continue
+            c = other_row.pop(nonbasic, None)
+            if c:
+                for v, nc in new_row.items():
+                    updated = other_row.get(v, Fraction(0)) + c * nc
+                    if updated:
+                        other_row[v] = updated
+                    else:
+                        other_row.pop(v, None)
+        # Drive the (old) basic variable's value to its violated bound by
+        # moving the (new) basic variable.
+        delta = target - self._assignment[basic]
+        self._assignment[basic] = target
+        self._assignment[nonbasic] += delta / coeff
+        for b, r in self._rows.items():
+            if b is nonbasic:
+                continue
+            self._recompute(b)
+
+
+def check_rational(
+    atoms: Iterable[LinAtom],
+    bounds: Optional[dict[Hashable, tuple[Optional[Fraction], Optional[Fraction]]]] = None,
+) -> SimplexResult:
+    """One-shot rational feasibility of a conjunction of atoms."""
+    simplex = Simplex()
+    for atom in atoms:
+        simplex.add_atom(atom)
+    if bounds:
+        for v, (lo, hi) in bounds.items():
+            simplex.set_bounds(v, lo, hi)
+    return simplex.check()

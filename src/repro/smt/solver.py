@@ -1,0 +1,307 @@
+"""The top-level SMT solver: lazy DPLL(T) over the CDCL core.
+
+``check()`` runs the classic lazy loop: the SAT engine proposes a boolean
+model; the conjunction of linear-arithmetic literals it asserts is checked
+for integer feasibility; on theory conflict a (deletion-minimized)
+blocking clause is learned and the search resumes.  Uninterpreted
+functions and arrays were already reduced to arithmetic by Ackermann
+expansion in preprocessing, so a single theory engine suffices.
+
+This is the reproduction's substitute for STP (the solver used by the
+paper's Otter symbolic executor).  The interface the mix rules need:
+
+- :meth:`Solver.check` / :meth:`Solver.model`
+- :func:`is_satisfiable` -- path-condition feasibility,
+- :func:`is_valid` -- the ``exhaustive(g1, ..., gn)`` tautology check of
+  rule TSymBlock (validity of the disjunction of path conditions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum, unique
+from typing import Iterable, Optional
+
+from repro.smt.cnf import CnfBuilder
+from repro.smt.intsolve import IntBudgetExceeded, check_integer
+from repro.smt.linear import LinAtom
+from repro.smt.preprocess import Preprocessor
+from repro.smt.sat import SatSolver
+from repro.smt.terms import (
+    BOOL,
+    INT,
+    FuncDecl,
+    Kind,
+    SortError,
+    Term,
+    not_,
+)
+
+
+class SolverError(Exception):
+    """The solver could not decide the query (budget or fragment limits)."""
+
+
+@unique
+class SatResult(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment, evaluable on terms of the checked formula."""
+
+    def __init__(
+        self,
+        bool_values: dict[Term, bool],
+        int_values: dict[Term, int],
+        app_instances: dict[FuncDecl, list[tuple[tuple[Term, ...], Term]]],
+        select_decls: dict[Term, FuncDecl],
+    ) -> None:
+        self._bools = bool_values
+        self._ints = int_values
+        self._apps = app_instances
+        self._select_decls = select_decls
+
+    def eval(self, term: Term) -> object:
+        """Evaluate ``term`` under this model (booleans and integers)."""
+        kind = term.kind
+        if kind in (Kind.CONST_BOOL, Kind.CONST_INT):
+            return term.payload
+        if kind is Kind.VAR:
+            if term.sort == BOOL:
+                return self._bools.get(term, False)
+            if term.sort == INT:
+                return self._ints.get(term, 0)
+            raise SortError(f"cannot evaluate variable of sort {term.sort}")
+        if kind is Kind.NOT:
+            return not self.eval(term.args[0])
+        if kind is Kind.AND:
+            return all(self.eval(a) for a in term.args)
+        if kind is Kind.OR:
+            return any(self.eval(a) for a in term.args)
+        if kind is Kind.IMPLIES:
+            return (not self.eval(term.args[0])) or self.eval(term.args[1])
+        if kind is Kind.IFF:
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if kind is Kind.ITE:
+            return self.eval(term.args[1] if self.eval(term.args[0]) else term.args[2])
+        if kind is Kind.EQ:
+            return self._eval_eq(term.args[0], term.args[1])
+        if kind is Kind.DISTINCT:
+            values = [self._eval_value(a) for a in term.args]
+            return len(set(values)) == len(values)
+        if kind is Kind.LE:
+            return self.eval(term.args[0]) <= self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.LT:
+            return self.eval(term.args[0]) < self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.ADD:
+            return sum(self.eval(a) for a in term.args)  # type: ignore[misc]
+        if kind is Kind.MUL:
+            return self.eval(term.args[0]) * self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.NEG:
+            return -self.eval(term.args[0])  # type: ignore[operator]
+        if kind is Kind.SELECT:
+            return self._eval_select(term.args[0], term.args[1])
+        if kind is Kind.APPLY:
+            return self._eval_apply(term.payload, term.args)  # type: ignore[arg-type]
+        raise SortError(f"cannot evaluate term {term}")
+
+    def _eval_eq(self, left: Term, right: Term) -> bool:
+        if left.sort.is_array:
+            raise SortError("cannot evaluate array equality")
+        return self._eval_value(left) == self._eval_value(right)
+
+    def _eval_value(self, term: Term) -> object:
+        return self.eval(term)
+
+    def _eval_select(self, array: Term, index: Term) -> object:
+        index_value = self.eval(index)
+        while array.kind is Kind.STORE:
+            base, written_index, written_value = array.args
+            if self.eval(written_index) == index_value:
+                return self.eval(written_value)
+            array = base
+        if array.kind is Kind.ITE:
+            cond = self.eval(array.args[0])
+            chosen = array.args[1] if cond else array.args[2]
+            return self._eval_select(chosen, index)
+        if array.kind is not Kind.VAR:
+            raise SortError(f"cannot evaluate select from {array}")
+        decl = self._select_decls.get(array)
+        if decl is None:
+            return 0 if array.sort.elem_sort == INT else False
+        return self._lookup_app(decl, (index_value,))
+
+    def _eval_apply(self, decl: FuncDecl, args: tuple[Term, ...]) -> object:
+        return self._lookup_app(decl, tuple(self.eval(a) for a in args))
+
+    def _lookup_app(self, decl: FuncDecl, arg_values: tuple[object, ...]) -> object:
+        for instance_args, result_var in self._apps.get(decl, []):
+            if tuple(self.eval(a) for a in instance_args) == arg_values:
+                return self.eval(result_var)
+        return 0 if decl.ret_sort == INT else False
+
+    def as_dict(self) -> dict[str, object]:
+        """A name -> value snapshot of all assigned variables."""
+        out: dict[str, object] = {}
+        for term, value in self._bools.items():
+            out[str(term.payload)] = value
+        for term, value in self._ints.items():
+            out[str(term.payload)] = value
+        return out
+
+
+class Solver:
+    """An SMT solver instance with assertion-stack semantics."""
+
+    #: Cap on theory-conflict iterations of the lazy loop per ``check``.
+    max_theory_rounds = 10_000
+
+    def __init__(self, int_budget: int = 4000) -> None:
+        self._assertions: list[Term] = []
+        self._scopes: list[int] = []
+        self._model: Optional[Model] = None
+        self._int_budget = int_budget
+        self.stats = {"checks": 0, "theory_rounds": 0, "sat_conflicts": 0}
+
+    # -- assertion stack -------------------------------------------------------
+
+    def add(self, *assertions: Term) -> None:
+        for a in assertions:
+            if a.sort != BOOL:
+                raise SortError(f"assertions must be boolean, got {a.sort}")
+            self._assertions.append(a)
+
+    def push(self) -> None:
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        del self._assertions[self._scopes.pop() :]
+
+    @property
+    def assertions(self) -> tuple[Term, ...]:
+        return tuple(self._assertions)
+
+    # -- solving ---------------------------------------------------------------
+
+    def check(self, *extra: Term) -> SatResult:
+        """Decide satisfiability of the asserted formulas plus ``extra``."""
+        self.stats["checks"] += 1
+        self._model = None
+        pre = Preprocessor()
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        for assertion in itertools.chain(self._assertions, extra):
+            processed = pre.process(assertion)
+            cnf.add_assertion(processed.goal)
+            for side in processed.side_conditions:
+                cnf.add_assertion(side)
+
+        for _ in range(self.max_theory_rounds):
+            bool_model = sat.solve()
+            self.stats["sat_conflicts"] = sat.num_conflicts
+            if bool_model is None:
+                return SatResult.UNSAT
+            asserted: list[tuple[int, LinAtom]] = []
+            for sat_var, atom in cnf.var_to_atom.items():
+                if not isinstance(atom, LinAtom):
+                    continue
+                value = bool_model[sat_var]
+                literal = sat_var if value else -sat_var
+                asserted.append((literal, atom if value else atom.negate()))
+            try:
+                result = check_integer(
+                    [a for _, a in asserted], budget=self._int_budget
+                )
+            except IntBudgetExceeded:
+                return SatResult.UNKNOWN
+            if result.feasible:
+                self._model = self._build_model(cnf, pre, bool_model, result.model)
+                return SatResult.SAT
+            self.stats["theory_rounds"] += 1
+            core = self._minimize_core(asserted)
+            sat.add_clause([-lit for lit, _ in core])
+        return SatResult.UNKNOWN
+
+    def _minimize_core(
+        self, asserted: list[tuple[int, LinAtom]]
+    ) -> list[tuple[int, LinAtom]]:
+        """Deletion-based minimization of an infeasible atom set."""
+        core = list(asserted)
+        if len(core) > 40:
+            return core  # minimization cost would dominate; block as-is
+        i = 0
+        while i < len(core):
+            candidate = core[:i] + core[i + 1 :]
+            try:
+                result = check_integer(
+                    [a for _, a in candidate], budget=self._int_budget
+                )
+            except IntBudgetExceeded:
+                i += 1
+                continue
+            if result.feasible:
+                i += 1
+            else:
+                core = candidate
+        return core
+
+    def _build_model(
+        self,
+        cnf: CnfBuilder,
+        pre: Preprocessor,
+        bool_model: dict[int, bool],
+        int_model: dict[object, int],
+    ) -> Model:
+        bools: dict[Term, bool] = {}
+        for atom, sat_var in cnf.atom_to_var.items():
+            if isinstance(atom, Term):
+                bools[atom] = bool_model[sat_var]
+        ints: dict[Term, int] = {}
+        for key, value in int_model.items():
+            if isinstance(key, Term):
+                ints[key] = value
+        return Model(bools, ints, dict(pre._applications), dict(pre._select_decls))
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model() is only available after a SAT check")
+        return self._model
+
+
+# ---------------------------------------------------------------------------
+# One-shot helpers
+# ---------------------------------------------------------------------------
+
+
+def is_satisfiable(*formulas: Term, int_budget: int = 4000) -> bool:
+    """True iff the conjunction of ``formulas`` has a model.
+
+    Raises :class:`SolverError` if the solver cannot decide the query.
+    """
+    solver = Solver(int_budget=int_budget)
+    solver.add(*formulas)
+    result = solver.check()
+    if result is SatResult.UNKNOWN:
+        raise SolverError(f"undecided satisfiability query: {list(formulas)}")
+    return result is SatResult.SAT
+
+
+def is_valid(formula: Term, assuming: Iterable[Term] = (), int_budget: int = 4000) -> bool:
+    """True iff ``formula`` holds in every model of ``assuming``.
+
+    This implements the paper's ``exhaustive(g1, ..., gn)`` check: the
+    disjunction of path conditions is a tautology iff its negation is
+    unsatisfiable.
+    """
+    solver = Solver(int_budget=int_budget)
+    solver.add(*assuming)
+    solver.add(not_(formula))
+    result = solver.check()
+    if result is SatResult.UNKNOWN:
+        raise SolverError(f"undecided validity query: {formula}")
+    return result is SatResult.UNSAT

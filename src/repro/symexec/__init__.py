@@ -1,0 +1,68 @@
+"""The off-the-shelf symbolic executor of the paper's Section 3.1.
+
+The executor implements the big-step judgment ``Σ ⊢ ⟨S; e⟩ ⇓ ⟨S'; s⟩``
+(Figures 2 and 3): typed symbolic expressions ``u:τ``, path conditions,
+and a McCarthy-style memory log of writes and allocations with the
+``⊢ m ok`` consistency judgment.
+
+Design choices the paper calls out are configurable
+(:class:`repro.symexec.executor.SymConfig`):
+
+- **fork vs. defer** at conditionals (SEIf-True/False vs. SEIf-Defer);
+- **concrete folding** (SEPlus-Conc style partial evaluation);
+- **eager path pruning** (invoke the solver at forks, as KLEE/EXE do)
+  versus the formalism's check-at-the-end discipline.
+
+Like the paper's executor, it is *independent* of the type checker; the
+MIX driver injects rule SETypBlock through ``typed_block_hook``.
+"""
+
+from repro.symexec.values import (
+    NameSupply,
+    SymClosure,
+    SymEnv,
+    SymValue,
+    UnknownFun,
+)
+from repro.symexec.memory import (
+    MemMerge,
+    MemUpdate,
+    SymMemory,
+    fresh_memory,
+    lower_memory,
+    memory_ok,
+)
+from repro.symexec.executor import (
+    ErrKind,
+    IfStrategy,
+    Outcome,
+    State,
+    SymConfig,
+    SymExecutor,
+)
+from repro.symexec.concolic import ConcolicDriver, ConcolicReport, ConcolicRun
+from repro.symexec.valuation import Valuation
+
+__all__ = [
+    "ConcolicDriver",
+    "ConcolicReport",
+    "ConcolicRun",
+    "Valuation",
+    "ErrKind",
+    "IfStrategy",
+    "MemMerge",
+    "MemUpdate",
+    "NameSupply",
+    "Outcome",
+    "State",
+    "SymClosure",
+    "SymConfig",
+    "SymEnv",
+    "SymExecutor",
+    "SymMemory",
+    "SymValue",
+    "UnknownFun",
+    "fresh_memory",
+    "lower_memory",
+    "memory_ok",
+]

@@ -1,0 +1,731 @@
+"""The symbolic execution rules of Figures 2 and 3.
+
+Evaluation implements ``Σ ⊢ ⟨S; e⟩ ⇓ ⟨S'; s⟩`` as a generator of
+*outcomes*: each outcome is one execution path's final state paired with
+either a typed symbolic value or an error.  Errors come in three kinds:
+
+- ``TYPE_ERROR`` — the rules of Figure 2 have no derivation (e.g. ``+``
+  applied to a boolean): "these rules form a symbolic execution engine
+  that does very precise dynamic type checking";
+- ``UNSUPPORTED`` — execution is beyond the engine (nonlinear
+  arithmetic, applying an unknown function, storing a closure in
+  memory), the situations Section 2's "Helping Symbolic Execution"
+  suggests wrapping in typed blocks;
+- ``LOOP_BOUND`` — a ``while`` exceeded the unroll budget, the loop
+  analog of the same idiom.
+
+A state ``S = ⟨g; m⟩`` carries the path condition ``g`` and memory ``m``
+(Figure 1), plus ``defs``: definitional side constraints introduced for
+fresh variables (e.g. the quotient axioms of a division).  Definitions
+are kept out of the path condition so that the mix rule's
+``exhaustive(g1, ..., gn)`` tautology check quantifies over program
+inputs only; they are supplied as assumptions instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, unique
+from typing import Callable, Iterator, Optional
+
+from repro import smt
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.symexec import memory as mem
+from repro.symexec.values import (
+    NameSupply,
+    SymClosure,
+    SymEnv,
+    SymValue,
+    UnknownFun,
+    bool_value,
+    fun_value,
+    int_value,
+    str_value,
+    unit_value,
+)
+from repro.typecheck.types import BOOL, FunType, INT, RefType, STR, Type, UNIT
+
+
+@unique
+class IfStrategy(Enum):
+    """The deferral-versus-execution design choice at conditionals."""
+
+    FORK = "fork"  # SEIf-True / SEIf-False (DART/KLEE style)
+    DEFER = "defer"  # SEIf-Defer (push the disjunction to the solver)
+
+
+@unique
+class ErrKind(Enum):
+    TYPE_ERROR = "type error"
+    UNSUPPORTED = "unsupported"
+    LOOP_BOUND = "loop bound exceeded"
+
+
+@dataclass(frozen=True)
+class State:
+    """``S = ⟨g; m⟩`` plus definitional constraints (see module doc).
+
+    ``decisions`` records the individual branch choices in order; the
+    guard is their conjunction.  Plain symbolic execution leaves it empty
+    — only the concolic driver (:mod:`repro.symexec.concolic`) populates
+    it, to know what to negate.
+    """
+
+    guard: smt.Term
+    memory: mem.SymMemory
+    defs: tuple[smt.Term, ...] = ()
+    decisions: tuple[smt.Term, ...] = ()
+
+    def with_guard(self, guard: smt.Term) -> "State":
+        return replace(self, guard=guard)
+
+    def and_guard(self, conjunct: smt.Term) -> "State":
+        return replace(self, guard=smt.and_(self.guard, conjunct))
+
+    def with_memory(self, memory: mem.SymMemory) -> "State":
+        return replace(self, memory=memory)
+
+    def add_defs(self, *constraints: smt.Term) -> "State":
+        return replace(self, defs=self.defs + constraints)
+
+    def condition(self) -> smt.Term:
+        """Path condition including definitions — feasibility queries."""
+        return smt.and_(self.guard, *self.defs)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One path's result: a value (ok) or an error description."""
+
+    state: State
+    value: Optional[SymValue] = None
+    error: Optional[str] = None
+    kind: Optional[ErrKind] = None
+    pos: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SymConfig:
+    """Tunable design choices (each an ablation axis; see DESIGN.md)."""
+
+    if_strategy: IfStrategy = IfStrategy.FORK
+    #: fold operations on concrete operands (SEPlus-Conc / partial evaluation)
+    concrete_folding: bool = True
+    #: invoke the solver at forks to prune infeasible paths (KLEE/EXE
+    #: style); off = the formalism's explore-then-discard discipline
+    prune_infeasible: bool = True
+    #: unroll budget for ``while`` (the formalism has no loops)
+    max_loop_unroll: int = 64
+    #: solver-validated location equality in the ⊢ m ok judgment
+    semantic_overwrite: bool = False
+    #: check ``⊢ m ok`` at each dereference, as rule SEDeref requires
+    check_mem_ok_on_deref: bool = True
+    #: the paper's nondeterministic SEVar variant: reading an integer
+    #: variable returns an arbitrary concrete value v and records
+    #: ``Σ(x) = v`` in the path condition — "a style that resembles
+    #: hybrid concolic testing".  Under-approximating: pair it with
+    #: SoundnessMode.GOOD_ENOUGH.
+    concretize_variables: bool = False
+
+
+# Hook type for rule SETypBlock, installed by the MIX driver:
+# (Σ, S, block) -> iterator of outcomes (normally exactly one).
+TypedBlockHook = Callable[[SymEnv, State, TypedBlock], Iterator[Outcome]]
+
+
+class SymExecutor:
+    """The symbolic execution engine."""
+
+    def __init__(
+        self,
+        config: Optional[SymConfig] = None,
+        names: Optional[NameSupply] = None,
+        typed_block_hook: Optional[TypedBlockHook] = None,
+    ) -> None:
+        self.config = config or SymConfig()
+        self.names = names or NameSupply()
+        self.typed_block_hook = typed_block_hook
+        self.stats = {
+            "forks": 0,
+            "paths_pruned": 0,
+            "solver_calls": 0,
+            "deref_checks": 0,
+            "merges": 0,
+        }
+
+    # -- public API --------------------------------------------------------------
+
+    def initial_state(self) -> State:
+        return State(smt.true(), mem.fresh_memory(self.names))
+
+    def execute(
+        self, expr: Expr, env: Optional[SymEnv] = None, state: Optional[State] = None
+    ) -> Iterator[Outcome]:
+        """All execution paths of ``expr`` from the given Σ and S."""
+        yield from self._eval(expr, env or SymEnv(), state or self.initial_state())
+
+    def execute_all(
+        self, expr: Expr, env: Optional[SymEnv] = None, state: Optional[State] = None
+    ) -> list[Outcome]:
+        return list(self.execute(expr, env, state))
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _ok(self, state: State, value: SymValue) -> Iterator[Outcome]:
+        yield Outcome(state, value=value)
+
+    def _err(
+        self, state: State, kind: ErrKind, message: str, expr: Optional[Expr] = None
+    ) -> Iterator[Outcome]:
+        pos = getattr(expr, "pos", None) if expr is not None else None
+        yield Outcome(state, error=message, kind=kind, pos=pos)
+
+    def _bind(
+        self,
+        outcomes: Iterator[Outcome],
+        fn: Callable[[State, SymValue], Iterator[Outcome]],
+    ) -> Iterator[Outcome]:
+        """Sequence computation across every ok path; pass errors through."""
+        for out in outcomes:
+            if not out.ok:
+                yield out
+            else:
+                assert out.value is not None
+                yield from fn(out.state, out.value)
+
+    def _concretize_var(self, state: State, value: SymValue) -> Iterator[Outcome]:
+        """Nondeterministic SEVar: pick a model value and pin it."""
+        assert value.term is not None
+        solver = smt.Solver()
+        solver.add(state.condition())
+        self.stats["solver_calls"] += 1
+        try:
+            result = solver.check()
+        except smt.SortError:
+            result = None
+        if result is not smt.SatResult.SAT:
+            yield from self._ok(state, value)  # dead or undecided: no-op
+            return
+        concrete = solver.model().eval(value.term)
+        assert isinstance(concrete, int)
+        pinned = smt.eq(value.term, smt.int_const(concrete))
+        yield from self._ok(state.and_guard(pinned), int_value(concrete))
+
+    def _fold(self, term: smt.Term) -> smt.Term:
+        if self.config.concrete_folding:
+            from repro.smt.simplify import simplify
+
+            return simplify(term)
+        return term
+
+    def _feasible(self, state: State) -> bool:
+        """Ask the solver whether the path is worth continuing."""
+        self.stats["solver_calls"] += 1
+        try:
+            return smt.is_satisfiable(state.condition())
+        except smt.SolverError:
+            return True  # undecided — keep the path (sound)
+
+    # -- the rules -----------------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: SymEnv, state: State) -> Iterator[Outcome]:
+        if isinstance(expr, Var):  # SEVar
+            value = env.lookup(expr.name)
+            if value is None:
+                yield from self._err(
+                    state, ErrKind.TYPE_ERROR, f"unbound variable {expr.name}", expr
+                )
+            elif (
+                self.config.concretize_variables
+                and value.typ == INT
+                and value.term is not None
+                and not value.term.is_const
+            ):
+                yield from self._concretize_var(state, value)
+            else:
+                yield from self._ok(state, value)
+        elif isinstance(expr, IntLit):  # SEVal with typeof(n) = int
+            yield from self._ok(state, int_value(expr.value))
+        elif isinstance(expr, BoolLit):
+            yield from self._ok(state, bool_value(expr.value))
+        elif isinstance(expr, StrLit):
+            yield from self._ok(state, str_value(expr.value))
+        elif isinstance(expr, UnitLit):
+            yield from self._ok(state, unit_value())
+        elif isinstance(expr, BinOp):
+            yield from self._eval_binop(expr, env, state)
+        elif isinstance(expr, Not):  # SENot
+            def negate(s: State, v: SymValue) -> Iterator[Outcome]:
+                if v.typ != BOOL:
+                    return self._err(
+                        s, ErrKind.TYPE_ERROR, f"'not' applied to {v.typ}", expr
+                    )
+                assert v.term is not None
+                return self._ok(s, SymValue(BOOL, self._fold(smt.not_(v.term))))
+
+            yield from self._bind(self._eval(expr.operand, env, state), negate)
+        elif isinstance(expr, If):
+            yield from self._eval_if(expr, env, state)
+        elif isinstance(expr, Let):  # SELet
+            yield from self._eval_let(expr, env, state)
+        elif isinstance(expr, Seq):
+            yield from self._bind(
+                self._eval(expr.first, env, state),
+                lambda s, _v: self._eval(expr.second, env, s),
+            )
+        elif isinstance(expr, Ref):  # SERef
+            yield from self._eval_ref(expr, env, state)
+        elif isinstance(expr, Deref):  # SEDeref
+            yield from self._eval_deref(expr, env, state)
+        elif isinstance(expr, Assign):  # SEAssign
+            yield from self._eval_assign(expr, env, state)
+        elif isinstance(expr, While):
+            yield from self._eval_while(expr, env, state)
+        elif isinstance(expr, Fun):
+            typ = FunType(expr.param_type, _body_type_unknown())
+            closure = SymClosure(expr.param, expr.body, env)
+            yield from self._ok(state, fun_value(closure, typ))
+        elif isinstance(expr, App):
+            yield from self._eval_app(expr, env, state)
+        elif isinstance(expr, TypedBlock):  # SETypBlock — via the MIX hook
+            if self.typed_block_hook is None:
+                yield from self._err(
+                    state,
+                    ErrKind.UNSUPPORTED,
+                    "typed block encountered but no type checker is attached "
+                    "(run under MIX)",
+                    expr,
+                )
+            else:
+                yield from self.typed_block_hook(env, state, expr)
+        elif isinstance(expr, SymBlock):
+            # Symbolic-in-symbolic passes through (trivial, as the paper notes).
+            yield from self._eval(expr.body, env, state)
+        else:
+            yield from self._err(
+                state, ErrKind.UNSUPPORTED, f"unknown node {type(expr).__name__}", expr
+            )
+
+    # -- operators ---------------------------------------------------------------
+
+    def _eval_binop(self, expr: BinOp, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def with_left(s1: State, left: SymValue) -> Iterator[Outcome]:
+            def with_right(s2: State, right: SymValue) -> Iterator[Outcome]:
+                return self._apply_binop(expr, s2, left, right)
+
+            return self._bind(self._eval(expr.right, env, s1), with_right)
+
+        yield from self._bind(self._eval(expr.left, env, state), with_left)
+
+    def _apply_binop(
+        self, expr: BinOp, state: State, left: SymValue, right: SymValue
+    ) -> Iterator[Outcome]:
+        op = expr.op
+        if op in (BinOpKind.AND, BinOpKind.OR):  # SEAnd (and its 'or' dual)
+            if left.typ != BOOL or right.typ != BOOL:
+                return self._err(
+                    state,
+                    ErrKind.TYPE_ERROR,
+                    f"'{op.value}' applied to {left.typ} and {right.typ}",
+                    expr,
+                )
+            assert left.term is not None and right.term is not None
+            build = smt.and_ if op is BinOpKind.AND else smt.or_
+            return self._ok(state, SymValue(BOOL, self._fold(build(left.term, right.term))))
+        if op is BinOpKind.EQ:  # SEEq
+            return self._apply_equality(expr, state, left, right)
+        if op in (BinOpKind.LT, BinOpKind.LE):
+            if left.typ != INT or right.typ != INT:
+                return self._err(
+                    state,
+                    ErrKind.TYPE_ERROR,
+                    f"'{op.value}' applied to {left.typ} and {right.typ}",
+                    expr,
+                )
+            assert left.term is not None and right.term is not None
+            build = smt.lt if op is BinOpKind.LT else smt.le
+            return self._ok(state, SymValue(BOOL, self._fold(build(left.term, right.term))))
+        # Arithmetic: SEPlus and friends.
+        if left.typ != INT or right.typ != INT:
+            return self._err(
+                state,
+                ErrKind.TYPE_ERROR,
+                f"'{op.value}' applied to {left.typ} and {right.typ}",
+                expr,
+            )
+        assert left.term is not None and right.term is not None
+        if op is BinOpKind.ADD:
+            return self._ok(state, int_value(self._fold(smt.add(left.term, right.term))))
+        if op is BinOpKind.SUB:
+            return self._ok(state, int_value(self._fold(smt.sub(left.term, right.term))))
+        if op is BinOpKind.MUL:
+            return self._apply_mul(expr, state, left.term, right.term)
+        if op is BinOpKind.DIV:
+            return self._apply_div(expr, state, left.term, right.term)
+        raise AssertionError(f"unhandled operator {op}")
+
+    def _apply_equality(
+        self, expr: BinOp, state: State, left: SymValue, right: SymValue
+    ) -> Iterator[Outcome]:
+        if isinstance(left.typ, FunType) or isinstance(right.typ, FunType):
+            return self._err(
+                state, ErrKind.TYPE_ERROR, "'=' applied to function values", expr
+            )
+        if left.typ != right.typ:
+            return self._err(
+                state,
+                ErrKind.TYPE_ERROR,
+                f"'=' compares {left.typ} with {right.typ}",
+                expr,
+            )
+        assert left.term is not None and right.term is not None
+        return self._ok(state, SymValue(BOOL, self._fold(smt.eq(left.term, right.term))))
+
+    def _apply_mul(
+        self, expr: BinOp, state: State, left: smt.Term, right: smt.Term
+    ) -> Iterator[Outcome]:
+        left = self._fold(left)
+        right = self._fold(right)
+        if not (left.is_const or right.is_const):
+            # Beyond the solver's linear fragment: the "helping symbolic
+            # execution" situation — wrap the operation in a typed block.
+            return self._err(
+                state,
+                ErrKind.UNSUPPORTED,
+                "nonlinear multiplication of two symbolic integers",
+                expr,
+            )
+        return self._ok(state, int_value(self._fold(smt.mul(left, right))))
+
+    def _apply_div(
+        self, expr: BinOp, state: State, dividend: smt.Term, divisor: smt.Term
+    ) -> Iterator[Outcome]:
+        dividend = self._fold(dividend)
+        divisor = self._fold(divisor)
+        if not divisor.is_const:
+            return self._err(
+                state,
+                ErrKind.UNSUPPORTED,
+                "division by a symbolic integer",
+                expr,
+            )
+        c = divisor.payload
+        assert isinstance(c, int)
+        if c == 0:
+            # The language's division is total: x / 0 = 0.
+            return self._ok(state, int_value(smt.int_const(0)))
+        from repro.smt.encodings import encode_trunc_div, trunc_div_constant
+
+        if dividend.is_const:
+            a = dividend.payload
+            assert isinstance(a, int)
+            return self._ok(state, int_value(smt.int_const(trunc_div_constant(a, c))))
+        # Truncating division by a constant: introduce the quotient as a
+        # fresh variable pinned by a definitional constraint.
+        quotient = self.names.fresh_int("q")
+        definition = encode_trunc_div(dividend, c, quotient)
+        return self._ok(state.add_defs(definition), int_value(quotient))
+
+    # -- control -----------------------------------------------------------------
+
+    def _eval_if(self, expr: If, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def with_cond(s1: State, cond: SymValue) -> Iterator[Outcome]:
+            if cond.typ != BOOL:
+                return self._err(
+                    s1, ErrKind.TYPE_ERROR, f"'if' condition has type {cond.typ}", expr
+                )
+            assert cond.term is not None
+            guard = self._fold(cond.term)
+            if guard.is_true:  # concrete folding took the branch
+                return self._eval(expr.then, env, s1)
+            if guard.is_false:
+                return self._eval(expr.els, env, s1)
+            if self.config.if_strategy is IfStrategy.DEFER:
+                return self._defer_if(expr, env, s1, guard)
+            return self._fork_if(expr, env, s1, guard)
+
+        yield from self._bind(self._eval(expr.cond, env, state), with_cond)
+
+    def _fork_if(
+        self, expr: If, env: SymEnv, state: State, guard: smt.Term
+    ) -> Iterator[Outcome]:
+        """SEIf-True and SEIf-False: explore both extensions of g."""
+        self.stats["forks"] += 1
+        for branch, extension in ((expr.then, guard), (expr.els, smt.not_(guard))):
+            branch_state = state.and_guard(extension)
+            if self.config.prune_infeasible and not self._feasible(branch_state):
+                self.stats["paths_pruned"] += 1
+                continue
+            yield from self._eval(branch, env, branch_state)
+
+    def _defer_if(
+        self, expr: If, env: SymEnv, state: State, guard: smt.Term
+    ) -> Iterator[Outcome]:
+        """SEIf-Defer: one outcome with an ite value and merged memory.
+
+        The rule as stated requires a single execution per branch and
+        branches of equal type; when a branch itself forks (or errs) we
+        degrade gracefully to forking semantics for this conditional.
+        """
+        then_outs = list(self._eval(expr.then, env, state.and_guard(guard)))
+        else_outs = list(self._eval(expr.els, env, state.and_guard(smt.not_(guard))))
+        mergeable = (
+            len(then_outs) == 1
+            and len(else_outs) == 1
+            and then_outs[0].ok
+            and else_outs[0].ok
+        )
+        if mergeable:
+            t, e = then_outs[0], else_outs[0]
+            assert t.value is not None and e.value is not None
+            if t.value.typ == e.value.typ and t.value.term is not None:
+                assert e.value.term is not None
+                self.stats["merges"] += 1
+                merged_value = SymValue(
+                    t.value.typ, self._fold(smt.ite(guard, t.value.term, e.value.term))
+                )
+                merged_state = State(
+                    guard=self._fold(smt.ite(guard, t.state.guard, e.state.guard)),
+                    memory=mem.MemMerge(guard, t.state.memory, e.state.memory),
+                    defs=_merge_defs(state.defs, t.state.defs, e.state.defs),
+                )
+                yield Outcome(merged_state, value=merged_value)
+                return
+            yield from self._err(
+                state,
+                ErrKind.TYPE_ERROR,
+                f"deferred 'if' branches disagree: {t.value.typ} vs {e.value.typ}",
+                expr,
+            )
+            return
+        self.stats["forks"] += 1
+        yield from then_outs
+        yield from else_outs
+
+    def _eval_let(self, expr: Let, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def bind_body(s1: State, bound: SymValue) -> Iterator[Outcome]:
+            if (
+                expr.annotation is not None
+                and not isinstance(bound.typ, FunType)  # closure results are latent
+                and bound.typ != expr.annotation
+            ):
+                return self._err(
+                    state,
+                    ErrKind.TYPE_ERROR,
+                    f"let annotation {expr.annotation} does not match {bound.typ}",
+                    expr,
+                )
+            return self._eval(expr.body, env.extend(expr.name, bound), s1)
+
+        yield from self._bind(self._eval(expr.bound, env, state), bind_body)
+
+    def _eval_while(self, expr: While, env: SymEnv, state: State) -> Iterator[Outcome]:
+        yield from self._unroll(expr, env, state, self.config.max_loop_unroll)
+
+    def _unroll(
+        self, expr: While, env: SymEnv, state: State, remaining: int
+    ) -> Iterator[Outcome]:
+        def with_cond(s1: State, cond: SymValue) -> Iterator[Outcome]:
+            if cond.typ != BOOL:
+                return self._err(
+                    s1,
+                    ErrKind.TYPE_ERROR,
+                    f"'while' condition has type {cond.typ}",
+                    expr,
+                )
+            assert cond.term is not None
+            guard = self._fold(cond.term)
+            return self._unroll_branches(expr, env, s1, guard, remaining)
+
+        yield from self._bind(self._eval(expr.cond, env, state), with_cond)
+
+    def _unroll_branches(
+        self, expr: While, env: SymEnv, state: State, guard: smt.Term, remaining: int
+    ) -> Iterator[Outcome]:
+        # Exit path.
+        if not guard.is_true:
+            exit_state = state.and_guard(self._fold(smt.not_(guard)))
+            if (
+                guard.is_false
+                or not self.config.prune_infeasible
+                or self._feasible(exit_state)
+            ):
+                yield Outcome(exit_state, value=unit_value())
+            elif self.config.prune_infeasible:
+                self.stats["paths_pruned"] += 1
+        # Continue path.
+        if not guard.is_false:
+            enter_state = state if guard.is_true else state.and_guard(guard)
+            if (
+                not guard.is_true
+                and self.config.prune_infeasible
+                and not self._feasible(enter_state)
+            ):
+                self.stats["paths_pruned"] += 1
+                return
+            if remaining <= 0:
+                yield Outcome(
+                    enter_state,
+                    error=(
+                        "loop exceeded the unroll budget — symbolic execution "
+                        "would not terminate; wrap the loop in a typed block"
+                    ),
+                    kind=ErrKind.LOOP_BOUND,
+                    pos=expr.pos,
+                )
+                return
+            yield from self._bind(
+                self._eval(expr.body, env, enter_state),
+                lambda s, _v: self._unroll(expr, env, s, remaining - 1),
+            )
+
+    # -- references ----------------------------------------------------------------
+
+    def _eval_ref(self, expr: Ref, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def alloc(s1: State, init: SymValue) -> Iterator[Outcome]:
+            if isinstance(init.typ, FunType):
+                return self._err(
+                    s1,
+                    ErrKind.UNSUPPORTED,
+                    "storing a function value in symbolic memory",
+                    expr,
+                )
+            address = int(self.names.fresh("loc").split("!")[1])
+            loc = SymValue(RefType(init.typ), smt.int_const(address))
+            return self._ok(s1.with_memory(mem.allocate(s1.memory, loc, init)), loc)
+
+        yield from self._bind(self._eval(expr.init, env, state), alloc)
+
+    def _eval_deref(self, expr: Deref, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def deref(s1: State, target: SymValue) -> Iterator[Outcome]:
+            if not isinstance(target.typ, RefType):
+                return self._err(
+                    s1, ErrKind.TYPE_ERROR, f"dereference of {target.typ}", expr
+                )
+            if isinstance(target.typ.elem, FunType):
+                return self._err(
+                    s1,
+                    ErrKind.UNSUPPORTED,
+                    "reading a function value from symbolic memory",
+                    expr,
+                )
+            if self.config.check_mem_ok_on_deref:
+                self.stats["deref_checks"] += 1
+                if not mem.memory_ok(
+                    s1.memory, s1.condition(), self.config.semantic_overwrite
+                ):
+                    return self._err(
+                        s1,
+                        ErrKind.TYPE_ERROR,
+                        "memory is not consistently typed at this dereference "
+                        "(an ill-typed write persists: ⊢ m ok fails)",
+                        expr,
+                    )
+            value = mem.read(s1.memory, target)
+            value = SymValue(value.typ, self._fold(value.term)) if value.term else value
+            return self._ok(s1, value)
+
+        yield from self._bind(self._eval(expr.ref, env, state), deref)
+
+    def _eval_assign(self, expr: Assign, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def with_target(s1: State, target: SymValue) -> Iterator[Outcome]:
+            if not isinstance(target.typ, RefType):
+                return self._err(
+                    s1, ErrKind.TYPE_ERROR, f"assignment through {target.typ}", expr
+                )
+
+            def with_value(s2: State, value: SymValue) -> Iterator[Outcome]:
+                if isinstance(value.typ, FunType):
+                    return self._err(
+                        s2,
+                        ErrKind.UNSUPPORTED,
+                        "storing a function value in symbolic memory",
+                        expr,
+                    )
+                # SEAssign: the write is logged unconditionally — even if it
+                # violates the pointer's type annotation.  ⊢ m ok decides
+                # later whether the violation persists.
+                written = mem.write(s2.memory, target, value)
+                return self._ok(s2.with_memory(written), value)
+
+            return self._bind(self._eval(expr.value, env, s1), with_value)
+
+        yield from self._bind(self._eval(expr.target, env, state), with_target)
+
+    # -- functions -------------------------------------------------------------------
+
+    def _eval_app(self, expr: App, env: SymEnv, state: State) -> Iterator[Outcome]:
+        def with_fn(s1: State, fn: SymValue) -> Iterator[Outcome]:
+            def with_arg(s2: State, arg: SymValue) -> Iterator[Outcome]:
+                if isinstance(fn.fun, SymClosure):
+                    closure = fn.fun
+                    callee_env = closure.env.extend(closure.param, arg)
+                    return self._eval(closure.body, callee_env, s2)
+                if isinstance(fn.fun, UnknownFun):
+                    return self._err(
+                        s2,
+                        ErrKind.UNSUPPORTED,
+                        "call to an unknown function (no source available); "
+                        "wrap the call in a typed block",
+                        expr,
+                    )
+                return self._err(
+                    s2, ErrKind.TYPE_ERROR, f"application of {fn.typ}", expr
+                )
+
+            return self._bind(self._eval(expr.arg, env, s1), with_arg)
+
+        yield from self._bind(self._eval(expr.fn, env, state), with_fn)
+
+
+class _UnknownResult(Type):
+    """Placeholder result type for closures: the executor types a function
+    by *running* it at its call sites, so a closure's result type is not
+    known until application (the context-sensitivity the paper exploits in
+    the ``div`` example)."""
+
+    def __str__(self) -> str:  # pragma: no cover - debug only
+        return "?"
+
+
+_UNKNOWN_RESULT = _UnknownResult()
+
+
+def _body_type_unknown() -> Type:
+    return _UNKNOWN_RESULT
+
+
+def _merge_defs(
+    base: tuple[smt.Term, ...], then_defs: tuple[smt.Term, ...], else_defs: tuple[smt.Term, ...]
+) -> tuple[smt.Term, ...]:
+    merged = list(base)
+    for extra in (then_defs, else_defs):
+        for term in extra:
+            if term not in merged:
+                merged.append(term)
+    return tuple(merged)

@@ -1,0 +1,182 @@
+"""Symbolic memories: the McCarthy-style log of Figure 3.
+
+A memory is, as in the paper's grammar::
+
+    m ::= μ                 arbitrary well-typed base memory
+        | m, (s -> s')      write log entry
+        | m, (s -a-> s')    allocation log entry
+
+plus one extension, :class:`MemMerge`, the conditional memory
+``g ? m1 : m2`` needed by the SEIf-Defer rule the paper discusses under
+"Deferral Versus Execution".
+
+Memories are persistent (each update shares its parent), so forked paths
+share their common prefix.  ``lower_memory`` converts a memory to an SMT
+array term — allocations and writes both lower to ``store``; the
+distinction matters only to the ``⊢ m ok`` judgment.
+
+``memory_ok`` implements the judgment of Figure 3: a memory is consistent
+iff every write it retains is well-typed, where a well-typed write to a
+syntactically identical location *overwrites* (erases) earlier ill-typed
+writes to it (rule Overwrite-OK).  With ``semantic_overwrite`` the
+syntactic location equality ``≡`` is strengthened to solver-validated
+equality under the current path condition, the refinement the paper
+mentions ("in practice we could query a solver to validate such an
+equality given the current path condition").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro import smt
+from repro.symexec.values import NameSupply, SymValue, to_memory_int
+from repro.typecheck.types import RefType
+
+MEMORY_SORT = smt.array_sort(smt.INT, smt.INT)
+
+
+@dataclass(frozen=True)
+class MemBase:
+    """μ — an arbitrary, well-typed, unknown memory."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MemUpdate:
+    """A logged write ``(loc -> value)`` or allocation ``(loc -a-> value)``."""
+
+    parent: "SymMemory"
+    loc: SymValue
+    value: SymValue
+    is_alloc: bool
+
+
+@dataclass(frozen=True)
+class MemMerge:
+    """``g ? then_mem : else_mem`` — conditional memory (SEIf-Defer)."""
+
+    guard: smt.Term
+    then_mem: "SymMemory"
+    else_mem: "SymMemory"
+
+
+SymMemory = Union[MemBase, MemUpdate, MemMerge]
+
+
+def fresh_memory(names: NameSupply) -> SymMemory:
+    """A fresh μ, used at symbolic-block entry and after typed blocks."""
+    return MemBase(names.fresh("mu"))
+
+
+def write(memory: SymMemory, loc: SymValue, value: SymValue) -> SymMemory:
+    """SEAssign's memory effect.  Note the paper's point: the write is
+    *logged even if ill-typed* — symbolic execution permits temporary
+    type-invariant violations that a type system could not."""
+    return MemUpdate(memory, loc, value, is_alloc=False)
+
+
+def allocate(memory: SymMemory, loc: SymValue, value: SymValue) -> SymMemory:
+    """SERef's memory effect."""
+    return MemUpdate(memory, loc, value, is_alloc=True)
+
+
+def lower_memory(memory: SymMemory) -> smt.Term:
+    """The SMT array denoting ``memory`` (booleans stored as 0/1)."""
+    if isinstance(memory, MemBase):
+        return smt.var(memory.name, MEMORY_SORT)
+    if isinstance(memory, MemUpdate):
+        parent = lower_memory(memory.parent)
+        loc = memory.loc.term
+        assert loc is not None
+        return smt.store(parent, loc, to_memory_int(memory.value))
+    return smt.ite(
+        memory.guard, lower_memory(memory.then_mem), lower_memory(memory.else_mem)
+    )
+
+
+def read(memory: SymMemory, loc: SymValue) -> SymValue:
+    """SEDeref's value: the typed symbolic expression ``m[u:τ ref]:τ``.
+
+    The *type* of the result comes from the pointer's annotation — the
+    reason the executor needs ``⊢ m ok`` before trusting it.
+    """
+    from repro.symexec.values import from_memory_int
+
+    if not isinstance(loc.typ, RefType):
+        raise ValueError(f"read through non-reference value {loc}")
+    assert loc.term is not None
+    selected = smt.select(lower_memory(memory), loc.term)
+    return from_memory_int(selected, loc.typ.elem)
+
+
+# ---------------------------------------------------------------------------
+# The ⊢ m ok judgment
+# ---------------------------------------------------------------------------
+
+
+def memory_ok(
+    memory: SymMemory,
+    path_condition: Optional[smt.Term] = None,
+    semantic_overwrite: bool = False,
+) -> bool:
+    """Decide ``⊢ m ok``: no ill-typed write persists in the log."""
+    return not _inconsistent_writes(memory, path_condition, semantic_overwrite)
+
+
+def _inconsistent_writes(
+    memory: SymMemory,
+    path_condition: Optional[smt.Term],
+    semantic_overwrite: bool,
+) -> list[MemUpdate]:
+    """The set ``U`` of ``⊢ m ok U`` for the *whole* log, oldest-first."""
+    if isinstance(memory, MemBase):
+        return []  # Empty-OK
+    if isinstance(memory, MemMerge):
+        # Extension: a conditional memory is consistent iff both arms are.
+        return _inconsistent_writes(
+            memory.then_mem, path_condition, semantic_overwrite
+        ) + _inconsistent_writes(memory.else_mem, path_condition, semantic_overwrite)
+    inconsistent = _inconsistent_writes(
+        memory.parent, path_condition, semantic_overwrite
+    )
+    if memory.is_alloc:
+        return inconsistent  # Alloc-OK: allocations are well-typed by SERef
+    if _well_typed_write(memory):
+        # Overwrite-OK: this write erases earlier bad writes to ≡ locations.
+        return [
+            entry
+            for entry in inconsistent
+            if not _locations_equal(
+                entry.loc, memory.loc, path_condition, semantic_overwrite
+            )
+        ]
+    # Arbitrary-NotOK: remember this write as potentially inconsistent.
+    return inconsistent + [memory]
+
+
+def _well_typed_write(entry: MemUpdate) -> bool:
+    loc_type = entry.loc.typ
+    return isinstance(loc_type, RefType) and entry.value.typ == loc_type.elem
+
+
+def _locations_equal(
+    a: SymValue,
+    b: SymValue,
+    path_condition: Optional[smt.Term],
+    semantic_overwrite: bool,
+) -> bool:
+    assert a.term is not None and b.term is not None
+    if a.term is b.term:  # syntactic ≡ — hash-consing makes this exact
+        return True
+    if not semantic_overwrite:
+        return False
+    # Solver-validated equality: the locations are equal in every model of
+    # the path condition.
+    assumptions = [path_condition] if path_condition is not None else []
+    try:
+        return smt.is_valid(smt.eq(a.term, b.term), assuming=assumptions)
+    except smt.SolverError:
+        return False  # undecided — conservatively not equal

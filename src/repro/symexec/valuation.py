@@ -1,0 +1,175 @@
+"""Valuations: the semantic bridge of the soundness proof (paper §3.3).
+
+A *valuation* V maps symbolic variables α to concrete values (and base
+memories μ to concrete memories); ``[[s]]^V`` denotes a symbolic
+expression under V.  Theorem 1's symbolic half says: if a concrete run
+and a symbolic execution start in related states and the final path
+condition holds under V (``[[g(S')]]^V``), then ``[[s]]^V`` is the
+concrete result.
+
+This module makes those notions executable so the property can be
+*tested*: :class:`Valuation` evaluates lowered SMT terms under concrete
+bindings, :func:`matching_outcomes` selects the execution paths whose
+guards a concrete input satisfies (there must be at least one, by
+exhaustiveness — Corollary 1.1), and
+:func:`check_outcome_abstracts` verifies ``[[s]]^V = v``.
+
+Scope: the executable relations cover the reference-free fragment
+(integers, booleans, strings); reference-carrying programs are validated
+end-to-end by the differential suite instead, because relating concrete
+locations to symbolic addresses needs the Λ₀·V·Λ machinery of the
+appendix proof rather than a plain substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro import smt
+from repro.smt.terms import Kind, Term
+from repro.symexec.executor import Outcome
+from repro.symexec.values import SymValue, string_code
+from repro.typecheck.types import BOOL, INT, STR, Type, UNIT
+
+ConcreteValue = Union[int, bool, str, None]
+
+
+class ValuationError(Exception):
+    """The term mentions a symbol the valuation does not bind."""
+
+
+@dataclass
+class Valuation:
+    """V: symbolic variable names -> concrete values."""
+
+    bindings: dict[str, ConcreteValue] = field(default_factory=dict)
+
+    @classmethod
+    def from_inputs(
+        cls, sym_env, concrete_env: Mapping[str, ConcreteValue]
+    ) -> "Valuation":
+        """Bind each input's fresh α to the concrete input value.
+
+        This constructs the V of the soundness statement from a pair of
+        related environments (``[[Σ]]^V = E`` by construction).
+        ``sym_env`` is a :class:`repro.symexec.values.SymEnv` or a plain
+        mapping of names to :class:`SymValue`.
+        """
+        bindings: dict[str, ConcreteValue] = {}
+        for name in concrete_env:
+            if isinstance(sym_env, dict):
+                sym_value = sym_env.get(name)
+            else:
+                sym_value = sym_env.lookup(name)
+            if sym_value is None or sym_value.term is None:
+                continue
+            term = sym_value.term
+            if term.kind is Kind.VAR:
+                bindings[str(term.payload)] = concrete_env[name]
+        return cls(bindings)
+
+    def eval(self, term: Term) -> Union[int, bool]:
+        """``[[u]]^V`` for a lowered term (ints; strings as codes)."""
+        kind = term.kind
+        if kind in (Kind.CONST_BOOL, Kind.CONST_INT):
+            return term.payload  # type: ignore[return-value]
+        if kind is Kind.VAR:
+            name = str(term.payload)
+            if name not in self.bindings:
+                raise ValuationError(f"unbound symbolic variable {name}")
+            value = self.bindings[name]
+            if isinstance(value, str):
+                return string_code(value)
+            if value is None:
+                return 0
+            return value
+        if kind is Kind.NOT:
+            return not self.eval(term.args[0])
+        if kind is Kind.AND:
+            return all(self.eval(a) for a in term.args)
+        if kind is Kind.OR:
+            return any(self.eval(a) for a in term.args)
+        if kind is Kind.IMPLIES:
+            return (not self.eval(term.args[0])) or bool(self.eval(term.args[1]))
+        if kind is Kind.IFF:
+            return bool(self.eval(term.args[0])) == bool(self.eval(term.args[1]))
+        if kind is Kind.ITE:
+            chosen = term.args[1] if self.eval(term.args[0]) else term.args[2]
+            return self.eval(chosen)
+        if kind is Kind.EQ:
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if kind is Kind.DISTINCT:
+            values = [self.eval(a) for a in term.args]
+            return len(set(values)) == len(values)
+        if kind is Kind.LE:
+            return self.eval(term.args[0]) <= self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.LT:
+            return self.eval(term.args[0]) < self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.ADD:
+            return sum(self.eval(a) for a in term.args)  # type: ignore[arg-type]
+        if kind is Kind.MUL:
+            return self.eval(term.args[0]) * self.eval(term.args[1])  # type: ignore[operator]
+        if kind is Kind.NEG:
+            return -self.eval(term.args[0])  # type: ignore[operator]
+        raise ValuationError(f"term outside the executable fragment: {term}")
+
+    def satisfies(self, outcome: Outcome) -> bool:
+        """``[[g(S')]]^V`` — does this valuation take the outcome's path?
+
+        Definitional constraints mention fresh helper variables (division
+        quotients) the input valuation does not bind; the theorem handles
+        these with an extension ``V' ⊇ V``.  When plain evaluation meets
+        such a variable, the check falls back to the solver: the path is
+        taken iff ``guard ∧ defs ∧ (bindings as equalities)`` is
+        satisfiable — the definitions are total-functional, so the
+        extension exists exactly in that case.
+        """
+        try:
+            return bool(self.eval(outcome.state.guard))
+        except ValuationError:
+            pass
+        equalities = []
+        for name, value in self.bindings.items():
+            if isinstance(value, bool):
+                bound = smt.var(name, smt.BOOL)
+                equalities.append(bound if value else smt.not_(bound))
+            else:
+                code = concrete_to_code(value)
+                assert isinstance(code, int)
+                equalities.append(smt.eq(smt.var(name, smt.INT), smt.int_const(code)))
+        try:
+            return smt.is_satisfiable(
+                smt.and_(outcome.state.condition(), *equalities)
+            )
+        except smt.SolverError:
+            return False
+
+
+def matching_outcomes(outcomes: list[Outcome], valuation: Valuation) -> list[Outcome]:
+    """The explored paths this concrete input follows (Corollary 1.1
+    requires at least one when exploration was exhaustive)."""
+    return [out for out in outcomes if valuation.satisfies(out)]
+
+
+def concrete_to_code(value: ConcreteValue) -> Union[int, bool]:
+    """Encode a concrete value the way the executor's lowering does."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return string_code(value)
+    if value is None:
+        return 0
+    return value
+
+
+def check_outcome_abstracts(
+    outcome: Outcome, valuation: Valuation, concrete_value: ConcreteValue
+) -> bool:
+    """``[[s]]^V = v`` — the symbolic result denotes the concrete one."""
+    assert outcome.value is not None and outcome.value.term is not None
+    denoted = valuation.eval(outcome.value.term)
+    expected = concrete_to_code(concrete_value)
+    if isinstance(expected, bool) or isinstance(denoted, bool):
+        return bool(denoted) == bool(expected)
+    return denoted == expected

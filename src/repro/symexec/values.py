@@ -1,0 +1,218 @@
+"""Typed symbolic values ``u:τ`` and symbolic environments ``Σ``.
+
+A :class:`SymValue` pairs an SMT term with a source-language type, exactly
+like the paper's typed symbolic expressions: the annotation lets the
+executor "immediately determine the type of a symbolic expression, just
+like in a concrete evaluator with values".
+
+Encodings into SMT sorts:
+
+========  ===========================================================
+source    SMT encoding
+========  ===========================================================
+int       ``Int``
+bool      ``Bool``
+str       ``Int`` — string literals are interned to distinct codes
+unit      ``Int`` (always 0)
+τ ref     ``Int`` — a location address; allocations take the positive
+          addresses 1, 2, 3, ... while unknown locations from typed
+          environments are constrained ``<= 0``, which soundly models
+          the paper's requirement that "an allocation always creates a
+          new location distinct from the locations in the base
+          unknown memory"
+τ -> τ'   not SMT-encodable — function values are closures
+          (:class:`SymClosure`) or opaque unknowns (:class:`UnknownFun`)
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro import smt
+from repro.lang.ast import Expr
+from repro.typecheck.types import BOOL, FunType, INT, RefType, STR, Type, UNIT
+
+
+@dataclass(frozen=True)
+class SymClosure:
+    """A function value met during symbolic execution: a closure over Σ."""
+
+    param: str
+    body: Expr
+    env: "SymEnv"
+
+    def __str__(self) -> str:
+        return f"<sym-fun {self.param}>"
+
+
+@dataclass(frozen=True)
+class UnknownFun:
+    """An opaque function (e.g. a fresh α of function type at a block
+    boundary).  Applying one is beyond symbolic execution — the paper's
+    motivation for wrapping such calls in typed blocks."""
+
+    typ: FunType
+
+    def __str__(self) -> str:
+        return f"<unknown-fun {self.typ}>"
+
+
+FunPayload = Union[SymClosure, UnknownFun]
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """A typed symbolic expression ``u:τ``."""
+
+    typ: Type
+    term: Optional[smt.Term] = None  # None exactly for function types
+    fun: Optional[FunPayload] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.typ, FunType):
+            if self.fun is None or self.term is not None:
+                raise ValueError("function-typed values carry a closure, no term")
+        else:
+            if self.term is None or self.fun is not None:
+                raise ValueError(f"value of type {self.typ} requires an SMT term")
+
+    def __str__(self) -> str:
+        inner = self.fun if self.term is None else self.term
+        return f"{inner}:{self.typ}"
+
+
+class SymEnv:
+    """An immutable symbolic environment Σ (variable -> symbolic value)."""
+
+    def __init__(self, bindings: Optional[Mapping[str, SymValue]] = None) -> None:
+        self._bindings: dict[str, SymValue] = dict(bindings or {})
+
+    def lookup(self, name: str) -> Optional[SymValue]:
+        return self._bindings.get(name)
+
+    def extend(self, name: str, value: SymValue) -> "SymEnv":
+        child = dict(self._bindings)
+        child[name] = value
+        return SymEnv(child)
+
+    def items(self):
+        return iter(sorted(self._bindings.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k} -> {v}" for k, v in self.items())
+        return f"{{{inner}}}"
+
+
+class NameSupply:
+    """Fresh names for symbolic variables (α) and base memories (μ)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def fresh(self, prefix: str) -> str:
+        with self._lock:
+            return f"{prefix}!{next(self._counter)}"
+
+    def fresh_int(self, prefix: str = "a") -> smt.Term:
+        return smt.var(self.fresh(prefix), smt.INT)
+
+    def fresh_bool(self, prefix: str = "a") -> smt.Term:
+        return smt.var(self.fresh(prefix), smt.BOOL)
+
+
+# ---------------------------------------------------------------------------
+# String interning
+# ---------------------------------------------------------------------------
+
+_STRING_CODES: dict[str, int] = {}
+_STRING_LOCK = threading.Lock()
+
+
+def string_code(value: str) -> int:
+    """The distinct integer code of a string literal (stable per process)."""
+    with _STRING_LOCK:
+        code = _STRING_CODES.get(value)
+        if code is None:
+            code = len(_STRING_CODES) + 1
+            _STRING_CODES[value] = code
+        return code
+
+
+# ---------------------------------------------------------------------------
+# Value constructors and conversions
+# ---------------------------------------------------------------------------
+
+
+def int_value(term_or_const: Union[smt.Term, int]) -> SymValue:
+    if isinstance(term_or_const, int):
+        term_or_const = smt.int_const(term_or_const)
+    return SymValue(INT, term_or_const)
+
+
+def bool_value(term_or_const: Union[smt.Term, bool]) -> SymValue:
+    if isinstance(term_or_const, bool):
+        term_or_const = smt.bool_const(term_or_const)
+    return SymValue(BOOL, term_or_const)
+
+
+def str_value(literal: str) -> SymValue:
+    return SymValue(STR, smt.int_const(string_code(literal)))
+
+
+def unit_value() -> SymValue:
+    return SymValue(UNIT, smt.int_const(0))
+
+
+def fun_value(payload: FunPayload, typ: FunType) -> SymValue:
+    return SymValue(typ, None, payload)
+
+
+def fresh_of_type(typ: Type, names: NameSupply) -> tuple[SymValue, list[smt.Term]]:
+    """A fresh symbolic value α of the given type, plus side constraints.
+
+    Used by the mix rules: every variable crossing from a typed region
+    into a symbolic one becomes ``α_x : Γ(x)``.  Reference-typed unknowns
+    carry the base-location constraint ``α <= 0`` (see module docstring).
+    """
+    if typ == BOOL:
+        return SymValue(BOOL, names.fresh_bool()), []
+    if typ == UNIT:
+        return unit_value(), []
+    if isinstance(typ, FunType):
+        return fun_value(UnknownFun(typ), typ), []
+    term = names.fresh_int()
+    if isinstance(typ, RefType):
+        return SymValue(typ, term), [smt.le(term, smt.int_const(0))]
+    # int and str are plain unconstrained integers.
+    return SymValue(typ, term), []
+
+
+def to_memory_int(value: SymValue) -> smt.Term:
+    """Encode a (non-function) value as the Int stored in symbolic memory."""
+    if value.term is None:
+        raise ValueError("function values cannot be stored in symbolic memory")
+    if value.typ == BOOL:
+        return smt.ite(value.term, smt.int_const(1), smt.int_const(0))
+    return value.term
+
+
+def from_memory_int(term: smt.Term, typ: Type) -> SymValue:
+    """Decode a memory read ``m[u:τ ref]:τ`` back to a typed value."""
+    if isinstance(typ, FunType):
+        raise ValueError("function values cannot be read from symbolic memory")
+    if typ == BOOL:
+        return SymValue(BOOL, smt.not_(smt.eq(term, smt.int_const(0))))
+    if typ == UNIT:
+        return unit_value()
+    return SymValue(typ, term)

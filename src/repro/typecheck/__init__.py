@@ -1,0 +1,44 @@
+"""The off-the-shelf type system of the paper's Section 3.1.
+
+Judgments have the form ``Γ ⊢_Λ e : τ`` where ``Γ`` is the variable
+typing environment and ``Λ`` the memory typing (location -> type) used by
+the soundness statement.  The checker is completely standard; MIX's only
+interaction with it is through :class:`repro.core.mix`'s mix rules.
+"""
+
+from repro.typecheck.types import (
+    BOOL,
+    INT,
+    STR,
+    UNIT,
+    FunType,
+    RefType,
+    Type,
+    TypeEnv,
+)
+
+_LAZY = {"TypeChecker", "TypeError_", "check_expr"}
+
+
+def __getattr__(name: str):
+    # The checker imports repro.lang.ast, which imports this package for
+    # the Type classes; loading the checker lazily breaks that cycle.
+    if name in _LAZY:
+        from repro.typecheck import checker
+
+        return getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "STR",
+    "UNIT",
+    "FunType",
+    "RefType",
+    "Type",
+    "TypeChecker",
+    "TypeEnv",
+    "TypeError_",
+    "check_expr",
+]

@@ -1,0 +1,201 @@
+"""The standard type checker ``Γ ⊢_Λ e : τ`` of paper Section 3.1.
+
+The checker is deliberately *off the shelf*: flow-insensitive,
+path-insensitive, and unaware of symbolic execution.  Its single point of
+extension is the ``symbolic_block_hook``: when the checker encounters a
+symbolic block ``{s e s}`` it delegates to the hook, which the MIX driver
+(:mod:`repro.core.mix`) installs as rule TSymBlock.  Without a hook,
+symbolic blocks are rejected — a standalone type checker cannot analyze
+them.
+
+Memory typings ``Λ`` map locations to types; they only matter for the
+soundness statement, where an expression may mention pre-existing
+locations.  Source programs cannot name locations, so ``Λ`` is typically
+empty when checking whole programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Pos,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.typecheck.types import (
+    BOOL,
+    INT,
+    STR,
+    UNIT,
+    FunType,
+    RefType,
+    Type,
+    TypeEnv,
+)
+
+
+class TypeError_(Exception):
+    """A static type error, with optional source position."""
+
+    def __init__(self, message: str, pos: Optional[Pos] = None) -> None:
+        location = f" at {pos}" if pos else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.pos = pos
+
+
+# A hook invoked on `{s e s}`: (environment, block) -> type of the block.
+SymbolicBlockHook = Callable[[TypeEnv, SymBlock], Type]
+
+#: Types at which ``=`` is permitted (no function comparison).
+_EQUALITY_TYPES = (INT, BOOL, STR, UNIT)
+
+
+@dataclass
+class TypeChecker:
+    """A type checker instance, optionally wired into MIX via the hook."""
+
+    symbolic_block_hook: Optional[SymbolicBlockHook] = None
+
+    def check(self, expr: Expr, env: Optional[TypeEnv] = None) -> Type:
+        """Compute the type of ``expr`` under ``env`` or raise TypeError_."""
+        return self._check(expr, env or TypeEnv())
+
+    # -- rules ------------------------------------------------------------------
+
+    def _check(self, expr: Expr, env: TypeEnv) -> Type:
+        if isinstance(expr, Var):
+            typ = env.lookup(expr.name)
+            if typ is None:
+                raise TypeError_(f"unbound variable {expr.name}", expr.pos)
+            return typ
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, StrLit):
+            return STR
+        if isinstance(expr, UnitLit):
+            return UNIT
+        if isinstance(expr, BinOp):
+            return self._check_binop(expr, env)
+        if isinstance(expr, Not):
+            self._expect(expr.operand, env, BOOL, "operand of 'not'")
+            return BOOL
+        if isinstance(expr, If):
+            self._expect(expr.cond, env, BOOL, "condition of 'if'")
+            then_type = self._check(expr.then, env)
+            else_type = self._check(expr.els, env)
+            if then_type != else_type:
+                raise TypeError_(
+                    f"branches of 'if' disagree: {then_type} vs {else_type}", expr.pos
+                )
+            return then_type
+        if isinstance(expr, Let):
+            bound_type = self._check(expr.bound, env)
+            if expr.annotation is not None and expr.annotation != bound_type:
+                raise TypeError_(
+                    f"let annotation {expr.annotation} does not match {bound_type}",
+                    expr.pos,
+                )
+            return self._check(expr.body, env.extend(expr.name, bound_type))
+        if isinstance(expr, Seq):
+            self._check(expr.first, env)
+            return self._check(expr.second, env)
+        if isinstance(expr, Ref):
+            return RefType(self._check(expr.init, env))
+        if isinstance(expr, Deref):
+            ref_type = self._check(expr.ref, env)
+            if not isinstance(ref_type, RefType):
+                raise TypeError_(f"dereference of non-reference type {ref_type}", expr.pos)
+            return ref_type.elem
+        if isinstance(expr, Assign):
+            target_type = self._check(expr.target, env)
+            if not isinstance(target_type, RefType):
+                raise TypeError_(
+                    f"assignment through non-reference type {target_type}", expr.pos
+                )
+            # Standard type systems require writes to preserve types
+            # (contrast with the symbolic executor's SEAssign).
+            self._expect(expr.value, env, target_type.elem, "right-hand side of ':='")
+            return target_type.elem
+        if isinstance(expr, While):
+            self._expect(expr.cond, env, BOOL, "condition of 'while'")
+            self._check(expr.body, env)
+            return UNIT
+        if isinstance(expr, Fun):
+            body_type = self._check(expr.body, env.extend(expr.param, expr.param_type))
+            return FunType(expr.param_type, body_type)
+        if isinstance(expr, App):
+            fn_type = self._check(expr.fn, env)
+            if not isinstance(fn_type, FunType):
+                raise TypeError_(f"application of non-function type {fn_type}", expr.pos)
+            self._expect(expr.arg, env, fn_type.param, "function argument")
+            return fn_type.result
+        if isinstance(expr, TypedBlock):
+            # Typed-in-typed passes through (the paper notes this is trivial).
+            return self._check(expr.body, env)
+        if isinstance(expr, SymBlock):
+            if self.symbolic_block_hook is None:
+                raise TypeError_(
+                    "symbolic block encountered but no symbolic executor is "
+                    "attached (run under MIX)",
+                    expr.pos,
+                )
+            return self.symbolic_block_hook(env, expr)
+        raise TypeError_(f"unknown expression node {expr!r}", expr.pos)
+
+    def _check_binop(self, expr: BinOp, env: TypeEnv) -> Type:
+        op = expr.op
+        if op in (BinOpKind.AND, BinOpKind.OR):
+            self._expect(expr.left, env, BOOL, f"left operand of '{op.value}'")
+            self._expect(expr.right, env, BOOL, f"right operand of '{op.value}'")
+            return BOOL
+        if op is BinOpKind.EQ:
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            if left != right:
+                raise TypeError_(f"'=' compares {left} with {right}", expr.pos)
+            if left not in _EQUALITY_TYPES and not isinstance(left, RefType):
+                raise TypeError_(f"'=' is not defined at type {left}", expr.pos)
+            return BOOL
+        if op in (BinOpKind.LT, BinOpKind.LE):
+            self._expect(expr.left, env, INT, f"left operand of '{op.value}'")
+            self._expect(expr.right, env, INT, f"right operand of '{op.value}'")
+            return BOOL
+        # Arithmetic: +, -, *, /
+        self._expect(expr.left, env, INT, f"left operand of '{op.value}'")
+        self._expect(expr.right, env, INT, f"right operand of '{op.value}'")
+        return INT
+
+    def _expect(self, expr: Expr, env: TypeEnv, expected: Type, context: str) -> None:
+        actual = self._check(expr, env)
+        if actual != expected:
+            raise TypeError_(
+                f"{context} has type {actual}, expected {expected}", expr.pos
+            )
+
+
+def check_expr(expr: Expr, env: Optional[TypeEnv] = None) -> Type:
+    """Type check with no MIX hook (pure, standalone type checking)."""
+    return TypeChecker().check(expr, env)

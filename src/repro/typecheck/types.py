@@ -1,0 +1,76 @@
+"""Types of the MIX source language: ``int``, ``bool``, ``τ ref`` (paper
+Figure 1), plus the extension types ``str``, ``unit``, and ``τ -> τ``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for types."""
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = BaseType("int")
+BOOL = BaseType("bool")
+STR = BaseType("str")
+UNIT = BaseType("unit")
+
+
+@dataclass(frozen=True)
+class RefType(Type):
+    """``τ ref`` — the type of updatable references to ``τ``."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"{self.elem} ref"
+
+
+@dataclass(frozen=True)
+class FunType(Type):
+    """``τ1 -> τ2`` (extension)."""
+
+    param: Type
+    result: Type
+
+    def __str__(self) -> str:
+        param = f"({self.param})" if isinstance(self.param, FunType) else str(self.param)
+        return f"{param} -> {self.result}"
+
+
+class TypeEnv:
+    """An immutable typing environment Γ (variable -> type)."""
+
+    def __init__(self, bindings: Optional[Mapping[str, Type]] = None) -> None:
+        self._bindings: dict[str, Type] = dict(bindings or {})
+
+    def lookup(self, name: str) -> Optional[Type]:
+        return self._bindings.get(name)
+
+    def extend(self, name: str, typ: Type) -> "TypeEnv":
+        child = dict(self._bindings)
+        child[name] = typ
+        return TypeEnv(child)
+
+    def items(self) -> Iterator[tuple[str, Type]]:
+        return iter(sorted(self._bindings.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in self.items())
+        return f"{{{inner}}}"

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def mix_file(tmp_path):
+    def write(source):
+        path = tmp_path / "program.mix"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    def write(source):
+        path = tmp_path / "program.c"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestMixCommand:
+    def test_accepting_program(self, mix_file, capsys):
+        assert main(["mix", mix_file("{s 1 + 1 s}")]) == 0
+        assert "accepted: int" in capsys.readouterr().out
+
+    def test_rejecting_program(self, mix_file, capsys):
+        assert main(["mix", mix_file('{s 1 + true s}')]) == 1
+        assert "rejected" in capsys.readouterr().out
+
+    def test_env_option(self, mix_file, capsys):
+        code = main(["mix", mix_file("{s x + 1 s}"), "--env", "x:int"])
+        assert code == 0
+
+    def test_env_with_ref_type(self, mix_file):
+        assert main(["mix", mix_file("{s !r + 1 s}"), "--env", "r:int ref"]) == 0
+
+    def test_bad_env_spec(self, mix_file, capsys):
+        assert main(["mix", mix_file("1"), "--env", "nonsense"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, mix_file, capsys):
+        assert main(["mix", mix_file("let = ")]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["mix", "/definitely/not/here.mix"]) == 2
+
+    def test_symbolic_entry(self, mix_file):
+        assert main(["mix", mix_file("{t 1 t}"), "--entry", "symbolic"]) == 0
+
+    def test_defer_flag(self, mix_file):
+        code = main(
+            ["mix", mix_file("{s if p then 1 else 2 s}"), "--env", "p:bool", "--defer"]
+        )
+        assert code == 0
+
+    def test_good_enough_flag(self, mix_file):
+        loop = "{s let i = ref 0 in while !i < n do i := !i + 1 done; !i s}"
+        strict = main(["mix", mix_file(loop), "--env", "n:int", "--max-unroll", "4"])
+        relaxed = main(
+            [
+                "mix",
+                mix_file(loop),
+                "--env",
+                "n:int",
+                "--max-unroll",
+                "4",
+                "--good-enough",
+            ]
+        )
+        assert strict == 1 and relaxed == 0
+
+    def test_auto_refine(self, mix_file, capsys):
+        code = main(["mix", mix_file('if true then 5 else "foo" + 3'), "--auto-refine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refinement step 1" in out and "annotated program" in out
+
+
+class TestMixyCommand:
+    BUGGY = """
+    void free(int *nonnull x);
+    int main(void) { int *x = NULL; free(x); return 0; }
+    """
+    CLEAN = """
+    void free(int *nonnull x);
+    int main(void) { free((int *) malloc(sizeof(int))); return 0; }
+    """
+
+    def test_warning_exit_code(self, c_file, capsys):
+        assert main(["mixy", c_file(self.BUGGY)]) == 1
+        out = capsys.readouterr().out
+        assert "NULL" in out and "warning(s)" in out
+
+    def test_clean_exit_code(self, c_file, capsys):
+        assert main(["mixy", c_file(self.CLEAN)]) == 0
+        assert "0 warning(s)" in capsys.readouterr().out
+
+    def test_symbolic_entry(self, c_file):
+        assert main(["mixy", c_file(self.BUGGY), "--entry", "symbolic"]) == 1
+
+    def test_strict_deref(self, c_file):
+        source = "int main(void) { int *p = NULL; return *p; }"
+        assert main(["mixy", c_file(source)]) == 0  # no annotation: silent
+        assert main(["mixy", c_file(source), "--strict-deref"]) == 1
+
+    def test_parse_error(self, c_file, capsys):
+        assert main(["mixy", c_file("int main( {")]) == 2
+
+    def test_missing_entry_function(self, c_file):
+        assert main(["mixy", c_file("int helper(void) { return 0; }")]) == 2

@@ -1,0 +1,83 @@
+"""Tests for the analysis driver surface: reports, diagnostics, stats."""
+
+import pytest
+
+from repro.core import Diagnostic, MixConfig, analyze, analyze_source
+from repro.lang import parse
+from repro.lang.ast import Pos
+from repro.symexec import ErrKind
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL, INT
+
+
+class TestReports:
+    def test_accepted_report_str(self):
+        report = analyze_source("{s 1 s}")
+        assert str(report) == "accepted: int"
+
+    def test_rejected_report_str(self):
+        report = analyze_source("{s 1 + true s}")
+        text = str(report)
+        assert text.startswith("rejected:") and "symbolic" in text
+
+    def test_diagnostic_str_with_position(self):
+        d = Diagnostic("bad thing", Pos(3, 7), "typed")
+        assert str(d) == "[typed] at 3:7: bad thing"
+
+    def test_diagnostic_str_without_position(self):
+        d = Diagnostic("bad thing", None, "mix")
+        assert str(d) == "[mix]: bad thing"
+
+    def test_invalid_entry_rejected(self):
+        with pytest.raises(ValueError):
+            analyze(parse("1"), entry="diagonal")
+
+    def test_stats_include_executor_counters(self):
+        report = analyze_source(
+            "{s if p then 1 else 2 s}", env=TypeEnv({"p": BOOL})
+        )
+        assert report.stats["sym_forks"] == 1
+        assert report.stats["symbolic_blocks"] == 1
+
+    def test_plain_program_without_blocks(self):
+        """No blocks at all: entry='typed' is just the type checker."""
+        report = analyze_source("1 + 2 * 3")
+        assert report.ok and str(report.type) == "int"
+        assert report.stats["symbolic_blocks"] == 0
+
+    def test_symbolic_entry_wraps_whole_program(self):
+        report = analyze_source("if 1 < 2 then 1 else 2", entry="symbolic")
+        assert report.ok
+        assert report.stats["symbolic_blocks"] == 1
+
+
+class TestDiagnosticsCarryOrigins:
+    def test_typed_origin(self):
+        report = analyze_source("1 + true")
+        assert report.diagnostics[0].origin == "typed"
+
+    def test_symbolic_origin_with_kind(self):
+        report = analyze_source("{s z * z s}", env=TypeEnv({"z": INT}))
+        d = report.diagnostics[0]
+        assert d.origin == "symbolic" and d.kind is ErrKind.UNSUPPORTED
+
+    def test_mix_origin_for_boundary_failures(self):
+        # A closure escaping a symbolic block is a mix-rule failure.
+        report = analyze_source("{s fun x : int -> x s}")
+        assert report.diagnostics[0].origin == "mix"
+
+    def test_positions_survive_to_report(self):
+        report = analyze_source("{s\n  1 + true\ns}")
+        assert report.diagnostics[0].pos is not None
+        assert report.diagnostics[0].pos.line == 2
+
+
+class TestConfigPlumb:
+    def test_config_reaches_executor(self):
+        from repro.symexec import IfStrategy, SymConfig
+
+        config = MixConfig(sym=SymConfig(if_strategy=IfStrategy.DEFER))
+        report = analyze_source(
+            "{s if p then 1 else 2 s}", env=TypeEnv({"p": BOOL}), config=config
+        )
+        assert report.stats["sym_merges"] == 1

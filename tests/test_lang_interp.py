@@ -1,0 +1,159 @@
+"""Tests for the concrete big-step interpreter."""
+
+import pytest
+
+from repro.lang import parse, run
+from repro.lang.interp import (
+    Closure,
+    EvalBudgetExceeded,
+    Location,
+    RuntimeTypeError,
+)
+
+
+def value_of(source, env=None, **kwargs):
+    return run(parse(source), env, **kwargs).value
+
+
+class TestPureEvaluation:
+    def test_arithmetic(self):
+        assert value_of("1 + 2 * 3") == 7
+        assert value_of("10 - 4") == 6
+        assert value_of("7 / 2") == 3
+        assert value_of("-7 / 2") == -3  # truncating division
+
+    def test_division_by_zero_is_total(self):
+        assert value_of("1 / 0") == 0
+
+    def test_booleans(self):
+        assert value_of("true && false") is False
+        assert value_of("true || false") is True
+        assert value_of("not true") is False
+
+    def test_strict_boolean_operators(self):
+        # As in the paper's SEAnd rule, && and || are strict: the right
+        # operand is evaluated (and may error) even if the left decides.
+        with pytest.raises(RuntimeTypeError):
+            value_of("false && (1 = true)")
+        with pytest.raises(RuntimeTypeError):
+            value_of("true || (1 = true)")
+
+    def test_comparisons(self):
+        assert value_of("1 < 2") is True
+        assert value_of("2 <= 2") is True
+        assert value_of("1 = 2") is False
+        assert value_of('"a" = "a"') is True
+
+    def test_if(self):
+        assert value_of("if 1 < 2 then 10 else 20") == 10
+
+    def test_let_shadowing(self):
+        assert value_of("let x = 1 in let x = 2 in x") == 2
+
+    def test_functions(self):
+        assert value_of("(fun x : int -> x + 1) 41") == 42
+        assert value_of("let twice = fun f : (int -> int) -> fun x : int -> f (f x) in twice (fun y : int -> y * 2) 3") == 12
+
+    def test_closures_capture_environment(self):
+        assert value_of("let y = 10 in let f = fun x : int -> x + y in let y = 0 in f 1") == 11
+
+    def test_unit(self):
+        assert value_of("()") is None
+
+
+class TestReferences:
+    def test_ref_deref(self):
+        assert value_of("!(ref 5)") == 5
+
+    def test_assignment(self):
+        assert value_of("let x = ref 0 in x := 41; !x + 1") == 42
+
+    def test_aliasing(self):
+        assert value_of("let x = ref 1 in let y = x in y := 9; !x") == 9
+
+    def test_assignment_returns_value(self):
+        assert value_of("let x = ref 0 in x := 7") == 7
+
+    def test_memory_in_result(self):
+        result = run(parse("ref 3"))
+        assert isinstance(result.value, Location)
+        assert result.memory[result.value] == 3
+
+    def test_ref_of_ref(self):
+        assert value_of("let x = ref (ref 1) in !(!x)") == 1
+
+
+class TestWhile:
+    def test_loop_computes(self):
+        source = """
+        let i = ref 0 in
+        let acc = ref 0 in
+        while !i < 5 do
+          acc := !acc + !i;
+          i := !i + 1
+        done;
+        !acc
+        """
+        assert value_of(source) == 10
+
+    def test_budget_stops_infinite_loop(self):
+        with pytest.raises(EvalBudgetExceeded):
+            value_of("while true do () done", step_budget=1000)
+
+
+class TestBlocksAreTransparent:
+    def test_typed_block(self):
+        assert value_of("{t 1 + 2 t}") == 3
+
+    def test_symbolic_block(self):
+        assert value_of("{s 1 + 2 s}") == 3
+
+    def test_nested(self):
+        assert value_of("{s {t {s 5 s} t} s}") == 5
+
+    def test_intro_example_runs(self):
+        source = """
+        {s
+          let multithreaded = true in
+          (if multithreaded then {t 1 t} else {t 0 t})
+        s}
+        """
+        assert value_of(source) == 1
+
+
+class TestDynamicErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1 + true",
+            '"foo" + 3',
+            "if 1 then 2 else 3",
+            "not 1",
+            "!5",
+            "5 := 1",
+            "(1) 2",
+            "x",
+            "1 = true",
+            "(fun x : int -> x) = (fun x : int -> x)",
+            "while 1 do () done",
+        ],
+    )
+    def test_error_token(self, source):
+        with pytest.raises(RuntimeTypeError):
+            value_of(source)
+
+    def test_error_in_untaken_branch_is_fine(self):
+        assert value_of('if true then 5 else "foo" + 3') == 5
+
+    def test_flow_sensitive_reuse_runs(self):
+        # The paper's flow-sensitivity example: x reused at another type.
+        assert value_of('let x = ref 1 in x := 2; !x') == 2
+
+
+class TestEnvironmentInput:
+    def test_initial_environment(self):
+        assert value_of("x + y", env={"x": 1, "y": 2}) == 3
+
+    def test_closure_value(self):
+        result = run(parse("fun x : int -> x"))
+        assert isinstance(result.value, Closure)

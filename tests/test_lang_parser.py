@@ -1,0 +1,224 @@
+"""Tests for the lexer, parser, and pretty-printer round trip."""
+
+import pytest
+
+from repro.lang import parse, pretty
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_type
+from repro.typecheck.types import BOOL, INT, STR, UNIT, FunType, RefType
+
+
+class TestLexer:
+    def test_block_delimiters(self):
+        tokens = [t.kind.value for t in tokenize("{t x t} {s y s}")]
+        assert tokens == ["{t", "ident", "t}", "{s", "ident", "s}", "eof"]
+
+    def test_identifier_starting_with_t_not_block(self):
+        tokens = tokenize("{two}")
+        assert [t.text for t in tokens[:3]] == ["{", "two", "}"]
+
+    def test_nested_comments(self):
+        tokens = tokenize("1 (* a (* b *) c *) 2")
+        assert [t.text for t in tokens if t.text] == ["1", "2"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_string_escapes(self):
+        (token, _eof) = tokenize(r'"a\nb\"c"')
+        assert token.text == 'a\nb"c'
+
+    def test_positions(self):
+        tokens = tokenize("x\n  y")
+        assert (tokens[0].pos.line, tokens[0].pos.column) == (1, 1)
+        assert (tokens[1].pos.line, tokens[1].pos.column) == (2, 3)
+
+
+class TestParserBasics:
+    def test_literals(self):
+        assert parse("42") == IntLit(42)
+        assert parse("true") == BoolLit(True)
+        assert parse('"hi"') == StrLit("hi")
+        assert parse("()") == UnitLit()
+
+    def test_negative_literal(self):
+        assert parse("-3") == IntLit(-3)
+
+    def test_arith_precedence(self):
+        assert parse("1 + 2 * 3") == BinOp(
+            BinOpKind.ADD, IntLit(1), BinOp(BinOpKind.MUL, IntLit(2), IntLit(3))
+        )
+
+    def test_left_associativity(self):
+        assert parse("1 - 2 - 3") == BinOp(
+            BinOpKind.SUB, BinOp(BinOpKind.SUB, IntLit(1), IntLit(2)), IntLit(3)
+        )
+
+    def test_comparison_below_arithmetic(self):
+        expr = parse("x + 1 = 2")
+        assert isinstance(expr, BinOp) and expr.op is BinOpKind.EQ
+
+    def test_boolean_precedence(self):
+        expr = parse("a && b || c")
+        assert isinstance(expr, BinOp) and expr.op is BinOpKind.OR
+
+    def test_let(self):
+        expr = parse("let x = 1 in x")
+        assert expr == Let("x", IntLit(1), Var("x"))
+
+    def test_let_with_annotation(self):
+        expr = parse("let x : int = 1 in x")
+        assert expr == Let("x", IntLit(1), Var("x"), INT)
+
+    def test_if(self):
+        expr = parse("if true then 1 else 2")
+        assert expr == If(BoolLit(True), IntLit(1), IntLit(2))
+
+    def test_references(self):
+        assert parse("ref 1") == Ref(IntLit(1))
+        assert parse("!x") == Deref(Var("x"))
+        assert parse("x := 1") == Assign(Var("x"), IntLit(1))
+
+    def test_assign_binds_value_loosely(self):
+        expr = parse("x := 1 + 2")
+        assert expr == Assign(Var("x"), BinOp(BinOpKind.ADD, IntLit(1), IntLit(2)))
+
+    def test_seq(self):
+        expr = parse("x := 1; !x")
+        assert expr == Seq(Assign(Var("x"), IntLit(1)), Deref(Var("x")))
+
+    def test_seq_extends_right_through_let(self):
+        expr = parse("f 1; let x = 2 in x")
+        assert isinstance(expr, Seq) and isinstance(expr.second, Let)
+
+    def test_while(self):
+        expr = parse("while x < 3 do x := !y done")
+        assert isinstance(expr, While)
+
+    def test_fun_and_application(self):
+        expr = parse("(fun x : int -> x + 1) 2")
+        assert isinstance(expr, App) and isinstance(expr.fn, Fun)
+
+    def test_application_left_assoc(self):
+        expr = parse("f x y")
+        assert expr == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_not(self):
+        assert parse("not true") == Not(BoolLit(True))
+
+
+class TestBlocks:
+    def test_paper_syntax(self):
+        assert parse("{t 1 t}") == TypedBlock(IntLit(1))
+        assert parse("{s 1 s}") == SymBlock(IntLit(1))
+
+    def test_keyword_syntax(self):
+        assert parse("typed { 1 }") == TypedBlock(IntLit(1))
+        assert parse("sym { 1 }") == SymBlock(IntLit(1))
+
+    def test_nested_blocks(self):
+        expr = parse("{s if true then {t 5 t} else {t 6 t} s}")
+        assert isinstance(expr, SymBlock)
+        assert isinstance(expr.body, If)
+        assert isinstance(expr.body.then, TypedBlock)
+
+    def test_mismatched_block_close(self):
+        with pytest.raises(ParseError):
+            parse("{t 1 s}")
+
+    def test_paper_intro_example_parses(self):
+        source = """
+        {s
+          let multithreaded = true in
+          (if multithreaded then {t 1 t} else {t 0 t});
+          {t 2 t}
+        s}
+        """
+        expr = parse(source)
+        assert isinstance(expr, SymBlock)
+
+
+class TestTypes:
+    def test_base_types(self):
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+        assert parse_type("str") == STR
+        assert parse_type("unit") == UNIT
+
+    def test_ref_types(self):
+        assert parse_type("int ref") == RefType(INT)
+        assert parse_type("int ref ref") == RefType(RefType(INT))
+
+    def test_fun_types_right_assoc(self):
+        assert parse_type("int -> int -> bool") == FunType(
+            INT, FunType(INT, BOOL)
+        )
+
+    def test_parens(self):
+        assert parse_type("(int -> int) ref") == RefType(FunType(INT, INT))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "let = 1 in x",
+            "if x then y",
+            "(1",
+            "x :=",
+            "1 2 +",
+            "fun x -> x",  # missing annotation
+            "",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises((ParseError, LexError)):
+            parse(source)
+
+
+class TestPrettyRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "let x = ref 0 in x := !x + 1; !x",
+            "if a && b then 1 else 0 - 1",
+            "{s let x = 1 in {t x + 1 t} s}",
+            "fun f : (int -> int) -> f",
+            "(fun x : int -> x) 3",
+            "while !i < 10 do i := !i + 1 done",
+            'let s = "a\\nb" in s',
+            "not (x = y)",
+            "f (g x) y",
+        ],
+    )
+    def test_parse_pretty_parse(self, source):
+        first = parse(source)
+        assert parse(pretty(first)) == first

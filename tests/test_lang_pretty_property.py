@@ -1,0 +1,97 @@
+"""Property test: the pretty-printer inverts the parser on random ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse, pretty
+from repro.lang.ast import (
+    App,
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Fun,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    UnitLit,
+    Var,
+    While,
+)
+from repro.typecheck.types import BOOL, INT, RefType
+
+NAMES = ["x", "y", "f", "g", "acc"]
+BINOPS = list(BinOpKind)
+
+
+@st.composite
+def expr(draw, depth: int):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.integers(-20, 20).map(IntLit),
+                st.booleans().map(BoolLit),
+                st.sampled_from(NAMES).map(Var),
+                st.just(UnitLit()),
+                st.text(
+                    alphabet="ab c\nd\t\"\\", min_size=0, max_size=6
+                ).map(StrLit),
+            )
+        )
+    sub = expr(depth - 1)
+    kind = draw(
+        st.sampled_from(
+            ["binop", "not", "if", "let", "seq", "ref", "deref", "assign",
+             "while", "fun", "app", "tblock", "sblock", "leaf"]
+        )
+    )
+    if kind == "leaf":
+        return draw(expr(0))
+    if kind == "binop":
+        return BinOp(draw(st.sampled_from(BINOPS)), draw(sub), draw(sub))
+    if kind == "not":
+        return Not(draw(sub))
+    if kind == "if":
+        return If(draw(sub), draw(sub), draw(sub))
+    if kind == "let":
+        annotation = draw(st.sampled_from([None, INT, BOOL, RefType(INT)]))
+        return Let(draw(st.sampled_from(NAMES)), draw(sub), draw(sub), annotation)
+    if kind == "seq":
+        return Seq(draw(sub), draw(sub))
+    if kind == "ref":
+        return Ref(draw(sub))
+    if kind == "deref":
+        return Deref(draw(sub))
+    if kind == "assign":
+        return Assign(draw(sub), draw(sub))
+    if kind == "while":
+        return While(draw(sub), draw(sub))
+    if kind == "fun":
+        param_type = draw(st.sampled_from([INT, BOOL, RefType(INT)]))
+        return Fun(draw(st.sampled_from(NAMES)), param_type, draw(sub))
+    if kind == "app":
+        return App(draw(sub), draw(sub))
+    if kind == "tblock":
+        return TypedBlock(draw(sub))
+    return SymBlock(draw(sub))
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr(4))
+def test_parse_inverts_pretty(tree):
+    assert parse(pretty(tree)) == tree
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr(3))
+def test_pretty_is_stable(tree):
+    """pretty . parse . pretty == pretty (a fixed point after one trip)."""
+    once = pretty(tree)
+    assert pretty(parse(once)) == once

@@ -1,0 +1,288 @@
+"""Tests for the MIX mix rules and driver (paper Sections 2 and 3.2).
+
+Each test in ``TestSection2Idioms`` transcribes one of the paper's
+motivating examples and checks the headline claim: pure type checking
+rejects (a false positive), MIX with the paper's block placement accepts.
+"""
+
+import pytest
+
+from repro.core import MixConfig, SoundnessMode, analyze_source
+from repro.core.mix import abstract_env
+from repro.lang import parse
+from repro.symexec import IfStrategy, SymConfig, SymEnv, SymExecutor
+from repro.symexec.values import fresh_of_type
+from repro.typecheck import TypeEnv, TypeError_, check_expr
+from repro.typecheck.types import BOOL, INT, RefType, STR, UNIT, FunType
+
+
+def pure_typecheck_rejects(source, env=None):
+    with pytest.raises(TypeError_):
+        check_expr(parse(source), env)
+
+
+class TestBasicMix:
+    def test_trivial_symbolic_block(self):
+        report = analyze_source("{s 1 + 1 s}")
+        assert report.ok and report.type == INT
+
+    def test_trivial_typed_block_in_symbolic(self):
+        report = analyze_source("{t 1 + 1 t}", entry="symbolic")
+        assert report.ok and report.type == INT
+
+    def test_nested_alternation(self):
+        report = analyze_source("{s {t {s {t 42 t} s} t} s}")
+        assert report.ok and report.type == INT
+
+    def test_type_error_in_symbolic_block_reported(self):
+        report = analyze_source('{s 1 + true s}')
+        assert not report.ok
+        assert report.diagnostics[0].origin == "symbolic"
+
+    def test_type_error_in_typed_block_reported(self):
+        report = analyze_source("{t 1 + true t}", entry="symbolic")
+        assert not report.ok
+
+    def test_environment_crosses_into_symbolic_block(self):
+        report = analyze_source(
+            "let x = 1 in {s x + 2 s}",
+        )
+        assert report.ok and report.type == INT
+
+    def test_environment_crosses_into_typed_block(self):
+        report = analyze_source(
+            "let x = 1 in {t x + 2 t}", entry="symbolic"
+        )
+        assert report.ok and report.type == INT
+
+    def test_stats_populated(self):
+        report = analyze_source("{s if 1 < 2 then 1 else 2 s}")
+        assert report.stats["symbolic_blocks"] == 1
+
+
+class TestSection2Idioms:
+    def test_unreachable_code(self):
+        """{t ... {s if true then {t 5 t} else {t "foo" + 3 t} s} ... t}"""
+        source = '{s if true then {t 5 t} else {t "foo" + 3 t} s}'
+        pure_typecheck_rejects('if true then 5 else "foo" + 3')
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_flow_sensitive_variable_reuse(self):
+        """var x = 1; {t ... t}; x = "foo"  — reuse at two types."""
+        source = '{s let x = ref 1 in {t !x + 1 t}; x := 2; !x s}'
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_null_then_malloc_analog(self):
+        # x := dummy; x := real value — flow-insensitive typing of the
+        # paper's x->obj = NULL; x->obj = malloc(...) pattern.  Our analog
+        # overwrites an ill-typed placeholder before any read.
+        source = "{s let x = ref 1 in x := 1 = 1; x := 7; {t !x + 1 t} s}"
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_context_sensitivity_id(self):
+        """let id x = x in ... id used at two types via symbolic blocks."""
+        source = """
+        {s let id = fun x : int -> x in
+           let id_b = fun b : bool -> b in
+           (if id_b true then id 3 else id 4)
+        s}
+        """
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_div_returns_int_or_string(self):
+        """div returns str only when the divisor is 0; at call site
+        ``div 7 4`` the symbolic executor sees only the int path."""
+        source = """
+        {s
+          let div = fun x : int -> fun y : int ->
+            if y = 0 then "err" else x / y in
+          {t 1 + {s (let div2 = fun x : int -> fun y : int ->
+                        if y = 0 then "err" else x / y in div2 7 4) s} t}
+        s}
+        """
+        report = analyze_source(source)
+        assert report.ok
+
+    def test_sign_refinement(self):
+        """The pos/zero/neg split: all three branches type check with the
+        symbolic executor distinguishing them; exhaustiveness holds."""
+        source = """
+        let x = 5 in
+        {s
+          if 0 < x then {t x + 1 t}
+          else if x = 0 then {t 0 t}
+          else {t 0 - x t}
+        s}
+        """
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_sign_refinement_with_unknown_input(self):
+        source = """
+        {s
+          if 0 < x then {t x + 1 t}
+          else if x = 0 then {t 0 t}
+          else {t 0 - x t}
+        s}
+        """
+        report = analyze_source(source, env=TypeEnv({"x": INT}))
+        assert report.ok and report.type == INT
+
+    def test_local_initialization(self):
+        """The malloc-then-initialize idiom: temporary states confined to
+        the symbolic block; a consistent value flows out through types."""
+        source = """
+        {t
+          let make = {s
+            let x = ref 0 in
+            x := 1;
+            x := 2;
+            x
+          s} in !make
+        t}
+        """
+        report = analyze_source(source)
+        assert report.ok and report.type == INT
+
+    def test_helping_symbolic_execution_unknown_function(self):
+        """y = {t unknown_function() t} — conservative typing of a call
+        symbolic execution cannot make."""
+        source = "{s {t f 1 t} + 1 s}"
+        env = TypeEnv({"f": FunType(INT, INT)})
+        # Without the typed block, symbolic execution fails:
+        bare = analyze_source("{s f 1 + 1 s}", env=env)
+        assert not bare.ok
+        report = analyze_source(source, env=env)
+        assert report.ok and report.type == INT
+
+    def test_helping_symbolic_execution_nonlinear(self):
+        """z * z wrapped in a typed block when the solver cannot model it."""
+        env = TypeEnv({"z": INT})
+        bare = analyze_source("{s z * z s}", env=env)
+        assert not bare.ok
+        report = analyze_source("{s {t z * z t} s}", env=env)
+        assert report.ok and report.type == INT
+
+    def test_helping_symbolic_execution_long_loop(self):
+        """A loop beyond the unroll budget, skipped via a typed block."""
+        env = TypeEnv({"n": INT})
+        config = MixConfig(sym=SymConfig(max_loop_unroll=4))
+        loop = "let i = ref 0 in while !i < n do i := !i + 1 done; !i"
+        bare = analyze_source("{s " + loop + " s}", env=env, config=config)
+        assert not bare.ok
+        wrapped = analyze_source("{s {t " + loop + " t} s}", env=env, config=config)
+        assert wrapped.ok and wrapped.type == INT
+
+    def test_intro_multithreaded_example(self):
+        """The introduction's fork/lock example, transcribed with ints
+        standing in for the thread operations."""
+        source = """
+        {s
+          (if multithreaded then {t fork t} else {t 0 t});
+          {t work1 t};
+          (if multithreaded then {t lock t} else {t 0 t});
+          {t work2 t};
+          (if multithreaded then {t unlock t} else {t 0 t})
+        s}
+        """
+        env = TypeEnv(
+            {
+                "multithreaded": BOOL,
+                "fork": INT,
+                "lock": INT,
+                "unlock": INT,
+                "work1": INT,
+                "work2": INT,
+            }
+        )
+        report = analyze_source(source, env=env)
+        assert report.ok and report.type == INT
+
+
+class TestMixBoundaries:
+    def test_typed_block_havocs_memory(self):
+        """After a typed block, prior writes are forgotten (fresh μ')."""
+        source = "{s let x = ref 1 in {t 0 t}; !x s}"
+        report = analyze_source(source)
+        # Still int-typed: havoc loses the value 1 but not the type.
+        assert report.ok and report.type == INT
+
+    def test_symbolic_block_result_types_must_agree(self):
+        report = analyze_source(
+            "{s if p then 1 else true s}", env=TypeEnv({"p": BOOL})
+        )
+        assert not report.ok
+        assert "disagree" in report.diagnostics[0].message
+
+    def test_inconsistent_memory_blocks_typed_entry(self):
+        """Entering {t ... t} with an ill-typed write pending fails ⊢ m ok."""
+        source = "{s let x = ref 1 in x := 1 = 1; {t 0 t} s}"
+        report = analyze_source(source)
+        assert not report.ok
+        assert "m ok" in report.diagnostics[0].message
+
+    def test_inconsistent_memory_blocks_symbolic_exit(self):
+        """A symbolic block must leave memory consistent (⊢ m(S_i) ok)."""
+        source = "{t let y = {s let x = ref 1 in x := 1 = 1; 0 s} in y t}"
+        report = analyze_source(source)
+        assert not report.ok
+
+    def test_escaping_closure_rejected(self):
+        report = analyze_source("{s fun x : int -> x s}")
+        assert not report.ok
+        assert "function" in report.diagnostics[0].message
+
+    def test_abstract_env_drops_latent_closures(self):
+        executor = SymExecutor()
+        from repro.lang import parse as parse_expr
+
+        outs = executor.execute_all(parse_expr("fun x : int -> x"))
+        closure_value = outs[0].value
+        sigma = SymEnv({"f": closure_value})
+        gamma = abstract_env(sigma)
+        assert "f" not in gamma
+
+    def test_abstract_env_keeps_unknown_funs(self):
+        fn, _ = fresh_of_type(FunType(INT, INT), SymExecutor().names)
+        gamma = abstract_env(SymEnv({"f": fn}))
+        assert gamma.lookup("f") == FunType(INT, INT)
+
+
+class TestSoundnessModes:
+    LOOP = "{s let i = ref 0 in while !i < n do i := !i + 1 done; !i s}"
+
+    def test_sound_mode_rejects_unfinished_loop(self):
+        config = MixConfig(sym=SymConfig(max_loop_unroll=4))
+        report = analyze_source(self.LOOP, env=TypeEnv({"n": INT}), config=config)
+        assert not report.ok
+
+    def test_good_enough_mode_accepts_bounded_exploration(self):
+        config = MixConfig(
+            sym=SymConfig(max_loop_unroll=4), soundness=SoundnessMode.GOOD_ENOUGH
+        )
+        report = analyze_source(self.LOOP, env=TypeEnv({"n": INT}), config=config)
+        assert report.ok and report.type == INT
+
+
+class TestDeferUnderMix:
+    def test_defer_strategy_through_blocks(self):
+        config = MixConfig(sym=SymConfig(if_strategy=IfStrategy.DEFER))
+        report = analyze_source(
+            "{s if p then 1 else 2 s}", env=TypeEnv({"p": BOOL}), config=config
+        )
+        assert report.ok and report.type == INT
+
+    def test_defer_is_more_conservative_on_branch_types(self):
+        source = "{s if true then 1 else true s}"
+        fork = analyze_source(source)
+        assert fork.ok  # concrete folding takes only the int branch
+        # With a symbolic condition, defer requires equal branch types:
+        config = MixConfig(sym=SymConfig(if_strategy=IfStrategy.DEFER))
+        deferred = analyze_source(
+            "{s if p then 1 else true s}", env=TypeEnv({"p": BOOL}), config=config
+        )
+        assert not deferred.ok

@@ -1,0 +1,167 @@
+"""Ablation tests for the MIXY driver's §4.2 machinery: what breaks (and
+how) when aliasing restoration or typed-call havoc is disabled."""
+
+import pytest
+
+from repro.mixy import Mixy, MixyConfig
+
+
+class TestAliasingRestore:
+    """§4.2: 'when we transition from a symbolic block to a typed block,
+    we add constraints to require that all may-aliased expressions have
+    the same type'."""
+
+    # Two pointer params that may alias the same caller object: a NULL
+    # discovered through one must taint the other's qualifier.
+    PROGRAM = """
+    void sysutil_free(void *nonnull p_ptr) MIX(typed);
+    void clear_first(int **pa, int **pb) MIX(symbolic) {
+      *pa = NULL;
+    }
+    int main(void) {
+      int *x = (int *) malloc(sizeof(int));
+      clear_first(&x, &x);
+      sysutil_free(x);
+      return 0;
+    }
+    """
+
+    def test_restore_on_taints_alias(self):
+        mixy = Mixy(self.PROGRAM, MixyConfig(restore_aliasing=True))
+        warnings = mixy.run()
+        assert any("sysutil_free" in str(w) for w in warnings)
+
+    def test_ablation_changes_connectivity(self):
+        """Without restoration the unification edges are absent (the
+        deep-unify at the call site may still find the flow — the
+        ablation is about the §4.2 edges specifically)."""
+        on = Mixy(self.PROGRAM, MixyConfig(restore_aliasing=True))
+        on.run()
+        off = Mixy(self.PROGRAM, MixyConfig(restore_aliasing=False))
+        off.run()
+        assert on.qual.graph.num_edges > off.qual.graph.num_edges
+
+
+class TestTypedCallHavoc:
+    """SETypBlock havocs memory a typed callee may reach; disabling it
+    approximates the paper's effect-based refinement."""
+
+    # The typed callee writes NULL through its pointer argument; with
+    # havoc the executor forgets the cell (fresh symbol: could be null,
+    # could be anything); without havoc it would wrongly keep the old
+    # non-null value.
+    PROGRAM = """
+    void sysutil_free(void *nonnull p_ptr) MIX(typed);
+    void typed_clear(int **pp) MIX(typed) {
+      *pp = NULL;
+    }
+    void worker(int *q) MIX(symbolic) {
+      int *local = q;
+      typed_clear(&local);
+      if (local != NULL) {
+        sysutil_free(local);
+      }
+    }
+    int main(void) {
+      worker((int *) malloc(sizeof(int)));
+      return 0;
+    }
+    """
+
+    def test_havoc_on_is_conservative(self):
+        mixy = Mixy(self.PROGRAM, MixyConfig(havoc_on_typed_call=True))
+        warnings = mixy.run()
+        # The guard protects the free on every path the executor retains.
+        assert not any("NULL dereference" in str(w) for w in warnings)
+
+    def test_havoc_off_keeps_stale_value(self):
+        """The ablation is *unsound* here: the callee's write is missed,
+        so the executor believes local is still the old non-null malloc
+        result — the analysis stays quiet for the wrong reason.  This
+        test documents the behavior difference."""
+        on = Mixy(self.PROGRAM, MixyConfig(havoc_on_typed_call=True))
+        on.run()
+        off = Mixy(self.PROGRAM, MixyConfig(havoc_on_typed_call=False))
+        off.run()
+        # With havoc, the executor re-reads an unknown; without, a
+        # constant: observable through solver traffic.
+        assert on.executor.stats["solver_calls"] >= off.executor.stats["solver_calls"]
+
+
+class TestStrictDerefMode:
+    PROGRAM = """
+    int readit(int *p) MIX(symbolic) {
+      if (p != NULL) { return *p; }
+      return 0;
+    }
+    int main(void) {
+      int *x = NULL;
+      int y = *x;
+      return readit(x) + y;
+    }
+    """
+
+    def test_default_mode_silent_on_unannotated_deref(self):
+        from repro.mixy.qual import QualConfig
+
+        mixy = Mixy(self.PROGRAM, MixyConfig())
+        warnings = mixy.run()
+        assert not any("dereference" in str(w) for w in warnings)
+
+    def test_strict_mode_flags_typed_deref(self):
+        from repro.mixy.qual import QualConfig
+
+        config = MixyConfig(qual=QualConfig(deref_requires_nonnull=True))
+        mixy = Mixy(self.PROGRAM, config)
+        warnings = mixy.run()
+        assert any("dereference" in str(w) for w in warnings)
+
+    def test_strict_mode_spares_guarded_symbolic_deref(self):
+        """The symbolic block's guarded deref stays clean even in strict
+        mode — path sensitivity where it matters."""
+        from repro.mixy.qual import QualConfig
+
+        config = MixyConfig(qual=QualConfig(deref_requires_nonnull=True))
+        mixy = Mixy(self.PROGRAM, config)
+        warnings = mixy.run()
+        assert not any("readit" in str(w) and "NULL deref" in str(w) for w in warnings)
+
+
+class TestTypedBlockCaching:
+    """§4.3 'Caching Typed Blocks': the calling context is the translated
+    types of the arguments; compatible contexts skip re-translation."""
+
+    PROGRAM = """
+    void log_it(int *p) MIX(typed);
+    void worker(int *a, int *b) MIX(symbolic) {
+      log_it(a);
+      log_it(b);
+      log_it(a);
+    }
+    int main(void) {
+      worker((int *) malloc(sizeof(int)), (int *) malloc(sizeof(int)));
+      return 0;
+    }
+    """
+
+    def test_repeated_compatible_typed_calls_hit_cache(self):
+        from repro.mixy import Mixy, MixyConfig
+
+        mixy = Mixy(self.PROGRAM, MixyConfig(enable_cache=True))
+        mixy.run()
+        assert mixy.stats["typed_calls"] >= 3
+        assert mixy.stats["cache_hits"] >= 1
+
+    def test_cache_off_never_hits(self):
+        from repro.mixy import Mixy, MixyConfig
+
+        mixy = Mixy(self.PROGRAM, MixyConfig(enable_cache=False))
+        mixy.run()
+        assert mixy.stats["cache_hits"] == 0
+
+    def test_verdicts_identical_either_way(self):
+        from repro.mixy import Mixy, MixyConfig
+
+        on = [str(w) for w in Mixy(self.PROGRAM, MixyConfig(enable_cache=True)).run()]
+        off = [str(w) for w in Mixy(self.PROGRAM, MixyConfig(enable_cache=False)).run()]
+        assert on == off

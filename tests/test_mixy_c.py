@@ -1,0 +1,205 @@
+"""Tests for the mini-C frontend (lexer, parser, typeinfo)."""
+
+import pytest
+
+from repro.mixy.c import parse_program
+from repro.mixy.c.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    Deref,
+    ExprStmt,
+    Field,
+    FunType,
+    Global,
+    If,
+    IntLit,
+    Malloc,
+    NullLit,
+    PtrType,
+    Return,
+    Scalar,
+    StructType,
+    VarDecl,
+    VarRef,
+    While,
+    INT_T,
+    VOID_T,
+    CHAR_T,
+    pointer_depth,
+)
+from repro.mixy.c.parser import CParseError
+from repro.mixy.c.typeinfo import CTypeError, TypeInfo
+
+
+class TestParserDeclarations:
+    def test_struct(self):
+        p = parse_program("struct foo { int a; char *b; struct foo *next; };")
+        s = p.structs["foo"]
+        assert s.field_type("a") == INT_T
+        assert s.field_type("b") == PtrType(CHAR_T)
+        assert s.field_type("next") == PtrType(StructType("foo"))
+        assert s.field_index("b") == 1
+
+    def test_global_with_init(self):
+        p = parse_program("int *g = NULL;")
+        g = p.globals["g"]
+        assert g.typ == PtrType(INT_T) and isinstance(g.init, NullLit)
+
+    def test_function_pointer_global(self):
+        p = parse_program("void (*handler)(int);")
+        g = p.globals["handler"]
+        assert g.typ == PtrType(FunType((INT_T,), VOID_T))
+
+    def test_function_definition(self):
+        p = parse_program("int add(int a, int b) { return a + b; }")
+        f = p.functions["add"]
+        assert f.ret == INT_T and len(f.params) == 2 and f.body is not None
+
+    def test_extern_declaration(self):
+        p = parse_program("void exit_model(int code);")
+        assert p.functions["exit_model"].body is None
+
+    def test_definition_supersedes_extern(self):
+        p = parse_program("void f(void); void f(void) { return; }")
+        assert p.functions["f"].body is not None
+
+    def test_mix_annotations(self):
+        p = parse_program(
+            "void f(void) MIX(typed); void g(void) MIX(symbolic) { return; }"
+        )
+        assert p.functions["f"].mix == "typed"
+        assert p.functions["g"].mix == "symbolic"
+
+    def test_nonnull_param(self):
+        p = parse_program("void free_it(void *nonnull p) MIX(typed);")
+        assert p.functions["free_it"].params[0].nonnull
+
+    def test_nonnull_return(self):
+        p = parse_program('char *nonnull get_name(void) { return "x"; }')
+        assert p.functions["get_name"].nonnull_return
+
+    def test_double_pointer_param(self):
+        p = parse_program("void clear(struct sockaddr **pp) { *pp = NULL; }")
+        assert pointer_depth(p.functions["clear"].params[0].typ) == 2
+
+    def test_void_param_list(self):
+        p = parse_program("int f(void) { return 0; }")
+        assert p.functions["f"].params == ()
+
+    def test_bad_mix_annotation_rejected(self):
+        with pytest.raises(CParseError):
+            parse_program("void f(void) MIX(banana);")
+
+    def test_comments(self):
+        p = parse_program("/* block */ int g; // line\nint h;")
+        assert set(p.globals) == {"g", "h"}
+
+
+class TestParserStatements:
+    def parse_body(self, body):
+        p = parse_program(f"void f(int x, int *p) {{ {body} }}")
+        return p.functions["f"].body.stmts
+
+    def test_if_else(self):
+        (stmt,) = self.parse_body("if (x) { x = 1; } else { x = 2; }")
+        assert isinstance(stmt, If) and stmt.els is not None
+
+    def test_if_without_braces(self):
+        (stmt,) = self.parse_body("if (x) x = 1;")
+        assert isinstance(stmt, If) and isinstance(stmt.then, Block)
+
+    def test_while(self):
+        (stmt,) = self.parse_body("while (x < 10) { x = x + 1; }")
+        assert isinstance(stmt, While)
+
+    def test_local_declaration(self):
+        (stmt,) = self.parse_body("struct foo *q = NULL;")
+        assert isinstance(stmt, VarDecl) and stmt.typ == PtrType(StructType("foo"))
+
+    def test_return_void(self):
+        (stmt,) = self.parse_body("return;")
+        assert isinstance(stmt, Return) and stmt.value is None
+
+
+class TestParserExpressions:
+    def parse_expr(self, text):
+        p = parse_program(f"void f(int x, int *p, struct s *o) {{ {text}; }}")
+        stmt = p.functions["f"].body.stmts[0]
+        assert isinstance(stmt, ExprStmt)
+        return stmt.expr
+
+    def test_precedence(self):
+        e = self.parse_expr("x == 1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "=="
+
+    def test_assignment_expression(self):
+        e = self.parse_expr("x = x + 1")
+        assert isinstance(e, Assign)
+
+    def test_deref_assign(self):
+        e = self.parse_expr("*p = 0")
+        assert isinstance(e, Assign) and isinstance(e.lhs, Deref)
+
+    def test_arrow_field(self):
+        e = self.parse_expr("o->data = NULL")
+        assert isinstance(e.lhs, Field) and e.lhs.arrow
+
+    def test_call_through_deref(self):
+        e = self.parse_expr("(*p)()")
+        assert isinstance(e, Call) and isinstance(e.fn, Deref)
+
+    def test_malloc_cast(self):
+        e = self.parse_expr("p = (int *) malloc(sizeof(int))")
+        assert isinstance(e.rhs, Cast) and isinstance(e.rhs.operand, Malloc)
+
+    def test_logical_operators(self):
+        e = self.parse_expr("x && x || x")
+        assert isinstance(e, Binary) and e.op == "||"
+
+    def test_not(self):
+        e = self.parse_expr("!x")
+        assert e.op == "!"
+
+
+class TestTypeInfo:
+    PROGRAM = """
+    struct node { int value; struct node *next; };
+    struct node *head;
+    int length(struct node *n) { return 0; }
+    """
+
+    def make(self, locals_=None):
+        return TypeInfo(parse_program(self.PROGRAM), locals_ or {})
+
+    def test_global(self):
+        ti = self.make()
+        assert ti.type_of(VarRef("head")) == PtrType(StructType("node"))
+
+    def test_deref(self):
+        ti = self.make()
+        assert ti.type_of(Deref(VarRef("head"))) == StructType("node")
+
+    def test_field_arrow(self):
+        ti = self.make()
+        expr = Field(VarRef("head"), "next", arrow=True)
+        assert ti.type_of(expr) == PtrType(StructType("node"))
+
+    def test_function_type(self):
+        ti = self.make()
+        assert isinstance(ti.var_type("length"), FunType)
+
+    def test_call_result(self):
+        ti = self.make()
+        call = Call(VarRef("length"), (VarRef("head"),))
+        assert ti.type_of(call) == INT_T
+
+    def test_unknown_identifier(self):
+        with pytest.raises(CTypeError):
+            self.make().type_of(VarRef("nope"))
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CTypeError):
+            self.make({"x": INT_T}).type_of(Deref(VarRef("x")))

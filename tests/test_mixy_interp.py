@@ -1,0 +1,225 @@
+"""Tests for the concrete mini-C interpreter, plus differential testing
+of the C symbolic executor against it."""
+
+import random
+
+import pytest
+
+from repro import smt
+from repro.mixy.c import parse_program
+from repro.mixy.c.interp import (
+    CInterpreter,
+    CNullDereference,
+    CRuntimeError,
+    CStepBudgetExceeded,
+    run_function,
+)
+from repro.mixy.symexec import CSymExecutor
+
+
+class TestInterpreterBasics:
+    def test_arithmetic(self):
+        assert run_function(parse_program("int f(void) { return 2 + 3 * 4; }"), "f") == 14
+
+    def test_truncating_division(self):
+        p = parse_program("int f(int a, int b) { return a / b; }")
+        assert run_function(p, "f", [7, 2]) == 3
+        assert run_function(p, "f", [-7, 2]) == -3
+
+    def test_division_by_zero_raises(self):
+        p = parse_program("int f(void) { return 1 / 0; }")
+        with pytest.raises(CRuntimeError):
+            run_function(p, "f")
+
+    def test_locals_params_and_control(self):
+        src = """
+        int gcd(int a, int b) {
+          while (b != 0) {
+            int t = b;
+            b = a - (a / b) * b;
+            a = t;
+          }
+          return a;
+        }
+        """
+        assert run_function(parse_program(src), "gcd", [48, 18]) == 6
+
+    def test_pointers(self):
+        src = """
+        void bump(int *p) { *p = *p + 1; }
+        int f(void) { int x = 41; bump(&x); return x; }
+        """
+        assert run_function(parse_program(src), "f") == 42
+
+    def test_structs(self):
+        src = """
+        struct pair { int a; int b; };
+        int f(void) {
+          struct pair *p = (struct pair *) malloc(sizeof(struct pair));
+          p->a = 1;
+          p->b = 2;
+          return p->a + p->b;
+        }
+        """
+        assert run_function(parse_program(src), "f") == 3
+
+    def test_null_deref_raises(self):
+        p = parse_program("int f(void) { int *q = NULL; return *q; }")
+        with pytest.raises(CNullDereference):
+            run_function(p, "f")
+
+    def test_function_pointers(self):
+        src = """
+        int one(void) { return 1; }
+        int two(void) { return 2; }
+        int f(int c) {
+          int (*h)(void);
+          h = one;
+          if (c) { h = two; }
+          return h();
+        }
+        """
+        p = parse_program(src)
+        assert run_function(p, "f", [0]) == 1
+        assert run_function(p, "f", [1]) == 2
+
+    def test_globals_initialized(self):
+        src = """
+        int counter = 7;
+        int *never = NULL;
+        int f(void) { counter = counter + 1; return counter; }
+        """
+        interp = CInterpreter(parse_program(src))
+        assert interp.call("f") == 8
+        assert interp.call("f") == 9  # state persists within one instance
+
+    def test_short_circuit(self):
+        src = """
+        int boom(void) { int *q = NULL; return *q; }
+        int f(void) { return 0 && boom(); }
+        int g(void) { return 1 || boom(); }
+        """
+        p = parse_program(src)
+        assert run_function(p, "f") == 0
+        assert run_function(p, "g") == 1
+
+    def test_step_budget(self):
+        p = parse_program("int f(void) { while (1) { } return 0; }")
+        with pytest.raises(CStepBudgetExceeded):
+            CInterpreter(p, step_budget=500).call("f")
+
+
+# ---------------------------------------------------------------------------
+# Differential testing: interpreter vs symbolic executor on concrete runs
+# ---------------------------------------------------------------------------
+
+PROGRAMS = [
+    (
+        """
+        int f(int a, int b) {
+          int m = a;
+          if (b > a) { m = b; }
+          return m * 2 - a;
+        }
+        """,
+        "f",
+        2,
+    ),
+    (
+        """
+        int f(int n) {
+          int acc = 0;
+          int i = 0;
+          while (i < n) { acc = acc + i; i = i + 1; }
+          return acc;
+        }
+        """,
+        "f",
+        1,
+    ),
+    (
+        """
+        int helper(int x) { if (x < 0) { return 0 - x; } return x; }
+        int f(int a, int b) { return helper(a - b) + helper(b - a); }
+        """,
+        "f",
+        2,
+    ),
+    (
+        """
+        struct acc { int total; int count; };
+        int f(int a, int b) {
+          struct acc s;
+          s.total = 0;
+          s.count = 0;
+          int *p = &(s.total);
+          *p = a + b;
+          s.count = 2;
+          return s.total / s.count;
+        }
+        """,
+        "f",
+        2,
+    ),
+    (
+        """
+        int f(int a, int b) {
+          return (a > 0 && b > 0) + (a > 0 || b > 0);
+        }
+        """,
+        "f",
+        2,
+    ),
+]
+
+
+@pytest.mark.parametrize("source,name,arity", PROGRAMS, ids=[str(i) for i in range(len(PROGRAMS))])
+@pytest.mark.parametrize("seed", range(4))
+def test_concrete_executor_agrees_with_interpreter(source, name, arity, seed):
+    rng = random.Random(seed)
+    args = [rng.randint(-6, 9) for _ in range(arity)]
+    program = parse_program(source)
+    expected = run_function(program, name, list(args))
+    executor = CSymExecutor(program)
+    results = list(
+        executor.execute_function(
+            program.functions[name],
+            [smt.int_const(a) for a in args],
+            executor.initial_state(),
+        )
+    )
+    assert len(results) == 1, "concrete inputs must follow one path"
+    assert results[0].ret is smt.int_const(expected)
+    assert not executor.warnings
+
+
+def test_symbolic_covers_all_concrete_paths():
+    """Every concrete result appears among the symbolic paths' values
+    under the matching path condition."""
+    source = """
+    int f(int a) {
+      if (a < 0) { return 0 - a; }
+      if (a == 0) { return 100; }
+      return a;
+    }
+    """
+    program = parse_program(source)
+    executor = CSymExecutor(program)
+    alpha = executor.fresh_symbol("a")
+    results = list(
+        executor.execute_function(
+            program.functions["f"], [alpha], executor.initial_state()
+        )
+    )
+    for concrete in (-5, 0, 7):
+        expected = run_function(program, "f", [concrete])
+        matched = False
+        for result in results:
+            binding = smt.eq(alpha, smt.int_const(concrete))
+            if smt.is_satisfiable(smt.and_(result.state.condition(), binding)):
+                assert smt.is_valid(
+                    smt.eq(result.ret, smt.int_const(expected)),
+                    assuming=[result.state.condition(), binding],
+                )
+                matched = True
+        assert matched, f"no symbolic path matches input {concrete}"

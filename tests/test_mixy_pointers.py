@@ -1,0 +1,184 @@
+"""Tests for the Andersen points-to analysis and call graph."""
+
+from repro.mixy.c import parse_program
+from repro.mixy.c.ast import Block, Call, ExprStmt, If, While
+from repro.mixy.pointers import (
+    PointsTo,
+    obj_field,
+    obj_global,
+    obj_local,
+    obj_malloc,
+)
+
+
+def analyze(source):
+    program = parse_program(source)
+    return program, PointsTo(program)
+
+
+def find_calls(program, fn):
+    out = []
+
+    def walk(stmt):
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                walk(s)
+        elif isinstance(stmt, If):
+            walk(stmt.then)
+            if stmt.els is not None:
+                walk(stmt.els)
+        elif isinstance(stmt, While):
+            walk(stmt.body)
+        elif isinstance(stmt, ExprStmt) and isinstance(stmt.expr, Call):
+            out.append(stmt.expr)
+
+    walk(program.functions[fn].body)
+    return out
+
+
+class TestBasicPointsTo:
+    def test_address_of(self):
+        _, pts = analyze("void f(void) { int x; int *p = &x; }")
+        assert pts.pts(obj_local("f", "p")) == {obj_local("f", "x")}
+
+    def test_copy(self):
+        _, pts = analyze("void f(void) { int x; int *p = &x; int *q = p; }")
+        assert pts.pts(obj_local("f", "q")) == {obj_local("f", "x")}
+
+    def test_double_indirection(self):
+        src = "void f(void) { int x; int *p = &x; int **pp = &p; int *q = *pp; }"
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("f", "q")) == {obj_local("f", "x")}
+
+    def test_store_through_pointer(self):
+        src = """
+        void f(void) {
+          int x; int y;
+          int *p; int **pp = &p;
+          *pp = &y;
+          int *q = p;
+        }
+        """
+        _, pts = analyze(src)
+        assert obj_local("f", "y") in pts.pts(obj_local("f", "q"))
+
+    def test_malloc_site(self):
+        _, pts = analyze("void f(void) { int *p = (int *) malloc(sizeof(int)); }")
+        (obj,) = pts.pts(obj_local("f", "p"))
+        assert obj[0] == "malloc"
+
+    def test_malloc_sites_conflated_across_paths_not_sites(self):
+        src = """
+        void f(int c) {
+          int *a = (int *) malloc(sizeof(int));
+          int *b = (int *) malloc(sizeof(int));
+        }
+        """
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("f", "a")) != pts.pts(obj_local("f", "b"))
+
+    def test_globals(self):
+        src = "int g; int *p; void f(void) { p = &g; }"
+        _, pts = analyze(src)
+        assert pts.pts(obj_global("p")) == {obj_global("g")}
+
+    def test_null_points_nowhere(self):
+        _, pts = analyze("void f(void) { int *p = NULL; }")
+        assert pts.pts(obj_local("f", "p")) == set()
+
+
+class TestFields:
+    def test_field_store_load(self):
+        src = """
+        struct box { int *item; };
+        int g;
+        void f(void) {
+          struct box *b = (struct box *) malloc(sizeof(struct box));
+          b->item = &g;
+          int *q = b->item;
+        }
+        """
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("f", "q")) == {obj_global("g")}
+
+    def test_direct_field_of_local_struct(self):
+        src = """
+        struct box { int *item; };
+        int g;
+        void f(void) {
+          struct box b;
+          b.item = &g;
+          int *q = b.item;
+        }
+        """
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("f", "q")) == {obj_global("g")}
+
+
+class TestInterprocedural:
+    def test_args_flow_to_params(self):
+        src = """
+        int g;
+        void callee(int *p) { int *local = p; }
+        void caller(void) { callee(&g); }
+        """
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("callee", "local")) == {obj_global("g")}
+
+    def test_return_flows_back(self):
+        src = """
+        int g;
+        int *get(void) { return &g; }
+        void caller(void) { int *p = get(); }
+        """
+        _, pts = analyze(src)
+        assert pts.pts(obj_local("caller", "p")) == {obj_global("g")}
+
+    def test_extern_pointer_return_gets_opaque_object(self):
+        src = """
+        char *getenv_model(char *name);
+        void f(void) { char *v = getenv_model("PATH"); }
+        """
+        _, pts = analyze(src)
+        objs = pts.pts(obj_local("f", "v"))
+        assert any(o[0] == "ext" for o in objs)
+
+
+class TestCallGraph:
+    SOURCE = """
+    void h1(void) { }
+    void h2(void) { }
+    void h3(void) { }
+    void (*handler)(void);
+    void f(int c) {
+      handler = h1;
+      if (c) { handler = h2; }
+      handler();
+      h3();
+    }
+    """
+
+    def test_indirect_call_targets(self):
+        program, pts = analyze(self.SOURCE)
+        indirect, direct = find_calls(program, "f")
+        assert pts.callees(indirect, "f") == ["h1", "h2"]
+
+    def test_direct_call(self):
+        program, pts = analyze(self.SOURCE)
+        _, direct = find_calls(program, "f")
+        assert pts.callees(direct, "f") == ["h3"]
+
+    def test_may_alias(self):
+        src = """
+        int g;
+        void f(void) {
+          int *p = &g;
+          int *q = &g;
+          int x;
+          int *r = &x;
+          int unused = *p + *q + *r;
+        }
+        """
+        program, pts = analyze(src)
+        assert pts.pts(obj_local("f", "p")) & pts.pts(obj_local("f", "q"))
+        assert not (pts.pts(obj_local("f", "p")) & pts.pts(obj_local("f", "r")))

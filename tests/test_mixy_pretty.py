@@ -1,0 +1,104 @@
+"""Round-trip tests for the mini-C pretty-printer."""
+
+import pytest
+
+from repro.mixy.c import parse_program
+from repro.mixy.c.pretty import expr_text, pretty_program, type_text
+from repro.mixy.corpus import CASES
+from repro.mixy.corpus_vsftpd import mini_vsftpd
+
+
+def roundtrip(source: str):
+    first = parse_program(source)
+    printed = pretty_program(first)
+    second = parse_program(printed)
+    return first, second, printed
+
+
+def assert_equivalent(first, second):
+    assert set(first.structs) == set(second.structs)
+    assert set(first.globals) == set(second.globals)
+    assert set(first.functions) == set(second.functions)
+    for name, struct in first.structs.items():
+        assert second.structs[name] == struct
+    for name, g in first.globals.items():
+        assert second.globals[name].typ == g.typ
+        assert second.globals[name].init == g.init
+    for name, fn in first.functions.items():
+        other = second.functions[name]
+        assert other.params == fn.params
+        assert other.ret == fn.ret
+        assert other.mix == fn.mix
+        assert other.nonnull_return == fn.nonnull_return
+        assert other.body == fn.body
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int g; int f(void) { return g + 1; }",
+            "struct s { int a; char *b; }; struct s *make(void) { return NULL; }",
+            "void (*h)(int); void g(void) { h(1); }",
+            "void f(int *nonnull p) MIX(typed);",
+            "char *nonnull name(void) { return \"x\"; }",
+            """
+            int f(int a) {
+              int *p = (int *) malloc(sizeof(int));
+              *p = a * 2 + 1;
+              if (a > 0 && *p < 10) { return *p; } else { return -a; }
+            }
+            """,
+            """
+            struct node { int v; struct node *next; };
+            int sum(struct node *n) {
+              int total = 0;
+              while (n != NULL) { total = total + n->v; n = n->next; }
+              return total;
+            }
+            """,
+            "int f(void) { int x; int *p = &x; (*p) = 1; return !x; }",
+        ],
+    )
+    def test_small_programs(self, source):
+        first, second, _printed = roundtrip(source)
+        assert_equivalent(first, second)
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    @pytest.mark.parametrize("annotated", [False, True])
+    def test_corpus_cases(self, name, annotated):
+        first, second, _ = roundtrip(CASES[name].source(annotated))
+        assert_equivalent(first, second)
+
+    def test_mini_vsftpd(self):
+        first, second, _ = roundtrip(mini_vsftpd())
+        assert_equivalent(first, second)
+
+    def test_analysis_agrees_on_printed_program(self):
+        """The analyses must not care whether they see the original or
+        the pretty-printed program."""
+        from repro.mixy import Mixy
+
+        source = CASES["case1"].source(True)
+        original = [str(w) for w in Mixy(source).run()]
+        printed = pretty_program(parse_program(source))
+        reprinted = [str(w) for w in Mixy(printed).run()]
+        assert (original == []) == (reprinted == [])
+
+
+class TestRendering:
+    def test_precedence_parens(self):
+        program = parse_program("int f(int a) { return (a + 1) * 2; }")
+        body = program.functions["f"].body.stmts[0]
+        assert expr_text(body.value) == "(a + 1) * 2"
+
+    def test_no_spurious_parens(self):
+        program = parse_program("int f(int a) { return a + 1 * 2; }")
+        body = program.functions["f"].body.stmts[0]
+        assert expr_text(body.value) == "a + 1 * 2"
+
+    def test_type_text(self):
+        from repro.mixy.c.ast import INT_T, PtrType, StructType
+
+        assert type_text(INT_T) == "int"
+        assert type_text(PtrType(PtrType(StructType("s")))) == "struct s * *"

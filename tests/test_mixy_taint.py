@@ -1,0 +1,159 @@
+"""Tests for the taint instance of the qualifier engine."""
+
+import pytest
+
+from repro.mixy.c import parse_program
+from repro.mixy.pointers import PointsTo
+from repro.mixy.taint import TaintSpec, analyze_taint
+
+SPEC = TaintSpec(
+    sources=frozenset({"read_user_input", "getenv_model"}),
+    sinks={"exec_query": (0,), "system_model": (0,)},
+)
+
+PRELUDE = """
+char *read_user_input(void);
+char *getenv_model(char *name);
+int exec_query(char *sql);
+int system_model(char *cmd);
+char *sanitize(char *raw);
+"""
+
+
+def taint(source):
+    program = parse_program(PRELUDE + source)
+    return analyze_taint(program, SPEC, callees_of=PointsTo(program).callees)
+
+
+class TestDirectFlows:
+    def test_source_to_sink(self):
+        warnings = taint(
+            "int f(void) { char *q = read_user_input(); return exec_query(q); }"
+        )
+        assert len(warnings) == 1
+        assert "read_user_input" in str(warnings[0])
+        assert "exec_query" in str(warnings[0])
+
+    def test_clean_constant_query(self):
+        assert taint('int f(void) { return exec_query("SELECT 1"); }') == []
+
+    def test_sanitizer_breaks_flow(self):
+        warnings = taint(
+            """
+            int f(void) {
+              char *q = sanitize(read_user_input());
+              return exec_query(q);
+            }
+            """
+        )
+        assert warnings == []
+
+    def test_two_sources_two_warnings(self):
+        warnings = taint(
+            """
+            int f(void) {
+              exec_query(read_user_input());
+              system_model(getenv_model("PATH"));
+              return 0;
+            }
+            """
+        )
+        assert len(warnings) == 2
+
+    def test_non_sink_parameter_ignored(self):
+        spec = TaintSpec(sources=frozenset({"read_user_input"}), sinks={"dual": (1,)})
+        program = parse_program(
+            """
+            char *read_user_input(void);
+            int dual(char *log_text, char *query);
+            int f(void) { return dual(read_user_input(), "SELECT 1"); }
+            """
+        )
+        assert analyze_taint(program, spec) == []
+
+
+class TestIndirectFlows:
+    def test_through_helper_function(self):
+        warnings = taint(
+            """
+            char *wrap(char *s) { return s; }
+            int f(void) { return exec_query(wrap(read_user_input())); }
+            """
+        )
+        assert len(warnings) == 1
+        assert "wrap" in str(warnings[0])  # the witness names the conduit
+
+    def test_through_struct_field(self):
+        warnings = taint(
+            """
+            struct request { char *body; int size; };
+            void fill(struct request *r) { r->body = read_user_input(); }
+            int handle(struct request *r) { return exec_query(r->body); }
+            """
+        )
+        assert len(warnings) == 1
+
+    def test_through_global(self):
+        warnings = taint(
+            """
+            char *g_last_cmd;
+            void store(void) { g_last_cmd = read_user_input(); }
+            int replay(void) { return system_model(g_last_cmd); }
+            """
+        )
+        assert len(warnings) == 1
+
+    def test_through_function_pointer(self):
+        warnings = taint(
+            """
+            int handler_a(char *s) { return exec_query(s); }
+            int (*dispatch)(char *);
+            int f(void) {
+              dispatch = handler_a;
+              return dispatch(read_user_input());
+            }
+            """
+        )
+        assert len(warnings) == 1
+
+    def test_flow_insensitive_like_nullness(self):
+        # The sink call happens before the taint assignment: still warned.
+        warnings = taint(
+            """
+            int f(void) {
+              char *q = "safe";
+              exec_query(q);
+              q = read_user_input();
+              return 0;
+            }
+            """
+        )
+        assert len(warnings) == 1
+
+
+class TestSpecValidation:
+    def test_source_sink_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TaintSpec(sources=frozenset({"f"}), sinks={"f": (0,)})
+
+    def test_nullness_seeds_are_inert(self):
+        """NULL/malloc/nonnull machinery must not produce taint warnings."""
+        warnings = taint(
+            """
+            void free_model(char *nonnull p);
+            int f(void) {
+              char *p = NULL;
+              char *q = (char *) malloc(sizeof(char));
+              exec_query("const");
+              return 0;
+            }
+            """
+        )
+        assert warnings == []
+
+    def test_warning_text_uses_taint_vocabulary(self):
+        (warning,) = taint(
+            "int f(void) { return exec_query(read_user_input()); }"
+        )
+        text = str(warning)
+        assert "TAINTED" in text and "untainted" in text

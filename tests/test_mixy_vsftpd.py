@@ -1,0 +1,77 @@
+"""Integration tests on the miniature vsftpd corpus."""
+
+import pytest
+
+from repro.mixy import Mixy
+from repro.mixy.c import parse_program
+from repro.mixy.corpus_vsftpd import ANNOTATION_SITES, annotation_subsets, mini_vsftpd
+
+
+class TestProgramShape:
+    def test_parses(self):
+        program = parse_program(mini_vsftpd())
+        assert "main" in program.functions
+        assert len(program.functions) >= 25
+        assert {"mystr", "sockaddr", "hostent", "vsf_session"} <= set(program.structs)
+
+    def test_annotations_toggle(self):
+        plain = parse_program(mini_vsftpd())
+        assert plain.functions["sockaddr_clear"].mix is None
+        annotated = parse_program(mini_vsftpd({"sockaddr_clear"}))
+        assert annotated.functions["sockaddr_clear"].mix == "symbolic"
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            mini_vsftpd({"not_a_site"})
+
+    def test_always_typed_annotations_present(self):
+        program = parse_program(mini_vsftpd())
+        assert program.functions["sysutil_free"].mix == "typed"
+        assert program.functions["str_alloc_text"].mix == "typed"
+
+
+class TestAnalysisProgression:
+    def test_unannotated_has_false_positives(self):
+        warnings = Mixy(mini_vsftpd()).run()
+        assert len(warnings) == 4
+        text = " ".join(str(w) for w in warnings)
+        # One flow per null source the paper's cases identify.
+        for source in ("main_BLOCK", "session_init", "sockaddr_clear", "sysutil_next_dirent"):
+            assert source in text
+
+    def test_full_annotation_is_clean(self):
+        warnings = Mixy(mini_vsftpd(frozenset(ANNOTATION_SITES))).run()
+        assert warnings == []
+
+    def test_warnings_monotonically_nonincreasing(self):
+        counts = [len(Mixy(mini_vsftpd(s)).run()) for s in annotation_subsets()]
+        assert counts[0] == 4 and counts[-1] == 0
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_cost_monotonically_increasing(self):
+        costs = []
+        for subset in annotation_subsets():
+            mixy = Mixy(mini_vsftpd(subset))
+            mixy.run()
+            costs.append(
+                mixy.executor.stats["solver_calls"]
+                + mixy.stats["symbolic_blocks_run"]
+            )
+        assert all(a < b for a, b in zip(costs, costs[1:])), costs
+
+    def test_case4_needs_the_typed_extraction(self):
+        """A symbolic login_check without the typed exit hook hits the
+        symbolic function pointer."""
+        source = mini_vsftpd({"sysutil_exit_BLOCK"}).replace(
+            "void sysutil_exit_BLOCK(void) MIX(typed)", "void sysutil_exit_BLOCK(void)"
+        )
+        warnings = Mixy(source).run()
+        assert any("function pointer" in str(w) for w in warnings)
+
+    def test_symbolic_entry_runs(self):
+        mixy = Mixy(mini_vsftpd(frozenset(ANNOTATION_SITES)))
+        warnings = mixy.run(entry="symbolic")
+        # Whole-program symbolic execution from main terminates; globals
+        # are zero-initialized so the tunables are NULL (fine: the
+        # gethostbyname model tolerates NULL names).
+        assert isinstance(warnings, list)

@@ -1,0 +1,107 @@
+"""Unit tests for the Tseitin CNF layer."""
+
+import itertools
+
+import pytest
+
+from repro.smt import BOOL, INT, and_, iff, implies, int_const, ite, le, lt, not_, or_, true, false, var
+from repro.smt.cnf import CnfBuilder
+from repro.smt.linear import LinAtom
+from repro.smt.sat import SatSolver
+from repro.smt.terms import SortError
+
+p = var("p", BOOL)
+q = var("q", BOOL)
+r = var("r", BOOL)
+x = var("x", INT)
+
+
+def models_of(formula, over):
+    """All assignments of the given boolean vars satisfying the formula."""
+    sat = SatSolver()
+    cnf = CnfBuilder(sat)
+    cnf.add_assertion(formula)
+    lits = {v: cnf.atom_literal(v) for v in over}
+    found = set()
+    while True:
+        model = sat.solve()
+        if model is None:
+            return found
+        assignment = tuple(model[lits[v]] for v in over)
+        found.add(assignment)
+        sat.add_clause([-lits[v] if model[lits[v]] else lits[v] for v in over])
+
+
+def brute_models(fn, arity):
+    return {
+        bits for bits in itertools.product([False, True], repeat=arity) if fn(*bits)
+    }
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize(
+        "formula,fn",
+        [
+            (and_(p, q), lambda a, b: a and b),
+            (or_(p, q), lambda a, b: a or b),
+            (implies(p, q), lambda a, b: (not a) or b),
+            (iff(p, q), lambda a, b: a == b),
+            (not_(and_(p, not_(q))), lambda a, b: not (a and not b)),
+            (or_(and_(p, q), not_(p)), lambda a, b: (a and b) or not a),
+        ],
+    )
+    def test_binary_connectives(self, formula, fn):
+        assert models_of(formula, [p, q]) == brute_models(fn, 2)
+
+    def test_ite(self):
+        formula = ite(p, q, r)
+        expected = brute_models(lambda a, b, c: b if a else c, 3)
+        assert models_of(formula, [p, q, r]) == expected
+
+    def test_constants(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        cnf.add_assertion(true())
+        assert sat.solve() is not None
+        cnf.add_assertion(false())
+        assert sat.solve() is None
+
+
+class TestAtomMapping:
+    def test_same_atom_shares_variable(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        # x <= 3 written twice (even via < rewriting) maps to one SAT var.
+        l1 = cnf.encode(le(x, int_const(3)))
+        l2 = cnf.encode(le(x, int_const(3)))
+        l3 = cnf.encode(lt(x, int_const(4)))  # same canonical atom over ints
+        assert l1 == l2 == l3
+
+    def test_trivial_atoms_are_constants(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        assert cnf.encode(le(int_const(1), int_const(2))) == cnf.true_literal()
+        assert cnf.encode(le(int_const(2), int_const(1))) == -cnf.true_literal()
+        assert not cnf.atom_to_var  # nothing reached the theory map
+
+    def test_var_to_atom_inverse(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        lit = cnf.encode(le(x, int_const(3)))
+        atom = cnf.var_to_atom[abs(lit)]
+        assert isinstance(atom, LinAtom)
+        assert atom.constant == 3
+
+    def test_non_boolean_rejected(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        with pytest.raises(SortError):
+            cnf.encode(x)
+
+    def test_uneliminated_kind_rejected(self):
+        from repro.smt import eq
+
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        with pytest.raises(SortError):
+            cnf.encode(eq(x, int_const(1)))  # preprocessing must rewrite eq

@@ -1,0 +1,177 @@
+"""Edge cases and failure modes of the SMT stack."""
+
+import pytest
+
+from repro import smt
+from repro.smt import (
+    BOOL,
+    INT,
+    FuncDecl,
+    SatResult,
+    Solver,
+    SolverError,
+    array_sort,
+    eq,
+    int_const,
+    mul,
+    not_,
+    select,
+    store,
+    var,
+)
+from repro.smt.preprocess import Preprocessor, UnsupportedTermError
+from repro.smt.terms import Sort, SortError
+
+x = var("x", INT)
+y = var("y", INT)
+
+
+class TestUnknownResults:
+    def test_tiny_budget_returns_unknown(self):
+        solver = Solver(int_budget=0)
+        solver.add(smt.gt(x, int_const(0)))
+        assert solver.check() is SatResult.UNKNOWN
+
+    def test_helpers_raise_on_unknown(self):
+        with pytest.raises(SolverError):
+            smt.is_satisfiable(smt.gt(x, int_const(0)), int_budget=0)
+        with pytest.raises(SolverError):
+            smt.is_valid(smt.gt(x, int_const(0)), int_budget=0)
+
+
+class TestFragmentLimits:
+    def test_nonlinear_rejected(self):
+        solver = Solver()
+        solver.add(eq(mul(x, y), int_const(6)))
+        with pytest.raises(SortError):
+            solver.check()
+
+    def test_array_equality_rejected(self):
+        sort = array_sort(INT, INT)
+        a, b = var("a", sort), var("b", sort)
+        solver = Solver()
+        solver.add(eq(a, b))
+        with pytest.raises(UnsupportedTermError):
+            solver.check()
+
+    def test_free_sorts_rejected(self):
+        weird = var("w", Sort("Widget"))
+        solver = Solver()
+        solver.add(eq(weird, weird))
+        # eq(w, w) simplifies to true; force a real occurrence:
+        solver2 = Solver()
+        solver2.add(eq(weird, var("w2", Sort("Widget"))))
+        with pytest.raises(UnsupportedTermError):
+            solver2.check()
+
+    def test_dollar_namespace_is_reserved_but_not_enforced_for_reads(self):
+        # Preprocessing introduces $-variables; user terms should avoid
+        # them, but nothing crashes if they appear.
+        dollar = var("$mine", INT)
+        assert smt.is_satisfiable(eq(dollar, int_const(1)))
+
+
+class TestPreprocessor:
+    def test_side_conditions_share_across_assertions(self):
+        """Ackermann congruence must relate applications from different
+        assertions of the same check()."""
+        f = FuncDecl("f", (INT,), INT)
+        solver = Solver()
+        solver.add(eq(f(x), int_const(1)))
+        solver.add(eq(f(y), int_const(2)))
+        solver.add(eq(x, y))
+        assert solver.check() is SatResult.UNSAT
+
+    def test_repeated_identical_application_shares_variable(self):
+        f = FuncDecl("f", (INT,), INT)
+        pre = Preprocessor()
+        processed = pre.process(eq(f(x), f(x)))
+        # f(x) = f(x) must collapse to true-like (same ack var both sides).
+        solver = Solver()
+        solver.add(not_(processed.goal))
+        assert solver.check() is SatResult.UNSAT
+
+    def test_select_from_distinct_arrays_independent(self):
+        sort = array_sort(INT, INT)
+        a, b = var("a", sort), var("b", sort)
+        formula = smt.and_(
+            eq(select(a, x), int_const(1)), eq(select(b, x), int_const(2))
+        )
+        assert smt.is_satisfiable(formula)
+
+    def test_nested_stores_with_symbolic_indices(self):
+        sort = array_sort(INT, INT)
+        a = var("a", sort)
+        m = store(store(a, x, int_const(1)), y, int_const(2))
+        # Reading x gives 1 unless y aliases x.
+        claim = smt.implies(
+            not_(eq(x, y)), eq(select(m, x), int_const(1))
+        )
+        assert smt.is_valid(claim)
+
+
+class TestModelDetails:
+    def test_model_as_dict(self):
+        solver = Solver()
+        solver.add(eq(x, int_const(3)))
+        p = var("p", BOOL)
+        solver.add(p)
+        assert solver.check() is SatResult.SAT
+        snapshot = solver.model().as_dict()
+        assert snapshot["x"] == 3 and snapshot["p"] is True
+
+    def test_model_select_evaluation(self):
+        sort = array_sort(INT, INT)
+        a = var("a", sort)
+        solver = Solver()
+        solver.add(eq(select(a, int_const(0)), int_const(9)))
+        assert solver.check() is SatResult.SAT
+        model = solver.model()
+        assert model.eval(select(a, int_const(0))) == 9
+
+    def test_model_function_evaluation(self):
+        f = FuncDecl("f", (INT,), INT)
+        solver = Solver()
+        solver.add(eq(f(int_const(1)), int_const(10)))
+        assert solver.check() is SatResult.SAT
+        assert solver.model().eval(f(int_const(1))) == 10
+
+    def test_unconstrained_defaults(self):
+        solver = Solver()
+        solver.add(smt.true())
+        assert solver.check() is SatResult.SAT
+        model = solver.model()
+        assert model.eval(var("never_seen", INT)) == 0
+        assert model.eval(var("never_seen_b", BOOL)) is False
+
+
+class TestSolverStress:
+    def test_many_theory_rounds_converge(self):
+        """A formula whose boolean abstraction has many spurious models."""
+        solver = Solver()
+        atoms = []
+        for i in range(6):
+            vi = var(f"s{i}", INT)
+            atoms.append(smt.or_(eq(vi, int_const(0)), eq(vi, int_const(1))))
+        total = smt.add(*[var(f"s{i}", INT) for i in range(6)])
+        solver.add(*atoms)
+        solver.add(eq(total, int_const(3)))
+        assert solver.check() is SatResult.SAT
+        model = solver.model()
+        assert sum(model.eval(var(f"s{i}", INT)) for i in range(6)) == 3
+
+    def test_unsat_with_many_rounds(self):
+        solver = Solver()
+        for i in range(5):
+            vi = var(f"t{i}", INT)
+            solver.add(smt.or_(eq(vi, int_const(0)), eq(vi, int_const(1))))
+        total = smt.add(*[var(f"t{i}", INT) for i in range(5)])
+        solver.add(smt.gt(total, int_const(5)))
+        assert solver.check() is SatResult.UNSAT
+
+    def test_stats_populated(self):
+        solver = Solver()
+        solver.add(smt.or_(eq(x, int_const(1)), eq(x, int_const(2))))
+        solver.add(smt.gt(x, int_const(1)))
+        solver.check()
+        assert solver.stats["checks"] == 1

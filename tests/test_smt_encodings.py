@@ -1,0 +1,42 @@
+"""Property tests for the shared operation encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.smt.encodings import encode_trunc_div, trunc_div_constant
+
+x = smt.var("xq", smt.INT)
+q = smt.var("qq", smt.INT)
+
+
+class TestTruncDivConstant:
+    @pytest.mark.parametrize(
+        "a,c,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (0, 5, 0), (6, 3, 2)],
+    )
+    def test_matches_c_semantics(self, a, c, expected):
+        assert trunc_div_constant(a, c) == expected
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            encode_trunc_div(x, 0, q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-30, 30), st.integers(-6, 6).filter(lambda c: c != 0))
+def test_encoding_pins_exactly_the_truncated_quotient(a, c):
+    """Under x = a, the definitional constraint is satisfied by q = a/c
+    (truncating) and by no other value."""
+    expected = trunc_div_constant(a, c)
+    definition = encode_trunc_div(x, c, q)
+    binding = smt.eq(x, smt.int_const(a))
+    # The right quotient satisfies the definition...
+    assert smt.is_satisfiable(
+        smt.and_(definition, binding, smt.eq(q, smt.int_const(expected)))
+    )
+    # ...and the definition forces it.
+    assert smt.is_valid(
+        smt.eq(q, smt.int_const(expected)), assuming=[definition, binding]
+    )

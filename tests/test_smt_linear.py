@@ -1,0 +1,160 @@
+"""Unit tests for linear atom extraction, simplex, and integer search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import INT, add, int_const, mul, neg, sub, var
+from repro.smt.intsolve import IntBudgetExceeded, check_integer
+from repro.smt.linear import (
+    LinAtom,
+    NonlinearError,
+    atom_from_comparison,
+    linearize,
+    make_atom,
+)
+from repro.smt.simplex import check_rational
+from repro.smt.terms import Kind
+
+x = var("x", INT)
+y = var("y", INT)
+z = var("z", INT)
+
+
+class TestLinearize:
+    def test_constant(self):
+        coeffs, k = linearize(int_const(7))
+        assert coeffs == {} and k == 7
+
+    def test_variable(self):
+        coeffs, k = linearize(x)
+        assert coeffs == {x: 1} and k == 0
+
+    def test_sum_and_negation(self):
+        coeffs, k = linearize(sub(add(x, y, int_const(3)), x))
+        assert coeffs == {x: 0, y: 1} and k == 3
+
+    def test_scaling(self):
+        coeffs, k = linearize(mul(int_const(3), add(x, int_const(2))))
+        assert coeffs == {x: 3} and k == 6
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NonlinearError):
+            linearize(mul(x, y))
+
+    def test_neg_neg(self):
+        coeffs, k = linearize(neg(neg(x)))
+        assert coeffs == {x: 1}
+
+
+class TestCanonicalAtoms:
+    def test_gcd_tightening(self):
+        # 3x <= 4  tightens to  x <= 1.
+        atom = make_atom({x: 3}, 4)
+        assert atom.coeffs == ((x, 1),) and atom.constant == 1
+
+    def test_gcd_tightening_negative(self):
+        # -3x <= -1  tightens to  -x <= -1, i.e. x >= 1.
+        atom = make_atom({x: -3}, -1)
+        assert atom.coeffs == ((x, -1),) and atom.constant == -1
+
+    def test_negation_roundtrip(self):
+        atom = make_atom({x: 1, y: -1}, 3)
+        neg_atom = atom.negate()
+        assert neg_atom.constant == -4
+        assert dict(neg_atom.coeffs) == {x: -1, y: 1}
+
+    def test_trivial_atoms(self):
+        assert make_atom({}, 0).is_trivially_true
+        assert make_atom({}, -1).is_trivially_false
+
+    def test_atom_from_lt_adjusts_constant(self):
+        atom = atom_from_comparison(Kind.LT, x, int_const(5))
+        assert atom.constant == 4
+
+    def test_zero_coefficients_dropped(self):
+        atom = make_atom({x: 0, y: 1}, 2)
+        assert dict(atom.coeffs) == {y: 1}
+
+
+class TestSimplex:
+    def test_feasible_box(self):
+        atoms = [make_atom({x: 1}, 5), make_atom({x: -1}, -3)]  # 3 <= x <= 5
+        result = check_rational(atoms)
+        assert result.feasible
+        assert Fraction(3) <= result.assignment[x] <= Fraction(5)
+
+    def test_infeasible_bounds(self):
+        atoms = [make_atom({x: 1}, 2), make_atom({x: -1}, -3)]  # x<=2 and x>=3
+        assert not check_rational(atoms).feasible
+
+    def test_row_interaction(self):
+        # x + y <= 1, x >= 1, y >= 1 is infeasible.
+        atoms = [
+            make_atom({x: 1, y: 1}, 1),
+            make_atom({x: -1}, -1),
+            make_atom({y: -1}, -1),
+        ]
+        assert not check_rational(atoms).feasible
+
+    def test_three_variable_chain(self):
+        # x <= y <= z <= x forces equality; feasible.
+        atoms = [
+            make_atom({x: 1, y: -1}, 0),
+            make_atom({y: 1, z: -1}, 0),
+            make_atom({z: 1, x: -1}, 0),
+        ]
+        result = check_rational(atoms)
+        assert result.feasible
+        assert result.assignment[x] == result.assignment[y] == result.assignment[z]
+
+    def test_strict_cycle_infeasible(self):
+        # x < y < x  encoded over integers as x <= y-1, y <= x-1.
+        atoms = [make_atom({x: 1, y: -1}, -1), make_atom({y: 1, x: -1}, -1)]
+        assert not check_rational(atoms).feasible
+
+    def test_unbounded_direction(self):
+        atoms = [make_atom({x: -1, y: 1}, 0)]  # y <= x
+        assert check_rational(atoms).feasible
+
+
+class TestIntegerSearch:
+    def test_integral_model_returned(self):
+        atoms = [make_atom({x: 2}, 7), make_atom({x: -2}, -7)]  # 7/2 <= ... tight
+        # After tightening: x <= 3 and x >= 4: infeasible.
+        result = check_integer(atoms)
+        assert not result.feasible
+
+    def test_branch_and_bound_finds_lattice_point(self):
+        # 2x + 2y = 4 with x, y >= 0: rational center may be fractional.
+        atoms = [
+            make_atom({x: 2, y: 2}, 4),
+            make_atom({x: -2, y: -2}, -4),
+            make_atom({x: -1}, 0),
+            make_atom({y: -1}, 0),
+        ]
+        result = check_integer(atoms)
+        assert result.feasible
+        assert result.model[x] + result.model[y] == 2
+
+    def test_model_satisfies_all_atoms(self):
+        atoms = [
+            make_atom({x: 3, y: 5}, 22),
+            make_atom({x: -1}, -1),
+            make_atom({y: -1}, -2),
+        ]
+        result = check_integer(atoms)
+        assert result.feasible
+        m = result.model
+        assert 3 * m[x] + 5 * m[y] <= 22 and m[x] >= 1 and m[y] >= 2
+
+    def test_budget_raises(self):
+        atoms = [make_atom({x: 1, y: -1}, 0)]
+        with pytest.raises(IntBudgetExceeded):
+            check_integer(atoms, budget=0)
+
+    def test_empty_conjunction_feasible(self):
+        assert check_integer([]).feasible
+
+    def test_trivially_false_atom(self):
+        assert not check_integer([LinAtom((), -1)]).feasible

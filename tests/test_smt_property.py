@@ -1,0 +1,134 @@
+"""Property-based differential testing of the SMT solver.
+
+Random small formulas over a few integer and boolean variables are decided
+two ways: by the solver and by brute-force enumeration of variables over a
+small domain.  Because a formula may be satisfiable only outside the
+enumerated domain, the oracle direction is asymmetric:
+
+- oracle SAT   =>  solver must say SAT (and its model must evaluate true);
+- solver UNSAT =>  oracle must not have found a model.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    BOOL,
+    INT,
+    SatResult,
+    Solver,
+    add,
+    and_,
+    eq,
+    int_const,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    sub,
+    var,
+)
+
+INT_VARS = [var(name, INT) for name in ("i", "j", "k")]
+BOOL_VARS = [var(name, BOOL) for name in ("a", "b")]
+DOMAIN = range(-3, 4)
+
+
+def int_terms(depth: int):
+    leaves = st.one_of(
+        st.sampled_from(INT_VARS),
+        st.integers(min_value=-4, max_value=4).map(int_const),
+    )
+    if depth == 0:
+        return leaves
+    sub_terms = int_terms(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(sub_terms, sub_terms).map(lambda t: add(*t)),
+        st.tuples(sub_terms, sub_terms).map(lambda t: sub(*t)),
+        sub_terms.map(neg),
+        st.tuples(st.integers(-3, 3), sub_terms).map(
+            lambda t: mul(int_const(t[0]), t[1])
+        ),
+    )
+
+
+def bool_terms(depth: int):
+    atoms = st.one_of(
+        st.sampled_from(BOOL_VARS),
+        st.tuples(int_terms(1), int_terms(1)).map(lambda t: le(*t)),
+        st.tuples(int_terms(1), int_terms(1)).map(lambda t: lt(*t)),
+        st.tuples(int_terms(1), int_terms(1)).map(lambda t: eq(*t)),
+    )
+    if depth == 0:
+        return atoms
+    sub_terms = bool_terms(depth - 1)
+    return st.one_of(
+        atoms,
+        sub_terms.map(not_),
+        st.tuples(sub_terms, sub_terms).map(lambda t: and_(*t)),
+        st.tuples(sub_terms, sub_terms).map(lambda t: or_(*t)),
+    )
+
+
+def brute_force_sat(formula) -> bool:
+    from repro.smt.terms import Kind
+
+    def eval_term(term, env):
+        kind = term.kind
+        if kind in (Kind.CONST_BOOL, Kind.CONST_INT):
+            return term.payload
+        if kind is Kind.VAR:
+            return env[term]
+        if kind is Kind.NOT:
+            return not eval_term(term.args[0], env)
+        if kind is Kind.AND:
+            return all(eval_term(a, env) for a in term.args)
+        if kind is Kind.OR:
+            return any(eval_term(a, env) for a in term.args)
+        if kind is Kind.EQ:
+            return eval_term(term.args[0], env) == eval_term(term.args[1], env)
+        if kind is Kind.LE:
+            return eval_term(term.args[0], env) <= eval_term(term.args[1], env)
+        if kind is Kind.LT:
+            return eval_term(term.args[0], env) < eval_term(term.args[1], env)
+        if kind is Kind.ADD:
+            return sum(eval_term(a, env) for a in term.args)
+        if kind is Kind.MUL:
+            return eval_term(term.args[0], env) * eval_term(term.args[1], env)
+        if kind is Kind.NEG:
+            return -eval_term(term.args[0], env)
+        raise AssertionError(f"unexpected kind {kind}")
+
+    for ints in itertools.product(DOMAIN, repeat=len(INT_VARS)):
+        for bools in itertools.product([False, True], repeat=len(BOOL_VARS)):
+            env = dict(zip(INT_VARS, ints)) | dict(zip(BOOL_VARS, bools))
+            if eval_term(formula, env):
+                return True
+    return False
+
+
+@settings(max_examples=120, deadline=None)
+@given(bool_terms(2))
+def test_solver_agrees_with_bounded_brute_force(formula):
+    solver = Solver()
+    solver.add(formula)
+    verdict = solver.check()
+    oracle = brute_force_sat(formula)
+    if oracle:
+        assert verdict is SatResult.SAT
+    if verdict is SatResult.UNSAT:
+        assert not oracle
+
+
+@settings(max_examples=80, deadline=None)
+@given(bool_terms(2))
+def test_models_evaluate_to_true(formula):
+    solver = Solver()
+    solver.add(formula)
+    if solver.check() is SatResult.SAT:
+        assert solver.model().eval(formula) is True

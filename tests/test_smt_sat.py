@@ -1,0 +1,149 @@
+"""Unit and randomized tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver, _luby
+
+
+def make_solver(num_vars: int) -> SatSolver:
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    return solver
+
+
+class TestBasics:
+    def test_empty_is_sat(self):
+        assert SatSolver().solve() == {}
+
+    def test_single_unit(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.solve() == {1: True}
+
+    def test_contradictory_units(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is None
+
+    def test_empty_clause_unsat(self):
+        s = make_solver(1)
+        s.add_clause([])
+        assert s.solve() is None
+
+    def test_simple_implication_chain(self):
+        s = make_solver(3)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        model = s.solve()
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_tautological_clause_ignored(self):
+        s = make_solver(1)
+        s.add_clause([1, -1])
+        assert s.solve() is not None
+
+    def test_duplicate_literals_deduped(self):
+        s = make_solver(1)
+        s.add_clause([1, 1, 1])
+        assert s.solve() == {1: True}
+
+    def test_out_of_range_literal_rejected(self):
+        s = make_solver(1)
+        with pytest.raises(ValueError):
+            s.add_clause([2])
+        with pytest.raises(ValueError):
+            s.add_clause([0])
+
+    def test_pigeonhole_two_in_one(self):
+        # Two pigeons, one hole: p1h1 and p2h1 both required but exclusive.
+        s = make_solver(2)
+        s.add_clause([1])
+        s.add_clause([2])
+        s.add_clause([-1, -2])
+        assert s.solve() is None
+
+    def test_incremental_blocking(self):
+        """Adding blocking clauses between solves enumerates models."""
+        s = make_solver(2)
+        s.add_clause([1, 2])
+        models = []
+        while True:
+            model = s.solve()
+            if model is None:
+                break
+            models.append(model)
+            s.add_clause([-v if val else v for v, val in model.items()])
+        assert len(models) == 3  # all assignments except (False, False)
+
+
+def pigeonhole(pigeons: int, holes: int) -> tuple[SatSolver, int]:
+    """The classic PHP formula; UNSAT when pigeons > holes."""
+    s = SatSolver()
+    grid = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause(grid[p])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-grid[p1][h], -grid[p2][h]])
+    return s, pigeons * holes
+
+
+class TestHarderInstances:
+    def test_php_4_3_unsat(self):
+        s, _ = pigeonhole(4, 3)
+        assert s.solve() is None
+
+    def test_php_5_5_sat(self):
+        s, _ = pigeonhole(5, 5)
+        assert s.solve() is not None
+
+    def test_php_6_5_unsat_exercises_learning(self):
+        s, _ = pigeonhole(6, 5)
+        assert s.solve() is None
+        assert s.num_conflicts > 0
+
+
+def brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestRandomizedAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(2, 4 * num_vars)
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 3)
+            variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+        s = make_solver(num_vars)
+        for clause in clauses:
+            s.add_clause(list(clause))
+        model = s.solve()
+        expected = brute_force(num_vars, clauses)
+        assert (model is not None) == expected
+        if model is not None:
+            for clause in clauses:
+                assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+
+class TestLuby:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [_luby(i) for i in range(1, 16)] == expected

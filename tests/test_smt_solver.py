@@ -1,0 +1,268 @@
+"""End-to-end tests for the SMT solver (preprocessing + CDCL + theory)."""
+
+import pytest
+
+from repro.smt import (
+    BOOL,
+    INT,
+    FuncDecl,
+    SatResult,
+    Solver,
+    SolverError,
+    add,
+    and_,
+    array_sort,
+    distinct,
+    eq,
+    false,
+    ge,
+    gt,
+    iff,
+    implies,
+    int_const,
+    is_satisfiable,
+    is_valid,
+    ite,
+    le,
+    lt,
+    mul,
+    not_,
+    or_,
+    select,
+    store,
+    sub,
+    true,
+    var,
+)
+
+x = var("x", INT)
+y = var("y", INT)
+z = var("z", INT)
+p = var("p", BOOL)
+q = var("q", BOOL)
+
+
+def check(*formulas):
+    solver = Solver()
+    solver.add(*formulas)
+    return solver.check(), solver
+
+
+class TestPropositional:
+    def test_true_sat(self):
+        assert check(true())[0] is SatResult.SAT
+
+    def test_false_unsat(self):
+        assert check(false())[0] is SatResult.UNSAT
+
+    def test_contradiction(self):
+        assert check(p, not_(p))[0] is SatResult.UNSAT
+
+    def test_model_values(self):
+        result, solver = check(p, not_(q))
+        assert result is SatResult.SAT
+        model = solver.model()
+        assert model.eval(p) is True
+        assert model.eval(q) is False
+
+    def test_iff_and_implies(self):
+        assert check(iff(p, q), p, not_(q))[0] is SatResult.UNSAT
+        assert check(implies(p, q), p, not_(q))[0] is SatResult.UNSAT
+        assert check(implies(p, q), not_(p), not_(q))[0] is SatResult.SAT
+
+    def test_bool_ite(self):
+        assert check(ite(p, q, not_(q)), p, not_(q))[0] is SatResult.UNSAT
+
+
+class TestArithmetic:
+    def test_simple_bounds(self):
+        assert check(lt(x, int_const(5)), gt(x, int_const(3)))[0] is SatResult.SAT
+        result, solver = check(lt(x, int_const(5)), gt(x, int_const(3)))
+        assert solver.model().eval(x) == 4
+
+    def test_integer_gap_unsat(self):
+        # 3 < x < 4 has no integer solution.
+        assert check(gt(x, int_const(3)), lt(x, int_const(4)))[0] is SatResult.UNSAT
+
+    def test_equation_system(self):
+        # x + y = 10, x - y = 4  =>  x = 7, y = 3.
+        result, solver = check(
+            eq(add(x, y), int_const(10)), eq(sub(x, y), int_const(4))
+        )
+        assert result is SatResult.SAT
+        model = solver.model()
+        assert model.eval(x) == 7
+        assert model.eval(y) == 3
+
+    def test_infeasible_system(self):
+        assert (
+            check(eq(add(x, y), int_const(1)), eq(add(x, y), int_const(2)))[0]
+            is SatResult.UNSAT
+        )
+
+    def test_gcd_trap(self):
+        # 3x - 3y = 1 has rational but no integer solutions.
+        three_x = mul(int_const(3), x)
+        three_y = mul(int_const(3), y)
+        assert check(eq(sub(three_x, three_y), int_const(1)))[0] is SatResult.UNSAT
+
+    def test_parity_via_doubling(self):
+        # 2x = 7 is unsatisfiable over the integers.
+        assert check(eq(mul(int_const(2), x), int_const(7)))[0] is SatResult.UNSAT
+
+    def test_transitivity_chain(self):
+        assert (
+            check(lt(x, y), lt(y, z), lt(z, x))[0] is SatResult.UNSAT
+        )
+
+    def test_disjunction_picks_feasible_branch(self):
+        result, solver = check(
+            or_(eq(x, int_const(1)), eq(x, int_const(2))), gt(x, int_const(1))
+        )
+        assert result is SatResult.SAT
+        assert solver.model().eval(x) == 2
+
+    def test_int_ite(self):
+        # y = ite(p, 1, 2), y = 2  =>  p must be false.
+        result, solver = check(eq(y, ite(p, int_const(1), int_const(2))), eq(y, int_const(2)))
+        assert result is SatResult.SAT
+        assert solver.model().eval(p) is False
+
+    def test_distinct(self):
+        assert (
+            check(distinct(x, y, z), ge(x, int_const(0)), le(x, int_const(2)),
+                  ge(y, int_const(0)), le(y, int_const(2)),
+                  ge(z, int_const(0)), le(z, int_const(2)))[0]
+            is SatResult.SAT
+        )
+        assert (
+            check(distinct(x, y, z), ge(x, int_const(0)), le(x, int_const(1)),
+                  ge(y, int_const(0)), le(y, int_const(1)),
+                  ge(z, int_const(0)), le(z, int_const(1)))[0]
+            is SatResult.UNSAT
+        )
+
+
+class TestUninterpretedFunctions:
+    def test_congruence(self):
+        f = FuncDecl("f", (INT,), INT)
+        assert (
+            check(eq(x, y), not_(eq(f(x), f(y))))[0] is SatResult.UNSAT
+        )
+
+    def test_no_spurious_congruence(self):
+        f = FuncDecl("f", (INT,), INT)
+        assert check(not_(eq(f(x), f(y))))[0] is SatResult.SAT
+
+    def test_functional_consistency_chain(self):
+        f = FuncDecl("f", (INT,), INT)
+        # x = y, f(x) = 1, f(y) = 2 is inconsistent.
+        assert (
+            check(eq(x, y), eq(f(x), int_const(1)), eq(f(y), int_const(2)))[0]
+            is SatResult.UNSAT
+        )
+
+    def test_bool_valued_function(self):
+        g = FuncDecl("g", (INT,), BOOL)
+        assert check(eq(x, y), g(x), not_(g(y)))[0] is SatResult.UNSAT
+        assert check(g(x), not_(g(y)))[0] is SatResult.SAT
+
+    def test_binary_function(self):
+        h = FuncDecl("h", (INT, INT), INT)
+        assert (
+            check(eq(x, y), not_(eq(h(x, z), h(y, z))))[0] is SatResult.UNSAT
+        )
+
+
+class TestArrays:
+    mem = var("m", array_sort(INT, INT))
+
+    def test_read_over_write_same_index(self):
+        written = store(self.mem, x, int_const(5))
+        assert (
+            check(not_(eq(select(written, x), int_const(5))))[0] is SatResult.UNSAT
+        )
+
+    def test_read_over_write_distinct_indices(self):
+        written = store(self.mem, int_const(0), int_const(5))
+        # Reading index 1 sees the base memory: satisfiable either way.
+        assert check(eq(select(written, int_const(1)), int_const(7)))[0] is SatResult.SAT
+
+    def test_aliasing_forced(self):
+        written = store(self.mem, x, int_const(5))
+        # If x = y then reading y must give 5.
+        assert (
+            check(eq(x, y), not_(eq(select(written, y), int_const(5))))[0]
+            is SatResult.UNSAT
+        )
+
+    def test_base_select_consistency(self):
+        assert (
+            check(eq(x, y), not_(eq(select(self.mem, x), select(self.mem, y))))[0]
+            is SatResult.UNSAT
+        )
+
+    def test_two_writes_last_wins(self):
+        written = store(store(self.mem, x, int_const(1)), x, int_const(2))
+        assert (
+            check(not_(eq(select(written, x), int_const(2))))[0] is SatResult.UNSAT
+        )
+
+
+class TestHelpers:
+    def test_is_valid_tautology(self):
+        assert is_valid(or_(p, not_(p)))
+
+    def test_is_valid_excluded_middle_arithmetic(self):
+        g = gt(x, int_const(0))
+        assert is_valid(or_(g, not_(g)))
+
+    def test_exhaustive_three_way_split(self):
+        # The paper's sign example: x>0, x=0, x<0 covers all integers.
+        guards = [gt(x, int_const(0)), eq(x, int_const(0)), lt(x, int_const(0))]
+        assert is_valid(or_(*guards))
+        # Dropping one case is no longer exhaustive.
+        assert not is_valid(or_(guards[0], guards[1]))
+
+    def test_is_satisfiable(self):
+        assert is_satisfiable(gt(x, int_const(0)))
+        assert not is_satisfiable(and_(gt(x, int_const(0)), lt(x, int_const(0))))
+
+    def test_is_valid_with_assumptions(self):
+        assert is_valid(gt(x, int_const(0)), assuming=[gt(x, int_const(5))])
+
+
+class TestSolverInterface:
+    def test_push_pop(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        solver.push()
+        solver.add(lt(x, int_const(0)))
+        assert solver.check() is SatResult.UNSAT
+        solver.pop()
+        assert solver.check() is SatResult.SAT
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(SolverError):
+            Solver().pop()
+
+    def test_check_with_extra_assumptions(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        assert solver.check(lt(x, int_const(0))) is SatResult.UNSAT
+        assert solver.check() is SatResult.SAT
+
+    def test_model_before_check_raises(self):
+        with pytest.raises(SolverError):
+            Solver().model()
+
+    def test_non_bool_assertion_rejected(self):
+        with pytest.raises(Exception):
+            Solver().add(x)
+
+    def test_model_evaluates_compound_terms(self):
+        result, solver = check(eq(x, int_const(3)), eq(y, int_const(4)))
+        model = solver.model()
+        assert model.eval(add(x, y)) == 7
+        assert model.eval(lt(x, y)) is True
+        assert model.eval(eq(x, y)) is False

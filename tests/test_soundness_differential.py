@@ -1,0 +1,220 @@
+"""Empirical validation of Theorem 1 (MIX soundness).
+
+Hypothesis generates random programs by *type-directed construction*
+(so most are accepted), sprinkled with typed and symbolic blocks, over
+free input variables.  For each program:
+
+1. run the mixed analysis from a typed entry;
+2. if the analysis **accepts** with type τ, evaluate the program
+   concretely on many random inputs — Theorem 1 then demands the result
+   is never ``error`` and the value inhabits τ.
+
+Rejections are allowed (static analysis may be imprecise), so the
+property is exactly the soundness direction of the theorem.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MixConfig, analyze
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Let,
+    Not,
+    Ref,
+    Seq,
+    StrLit,
+    SymBlock,
+    TypedBlock,
+    Var,
+)
+from repro.lang.interp import Interpreter, Location, RuntimeTypeError, run
+from repro.symexec import SymConfig
+from repro.typecheck.types import BOOL, INT, RefType, STR, Type, TypeEnv
+
+INPUTS: dict[str, Type] = {"i1": INT, "i2": INT, "b1": BOOL, "b2": BOOL}
+
+
+@st.composite
+def int_expr(draw, depth: int, scope: tuple[str, ...]) -> Expr:
+    choices = ["lit", "var"]
+    if depth > 0:
+        choices += ["add", "sub", "mulc", "divc", "if", "let", "refderef", "block"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit" or (kind == "var" and not _int_vars(scope)):
+        return IntLit(draw(st.integers(-8, 8)))
+    if kind == "var":
+        return Var(draw(st.sampled_from(_int_vars(scope))))
+    if kind == "add":
+        return BinOp(
+            BinOpKind.ADD,
+            draw(int_expr(depth - 1, scope)),
+            draw(int_expr(depth - 1, scope)),
+        )
+    if kind == "sub":
+        return BinOp(
+            BinOpKind.SUB,
+            draw(int_expr(depth - 1, scope)),
+            draw(int_expr(depth - 1, scope)),
+        )
+    if kind == "mulc":
+        return BinOp(
+            BinOpKind.MUL,
+            draw(int_expr(depth - 1, scope)),
+            IntLit(draw(st.integers(-3, 3))),
+        )
+    if kind == "divc":
+        return BinOp(
+            BinOpKind.DIV,
+            draw(int_expr(depth - 1, scope)),
+            IntLit(draw(st.integers(-3, 3))),  # may be 0: division is total
+        )
+    if kind == "if":
+        return If(
+            draw(bool_expr(depth - 1, scope)),
+            draw(int_expr(depth - 1, scope)),
+            draw(int_expr(depth - 1, scope)),
+        )
+    if kind == "let":
+        name = draw(st.sampled_from(["v1", "v2", "v3"]))
+        return Let(
+            name,
+            draw(int_expr(depth - 1, scope)),
+            draw(int_expr(depth - 1, scope + (name,))),
+        )
+    if kind == "refderef":
+        # let r = ref e in (r := e'); !r  — exercises the memory log.
+        bound = draw(int_expr(depth - 1, scope))
+        update = draw(int_expr(depth - 1, scope))
+        return Let(
+            "r0",
+            Ref(bound),
+            Seq(Assign(Var("r0"), update), Deref(Var("r0"))),
+        )
+    # block: wrap a subexpression in a typed or symbolic block.
+    inner = draw(int_expr(depth - 1, scope))
+    return draw(st.sampled_from([TypedBlock, SymBlock]))(inner)
+
+
+@st.composite
+def bool_expr(draw, depth: int, scope: tuple[str, ...]) -> Expr:
+    choices = ["lit", "var"]
+    if depth > 0:
+        choices += ["cmp", "not", "andor", "block"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit" or (kind == "var" and not _bool_vars(scope)):
+        return BoolLit(draw(st.booleans()))
+    if kind == "var":
+        return Var(draw(st.sampled_from(_bool_vars(scope))))
+    if kind == "cmp":
+        op = draw(st.sampled_from([BinOpKind.EQ, BinOpKind.LT, BinOpKind.LE]))
+        return BinOp(op, draw(int_expr(depth - 1, scope)), draw(int_expr(depth - 1, scope)))
+    if kind == "not":
+        return Not(draw(bool_expr(depth - 1, scope)))
+    if kind == "andor":
+        op = draw(st.sampled_from([BinOpKind.AND, BinOpKind.OR]))
+        return BinOp(op, draw(bool_expr(depth - 1, scope)), draw(bool_expr(depth - 1, scope)))
+    inner = draw(bool_expr(depth - 1, scope))
+    return draw(st.sampled_from([TypedBlock, SymBlock]))(inner)
+
+
+def _int_vars(scope: tuple[str, ...]) -> list[str]:
+    return [v for v in scope if v.startswith(("i", "v"))]
+
+
+def _bool_vars(scope: tuple[str, ...]) -> list[str]:
+    return [v for v in scope if v.startswith("b")]
+
+
+def _python_type_matches(value, typ: Type) -> bool:
+    if typ == INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if typ == BOOL:
+        return isinstance(value, bool)
+    if typ == STR:
+        return isinstance(value, str)
+    if isinstance(typ, RefType):
+        return isinstance(value, Location)
+    return True
+
+
+PROGRAMS = st.one_of(
+    int_expr(3, tuple(INPUTS)),
+    bool_expr(3, tuple(INPUTS)),
+)
+
+
+@settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(PROGRAMS, st.integers(0, 2**32 - 1))
+def test_accepted_programs_never_error_concretely(program, seed):
+    report = analyze(program, env=TypeEnv(INPUTS), entry="typed")
+    if not report.ok:
+        return  # rejection is always permitted
+    rng = random.Random(seed)
+    for _ in range(5):
+        env = {
+            "i1": rng.randint(-10, 10),
+            "i2": rng.randint(-10, 10),
+            "b1": rng.random() < 0.5,
+            "b2": rng.random() < 0.5,
+        }
+        result = run(program, env)  # must not raise RuntimeTypeError
+        assert _python_type_matches(result.value, report.type), (
+            f"value {result.value!r} does not inhabit {report.type} "
+            f"for program {program}"
+        )
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(PROGRAMS, st.integers(0, 2**32 - 1))
+def test_symbolic_entry_soundness(program, seed):
+    """Same property with the program treated as one symbolic block."""
+    report = analyze(program, env=TypeEnv(INPUTS), entry="symbolic")
+    if not report.ok:
+        return
+    rng = random.Random(seed)
+    env = {
+        "i1": rng.randint(-10, 10),
+        "i2": rng.randint(-10, 10),
+        "b1": rng.random() < 0.5,
+        "b2": rng.random() < 0.5,
+    }
+    result = run(program, env)
+    assert _python_type_matches(result.value, report.type)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(PROGRAMS)
+def test_entries_agree_on_acceptance_type(program):
+    """When both entries accept, they derive the same type."""
+    typed = analyze(program, env=TypeEnv(INPUTS), entry="typed")
+    symbolic = analyze(program, env=TypeEnv(INPUTS), entry="symbolic")
+    if typed.ok and symbolic.ok:
+        assert typed.type == symbolic.type
+
+
+def test_rejected_program_that_errors_is_caught():
+    """Sanity: an erroring program must not be accepted."""
+    program = BinOp(BinOpKind.ADD, IntLit(1), BoolLit(True))
+    report = analyze(program, entry="typed")
+    assert not report.ok
+    with pytest.raises(RuntimeTypeError):
+        run(program)

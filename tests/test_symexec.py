@@ -1,0 +1,369 @@
+"""Tests for the symbolic executor (paper Figures 2 and 3)."""
+
+import pytest
+
+from repro import smt
+from repro.lang import parse
+from repro.symexec import (
+    ErrKind,
+    IfStrategy,
+    SymConfig,
+    SymEnv,
+    SymExecutor,
+)
+from repro.symexec.values import fresh_of_type, int_value
+from repro.typecheck.types import BOOL, INT, RefType, STR, UNIT
+
+
+def execute(source, env=None, config=None, executor=None):
+    executor = executor or SymExecutor(config=config)
+    return executor.execute_all(parse(source), env)
+
+
+def ok_outcomes(outs):
+    return [o for o in outs if o.ok]
+
+
+def err_outcomes(outs):
+    return [o for o in outs if not o.ok]
+
+
+def single_value(outs):
+    oks = ok_outcomes(outs)
+    assert len(oks) == 1, f"expected one ok path, got {outs}"
+    return oks[0].value
+
+
+class TestPureRules:
+    def test_literal(self):
+        value = single_value(execute("42"))
+        assert value.typ == INT and value.term is smt.int_const(42)
+
+    def test_concrete_folding(self):
+        value = single_value(execute("1 + 2 * 3"))
+        assert value.term is smt.int_const(7)
+
+    def test_folding_disabled_keeps_structure(self):
+        config = SymConfig(concrete_folding=False)
+        value = single_value(execute("1 + 2", config=config))
+        assert not value.term.is_const
+
+    def test_symbolic_variable_arithmetic(self):
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(INT, executor.names)
+        env = SymEnv({"x": alpha})
+        value = single_value(execute("x + 3", env=env, executor=executor))
+        assert value.typ == INT
+        assert not value.term.is_const
+
+    def test_sevar_unbound_fails(self):
+        (out,) = execute("x")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_seplus_requires_ints(self):
+        (out,) = execute("1 + true")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_string_plus_is_type_error(self):
+        (out,) = execute('"foo" + 3')
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_string_equality(self):
+        assert single_value(execute('"a" = "a"')).term.is_true
+        assert single_value(execute('"a" = "b"')).term.is_false
+
+    def test_eq_mixed_types_fails(self):
+        (out,) = execute("1 = true")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_let_binds(self):
+        value = single_value(execute("let x = 5 in x + x"))
+        assert value.term is smt.int_const(10)
+
+    def test_let_annotation_checked(self):
+        (out,) = execute("let x : bool = 1 in x")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+
+class TestForking:
+    def test_concrete_condition_takes_one_branch(self):
+        outs = execute("if true then 1 else 2")
+        assert single_value(outs).term is smt.int_const(1)
+
+    def test_error_in_unreachable_branch_ignored(self):
+        # Section 2's first idiom: 'if true then 5 else "foo" + 3'.
+        outs = execute('if true then 5 else "foo" + 3')
+        assert single_value(outs).term is smt.int_const(5)
+
+    def test_symbolic_condition_forks(self):
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        outs = execute("if p then 1 else 2", env=SymEnv({"p": alpha}), executor=executor)
+        assert len(ok_outcomes(outs)) == 2
+        values = {o.value.term.payload for o in outs}
+        assert values == {1, 2}
+
+    def test_path_conditions_recorded(self):
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(INT, executor.names)
+        outs = execute(
+            "if x < 0 then 0 - x else x", env=SymEnv({"x": alpha}), executor=executor
+        )
+        for out in outs:
+            # On each path, the result is non-negative given the guard.
+            assert smt.is_valid(
+                smt.ge(out.value.term, smt.int_const(0)), assuming=[out.state.guard]
+            )
+
+    def test_infeasible_paths_pruned(self):
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(INT, executor.names)
+        env = SymEnv({"x": alpha})
+        outs = execute(
+            "if x < 0 then (if 0 < x then 111 else 1) else 2",
+            env=env,
+            executor=executor,
+        )
+        values = {o.value.term.payload for o in ok_outcomes(outs)}
+        assert 111 not in values
+        assert executor.stats["paths_pruned"] >= 1
+
+    def test_no_pruning_keeps_infeasible_path(self):
+        config = SymConfig(prune_infeasible=False)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(INT, executor.names)
+        outs = execute(
+            "if x < 0 then (if 0 < x then 111 else 1) else 2",
+            env=SymEnv({"x": alpha}),
+            executor=executor,
+        )
+        values = {o.value.term.payload for o in ok_outcomes(outs)}
+        # The contradictory path is produced; its guard is unsatisfiable.
+        assert 111 in values
+        bad = next(o for o in outs if o.value.term.payload == 111)
+        assert not smt.is_satisfiable(bad.state.condition())
+
+    def test_three_way_sign_split_guards_exhaustive(self):
+        # The sign-refinement idiom: guards of all paths cover all ints.
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(INT, executor.names)
+        outs = execute(
+            "if 0 < x then 1 else if x = 0 then 0 else 0 - 1",
+            env=SymEnv({"x": alpha}),
+            executor=executor,
+        )
+        guards = [o.state.guard for o in outs]
+        assert len(guards) == 3
+        assert smt.is_valid(smt.or_(*guards))
+
+
+class TestDeferStrategy:
+    def test_defer_produces_single_outcome(self):
+        config = SymConfig(if_strategy=IfStrategy.DEFER)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        outs = execute("if p then 1 else 2", env=SymEnv({"p": alpha}), executor=executor)
+        assert len(outs) == 1 and outs[0].ok
+        assert executor.stats["merges"] == 1
+
+    def test_defer_value_is_ite(self):
+        config = SymConfig(if_strategy=IfStrategy.DEFER)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        (out,) = execute("if p then 1 else 2", env=SymEnv({"p": alpha}), executor=executor)
+        # Result is 1 or 2 in every model.
+        v = out.value.term
+        assert smt.is_valid(
+            smt.or_(smt.eq(v, smt.int_const(1)), smt.eq(v, smt.int_const(2)))
+        )
+
+    def test_defer_requires_equal_types(self):
+        # The paper: "this rule is more conservative ... it requires both
+        # branches to have the same type".
+        config = SymConfig(if_strategy=IfStrategy.DEFER)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        (out,) = execute(
+            "if p then 1 else true", env=SymEnv({"p": alpha}), executor=executor
+        )
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_fork_accepts_branch_type_disagreement(self):
+        executor = SymExecutor()
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        outs = execute(
+            "if p then 1 else true", env=SymEnv({"p": alpha}), executor=executor
+        )
+        assert all(o.ok for o in outs) and len(outs) == 2
+
+    def test_defer_merges_memory(self):
+        config = SymConfig(if_strategy=IfStrategy.DEFER)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(BOOL, executor.names)
+        src = "let r = ref 0 in (if p then r := 1 else r := 2); !r"
+        (out,) = execute(src, env=SymEnv({"p": alpha}), executor=executor)
+        assert out.ok
+        v = out.value.term
+        assert smt.is_valid(
+            smt.or_(smt.eq(v, smt.int_const(1)), smt.eq(v, smt.int_const(2)))
+        )
+
+
+class TestReferences:
+    def test_ref_deref_roundtrip(self):
+        value = single_value(execute("!(ref 5)"))
+        assert value.typ == INT and value.term is smt.int_const(5)
+
+    def test_assign_then_read(self):
+        value = single_value(execute("let x = ref 0 in x := 41; !x + 1"))
+        assert value.term is smt.int_const(42)
+
+    def test_aliasing_within_block(self):
+        value = single_value(execute("let x = ref 1 in let y = x in y := 9; !x"))
+        assert value.term is smt.int_const(9)
+
+    def test_flow_sensitive_type_change(self):
+        # Section 2's flow-sensitivity idiom: overwrite int with bool, read
+        # back as bool.  The read's annotation follows the *pointer* type,
+        # so re-reading through the same int-ref is the interesting case:
+        src = "let x = ref 1 in x := 2; !x"
+        assert single_value(execute(src)).term is smt.int_const(2)
+
+    def test_ill_typed_write_blocks_deref(self):
+        # A persisting ill-typed write makes ⊢ m ok fail at the next read.
+        outs = execute("let x = ref 1 in let b = ref true in x := 1 = 1; !b")
+        (out,) = outs
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+        assert "m ok" in out.error
+
+    def test_ill_typed_write_overwritten_is_fine(self):
+        # Overwrite-OK: the ill-typed write is erased by a well-typed one
+        # to the syntactically identical location.
+        src = "let x = ref 1 in x := 1 = 1; x := 7; !x"
+        assert single_value(execute(src)).term is smt.int_const(7)
+
+    def test_deref_non_ref_fails(self):
+        (out,) = execute("!5")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+    def test_reading_unknown_memory(self):
+        executor = SymExecutor()
+        ref_val, constraints = fresh_of_type(RefType(INT), executor.names)
+        env = SymEnv({"r": ref_val})
+        value = single_value(execute("!r + 1", env=env, executor=executor))
+        assert value.typ == INT
+
+
+class TestWhile:
+    def test_concrete_loop_unrolls(self):
+        src = """
+        let i = ref 0 in
+        let acc = ref 0 in
+        while !i < 5 do acc := !acc + !i; i := !i + 1 done;
+        !acc
+        """
+        assert single_value(execute(src)).term is smt.int_const(10)
+
+    def test_unbounded_loop_reports_loop_bound(self):
+        config = SymConfig(max_loop_unroll=8)
+        executor = SymExecutor(config=config)
+        alpha, _ = fresh_of_type(INT, executor.names)
+        outs = execute(
+            "let i = ref 0 in while !i < n do i := !i + 1 done",
+            env=SymEnv({"n": alpha}),
+            executor=executor,
+        )
+        assert any(o.kind is ErrKind.LOOP_BOUND for o in outs)
+        # The bounded prefixes still yield exit paths.
+        assert len(ok_outcomes(outs)) >= 1
+
+
+class TestFunctions:
+    def test_application_inlines(self):
+        assert single_value(execute("(fun x : int -> x + 1) 41")).term is smt.int_const(42)
+
+    def test_context_sensitivity_two_call_sites(self):
+        # The identity function applied at two types (the paper's 'id' idiom).
+        src = 'let id = fun x : int -> x in id 3 + id 4'
+        assert single_value(execute(src)).term is smt.int_const(7)
+
+    def test_div_example(self):
+        # The paper's div example returns str on y = 0 and int otherwise;
+        # with concrete arguments only the int path runs.
+        src = """
+        let div = fun x : int -> fun y : int ->
+          if y = 0 then "err" else x / y in
+        div 7 4
+        """
+        value = single_value(execute(src))
+        assert value.typ == INT and value.term is smt.int_const(1)
+
+    def test_unknown_function_unsupported(self):
+        from repro.typecheck.types import FunType
+
+        executor = SymExecutor()
+        fn, _ = fresh_of_type(FunType(INT, INT), executor.names)
+        (out,) = execute("f 1", env=SymEnv({"f": fn}), executor=executor)
+        assert not out.ok and out.kind is ErrKind.UNSUPPORTED
+
+    def test_apply_non_function(self):
+        (out,) = execute("1 2")
+        assert not out.ok and out.kind is ErrKind.TYPE_ERROR
+
+
+class TestUnsupportedOperations:
+    def test_nonlinear_multiplication(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        y, _ = fresh_of_type(INT, executor.names)
+        (out,) = execute("x * y", env=SymEnv({"x": x, "y": y}), executor=executor)
+        assert not out.ok and out.kind is ErrKind.UNSUPPORTED
+
+    def test_constant_multiplication_ok(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = execute("x * 3", env=SymEnv({"x": x}), executor=executor)
+        assert out.ok
+
+    def test_symbolic_division_unsupported(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = execute("7 / x", env=SymEnv({"x": x}), executor=executor)
+        assert not out.ok and out.kind is ErrKind.UNSUPPORTED
+
+    def test_division_by_constant_encoded(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = execute("x / 2", env=SymEnv({"x": x}), executor=executor)
+        assert out.ok
+        # Definitional constraints pin the quotient: under them,
+        # x = 7 implies the result is 3.
+        assert smt.is_valid(
+            smt.implies(
+                smt.eq(x.term, smt.int_const(7)),
+                smt.eq(out.value.term, smt.int_const(3)),
+            ),
+            assuming=list(out.state.defs),
+        )
+
+    def test_truncating_division_negative(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = execute("x / 2", env=SymEnv({"x": x}), executor=executor)
+        assert smt.is_valid(
+            smt.implies(
+                smt.eq(x.term, smt.int_const(-7)),
+                smt.eq(out.value.term, smt.int_const(-3)),
+            ),
+            assuming=list(out.state.defs),
+        )
+
+    def test_division_by_zero_is_zero(self):
+        assert single_value(execute("5 / 0")).term is smt.int_const(0)
+
+    def test_typed_block_without_hook(self):
+        (out,) = execute("{t 1 t}")
+        assert not out.ok and out.kind is ErrKind.UNSUPPORTED
+
+    def test_sym_in_sym_passthrough(self):
+        assert single_value(execute("{s {s 3 s} s}")).term is smt.int_const(3)

@@ -1,0 +1,130 @@
+"""Tests for the standalone type checker (paper Section 3.1)."""
+
+import pytest
+
+from repro.lang import parse
+from repro.typecheck import (
+    BOOL,
+    INT,
+    STR,
+    UNIT,
+    FunType,
+    RefType,
+    TypeEnv,
+    TypeError_,
+    check_expr,
+)
+from repro.typecheck.checker import TypeChecker
+
+
+def type_of(source, env=None):
+    return check_expr(parse(source), env)
+
+
+class TestWellTyped:
+    def test_literals(self):
+        assert type_of("1") == INT
+        assert type_of("true") == BOOL
+        assert type_of('"s"') == STR
+        assert type_of("()") == UNIT
+
+    def test_arithmetic_and_comparison(self):
+        assert type_of("1 + 2 * 3") == INT
+        assert type_of("1 < 2") == BOOL
+        assert type_of("1 = 2") == BOOL
+        assert type_of('"a" = "b"') == BOOL
+
+    def test_if(self):
+        assert type_of("if true then 1 else 2") == INT
+
+    def test_let(self):
+        assert type_of("let x = 1 in x + 1") == INT
+        assert type_of("let x : int = 1 in x") == INT
+
+    def test_references(self):
+        assert type_of("ref 1") == RefType(INT)
+        assert type_of("!(ref true)") == BOOL
+        assert type_of("let x = ref 0 in x := 1") == INT
+
+    def test_ref_equality(self):
+        assert type_of("let x = ref 0 in let y = ref 0 in x = y") == BOOL
+
+    def test_functions(self):
+        assert type_of("fun x : int -> x + 1") == FunType(INT, INT)
+        assert type_of("(fun x : int -> x < 0) 3") == BOOL
+
+    def test_higher_order(self):
+        src = "fun f : (int -> int) -> f 0"
+        assert type_of(src) == FunType(FunType(INT, INT), INT)
+
+    def test_while(self):
+        assert type_of("while true do () done") == UNIT
+
+    def test_seq(self):
+        assert type_of("(); 1") == INT
+
+    def test_typed_block_passthrough(self):
+        assert type_of("{t 1 + 1 t}") == INT
+
+    def test_environment(self):
+        env = TypeEnv({"x": INT, "p": BOOL})
+        assert type_of("if p then x else 0", env) == INT
+
+
+class TestIllTyped:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1 + true",
+            '"foo" + 3',
+            "if 1 then 2 else 3",
+            "if true then 1 else false",
+            "not 3",
+            "!5",
+            "5 := 1",
+            "let x = ref 0 in x := true",  # writes must preserve types
+            "x",
+            "1 = true",
+            "(fun x : int -> x) = (fun x : int -> x)",  # no function equality
+            "(1) 2",
+            "(fun x : int -> x) true",
+            "while 1 do () done",
+            "let x : bool = 1 in x",
+            "1 < true",
+            "true && 1",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(TypeError_):
+            type_of(source)
+
+    def test_unreachable_false_branch_still_checked(self):
+        """Pure type checking is path-insensitive: Section 2's motivating
+        false positive."""
+        with pytest.raises(TypeError_):
+            type_of('if true then 5 else "foo" + 3')
+
+    def test_symbolic_block_requires_hook(self):
+        with pytest.raises(TypeError_) as excinfo:
+            type_of("{s 1 s}")
+        assert "symbolic" in str(excinfo.value)
+
+
+class TestHook:
+    def test_hook_receives_env_and_block(self):
+        calls = []
+
+        def hook(env, block):
+            calls.append((env, block))
+            return INT
+
+        checker = TypeChecker(symbolic_block_hook=hook)
+        typ = checker.check(parse("let x = true in {s 1 s}"))
+        assert typ == INT
+        (env, block) = calls[0]
+        assert env.lookup("x") == BOOL
+
+    def test_error_positions_reported(self):
+        with pytest.raises(TypeError_) as excinfo:
+            type_of("let y = 1 in\n  y + true")
+        assert "2:" in str(excinfo.value)

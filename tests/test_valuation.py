@@ -1,0 +1,184 @@
+"""Deep validation of the soundness relations (paper §3.3).
+
+Beyond the end-to-end differential suite, these tests check the
+*internal* statements of Theorem 1 part 2 and Corollary 1.1 on the
+reference-free fragment: for a concrete input valuation V,
+
+- at least one explored path's guard holds under V (exhaustiveness);
+- on every such path, ``[[s]]^V`` equals the concrete result.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.lang import parse, run
+from repro.lang.ast import BinOp, BinOpKind, BoolLit, If, IntLit, Let, Not, Var
+from repro.symexec import SymEnv, SymExecutor
+from repro.symexec.valuation import (
+    Valuation,
+    ValuationError,
+    check_outcome_abstracts,
+    matching_outcomes,
+)
+from repro.symexec.values import fresh_of_type
+from repro.typecheck.types import BOOL, INT
+
+
+def make_env(executor, concrete):
+    bindings = {}
+    for name, value in concrete.items():
+        typ = BOOL if isinstance(value, bool) else INT
+        sym, _ = fresh_of_type(typ, executor.names)
+        bindings[name] = sym
+    return SymEnv(bindings)
+
+
+def deep_check(source: str, concrete: dict):
+    program = parse(source)
+    executor = SymExecutor()
+    sym_env = make_env(executor, concrete)
+    outcomes = executor.execute_all(program, sym_env)
+    assert all(o.ok for o in outcomes), outcomes
+    valuation = Valuation.from_inputs(sym_env, concrete)
+    matching = matching_outcomes(outcomes, valuation)
+    # Corollary 1.1: the concrete run follows at least one explored path.
+    assert matching, f"no path matches {concrete} for {source}"
+    concrete_result = run(program, concrete).value
+    for outcome in matching:
+        # Theorem 1 part 2: [[s]]^V is the concrete result.
+        assert check_outcome_abstracts(outcome, valuation, concrete_result)
+
+
+class TestHandwritten:
+    def test_straightline(self):
+        deep_check("x + 2 * y", {"x": 3, "y": 4})
+
+    def test_branching(self):
+        for x in (-5, 0, 5):
+            deep_check("if 0 < x then x + 1 else 0 - x", {"x": x})
+
+    def test_three_way(self):
+        for x in (-1, 0, 1):
+            deep_check(
+                "if 0 < x then 1 else if x = 0 then 0 else -1", {"x": x}
+            )
+
+    def test_boolean_structure(self):
+        for p in (True, False):
+            for q in (True, False):
+                deep_check("if p && q || not p then 1 else 2", {"p": p, "q": q})
+
+    def test_let_and_shadowing(self):
+        deep_check("let y = x + 1 in let x = y * 2 in x - y", {"x": 7})
+
+    def test_strings(self):
+        deep_check('if x = 0 then "zero" else "other"', {"x": 0})
+
+    def test_division_guard_uses_solver_extension(self):
+        """The guard mentions the division's fresh quotient; `satisfies`
+        must fall back to the V' ⊇ V solver check."""
+        for x in (6, 7, -6):
+            deep_check("if x / 2 = 3 then 1 else 0", {"x": x})
+
+    def test_functions_inline(self):
+        deep_check("(fun y : int -> y + x) 10", {"x": 5})
+
+
+INT_NAMES = ("x", "y")
+BOOL_NAMES = ("p",)
+
+
+@st.composite
+def pure_int_expr(draw, depth):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.integers(-5, 5).map(IntLit),
+                st.sampled_from([Var(n) for n in INT_NAMES]),
+            )
+        )
+    kind = draw(st.sampled_from(["add", "sub", "mulc", "if", "let", "leaf"]))
+    if kind == "leaf":
+        return draw(pure_int_expr(0))
+    if kind == "add":
+        return BinOp(
+            BinOpKind.ADD, draw(pure_int_expr(depth - 1)), draw(pure_int_expr(depth - 1))
+        )
+    if kind == "sub":
+        return BinOp(
+            BinOpKind.SUB, draw(pure_int_expr(depth - 1)), draw(pure_int_expr(depth - 1))
+        )
+    if kind == "mulc":
+        return BinOp(BinOpKind.MUL, draw(pure_int_expr(depth - 1)), IntLit(draw(st.integers(-3, 3))))
+    if kind == "if":
+        return If(
+            draw(pure_bool_expr(depth - 1)),
+            draw(pure_int_expr(depth - 1)),
+            draw(pure_int_expr(depth - 1)),
+        )
+    return Let("v", draw(pure_int_expr(depth - 1)), draw(pure_int_expr(depth - 1)))
+
+
+@st.composite
+def pure_bool_expr(draw, depth):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.booleans().map(BoolLit),
+                st.sampled_from([Var(n) for n in BOOL_NAMES]),
+            )
+        )
+    kind = draw(st.sampled_from(["cmp", "not", "and", "leaf"]))
+    if kind == "leaf":
+        return draw(pure_bool_expr(0))
+    if kind == "cmp":
+        op = draw(st.sampled_from([BinOpKind.LT, BinOpKind.LE, BinOpKind.EQ]))
+        return BinOp(op, draw(pure_int_expr(depth - 1)), draw(pure_int_expr(depth - 1)))
+    if kind == "not":
+        return Not(draw(pure_bool_expr(depth - 1)))
+    return BinOp(
+        BinOpKind.AND, draw(pure_bool_expr(depth - 1)), draw(pure_bool_expr(depth - 1))
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(pure_int_expr(3), st.integers(-6, 6), st.integers(-6, 6), st.booleans())
+def test_property_symbolic_abstracts_concrete(expr, x, y, p):
+    concrete = {"x": x, "y": y, "p": p}
+    executor = SymExecutor()
+    sym_env = make_env(executor, concrete)
+    # 'v' may be free if the generator placed a Var under a Let bound; the
+    # generator never emits Var("v"), so the program is closed over x,y,p.
+    outcomes = executor.execute_all(expr, sym_env)
+    assert all(o.ok for o in outcomes)
+    valuation = Valuation.from_inputs(sym_env, concrete)
+    matching = matching_outcomes(outcomes, valuation)
+    assert matching
+    concrete_result = run(expr, concrete).value
+    for outcome in matching:
+        assert check_outcome_abstracts(outcome, valuation, concrete_result)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pure_int_expr(3), st.integers(-6, 6), st.integers(-6, 6), st.booleans())
+def test_property_guards_partition_inputs(expr, x, y, p):
+    """With pruning off, guards of ok paths cover the input and at most
+    overlapping paths agree on the value (the executor is deterministic
+    modulo infeasible paths)."""
+    from repro.symexec import SymConfig
+
+    concrete = {"x": x, "y": y, "p": p}
+    executor = SymExecutor(SymConfig(prune_infeasible=False))
+    sym_env = make_env(executor, concrete)
+    outcomes = executor.execute_all(expr, sym_env)
+    valuation = Valuation.from_inputs(sym_env, concrete)
+    matching = matching_outcomes(outcomes, valuation)
+    assert matching
+    values = set()
+    for outcome in matching:
+        values.add(valuation.eval(outcome.value.term))
+    assert len(values) == 1  # all matching paths denote the same value

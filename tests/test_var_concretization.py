@@ -1,0 +1,86 @@
+"""Tests for the nondeterministic SEVar variant (paper §3.1):
+"SEVar may instead return an arbitrary value v and add Σ(x) = v to the
+path condition, a style that resembles hybrid concolic testing"."""
+
+import pytest
+
+from repro import smt
+from repro.core import MixConfig, SoundnessMode, analyze_source
+from repro.lang import parse
+from repro.symexec import SymConfig, SymEnv, SymExecutor
+from repro.symexec.values import fresh_of_type
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import INT
+
+
+def make_executor():
+    return SymExecutor(SymConfig(concretize_variables=True))
+
+
+class TestConcretization:
+    def test_variable_read_pins_a_value(self):
+        executor = make_executor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = executor.execute_all(parse("x + 1"), SymEnv({"x": x}))
+        assert out.ok and out.value.term.is_const
+        # The pin Σ(x) = v is in the path condition.
+        assert smt.is_valid(
+            smt.eq(x.term, smt.int_const(out.value.term.payload - 1)),
+            assuming=[out.state.guard],
+        )
+
+    def test_single_path_through_branches(self):
+        """Concretized reads make conditions concrete: one path only."""
+        executor = make_executor()
+        x, _ = fresh_of_type(INT, executor.names)
+        outs = executor.execute_all(
+            parse("if x < 0 then 1 else 2"), SymEnv({"x": x})
+        )
+        assert len(outs) == 1
+
+    def test_consistent_across_reads(self):
+        """Two reads of the same variable see the same pinned value."""
+        executor = make_executor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = executor.execute_all(parse("x - x"), SymEnv({"x": x}))
+        assert out.value.term is smt.int_const(0)
+
+    def test_respects_prior_constraints(self):
+        """The arbitrary value satisfies the current path condition."""
+        from repro.symexec.executor import State
+        from repro.symexec.memory import fresh_memory
+
+        executor = make_executor()
+        x, _ = fresh_of_type(INT, executor.names)
+        state = State(
+            smt.gt(x.term, smt.int_const(100)), fresh_memory(executor.names)
+        )
+        (out,) = executor.execute_all(parse("x"), SymEnv({"x": x}), state)
+        assert out.value.term.payload > 100
+
+    def test_off_by_default(self):
+        executor = SymExecutor()
+        x, _ = fresh_of_type(INT, executor.names)
+        (out,) = executor.execute_all(parse("x"), SymEnv({"x": x}))
+        assert not out.value.term.is_const
+
+
+class TestUnderMix:
+    SOURCE = "{s if x < 0 then 1 else 2 s}"
+    ENV = TypeEnv({"x": INT})
+
+    def test_sound_mode_rejects_single_pinned_path(self):
+        """Concretization under-approximates: the exhaustive(...) check
+        fails, so SOUND mode refuses."""
+        config = MixConfig(sym=SymConfig(concretize_variables=True))
+        report = analyze_source(self.SOURCE, env=self.ENV, config=config)
+        assert not report.ok
+        assert "exhaustive" in report.diagnostics[0].message
+
+    def test_good_enough_mode_accepts(self):
+        config = MixConfig(
+            sym=SymConfig(concretize_variables=True),
+            soundness=SoundnessMode.GOOD_ENOUGH,
+        )
+        report = analyze_source(self.SOURCE, env=self.ENV, config=config)
+        assert report.ok and str(report.type) == "int"

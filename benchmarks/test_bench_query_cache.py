@@ -1,0 +1,160 @@
+"""E13 — the solver-service query cache on analysis workloads.
+
+The analyses issue highly redundant queries: a forking executor
+re-checks a growing path condition whose prefix it has already decided,
+and the MIXY fixpoint re-runs blocks (and hence their feasibility
+queries) until qualifiers stabilize.  The service's normalized-key cache
+(exact / subset / superset / model-eval tiers, `repro.smt.service`)
+answers the repeats without touching the DPLL(T) core.
+
+Rows reproduced: full solves (cache misses reaching the SAT core) with
+the cache on vs off, on the E4 fork workload and the E2' mini-vsftpd
+workload, at identical verdicts.  The acceptance bar is a >=30% drop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import smt
+from repro.core import MixConfig, analyze_source
+from repro.mixy import Mixy
+from repro.mixy.corpus_vsftpd import annotation_subsets, mini_vsftpd
+from repro.smt import SolverService, and_, gt, int_const, lt, var
+from repro.smt.terms import INT
+from repro.symexec import IfStrategy, SymConfig
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL
+
+from conftest import print_table
+
+
+def with_service(cache_enabled, workload):
+    """Run ``workload`` against a fresh service; return (result, stats)."""
+    service = SolverService(cache_enabled=cache_enabled)
+    previous = smt.set_service(service)
+    try:
+        return workload(), service.stats
+    finally:
+        smt.set_service(previous)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def fork_workload(k: int = 6):
+    """E4's exponential fork program: 2^k paths over shared branch atoms."""
+    parts = [f"(if p{i} then 1 else 0)" for i in range(k)]
+    source = "{s " + " + ".join(parts) + " s}"
+    env = TypeEnv({f"p{i}": BOOL for i in range(k)})
+    config = MixConfig(sym=SymConfig(if_strategy=IfStrategy.FORK))
+    report = analyze_source(source, env=env, config=config)
+    return report.ok
+
+
+def vsftpd_workload():
+    """E2's mini-vsftpd at the fully annotated end of the schedule."""
+    mixy = Mixy(mini_vsftpd(annotation_subsets()[-1]))
+    warnings = mixy.run()
+    return sorted(str(w) for w in warnings)
+
+
+def prefix_workload(depth: int = 12):
+    """The executor's signature query stream: a path condition that grows
+    one conjunct at a time, re-checked at every step."""
+    xs = [var(f"x{i}", INT) for i in range(depth)]
+    service = smt.get_service()
+    prefix = []
+    verdicts = []
+    for i, x in enumerate(xs):
+        prefix.append(and_(gt(x, int_const(i)), lt(x, int_const(i + 10))))
+        verdicts.append(service.check_sat(tuple(prefix)))
+        verdicts.append(service.check_sat(tuple(prefix)))  # branch re-check
+    return [v.name for v in verdicts]
+
+
+WORKLOADS = [
+    ("fork k=6", fork_workload),
+    ("mini-vsftpd", vsftpd_workload),
+    ("prefix d=12", prefix_workload),
+]
+
+
+# ---------------------------------------------------------------------------
+# Shape assertions
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,workload", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+def test_cache_cuts_full_solves_at_identical_verdicts(name, workload):
+    cold_result, cold = with_service(False, workload)
+    warm_result, warm = with_service(True, workload)
+    assert warm_result == cold_result  # the cache must be invisible
+    assert warm.queries == cold.queries  # same query stream issued
+    # Disabling the cache leaves only the syntactic fast path active.
+    assert cold.cache_hits == cold.syntactic_hits
+    # Acceptance bar: >=30% fewer full DPLL(T) runs.
+    assert warm.full_solves <= 0.7 * cold.full_solves, (
+        f"{name}: {warm.full_solves} full solves with cache, "
+        f"{cold.full_solves} without"
+    )
+
+
+def test_repeated_analysis_is_almost_free():
+    """A second identical run hits the exact tier for every query."""
+    service = SolverService()
+    previous = smt.set_service(service)
+    try:
+        fork_workload(4)
+        first = service.stats.full_solves
+        fork_workload(4)
+        assert service.stats.full_solves == first
+    finally:
+        smt.set_service(previous)
+
+
+@pytest.mark.parametrize("name,workload", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+def test_bench_workload_with_cache(benchmark, name, workload):
+    benchmark(lambda: with_service(True, workload))
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+def test_report_query_cache_table(capsys):
+    rows = []
+    for name, workload in WORKLOADS:
+        _, cold = with_service(False, workload)
+        _, warm = with_service(True, workload)
+        drop = 1 - warm.full_solves / cold.full_solves if cold.full_solves else 0.0
+        rows.append(
+            [
+                name,
+                warm.queries,
+                warm.cache_hits,
+                f"{warm.hit_rate:.0%}",
+                cold.full_solves,
+                warm.full_solves,
+                f"{drop:.0%}",
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E13: query cache on analysis workloads (full solves = DPLL(T) runs)",
+            [
+                "workload",
+                "queries",
+                "cache hits",
+                "hit rate",
+                "solves (cold)",
+                "solves (cached)",
+                "reduction",
+            ],
+            rows,
+        )
+    for row in rows:
+        assert row[4] > row[5]  # every workload benefits

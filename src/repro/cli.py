@@ -57,6 +57,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="insert typed/symbolic blocks automatically on failure",
     )
     mix.add_argument("--max-unroll", type=int, default=64)
+    mix.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print solver-service counters (queries, cache hits, solve time)",
+    )
 
     mixy = sub.add_parser("mixy", help="analyze a mini-C program for null errors")
     mixy.add_argument("file", help="C source file ('-' for stdin)")
@@ -68,6 +73,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="require nonnull at every dereference (not just annotations)",
     )
     mixy.add_argument("--no-cache", action="store_true", help="disable block caching")
+    mixy.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print solver-service counters (queries, cache hits, solve time)",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -123,6 +133,10 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
     else:
         report = analyze(program, env, args.entry, config)
     print(report)
+    if args.solver_stats:
+        from repro import smt
+
+        print(smt.get_service().stats.format_table())
     return 0 if report.ok else 1
 
 
@@ -153,6 +167,10 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
         f"{mixy.stats['analysis_seconds']:.3f}s"
     )
     print(summary)
+    if args.solver_stats:
+        from repro import smt
+
+        print(smt.get_service().stats.format_table())
     return 0 if not warnings else 1
 
 

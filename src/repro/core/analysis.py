@@ -71,6 +71,8 @@ def analyze(
     """Run MIX over ``program``; never raises on analysis findings."""
     mix = Mix(config=config)
     env = env or TypeEnv()
+    svc = smt.get_service().stats
+    queries0, hits0, solves0 = svc.queries, svc.cache_hits, svc.full_solves
     if entry == "typed":
         report = _analyze_typed(mix, program, env)
     elif entry == "symbolic":
@@ -79,6 +81,10 @@ def analyze(
         raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
     report.stats = dict(mix.stats)
     report.stats.update({f"sym_{k}": v for k, v in mix.executor.stats.items()})
+    # Per-analysis deltas of the shared solver service counters.
+    report.stats["smt_queries"] = svc.queries - queries0
+    report.stats["smt_cache_hits"] = svc.cache_hits - hits0
+    report.stats["smt_full_solves"] = svc.full_solves - solves0
     return report
 
 

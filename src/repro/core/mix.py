@@ -66,6 +66,11 @@ class Mix:
             "feasibility_checks": 0,
         }
 
+    @property
+    def solver_stats(self) -> "smt.SolverStats":
+        """Counters of the shared solver service (queries, cache tiers)."""
+        return smt.get_service().stats
+
     # ------------------------------------------------------------------
     # Rule TSymBlock: type checking {s e s}
     # ------------------------------------------------------------------

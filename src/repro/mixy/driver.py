@@ -135,7 +135,16 @@ class Mixy:
             "recursion_detected": 0,
             "typed_calls": 0,
             "analysis_seconds": 0.0,
+            # per-run deltas of the shared solver service (see run())
+            "solver_queries": 0,
+            "solver_cache_hits": 0,
+            "solver_full_solves": 0,
         }
+
+    @property
+    def solver_stats(self) -> "smt.SolverStats":
+        """Counters of the shared solver service (queries, cache tiers)."""
+        return smt.get_service().stats
 
     # ------------------------------------------------------------------
     # Entry points
@@ -146,6 +155,8 @@ class Mixy:
         started = time.perf_counter()
         if entry_function not in self.program.functions:
             raise KeyError(entry_function)
+        svc = self.solver_stats
+        queries0, hits0, solves0 = svc.queries, svc.cache_hits, svc.full_solves
         if entry == "typed":
             self._run_typed(entry_function)
         elif entry == "symbolic":
@@ -153,6 +164,9 @@ class Mixy:
         else:
             raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
         self.stats["analysis_seconds"] = time.perf_counter() - started
+        self.stats["solver_queries"] += svc.queries - queries0
+        self.stats["solver_cache_hits"] += svc.cache_hits - hits0
+        self.stats["solver_full_solves"] += svc.full_solves - solves0
         return self.warnings()
 
     def warnings(self) -> list[Warning_]:

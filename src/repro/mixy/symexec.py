@@ -219,6 +219,11 @@ class CSymExecutor:
             self._warned.add(warning.key)
             self.warnings.append(warning)
 
+    @property
+    def solver_stats(self) -> "smt.SolverStats":
+        """Counters of the shared solver service (queries, cache tiers)."""
+        return smt.get_service().stats
+
     def feasible(self, state: CState, extra: Optional[smt.Term] = None) -> bool:
         self.stats["solver_calls"] += 1
         formula = state.condition() if extra is None else smt.and_(state.condition(), extra)

@@ -68,6 +68,11 @@ class SignMix:
         )
         self.stats = {"sign_queries": 0, "symbolic_blocks": 0, "typed_blocks": 0}
 
+    @property
+    def solver_stats(self) -> "smt.SolverStats":
+        """Counters of the shared solver service (queries, cache tiers)."""
+        return smt.get_service().stats
+
     # ------------------------------------------------------------------
     # Sign <-> constraint translation
     # ------------------------------------------------------------------

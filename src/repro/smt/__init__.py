@@ -9,9 +9,13 @@ McCarthy arrays (via select-over-store rewriting).
 The public surface:
 
 - :mod:`repro.smt.terms` -- sorts, hash-consed terms, term constructors.
-- :class:`repro.smt.solver.Solver` -- ``add`` / ``check`` / ``model``.
+- :class:`repro.smt.solver.Solver` -- ``add`` / ``check`` / ``model``,
+  with genuinely incremental ``push``/``pop``.
 - :func:`repro.smt.solver.is_valid` / :func:`is_satisfiable` -- one-shot
   queries used by the mix rules (e.g. the ``exhaustive`` tautology check).
+  These route through the process-wide :class:`repro.smt.service.SolverService`,
+  which caches verdicts (see :mod:`repro.smt.service`) and exposes
+  :class:`repro.smt.service.SolverStats` counters.
 """
 
 from repro.smt.terms import (
@@ -55,6 +59,13 @@ from repro.smt.solver import (
     is_satisfiable,
     is_valid,
 )
+from repro.smt.service import (
+    SolverService,
+    SolverStats,
+    get_service,
+    reset_service,
+    set_service,
+)
 
 __all__ = [
     "BOOL",
@@ -64,8 +75,13 @@ __all__ = [
     "SatResult",
     "Solver",
     "SolverError",
+    "SolverService",
+    "SolverStats",
     "Sort",
     "SortError",
+    "get_service",
+    "reset_service",
+    "set_service",
     "Term",
     "add",
     "and_",

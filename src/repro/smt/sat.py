@@ -9,11 +9,21 @@ literal of variable ``v``, ``-v`` the negative one.  Variables are
 allocated with :meth:`SatSolver.new_var` and clauses may be added between
 :meth:`SatSolver.solve` calls, which is how the lazy SMT loop feeds theory
 blocking clauses back into the search.
+
+:meth:`SatSolver.solve` optionally takes *assumptions* — literals decided
+(in order, before any heuristic decision) at their own decision levels, in
+the MiniSat style.  Returning ``None`` under assumptions means "UNSAT
+under these assumptions" and does **not** poison the solver: clauses and
+learned clauses remain valid and later calls with different assumptions
+may succeed.  Assumptions are what make the incremental
+:class:`repro.smt.solver.Solver` possible — retracting a scope amounts to
+permanently falsifying its selector literal while keeping every clause
+(and everything learned from it) in place.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 
 class SatSolver:
@@ -37,6 +47,8 @@ class SatSolver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        self.num_restarts = 0
+        self.num_clauses_added = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -55,6 +67,7 @@ class SatSolver:
 
     def add_clause(self, literals: Iterable[int]) -> None:
         """Add a clause; duplicates removed, tautologies dropped."""
+        self.num_clauses_added += 1
         seen: set[int] = set()
         clause: list[int] = []
         for lit in literals:
@@ -232,8 +245,14 @@ class SatSolver:
         self._enqueue(best if self._phase[best] else -best, None)
         return True
 
-    def solve(self) -> Optional[dict[int, bool]]:
-        """Search for a model; None means UNSAT."""
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[dict[int, bool]]:
+        """Search for a model; None means UNSAT (under the assumptions).
+
+        Assumption literals are decided, in order, before any heuristic
+        decision.  An assumption found falsified (by the clause database
+        plus earlier assumptions) yields ``None`` without marking the
+        solver permanently unsatisfiable.
+        """
         if self._pending_unsat:
             return None
         self._backtrack(0)
@@ -260,8 +279,24 @@ class SatSolver:
             if conflicts_here >= conflicts_until_restart:
                 conflicts_here = 0
                 restarts += 1
+                self.num_restarts += 1
                 conflicts_until_restart = _luby(restarts) * 100
                 self._backtrack(0)
+                continue
+            # Decide pending assumptions (in order) before branching.  At
+            # this point every decision so far is an earlier assumption,
+            # so a falsified assumption literal is genuinely implied.
+            next_assumption = 0
+            for lit in assumptions:
+                value = self._value(lit)
+                if value is False:
+                    return None  # UNSAT under assumptions; solver stays usable
+                if value is None:
+                    next_assumption = lit
+                    break
+            if next_assumption:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(next_assumption, None)
                 continue
             if not self._decide():
                 model = {

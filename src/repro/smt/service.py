@@ -1,0 +1,315 @@
+"""Process-wide solver service: a query cache in front of shared solvers.
+
+Every feasibility / validity query in the tower (symbolic executors, mix
+rules, the MIXY driver) funnels through one :class:`SolverService`.  The
+service answers from a tiered cache before ever touching DPLL(T):
+
+0. **syntactic** — literal ``true``/``false`` conjuncts and
+   contradiction-by-negation (both ``g`` and ``not g`` present) decide the
+   query with no lookup at all.  Conjunct sets are deduplicated, so a
+   guard that is already asserted in the path condition costs nothing.
+1. **exact** — the normalized key (a frozenset of hash-consed conjuncts,
+   O(1) to hash because term identity is physical identity) has a cached
+   verdict.
+2. **subset** — the conjunct set is a subset of a set previously proved
+   satisfiable: the same model still works, so the query is SAT.
+3. **superset** — the conjunct set is a superset of a cached UNSAT core:
+   adding conjuncts cannot restore satisfiability, so the query is UNSAT.
+4. **model eval** — KLEE-style counterexample caching: recent models are
+   total interpretations (unassigned variables default to 0 / false), so
+   if every conjunct evaluates to true under one of them the query is SAT.
+5. **full solve** — only now does the query reach a :class:`Solver`.  Each
+   miss gets a fresh solver sized to the query: CDCL model search assigns
+   *every* variable in its database, so sharing one growing solver across
+   unrelated queries makes each solve pay for all previous ones.  Reuse of
+   encoding work across *related* queries is what the cache tiers and the
+   incremental ``push``/``pop`` :class:`Solver` (for callers that hold
+   one) are for.
+
+``UNKNOWN`` results are never cached.  Caches are sharded by
+``int_budget``: a verdict obtained under one budget is never reused under
+another (a larger budget can turn UNKNOWN into a real verdict, and
+budget-dependent UNKNOWNs must not leak across).
+
+:class:`SolverStats` counts queries and hits per tier plus the CDCL
+counters, and is surfaced by the executors, the mix rules, the MIXY
+driver, and the CLI ``--solver-stats`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional
+
+from repro.smt.solver import Model, SatResult, Solver, SolverError
+from repro.smt.terms import BOOL, Kind, SortError, Term
+
+
+@dataclass
+class SolverStats:
+    """Counters for the solver service, threaded through the whole stack."""
+
+    queries: int = 0
+    syntactic_hits: int = 0
+    exact_hits: int = 0
+    subset_hits: int = 0
+    superset_hits: int = 0
+    model_eval_hits: int = 0
+    full_solves: int = 0
+    solve_seconds: float = 0.0
+    sat_conflicts: int = 0
+    sat_restarts: int = 0
+    theory_rounds: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return (
+            self.syntactic_hits
+            + self.exact_hits
+            + self.subset_hits
+            + self.superset_hits
+            + self.model_eval_hits
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "queries": self.queries,
+            "syntactic_hits": self.syntactic_hits,
+            "exact_hits": self.exact_hits,
+            "subset_hits": self.subset_hits,
+            "superset_hits": self.superset_hits,
+            "model_eval_hits": self.model_eval_hits,
+            "cache_hits": self.cache_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "full_solves": self.full_solves,
+            "solve_seconds": round(self.solve_seconds, 6),
+            "sat_conflicts": self.sat_conflicts,
+            "sat_restarts": self.sat_restarts,
+            "theory_rounds": self.theory_rounds,
+        }
+
+    def format_table(self) -> str:
+        """A human-readable counter table (used by ``--solver-stats``)."""
+        rows = list(self.as_dict().items())
+        width = max(len(k) for k, _ in rows)
+        lines = ["solver service stats", "-" * (width + 12)]
+        for key, value in rows:
+            lines.append(f"{key:<{width}}  {value}")
+        return "\n".join(lines)
+
+
+class _Shard:
+    """Per-``int_budget`` cache state."""
+
+    #: Bounds keep lookups O(small constant) and memory flat under load.
+    MAX_EXACT = 65_536
+    MAX_SETS = 512
+    MAX_MODELS = 64
+
+    def __init__(self) -> None:
+        self.exact: dict[frozenset[Term], bool] = {}
+        self.sat_sets: Deque[frozenset[Term]] = deque(maxlen=self.MAX_SETS)
+        self.unsat_cores: Deque[frozenset[Term]] = deque(maxlen=self.MAX_SETS)
+        self.models: Deque[Model] = deque(maxlen=self.MAX_MODELS)
+
+    def record(self, key: frozenset[Term], sat: bool, model: Optional[Model]) -> None:
+        if len(self.exact) >= self.MAX_EXACT:
+            self.exact.clear()  # cheap wholesale eviction; refills fast
+        self.exact[key] = sat
+        if sat:
+            self.sat_sets.append(key)
+            if model is not None:
+                self.models.append(model)
+        else:
+            self.unsat_cores.append(key)
+
+
+class SolverService:
+    """The shared solver-service layer: cache tiers in front of DPLL(T)."""
+
+    def __init__(self, cache_enabled: bool = True) -> None:
+        self.stats = SolverStats()
+        self.cache_enabled = cache_enabled
+        self._shards: dict[int, _Shard] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def is_satisfiable(self, *formulas: Term, int_budget: int = 4000) -> bool:
+        """True iff the conjunction of ``formulas`` has a model."""
+        result = self.check_sat(formulas, int_budget=int_budget)
+        if result is SatResult.UNKNOWN:
+            raise SolverError(f"undecided satisfiability query: {list(formulas)}")
+        return result is SatResult.SAT
+
+    def is_valid(
+        self, formula: Term, assuming: Iterable[Term] = (), int_budget: int = 4000
+    ) -> bool:
+        """True iff ``formula`` holds in every model of ``assuming``."""
+        from repro.smt.terms import not_
+
+        formulas = (*assuming, not_(formula))
+        result = self.check_sat(formulas, int_budget=int_budget)
+        if result is SatResult.UNKNOWN:
+            raise SolverError(f"undecided validity query: {formula}")
+        return result is SatResult.UNSAT
+
+    def model(self, *formulas: Term, int_budget: int = 4000) -> Model:
+        """A model of the conjunction (used by variable concretization)."""
+        self.stats.queries += 1
+        conjuncts = self._normalize(formulas)
+        if conjuncts is None:
+            raise SolverError(f"no model: query is not satisfiable: {list(formulas)}")
+        if self.cache_enabled:
+            shard = self._shard(int_budget)
+            for model in reversed(shard.models):
+                if self._model_satisfies(model, conjuncts):
+                    self.stats.model_eval_hits += 1
+                    return model
+        result, model = self._solve(conjuncts, int_budget)
+        if result is not SatResult.SAT or model is None:
+            raise SolverError(f"no model: query is not satisfiable: {list(formulas)}")
+        if self.cache_enabled:
+            self._shard(int_budget).record(conjuncts, True, model)
+        return model
+
+    def check_sat(self, formulas: Iterable[Term], int_budget: int = 4000) -> SatResult:
+        """Tiered satisfiability check of a conjunction of formulas."""
+        self.stats.queries += 1
+        formulas = tuple(formulas)
+        conjuncts = self._normalize(formulas)
+
+        # Tier 0: syntactic.  A literal ``false`` conjunct or a
+        # contradiction-by-negation decides without any cache or solver.
+        if conjuncts is None:
+            self.stats.syntactic_hits += 1
+            return SatResult.UNSAT
+        if not conjuncts:
+            self.stats.syntactic_hits += 1
+            return SatResult.SAT
+        for term in conjuncts:
+            if term.kind is Kind.NOT and term.args[0] in conjuncts:
+                self.stats.syntactic_hits += 1
+                return SatResult.UNSAT
+
+        if self.cache_enabled:
+            shard = self._shard(int_budget)
+            # Tier 1: exact.
+            cached = shard.exact.get(conjuncts)
+            if cached is not None:
+                self.stats.exact_hits += 1
+                return SatResult.SAT if cached else SatResult.UNSAT
+            # Tier 2: subset of a satisfiable set.
+            for sat_set in shard.sat_sets:
+                if conjuncts <= sat_set:
+                    self.stats.subset_hits += 1
+                    shard.exact[conjuncts] = True
+                    return SatResult.SAT
+            # Tier 3: superset of an UNSAT core.
+            for core in shard.unsat_cores:
+                if core <= conjuncts:
+                    self.stats.superset_hits += 1
+                    shard.exact[conjuncts] = False
+                    return SatResult.UNSAT
+            # Tier 4: reuse a recent model as a total interpretation.
+            for model in reversed(shard.models):
+                if self._model_satisfies(model, conjuncts):
+                    self.stats.model_eval_hits += 1
+                    shard.record(conjuncts, True, None)
+                    return SatResult.SAT
+
+        # Tier 5: full DPLL(T) on the shared incremental solver.
+        result, model = self._solve(conjuncts, int_budget)
+        if self.cache_enabled and result is not SatResult.UNKNOWN:
+            self._shard(int_budget).record(
+                conjuncts, result is SatResult.SAT, model
+            )
+        return result
+
+    def reset(self) -> None:
+        """Drop all cached state and counters (tests and benchmarks)."""
+        self.stats = SolverStats()
+        self._shards.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _shard(self, int_budget: int) -> _Shard:
+        shard = self._shards.get(int_budget)
+        if shard is None:
+            shard = self._shards[int_budget] = _Shard()
+        return shard
+
+    @staticmethod
+    def _normalize(formulas: Iterable[Term]) -> Optional[frozenset[Term]]:
+        """Flatten to a canonical conjunct set; None means literally UNSAT."""
+        out: set[Term] = set()
+        stack = list(formulas)
+        while stack:
+            term = stack.pop()
+            if term.sort != BOOL:
+                raise SortError(f"assertions must be boolean, got {term.sort}")
+            if term.kind is Kind.AND:
+                stack.extend(term.args)
+                continue
+            if term.kind is Kind.CONST_BOOL:
+                if term.payload:
+                    continue  # drop literal true
+                return None  # literal false
+            out.add(term)
+        return frozenset(out)
+
+    @staticmethod
+    def _model_satisfies(model: Model, conjuncts: frozenset[Term]) -> bool:
+        try:
+            return all(model.eval(term) is True for term in conjuncts)
+        except SortError:
+            return False
+
+    def _solve(
+        self, conjuncts: frozenset[Term], int_budget: int
+    ) -> tuple[SatResult, Optional[Model]]:
+        self.stats.full_solves += 1
+        solver = Solver(int_budget=int_budget)
+        solver.add(*conjuncts)
+        started = time.perf_counter()
+        try:
+            result = solver.check()
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - started
+            self.stats.sat_conflicts += solver.stats["sat_conflicts"]
+            self.stats.sat_restarts += solver.stats["sat_restarts"]
+            self.stats.theory_rounds += solver.stats["theory_rounds"]
+        model = solver.model() if result is SatResult.SAT else None
+        return result, model
+
+
+# ---------------------------------------------------------------------------
+# The process-wide service instance
+# ---------------------------------------------------------------------------
+
+_service: Optional[SolverService] = None
+
+
+def get_service() -> SolverService:
+    """The process-wide solver service (created on first use)."""
+    global _service
+    if _service is None:
+        _service = SolverService()
+    return _service
+
+
+def set_service(service: SolverService) -> SolverService:
+    """Install a specific service instance (benchmark A/B setups)."""
+    global _service
+    _service = service
+    return service
+
+
+def reset_service() -> SolverService:
+    """Replace the process-wide service with a fresh one."""
+    return set_service(SolverService())

@@ -14,17 +14,43 @@ paper's Otter symbolic executor).  The interface the mix rules need:
 - :func:`is_satisfiable` -- path-condition feasibility,
 - :func:`is_valid` -- the ``exhaustive(g1, ..., gn)`` tautology check of
   rule TSymBlock (validity of the disjunction of path conditions).
+
+The one-shot helpers route through the process-wide
+:class:`repro.smt.service.SolverService`, which memoizes verdicts in a
+normalized-key query cache (see that module) before falling back to a
+:class:`Solver`.
+
+**Incrementality.**  :meth:`Solver.push` / :meth:`Solver.pop` are genuine
+assertion scopes: the preprocessor, the Tseitin builder, the CDCL solver,
+and everything the CDCL core has learned persist across ``check()``
+calls.  Each scope owns a *selector* literal; scoped assertions are
+encoded as ``selector -> goal`` clauses and ``check()`` solves under the
+assumption that every live selector holds.  ``pop()`` permanently
+falsifies the scope's selector instead of rebuilding the solver, so
+
+- Tseitin definitions of shared subformulas are encoded once,
+- theory blocking clauses (valid lemmas about integer-infeasible atom
+  conjunctions) survive and keep pruning later checks, and
+- CDCL-learned clauses remain — they are implied by the clause database
+  regardless of which selectors are active.
+
+The theory check is restricted to atoms appearing in *live* assertions
+(plus all definitional side conditions), so atoms from popped scopes do
+not burden the integer engine.  ``push``/``pop``/``check`` sequences are
+guaranteed to produce the same verdicts as a fresh solver over the same
+live assertions (differentially tested in
+``tests/test_smt_incremental.py``).
 """
 
 from __future__ import annotations
 
-import itertools
+from bisect import bisect_right
 from enum import Enum, unique
 from typing import Iterable, Optional
 
 from repro.smt.cnf import CnfBuilder
 from repro.smt.intsolve import IntBudgetExceeded, check_integer
-from repro.smt.linear import LinAtom
+from repro.smt.linear import LinAtom, atom_from_comparison
 from repro.smt.preprocess import Preprocessor
 from repro.smt.sat import SatSolver
 from repro.smt.terms import (
@@ -34,7 +60,6 @@ from repro.smt.terms import (
     Kind,
     SortError,
     Term,
-    not_,
 )
 
 
@@ -154,7 +179,14 @@ class Model:
 
 
 class Solver:
-    """An SMT solver instance with assertion-stack semantics."""
+    """An SMT solver instance with *incremental* assertion-stack semantics.
+
+    One :class:`Preprocessor` / :class:`CnfBuilder` / :class:`SatSolver`
+    triple lives for the whole solver lifetime.  Assertions are encoded
+    exactly once; ``check()`` only encodes the delta since the previous
+    call and then solves under the live scope selectors (see the module
+    docstring for the scheme).
+    """
 
     #: Cap on theory-conflict iterations of the lazy loop per ``check``.
     max_theory_rounds = 10_000
@@ -164,7 +196,26 @@ class Solver:
         self._scopes: list[int] = []
         self._model: Optional[Model] = None
         self._int_budget = int_budget
-        self.stats = {"checks": 0, "theory_rounds": 0, "sat_conflicts": 0}
+        self.stats = {
+            "checks": 0,
+            "theory_rounds": 0,
+            "sat_conflicts": 0,
+            "sat_restarts": 0,
+        }
+        # Persistent engine state (created lazily on first check).
+        self._pre: Optional[Preprocessor] = None
+        self._sat: Optional[SatSolver] = None
+        self._cnf: Optional[CnfBuilder] = None
+        #: How many of ``_assertions`` have been encoded into the CNF.
+        self._enc_index = 0
+        #: Selector literal per scope (parallel to ``_scopes``); allocated
+        #: lazily when the scope's first assertion is encoded.
+        self._scope_sels: list[Optional[int]] = []
+        #: Per encoded assertion: the SAT vars of its theory atoms.
+        self._goal_atoms: list[frozenset[int]] = []
+        #: SAT vars of atoms in definitional side conditions (kept live
+        #: forever — Ackermann/ite definitions may span scopes).
+        self._side_atoms: set[int] = set()
 
     # -- assertion stack -------------------------------------------------------
 
@@ -176,15 +227,79 @@ class Solver:
 
     def push(self) -> None:
         self._scopes.append(len(self._assertions))
+        self._scope_sels.append(None)
 
     def pop(self) -> None:
         if not self._scopes:
             raise SolverError("pop without matching push")
         del self._assertions[self._scopes.pop() :]
+        sel = self._scope_sels.pop()
+        if sel is not None and self._sat is not None:
+            # Permanently retract the scope: its selector can never hold
+            # again, so its guarded clauses are vacuously satisfied.
+            self._sat.add_clause([-sel])
+        self._enc_index = min(self._enc_index, len(self._assertions))
+        del self._goal_atoms[len(self._assertions) :]
 
     @property
     def assertions(self) -> tuple[Term, ...]:
         return tuple(self._assertions)
+
+    # -- encoding --------------------------------------------------------------
+
+    def _engine(self) -> tuple[Preprocessor, SatSolver, CnfBuilder]:
+        if self._sat is None:
+            self._pre = Preprocessor()
+            self._sat = SatSolver()
+            self._cnf = CnfBuilder(self._sat)
+        assert self._pre is not None and self._cnf is not None
+        return self._pre, self._sat, self._cnf
+
+    def _selector_for_scope(self, scope: int) -> int:
+        """The (lazily allocated) selector literal of 1-based ``scope``."""
+        sel = self._scope_sels[scope - 1]
+        if sel is None:
+            sel = self._engine()[1].new_var()
+            self._scope_sels[scope - 1] = sel
+        return sel
+
+    def _collect_atom_vars(self, term: Term, cnf: CnfBuilder) -> set[int]:
+        """SAT vars of the theory atoms syntactically inside ``term``."""
+        out: set[int] = set()
+        stack = [term]
+        seen: set[int] = set()
+        while stack:
+            t = stack.pop()
+            if id(t) in seen:
+                continue
+            seen.add(id(t))
+            if t.kind in (Kind.LE, Kind.LT):
+                atom = atom_from_comparison(t.kind, t.args[0], t.args[1])
+                v = cnf.atom_to_var.get(atom)
+                if v is not None:
+                    out.add(v)
+                continue
+            stack.extend(t.args)
+        return out
+
+    def _encode_pending(self) -> None:
+        """Encode assertions added since the last ``check()``."""
+        pre, sat, cnf = self._engine()
+        for index in range(self._enc_index, len(self._assertions)):
+            processed = pre.process(self._assertions[index])
+            lit = cnf.encode(processed.goal)
+            scope = bisect_right(self._scopes, index)
+            if scope == 0:
+                sat.add_clause([lit])  # base scope: never retracted
+            else:
+                sat.add_clause([-self._selector_for_scope(scope), lit])
+            self._goal_atoms.append(
+                frozenset(self._collect_atom_vars(processed.goal, cnf))
+            )
+            for side in processed.side_conditions:
+                cnf.add_assertion(side)  # definitional: sound unconditionally
+                self._side_atoms |= self._collect_atom_vars(side, cnf)
+        self._enc_index = len(self._assertions)
 
     # -- solving ---------------------------------------------------------------
 
@@ -192,40 +307,62 @@ class Solver:
         """Decide satisfiability of the asserted formulas plus ``extra``."""
         self.stats["checks"] += 1
         self._model = None
-        pre = Preprocessor()
-        sat = SatSolver()
-        cnf = CnfBuilder(sat)
-        for assertion in itertools.chain(self._assertions, extra):
-            processed = pre.process(assertion)
-            cnf.add_assertion(processed.goal)
-            for side in processed.side_conditions:
-                cnf.add_assertion(side)
+        pre, sat, cnf = self._engine()
+        self._encode_pending()
 
-        for _ in range(self.max_theory_rounds):
-            bool_model = sat.solve()
-            self.stats["sat_conflicts"] = sat.num_conflicts
-            if bool_model is None:
-                return SatResult.UNSAT
-            asserted: list[tuple[int, LinAtom]] = []
-            for sat_var, atom in cnf.var_to_atom.items():
-                if not isinstance(atom, LinAtom):
-                    continue
-                value = bool_model[sat_var]
-                literal = sat_var if value else -sat_var
-                asserted.append((literal, atom if value else atom.negate()))
-            try:
-                result = check_integer(
-                    [a for _, a in asserted], budget=self._int_budget
-                )
-            except IntBudgetExceeded:
-                return SatResult.UNKNOWN
-            if result.feasible:
-                self._model = self._build_model(cnf, pre, bool_model, result.model)
-                return SatResult.SAT
-            self.stats["theory_rounds"] += 1
-            core = self._minimize_core(asserted)
-            sat.add_clause([-lit for lit, _ in core])
-        return SatResult.UNKNOWN
+        relevant: set[int] = set(self._side_atoms)
+        for atoms in self._goal_atoms:
+            relevant |= atoms
+
+        assumptions: list[int] = [s for s in self._scope_sels if s is not None]
+        temp_sel: Optional[int] = None
+        if extra:
+            temp_sel = sat.new_var()
+            assumptions.append(temp_sel)
+            for formula in extra:
+                processed = pre.process(formula)
+                lit = cnf.encode(processed.goal)
+                sat.add_clause([-temp_sel, lit])
+                relevant |= self._collect_atom_vars(processed.goal, cnf)
+                for side in processed.side_conditions:
+                    cnf.add_assertion(side)
+                    atom_vars = self._collect_atom_vars(side, cnf)
+                    self._side_atoms |= atom_vars
+                    relevant |= atom_vars
+
+        try:
+            for _ in range(self.max_theory_rounds):
+                bool_model = sat.solve(assumptions)
+                self.stats["sat_conflicts"] = sat.num_conflicts
+                self.stats["sat_restarts"] = sat.num_restarts
+                if bool_model is None:
+                    return SatResult.UNSAT
+                asserted: list[tuple[int, LinAtom]] = []
+                for sat_var in relevant:
+                    atom = cnf.var_to_atom.get(sat_var)
+                    if not isinstance(atom, LinAtom):
+                        continue
+                    value = bool_model[sat_var]
+                    literal = sat_var if value else -sat_var
+                    asserted.append((literal, atom if value else atom.negate()))
+                try:
+                    result = check_integer(
+                        [a for _, a in asserted], budget=self._int_budget
+                    )
+                except IntBudgetExceeded:
+                    return SatResult.UNKNOWN
+                if result.feasible:
+                    self._model = self._build_model(cnf, pre, bool_model, result.model)
+                    return SatResult.SAT
+                self.stats["theory_rounds"] += 1
+                core = self._minimize_core(asserted)
+                # Theory lemma: this atom conjunction has no integer model.
+                # Globally valid, so it survives pops and future checks.
+                sat.add_clause([-lit for lit, _ in core])
+            return SatResult.UNKNOWN
+        finally:
+            if temp_sel is not None:
+                sat.add_clause([-temp_sel])
 
     def _minimize_core(
         self, asserted: list[tuple[int, LinAtom]]
@@ -281,14 +418,13 @@ class Solver:
 def is_satisfiable(*formulas: Term, int_budget: int = 4000) -> bool:
     """True iff the conjunction of ``formulas`` has a model.
 
-    Raises :class:`SolverError` if the solver cannot decide the query.
+    Routed through the process-wide :class:`repro.smt.service.SolverService`
+    (query cache + shared incremental solver).  Raises :class:`SolverError`
+    if the solver cannot decide the query.
     """
-    solver = Solver(int_budget=int_budget)
-    solver.add(*formulas)
-    result = solver.check()
-    if result is SatResult.UNKNOWN:
-        raise SolverError(f"undecided satisfiability query: {list(formulas)}")
-    return result is SatResult.SAT
+    from repro.smt.service import get_service
+
+    return get_service().is_satisfiable(*formulas, int_budget=int_budget)
 
 
 def is_valid(formula: Term, assuming: Iterable[Term] = (), int_budget: int = 4000) -> bool:
@@ -296,12 +432,8 @@ def is_valid(formula: Term, assuming: Iterable[Term] = (), int_budget: int = 400
 
     This implements the paper's ``exhaustive(g1, ..., gn)`` check: the
     disjunction of path conditions is a tautology iff its negation is
-    unsatisfiable.
+    unsatisfiable.  Routed through the process-wide solver service.
     """
-    solver = Solver(int_budget=int_budget)
-    solver.add(*assuming)
-    solver.add(not_(formula))
-    result = solver.check()
-    if result is SatResult.UNKNOWN:
-        raise SolverError(f"undecided validity query: {formula}")
-    return result is SatResult.UNSAT
+    from repro.smt.service import get_service
+
+    return get_service().is_valid(formula, assuming=assuming, int_budget=int_budget)

@@ -178,6 +178,11 @@ class SymExecutor:
             "merges": 0,
         }
 
+    @property
+    def solver_stats(self) -> "smt.SolverStats":
+        """Counters of the shared solver service (queries, cache tiers)."""
+        return smt.get_service().stats
+
     # -- public API --------------------------------------------------------------
 
     def initial_state(self) -> State:
@@ -221,17 +226,13 @@ class SymExecutor:
     def _concretize_var(self, state: State, value: SymValue) -> Iterator[Outcome]:
         """Nondeterministic SEVar: pick a model value and pin it."""
         assert value.term is not None
-        solver = smt.Solver()
-        solver.add(state.condition())
         self.stats["solver_calls"] += 1
         try:
-            result = solver.check()
-        except smt.SortError:
-            result = None
-        if result is not smt.SatResult.SAT:
+            model = smt.get_service().model(state.condition())
+        except (smt.SolverError, smt.SortError):
             yield from self._ok(state, value)  # dead or undecided: no-op
             return
-        concrete = solver.model().eval(value.term)
+        concrete = model.eval(value.term)
         assert isinstance(concrete, int)
         pinned = smt.eq(value.term, smt.int_const(concrete))
         yield from self._ok(state.and_guard(pinned), int_value(concrete))

@@ -1,0 +1,227 @@
+"""Differential tests of the incremental Solver against fresh solvers.
+
+``Solver.push``/``pop`` retain the preprocessor, the Tseitin encoding,
+theory blocking clauses, and CDCL-learned clauses across ``check()``
+calls (scoped assertions are guarded by selector literals; ``pop``
+permanently falsifies the selector).  These tests pin down the contract:
+any ``push``/``add``/``pop``/``check`` sequence must produce exactly the
+verdicts a fresh solver gives for the same live assertions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    BOOL,
+    INT,
+    FuncDecl,
+    SatResult,
+    Solver,
+    SolverError,
+    add,
+    and_,
+    eq,
+    gt,
+    int_const,
+    le,
+    lt,
+    not_,
+    or_,
+    var,
+)
+
+x = var("x", INT)
+y = var("y", INT)
+z = var("z", INT)
+p = var("p", BOOL)
+q = var("q", BOOL)
+
+
+def fresh_verdict(assertions) -> SatResult:
+    solver = Solver()
+    solver.add(*assertions)
+    return solver.check()
+
+
+# ---------------------------------------------------------------------------
+# Directed incrementality tests
+# ---------------------------------------------------------------------------
+
+
+class TestScopes:
+    def test_repeated_push_pop_restores_verdicts(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        for _ in range(5):
+            solver.push()
+            solver.add(lt(x, int_const(0)))
+            assert solver.check() is SatResult.UNSAT
+            solver.pop()
+            assert solver.check() is SatResult.SAT
+
+    def test_nested_scopes(self):
+        solver = Solver()
+        solver.push()
+        solver.add(gt(x, int_const(5)))
+        solver.push()
+        solver.add(lt(x, int_const(3)))
+        assert solver.check() is SatResult.UNSAT
+        solver.pop()
+        assert solver.check() is SatResult.SAT
+        solver.pop()
+        solver.add(lt(x, int_const(3)))
+        assert solver.check() is SatResult.SAT
+
+    def test_add_after_pop_reuses_scope_slot(self):
+        solver = Solver()
+        solver.push()
+        solver.add(eq(x, int_const(1)))
+        assert solver.check() is SatResult.SAT
+        solver.pop()
+        solver.push()
+        solver.add(eq(x, int_const(2)), gt(x, int_const(1)))
+        assert solver.check() is SatResult.SAT
+        assert solver.model().eval(x) == 2
+
+    def test_extra_assumptions_do_not_leak(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        assert solver.check(lt(x, int_const(0))) is SatResult.UNSAT
+        assert solver.check() is SatResult.SAT
+        assert solver.check(gt(x, int_const(10))) is SatResult.SAT
+        assert solver.check() is SatResult.SAT
+
+    def test_model_after_pop_reflects_live_assertions(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        solver.push()
+        solver.add(gt(x, int_const(100)))
+        assert solver.check() is SatResult.SAT
+        assert solver.model().eval(x) > 100
+        solver.pop()
+        assert solver.check() is SatResult.SAT
+        assert solver.model().eval(x) > 0
+
+
+class TestLearnedStateSurvives:
+    def test_theory_lemma_reused_across_pop(self):
+        """The integer-gap conflict is learned once; re-asserting the same
+        constraints in a new scope must not re-run the theory engine."""
+        solver = Solver()
+        gap = (gt(x, int_const(3)), lt(x, int_const(4)))
+        solver.push()
+        solver.add(*gap)
+        assert solver.check() is SatResult.UNSAT
+        rounds_after_first = solver.stats["theory_rounds"]
+        assert rounds_after_first >= 1
+        solver.pop()
+        solver.push()
+        solver.add(*gap)
+        assert solver.check() is SatResult.UNSAT
+        assert solver.stats["theory_rounds"] == rounds_after_first
+        solver.pop()
+        assert solver.check() is SatResult.SAT
+
+    def test_congruence_across_scopes(self):
+        f = FuncDecl("f", (INT,), INT)
+        solver = Solver()
+        solver.add(eq(x, y))
+        solver.push()
+        solver.add(eq(f(x), int_const(1)), eq(f(y), int_const(2)))
+        assert solver.check() is SatResult.UNSAT
+        solver.pop()
+        assert solver.check() is SatResult.SAT
+        solver.push()
+        solver.add(eq(f(x), int_const(1)), eq(f(y), int_const(1)))
+        assert solver.check() is SatResult.SAT
+
+    def test_pop_without_push_still_raises(self):
+        solver = Solver()
+        solver.add(gt(x, int_const(0)))
+        assert solver.check() is SatResult.SAT
+        try:
+            solver.pop()
+        except SolverError:
+            pass
+        else:
+            raise AssertionError("pop without push must raise")
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential test: incremental vs fresh on assertion stacks
+# ---------------------------------------------------------------------------
+
+ATOMS = [
+    p,
+    q,
+    le(x, int_const(2)),
+    lt(int_const(0), x),
+    eq(x, y),
+    eq(y, add(x, int_const(1))),
+    le(add(x, y), int_const(5)),
+    lt(y, z),
+    eq(z, int_const(3)),
+    gt(x, int_const(-2)),
+]
+
+
+def formulas(depth: int):
+    if depth == 0:
+        return st.sampled_from(ATOMS)
+    inner = formulas(depth - 1)
+    return st.one_of(
+        st.sampled_from(ATOMS),
+        inner.map(not_),
+        st.tuples(inner, inner).map(lambda t: and_(*t)),
+        st.tuples(inner, inner).map(lambda t: or_(*t)),
+    )
+
+
+operations = st.lists(
+    st.one_of(
+        st.just(("push",)),
+        st.just(("pop",)),
+        st.just(("check",)),
+        st.tuples(st.just("add"), formulas(2)),
+        st.tuples(st.just("check_extra"), formulas(2)),
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations)
+def test_incremental_matches_fresh_solver(ops):
+    solver = Solver()
+    live: list = []  # shadow assertion stack
+    scopes: list[int] = []
+    checked = 0
+    for op in ops:
+        name = op[0]
+        if name == "push":
+            solver.push()
+            scopes.append(len(live))
+        elif name == "pop":
+            if not scopes:
+                continue  # no matching push: skip (raises, tested above)
+            solver.pop()
+            del live[scopes.pop() :]
+        elif name == "add":
+            solver.add(op[1])
+            live.append(op[1])
+        elif name == "check":
+            assert solver.check() is fresh_verdict(live)
+            checked += 1
+        elif name == "check_extra":
+            assert solver.check(op[1]) is fresh_verdict(live + [op[1]])
+            assert solver.check() is fresh_verdict(live)
+            checked += 1
+    # Every script ends with one more differential comparison.
+    assert solver.check() is fresh_verdict(live)

@@ -1,0 +1,251 @@
+"""Correctness tests for the solver service's query cache.
+
+The cache must be invisible: every answer it serves — from the syntactic
+tier, the exact-key tier, the subset/superset shortcut tiers, or the
+model-evaluation tier — must equal what a cold :class:`Solver` says for
+the same conjunction.  Verdicts are also sharded by ``int_budget``: a
+result obtained under one budget is never served under another.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.smt import (
+    BOOL,
+    INT,
+    SatResult,
+    Solver,
+    SolverService,
+    and_,
+    eq,
+    false,
+    gt,
+    int_const,
+    le,
+    lt,
+    not_,
+    or_,
+    true,
+    var,
+)
+
+x = var("x", INT)
+y = var("y", INT)
+z = var("z", INT)
+p = var("p", BOOL)
+q = var("q", BOOL)
+
+
+def cold_verdict(*formulas) -> SatResult:
+    solver = Solver()
+    solver.add(*formulas)
+    return solver.check()
+
+
+ATOMS = [
+    p,
+    q,
+    le(x, int_const(2)),
+    lt(int_const(0), x),
+    eq(x, y),
+    le(smt.add(x, y), int_const(5)),
+    lt(y, z),
+    eq(z, int_const(3)),
+    gt(x, int_const(-2)),
+    eq(y, smt.add(x, int_const(1))),
+]
+
+
+def formulas(depth: int):
+    if depth == 0:
+        return st.sampled_from(ATOMS)
+    inner = formulas(depth - 1)
+    return st.one_of(
+        st.sampled_from(ATOMS),
+        inner.map(not_),
+        st.tuples(inner, inner).map(lambda t: and_(*t)),
+        st.tuples(inner, inner).map(lambda t: or_(*t)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tier behavior (directed)
+# ---------------------------------------------------------------------------
+
+
+class TestSyntacticTier:
+    def test_literal_true_and_empty(self):
+        svc = SolverService()
+        assert svc.check_sat(()) is SatResult.SAT
+        assert svc.check_sat((true(),)) is SatResult.SAT
+        assert svc.stats.syntactic_hits == 2
+        assert svc.stats.full_solves == 0
+
+    def test_literal_false(self):
+        svc = SolverService()
+        assert svc.check_sat((false(),)) is SatResult.UNSAT
+        assert svc.check_sat((p, false(), q)) is SatResult.UNSAT
+        assert svc.stats.full_solves == 0
+
+    def test_contradiction_by_negation(self):
+        svc = SolverService()
+        g = gt(x, int_const(0))
+        assert svc.check_sat((g, not_(g))) is SatResult.UNSAT
+        assert svc.check_sat((p, and_(not_(p), q))) is SatResult.UNSAT
+        assert svc.stats.syntactic_hits == 2
+        assert svc.stats.full_solves == 0
+
+    def test_guard_already_asserted_dedupes(self):
+        """Asserting a guard twice yields the same normalized key."""
+        svc = SolverService()
+        g = gt(x, int_const(0))
+        assert svc.check_sat((g,)) is SatResult.SAT
+        assert svc.check_sat((g, g)) is SatResult.SAT
+        assert svc.check_sat((and_(g, g),)) is SatResult.SAT
+        assert svc.stats.full_solves == 1
+
+
+class TestCacheTiers:
+    def test_exact_hit(self):
+        svc = SolverService()
+        query = (gt(x, int_const(0)), lt(x, int_const(5)))
+        assert svc.check_sat(query) is SatResult.SAT
+        assert svc.check_sat(query) is SatResult.SAT
+        assert svc.stats.exact_hits == 1
+        assert svc.stats.full_solves == 1
+
+    def test_subset_of_sat_set_answers_sat(self):
+        svc = SolverService()
+        a, b, c = gt(x, int_const(0)), lt(x, int_const(5)), lt(y, x)
+        assert svc.check_sat((a, b, c)) is SatResult.SAT
+        assert svc.check_sat((a, c)) is SatResult.SAT
+        assert svc.stats.full_solves == 1
+        assert svc.stats.subset_hits + svc.stats.model_eval_hits >= 1
+
+    def test_superset_of_unsat_core_answers_unsat(self):
+        svc = SolverService()
+        a, b = gt(x, int_const(3)), lt(x, int_const(4))
+        assert svc.check_sat((a, b)) is SatResult.UNSAT
+        assert svc.check_sat((a, b, lt(y, z))) is SatResult.UNSAT
+        assert svc.stats.superset_hits == 1
+        assert svc.stats.full_solves == 1
+
+    def test_model_eval_tier_extends_prefix(self):
+        """KLEE-style: a cached model that happens to satisfy a *new*
+        conjunct answers SAT without solving."""
+        svc = SolverService()
+        assert svc.check_sat((gt(x, int_const(10)),)) is SatResult.SAT
+        # x > 10 in any model also has x > 0: not a subset (different key,
+        # new conjunct), but the cached model evaluates it true.
+        assert svc.check_sat((gt(x, int_const(10)), gt(x, int_const(0)))) is (
+            SatResult.SAT
+        )
+        assert svc.stats.full_solves == 1
+        assert svc.stats.model_eval_hits == 1
+
+    def test_cache_disabled_always_solves(self):
+        svc = SolverService(cache_enabled=False)
+        query = (gt(x, int_const(0)),)
+        assert svc.check_sat(query) is SatResult.SAT
+        assert svc.check_sat(query) is SatResult.SAT
+        assert svc.stats.full_solves == 2
+        assert svc.stats.cache_hits == 0
+
+
+class TestBudgetSharding:
+    def test_no_reuse_across_budgets(self):
+        svc = SolverService()
+        query = (gt(x, int_const(0)), lt(x, int_const(7)))
+        assert svc.check_sat(query, int_budget=4000) is SatResult.SAT
+        assert svc.check_sat(query, int_budget=8000) is SatResult.SAT
+        assert svc.stats.full_solves == 2  # second budget: fresh shard
+        assert svc.check_sat(query, int_budget=4000) is SatResult.SAT
+        assert svc.check_sat(query, int_budget=8000) is SatResult.SAT
+        assert svc.stats.full_solves == 2  # now both shards are warm
+
+    def test_unknown_never_cached(self, monkeypatch):
+        svc = SolverService()
+        calls = []
+
+        def fake_solve(conjuncts, int_budget):
+            calls.append(conjuncts)
+            svc.stats.full_solves += 1
+            return SatResult.UNKNOWN, None
+
+        monkeypatch.setattr(svc, "_solve", fake_solve)
+        query = (gt(x, int_const(0)),)
+        assert svc.check_sat(query) is SatResult.UNKNOWN
+        assert svc.check_sat(query) is SatResult.UNKNOWN
+        assert len(calls) == 2  # no caching of UNKNOWN
+        assert all(not shard.exact for shard in svc._shards.values())
+
+
+class TestGlobalService:
+    def test_one_shot_helpers_route_through_service(self):
+        svc = smt.reset_service()
+        assert smt.is_satisfiable(gt(x, int_const(0)))
+        assert smt.is_valid(or_(p, not_(p)))
+        assert svc.stats.queries == 2
+        assert smt.get_service() is svc
+        smt.reset_service()
+
+    def test_set_service(self):
+        mine = SolverService(cache_enabled=False)
+        try:
+            assert smt.set_service(mine) is mine
+            assert smt.get_service() is mine
+        finally:
+            smt.reset_service()
+
+
+# ---------------------------------------------------------------------------
+# Property: cached answers equal a cold solver (all tiers)
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(formulas(2), min_size=1, max_size=4), st.data())
+def test_cached_answers_match_cold_solver(conjuncts, data):
+    svc = SolverService()
+    cold = cold_verdict(*conjuncts)
+    assert svc.check_sat(conjuncts) is cold
+    # Repeat: exact tier must agree.
+    assert svc.check_sat(conjuncts) is cold
+    # A random subset: subset/model tiers must agree with a cold solver.
+    subset = data.draw(st.lists(st.sampled_from(conjuncts), max_size=len(conjuncts)))
+    assert svc.check_sat(subset) is cold_verdict(*subset)
+    # A random superset: superset/model tiers must agree with a cold solver.
+    extra = data.draw(formulas(1))
+    superset = conjuncts + [extra]
+    assert svc.check_sat(superset) is cold_verdict(*superset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(formulas(2), min_size=1, max_size=3))
+def test_warm_service_matches_cold_across_queries(conjuncts):
+    """One long-lived service across many random queries (the production
+    shape) must still answer exactly like cold solvers."""
+    svc = _WARM_SERVICE
+    assert svc.check_sat(conjuncts) is cold_verdict(*conjuncts)
+
+
+_WARM_SERVICE = SolverService()
+
+
+@pytest.mark.parametrize("budget", [2000, 4000])
+def test_model_method_matches_condition(budget):
+    svc = SolverService()
+    condition = and_(gt(x, int_const(100)), lt(x, int_const(200)))
+    model = svc.model(condition, int_budget=budget)
+    assert 100 < model.eval(x) < 200
+    # Second call may reuse the cached model but must stay correct.
+    model2 = svc.model(condition, int_budget=budget)
+    assert 100 < model2.eval(x) < 200

@@ -1,0 +1,218 @@
+"""E14 — the resource governor's degradation ladder under load.
+
+The governed analyses must obey a wall-clock contract: with
+``--deadline D`` a run terminates within ``2 * D`` (modulo the fixed
+per-process overhead of parsing and report assembly) and returns a
+*conservative* verdict — a ``BUDGET`` rejection in SOUND mode, a
+truncation warning in GOOD_ENOUGH — never a hang and never a silently
+wrong acceptance.
+
+Rows reproduced: the E13 workloads (the E4 exponential fork program and
+the E2' mini-vsftpd corpus) re-run under an aggressive 50 ms deadline.
+The fork workload is governed end to end, so its bar is the strict
+``2 * D``.  MIXY's qualifier inference is *by design* outside the
+governor (it is the fallback the driver degrades to), so mini-vsftpd
+gets a looser absolute bound plus the requirement that the degradation
+counters actually fired.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import smt
+from repro.budget import Budget
+from repro.core import MixConfig, SoundnessMode, analyze_source
+from repro.mixy import Mixy, MixyConfig
+from repro.mixy.corpus_vsftpd import annotation_subsets, mini_vsftpd
+from repro.smt import SolverService
+from repro.symexec import IfStrategy, SymConfig
+from repro.symexec.executor import ErrKind
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL
+
+from conftest import print_table
+
+DEADLINE = 0.05
+
+
+def governed_service():
+    return SolverService()
+
+
+def fork_source(k: int):
+    parts = [f"(if p{i} then 1 else 0)" for i in range(k)]
+    return "{s " + " + ".join(parts) + " s}", TypeEnv({f"p{i}": BOOL for i in range(k)})
+
+
+def run_fork(k: int, soundness: SoundnessMode, budget):
+    source, env = fork_source(k)
+    config = MixConfig(
+        sym=SymConfig(if_strategy=IfStrategy.FORK),
+        soundness=soundness,
+        budget=budget,
+    )
+    return analyze_source(source, env=env, config=config)
+
+
+def timed(workload):
+    """Run ``workload`` on a fresh service; return (result, stats, secs)."""
+    service = SolverService()
+    previous = smt.set_service(service)
+    started = time.perf_counter()
+    try:
+        result = workload()
+    finally:
+        elapsed = time.perf_counter() - started
+        smt.set_service(previous)
+    return result, service.stats, elapsed
+
+
+# ---------------------------------------------------------------------------
+# The wall-clock contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [8, 10])
+@pytest.mark.parametrize(
+    "soundness", [SoundnessMode.SOUND, SoundnessMode.GOOD_ENOUGH]
+)
+def test_fork_terminates_within_twice_deadline(k, soundness):
+    """2^k paths would take seconds; the deadline ends the run in ~D."""
+    ungoverned_ok, _, _ = timed(lambda: run_fork(k, soundness, None))
+    assert ungoverned_ok.ok  # the program itself is fine
+
+    report, stats, elapsed = timed(
+        lambda: run_fork(k, soundness, Budget(deadline=DEADLINE))
+    )
+    assert elapsed <= 2 * DEADLINE, (
+        f"fork k={k} took {elapsed:.3f}s under a {DEADLINE}s deadline"
+    )
+    # Conservative verdict, per the ladder: SOUND rejects with a BUDGET
+    # diagnostic; GOOD_ENOUGH may accept the truncated exploration but
+    # must say so in a warning.
+    if soundness is SoundnessMode.SOUND:
+        assert not report.ok
+        assert any(d.kind is ErrKind.BUDGET for d in report.diagnostics)
+    else:
+        assert report.warnings or any(
+            d.kind is ErrKind.BUDGET for d in report.diagnostics
+        )
+    assert stats.deadline_breaches >= 1
+
+
+def test_fork_with_query_timeout_still_converges():
+    report, stats, elapsed = timed(
+        lambda: run_fork(
+            8,
+            SoundnessMode.SOUND,
+            Budget(deadline=DEADLINE, query_timeout=0.01),
+        )
+    )
+    assert elapsed <= 2 * DEADLINE
+    assert not report.ok
+
+
+def test_vsftpd_degrades_with_fallbacks():
+    """mini-vsftpd under a deadline far below its ungoverned runtime: the
+    driver must fall back to pure qualifier inference per breached block
+    and still terminate promptly.  The qualifier pass is deliberately
+    ungoverned (it *is* the degradation target), so the bound here is a
+    loose absolute one, not 2×deadline."""
+    tight = 0.002
+
+    def workload():
+        mixy = Mixy(
+            mini_vsftpd(annotation_subsets()[-1]),
+            MixyConfig(budget=Budget(deadline=tight)),
+        )
+        warnings = mixy.run()
+        return mixy, warnings
+
+    (mixy, warnings), stats, elapsed = timed(workload)
+    assert elapsed <= 2.0  # promptly, if not 2×(2 ms)
+    assert mixy.stats["budget_fallbacks"] >= 1
+    assert stats.deadline_breaches >= 1
+    # The breach surfaces to the caller rather than vanishing.
+    assert any("resource budget exceeded" in str(w) for w in warnings)
+
+
+def test_vsftpd_generous_deadline_is_invisible():
+    def governed():
+        mixy = Mixy(
+            mini_vsftpd(annotation_subsets()[-1]),
+            MixyConfig(budget=Budget(deadline=3600.0)),
+        )
+        return sorted(str(w) for w in mixy.run())
+
+    def baseline():
+        mixy = Mixy(mini_vsftpd(annotation_subsets()[-1]))
+        return sorted(str(w) for w in mixy.run())
+
+    governed_result, governed_stats, _ = timed(governed)
+    baseline_result, _, _ = timed(baseline)
+    assert governed_result == baseline_result
+    assert governed_stats.deadline_breaches == 0
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+def test_report_governor_table(capsys):
+    rows = []
+    for k in (8, 10):
+        _, _, free = timed(lambda: run_fork(k, SoundnessMode.SOUND, None))
+        report, stats, gov = timed(
+            lambda: run_fork(k, SoundnessMode.SOUND, Budget(deadline=DEADLINE))
+        )
+        rows.append(
+            [
+                f"fork k={k}",
+                f"{free:.3f}s",
+                f"{gov:.3f}s",
+                "BUDGET reject" if not report.ok else "accept",
+                stats.deadline_breaches,
+                stats.query_timeouts,
+            ]
+        )
+
+    def vsftpd():
+        mixy = Mixy(
+            mini_vsftpd(annotation_subsets()[-1]),
+            MixyConfig(budget=Budget(deadline=0.002)),
+        )
+        mixy.run()
+        return mixy
+
+    _, _, free = timed(
+        lambda: Mixy(mini_vsftpd(annotation_subsets()[-1])).run()
+    )
+    mixy, stats, gov = timed(vsftpd)
+    rows.append(
+        [
+            "mini-vsftpd",
+            f"{free:.3f}s",
+            f"{gov:.3f}s",
+            f"{mixy.stats['budget_fallbacks']} qual fallback(s)",
+            stats.deadline_breaches,
+            stats.query_timeouts,
+        ]
+    )
+    with capsys.disabled():
+        print_table(
+            f"E14: degradation under a {DEADLINE * 1000:.0f} ms deadline "
+            "(fork) / 2 ms (vsftpd)",
+            [
+                "workload",
+                "ungoverned",
+                "governed",
+                "degradation",
+                "deadline breaches",
+                "query timeouts",
+            ],
+            rows,
+        )

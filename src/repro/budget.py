@@ -1,0 +1,120 @@
+"""The resource governor: per-run budgets with graceful degradation.
+
+The structural budgets that already exist in the tower (loop unroll,
+``max_call_depth``, ``lazy_budget``, ``int_budget``) bound the *shape* of
+an exploration but not its *cost*: a single hard solver query or an
+exponential frontier can still run away with the process.  A
+:class:`Budget` adds the wall-clock and cardinality limits that
+production symbolic-execution engines treat as table stakes (Baldoni et
+al., *A Survey of Symbolic Execution Techniques*):
+
+- ``deadline`` — wall-clock seconds for the whole analysis run;
+- ``query_timeout`` — wall-clock seconds any single solver query may
+  take (additionally capped by the run deadline);
+- ``max_paths`` — total execution paths across the run;
+- ``max_memlog_depth`` — longest write log a single symbolic state may
+  accumulate (the ``⊢ m ok`` walk is linear in it).
+
+One ``Budget`` instance is shared by every layer of a run: the MIX/MIXY
+driver installs it into the process-wide
+:class:`repro.smt.service.SolverService` (which derives a per-query
+deadline from it) and hands it to the executors (which charge paths and
+check the deadline at forks and loop unrolls).
+
+Degradation is *sound by construction*, never ad hoc: a breach can only
+ever make the analysis answer "I don't know" — a timed-out query
+becomes ``UNKNOWN`` (never cached), an abandoned frontier becomes a
+single ``BUDGET`` error outcome the mix rules treat conservatively, and
+the MIXY driver falls back to pure qualifier inference for the offending
+block.  No budget can flip a verdict from "error" to "no error".
+
+The clock is :func:`time.monotonic` throughout; it starts lazily at the
+first deadline question (or explicitly via :meth:`Budget.start`), so a
+``Budget`` can be built at CLI-parse time without eating into the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Budget:
+    """Wall-clock and cardinality limits for one analysis run.
+
+    All limits are optional; ``None`` means unbounded, and a default
+    ``Budget()`` governs nothing.  The instance is mutable runtime
+    state: it owns the start timestamp and the running path count.
+    """
+
+    #: Wall-clock seconds for the whole run (``--deadline``).
+    deadline: Optional[float] = None
+    #: Wall-clock seconds per solver query (``--query-timeout-ms``).
+    query_timeout: Optional[float] = None
+    #: Total execution paths across the run (``--max-paths``).
+    max_paths: Optional[int] = None
+    #: Deepest write log a single symbolic state may accumulate.
+    max_memlog_depth: Optional[int] = None
+
+    #: Paths charged so far (across every block of the run).
+    paths_used: int = field(default=0, init=False, repr=False)
+    _started: Optional[float] = field(default=None, init=False, repr=False)
+
+    # -- clock -----------------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the clock (idempotent: the first call wins)."""
+        if self._started is None:
+            self._started = time.monotonic()
+        return self
+
+    def restart(self) -> "Budget":
+        """Re-arm the clock and reset the path count (fresh run)."""
+        self._started = time.monotonic()
+        self.paths_used = 0
+        return self
+
+    def deadline_at(self) -> Optional[float]:
+        """Absolute :func:`time.monotonic` instant the run must stop at."""
+        if self.deadline is None:
+            return None
+        return self.start()._started + self.deadline  # type: ignore[operator]
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the run deadline (None = unbounded)."""
+        at = self.deadline_at()
+        return None if at is None else at - time.monotonic()
+
+    def expired(self) -> bool:
+        """True iff the run deadline has passed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def query_deadline_at(self) -> Optional[float]:
+        """Absolute instant the *next solver query* must stop at.
+
+        The tighter of "query_timeout from now" and the run deadline, so
+        a query started near the run deadline cannot overshoot it.
+        """
+        run_at = self.deadline_at()
+        if self.query_timeout is None:
+            return run_at
+        query_at = time.monotonic() + self.query_timeout
+        return query_at if run_at is None else min(query_at, run_at)
+
+    # -- paths -----------------------------------------------------------------
+
+    def charge_path(self) -> bool:
+        """Consume one path; False iff the path budget is now breached."""
+        self.paths_used += 1
+        return self.max_paths is None or self.paths_used <= self.max_paths
+
+    def paths_exhausted(self) -> bool:
+        return self.max_paths is not None and self.paths_used >= self.max_paths
+
+    # -- memory log ------------------------------------------------------------
+
+    def memlog_exceeded(self, depth: int) -> bool:
+        return self.max_memlog_depth is not None and depth > self.max_memlog_depth

@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.budget import Budget
 from repro.core import MixConfig, SoundnessMode, analyze, auto_place_blocks
 from repro.lang.parser import ParseError, parse, parse_type
 from repro.lang.lexer import LexError
@@ -62,6 +63,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print solver-service counters (queries, cache hits, solve time)",
     )
+    _add_budget_flags(mix)
 
     mixy = sub.add_parser("mixy", help="analyze a mini-C program for null errors")
     mixy.add_argument("file", help="C source file ('-' for stdin)")
@@ -78,6 +80,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print solver-service counters (queries, cache hits, solve time)",
     )
+    _add_budget_flags(mixy)
 
     args = parser.parse_args(argv)
     try:
@@ -95,6 +98,47 @@ def _read(path: str) -> str:
         return sys.stdin.read()
     with open(path, encoding="utf-8") as handle:
         return handle.read()
+
+
+def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run; on breach the analysis "
+        "degrades gracefully instead of running on",
+    )
+    sub.add_argument(
+        "--query-timeout-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="per-solver-query timeout; a timed-out query returns UNKNOWN "
+        "and is treated conservatively",
+    )
+    sub.add_argument(
+        "--max-paths",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total path budget for the run; the frontier beyond it is "
+        "abandoned with a budget diagnostic",
+    )
+
+
+def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
+    if args.deadline is None and args.query_timeout_ms is None and args.max_paths is None:
+        return None
+    return Budget(
+        deadline=args.deadline,
+        query_timeout=(
+            args.query_timeout_ms / 1000.0
+            if args.query_timeout_ms is not None
+            else None
+        ),
+        max_paths=args.max_paths,
+    )
 
 
 def _parse_env(spec: str) -> TypeEnv:
@@ -122,6 +166,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
         soundness=SoundnessMode.GOOD_ENOUGH
         if args.good_enough
         else SoundnessMode.SOUND,
+        budget=_make_budget(args),
     )
     if args.auto_refine:
         result = auto_place_blocks(program, env, args.entry, config)
@@ -133,6 +178,8 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
     else:
         report = analyze(program, env, args.entry, config)
     print(report)
+    for warning in report.warnings:
+        print(f"warning: {warning}")
     if args.solver_stats:
         from repro import smt
 
@@ -148,6 +195,7 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     config = MixyConfig(
         qual=QualConfig(deref_requires_nonnull=args.strict_deref),
         enable_cache=not args.no_cache,
+        budget=_make_budget(args),
     )
     try:
         mixy = Mixy(source, config)

@@ -52,6 +52,9 @@ class MixReport:
     ok: bool
     type: Optional[Type] = None
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: non-fatal degradation notices (e.g. budget breaches in
+    #: good-enough mode); the program is still accepted
+    warnings: list[str] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
     paths: int = 0
 
@@ -79,6 +82,7 @@ def analyze(
         report = _analyze_symbolic(mix, program, env)
     else:
         raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
+    report.warnings = list(mix.warnings)
     report.stats = dict(mix.stats)
     report.stats.update({f"sym_{k}": v for k, v in mix.executor.stats.items()})
     # Per-analysis deltas of the shared solver service counters.

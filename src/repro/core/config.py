@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, unique
+from typing import Optional
 
+from repro.budget import Budget
 from repro.symexec.executor import SymConfig
 
 
@@ -39,3 +41,9 @@ class MixConfig:
     #: the paper's §3.2 refinement: skip SETypBlock's memory havoc when a
     #: simple effect analysis shows the typed block makes no writes
     effect_aware_havoc: bool = False
+    #: resource governor for the whole run: wall-clock deadline, per-query
+    #: solver timeout, global path cap, memory-log depth cap.  ``None``
+    #: means ungoverned.  A breach degrades gracefully: SOUND mode rejects
+    #: with an ErrKind.BUDGET diagnostic, GOOD_ENOUGH truncates with a
+    #: warning (see docs/ARCHITECTURE.md §1.2).
+    budget: Optional[Budget] = None

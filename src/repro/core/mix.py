@@ -57,6 +57,7 @@ class Mix:
             config=self.config.sym,
             names=self.names,
             typed_block_hook=self._exec_typed_block,
+            budget=self.config.budget,
         )
         self.stats = {
             "symbolic_blocks": 0,
@@ -64,7 +65,11 @@ class Mix:
             "paths_explored": 0,
             "exhaustiveness_checks": 0,
             "feasibility_checks": 0,
+            "budget_breaches": 0,
         }
+        #: Degradation notices (GOOD_ENOUGH mode only): budget breaches
+        #: that truncated exploration instead of rejecting the program.
+        self.warnings: list[str] = []
 
     @property
     def solver_stats(self) -> "smt.SolverStats":
@@ -76,17 +81,42 @@ class Mix:
     # ------------------------------------------------------------------
 
     def _type_symbolic_block(self, gamma: TypeEnv, block: SymBlock) -> Type:
+        # All solver traffic for the block — feasibility, exhaustiveness,
+        # ⊢ m ok — runs under the governor, so every query inherits the
+        # run deadline and per-query timeout.  ``governed`` is re-entrant;
+        # nested blocks keep the enclosing budget.
+        budget = self.config.budget
+        if budget is not None:
+            budget.start()  # idempotent: the clock arms at first use
+        with smt.get_service().governed(budget):
+            return self._type_symbolic_block_governed(gamma, block)
+
+    def _type_symbolic_block_governed(self, gamma: TypeEnv, block: SymBlock) -> Type:
         self.stats["symbolic_blocks"] += 1
         sigma, state = self.make_symbolic_context(gamma)
         outcomes = self._explore(block, sigma, state)
         result_type: Optional[Type] = None
         surviving: list[Outcome] = []
+        breached = False
         for out in outcomes:
             if not out.ok:
+                if out.kind is ErrKind.BUDGET:
+                    breached = True
+                    self._handle_budget_breach(out, block)
+                    continue
                 self._raise_if_feasible(out, block)
                 continue  # infeasible failing path: discarded
             surviving.append(out)
         if not surviving:
+            if breached:
+                # Even good-enough mode cannot shrug this off: with no
+                # completed path there is no result type to give the block.
+                raise MixTypeError(
+                    "the resource budget expired before any path of the "
+                    "symbolic block completed; no result type is available",
+                    block.pos,
+                    kind=ErrKind.BUDGET,
+                )
             raise MixTypeError(
                 "symbolic block has no feasible execution path", block.pos
             )
@@ -138,6 +168,23 @@ class Mix:
                 break  # good-enough mode: truncate exploration
         self.stats["paths_explored"] += len(outcomes)
         return outcomes
+
+    def _handle_budget_breach(self, out: Outcome, block: SymBlock) -> None:
+        """An ErrKind.BUDGET outcome stands for the *abandoned* part of the
+        frontier, so it is treated conservatively, never as an ordinary
+        failing path: no feasibility check could justify dropping it."""
+        self.stats["budget_breaches"] += 1
+        if self.config.soundness is SoundnessMode.SOUND:
+            raise MixTypeError(
+                f"resource budget breached: {out.error}; the analysis "
+                "cannot finish soundly",
+                out.pos or block.pos,
+                kind=ErrKind.BUDGET,
+            )
+        # Good-enough mode: degrade to bounded exploration with a warning.
+        self.warnings.append(
+            f"resource budget breached: {out.error}; exploration truncated"
+        )
 
     def _raise_if_feasible(self, out: Outcome, block: SymBlock) -> None:
         if out.kind is ErrKind.LOOP_BOUND and (

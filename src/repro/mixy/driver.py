@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
 from repro import smt
+from repro.budget import Budget
 from repro.mixy.c.ast import (
     Call,
     CFunction,
@@ -100,6 +101,12 @@ class MixyConfig:
     havoc_on_typed_call: bool = True
     #: fixpoint iteration cap (§4.1)
     max_fixpoint_iters: int = 8
+    #: resource governor for the run; ``None`` means ungoverned.  On a
+    #: breach inside a symbolic block the driver keeps the (sound) partial
+    #: null facts and falls back to pure qualifier inference for the
+    #: function, so the analysis always terminates with a conservative
+    #: answer (see docs/ARCHITECTURE.md §1.2).
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -123,7 +130,10 @@ class Mixy:
             program, self.config.qual, callees_of=self.points_to.callees
         )
         self.executor = CSymExecutor(
-            program, self.config.csym, call_hook=self._typed_call_hook
+            program,
+            self.config.csym,
+            call_hook=self._typed_call_hook,
+            budget=self.config.budget,
         )
         self._cache: dict[tuple, _CacheEntry] = {}
         self._block_stack: list[tuple] = []
@@ -134,6 +144,7 @@ class Mixy:
             "cache_hits": 0,
             "recursion_detected": 0,
             "typed_calls": 0,
+            "budget_fallbacks": 0,
             "analysis_seconds": 0.0,
             # per-run deltas of the shared solver service (see run())
             "solver_queries": 0,
@@ -157,12 +168,18 @@ class Mixy:
             raise KeyError(entry_function)
         svc = self.solver_stats
         queries0, hits0, solves0 = svc.queries, svc.cache_hits, svc.full_solves
-        if entry == "typed":
-            self._run_typed(entry_function)
-        elif entry == "symbolic":
-            self._run_symbolic(entry_function)
-        else:
-            raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
+        budget = self.config.budget
+        if budget is not None:
+            budget.start()  # idempotent: the run clock arms here
+        with smt.get_service().governed(budget):
+            if entry == "typed":
+                self._run_typed(entry_function)
+            elif entry == "symbolic":
+                self._run_symbolic(entry_function)
+            else:
+                raise ValueError(
+                    f"entry must be 'typed' or 'symbolic', got {entry!r}"
+                )
         self.stats["analysis_seconds"] = time.perf_counter() - started
         self.stats["solver_queries"] += svc.queries - queries0
         self.stats["solver_cache_hits"] += svc.cache_hits - hits0
@@ -249,11 +266,23 @@ class Mixy:
                 self._apply_conclusions(cached.null_slots, name)
                 return
         self._block_stack.append(stack_key)
+        breaches_before = self.executor.stats["budget_breaches"]
         try:
             null_slots, warnings = self._execute_symbolic_block(fn, context_slots)
         finally:
             self._block_stack.pop()
         self._apply_conclusions(null_slots, name)
+        if self.executor.stats["budget_breaches"] > breaches_before:
+            # The governor cut this block short.  The null facts gathered so
+            # far are sound (each came from a feasible path) and were
+            # applied above, but coverage may be incomplete, so degrade:
+            # analyze the function with pure qualifier inference as well —
+            # the flow-insensitive over-approximation MIXY would have used
+            # had the function not been marked symbolic — and do not cache
+            # the truncated result (a later, better-funded run may redo it).
+            self.stats["budget_fallbacks"] += 1
+            self.qual.constrain_function(name)
+            return
         if self.config.enable_cache:
             self._cache[stack_key] = _CacheEntry(null_slots, warnings)
         if self.config.restore_aliasing:

@@ -30,6 +30,7 @@ from enum import Enum, unique
 from typing import Callable, Iterator, Optional
 
 from repro import smt
+from repro.budget import Budget
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
@@ -71,6 +72,9 @@ class CErrKind(Enum):
     UNSUPPORTED = "unsupported operation"
     LOOP_BOUND = "loop unroll budget exceeded"
     RECURSION = "recursion depth exceeded"
+    #: the resource governor cut exploration short (deadline or path cap);
+    #: the driver falls back to pure qualifier inference for the function
+    BUDGET = "resource budget exceeded"
 
 
 @dataclass(frozen=True)
@@ -169,16 +173,24 @@ class CSymExecutor:
         program: CProgram,
         config: Optional[CSymConfig] = None,
         call_hook: Optional[CallHook] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.program = program
         self.config = config or CSymConfig()
         self.call_hook = call_hook
+        self.budget = budget
         self.warnings: list[CWarning] = []
         self._warned: set[tuple] = set()
         self._alpha = itertools.count(1)
         self._next_address = 1
         self.fn_addresses: dict[str, int] = {}
-        self.stats = {"forks": 0, "solver_calls": 0, "lazy_objects": 0, "paths": 0}
+        self.stats = {
+            "forks": 0,
+            "solver_calls": 0,
+            "lazy_objects": 0,
+            "paths": 0,
+            "budget_breaches": 0,
+        }
         #: name -> cell address of each global; installed by the driver
         #: (globals live at fixed addresses shared across paths).
         self.global_env: dict[str, int] = {}
@@ -224,6 +236,17 @@ class CSymExecutor:
         """Counters of the shared solver service (queries, cache tiers)."""
         return smt.get_service().stats
 
+    def _deadline_hit(self) -> bool:
+        return self.budget is not None and self.budget.expired()
+
+    def _budget_breach(self, counter: str, message: str, function: str) -> None:
+        """Record a governor breach: a CWarning (so ``Mixy.warnings`` shows
+        it), an executor stat, and the shared service's breach counter."""
+        self.stats["budget_breaches"] += 1
+        stats = smt.get_service().stats
+        setattr(stats, counter, getattr(stats, counter) + 1)
+        self.warn(CErrKind.BUDGET, message, function)
+
     def feasible(self, state: CState, extra: Optional[smt.Term] = None) -> bool:
         self.stats["solver_calls"] += 1
         formula = state.condition() if extra is None else smt.and_(state.condition(), extra)
@@ -266,6 +289,21 @@ class CSymExecutor:
             env[name] = obj.base
         frame = _Frame(fn, env, TypeInfo(self.program, local_types), depth, lazy_budget=self.config.max_lazy_objects_per_path)
         for out in self._exec_stmt(fn.body, frame, state):
+            # Paths are charged against the run budget only at the top of
+            # the call stack: a path through a callee is part of exactly
+            # one caller path, so charging at depth > 0 would double-count.
+            if (
+                depth == 0
+                and self.budget is not None
+                and not self.budget.charge_path()
+            ):
+                self._budget_breach(
+                    "path_budget_breaches",
+                    f"path budget exhausted ({self.budget.max_paths} paths) "
+                    f"in {fn.name}: remaining frontier abandoned",
+                    fn.name,
+                )
+                return
             self.stats["paths"] += 1
             yield PathResult(out.state, out.ret)
 
@@ -314,6 +352,14 @@ class CSymExecutor:
                 yield from self._exec_block(stmts, index + 1, frame, out.state)
 
     def _exec_if(self, stmt: If, frame: "_Frame", state: CState) -> Iterator[StmtOutcome]:
+        if self._deadline_hit():
+            self._budget_breach(
+                "deadline_breaches",
+                f"run deadline reached at a branch in {frame.fn.name}: "
+                "paths abandoned",
+                frame.fn.name,
+            )
+            return
         for s1, cond in self._eval(stmt.cond, frame, state):
             guard = simplify(smt.not_(smt.eq(cond, smt.int_const(0))))
             branches = []
@@ -333,6 +379,14 @@ class CSymExecutor:
     def _exec_while(
         self, stmt: While, frame: "_Frame", state: CState, remaining: int
     ) -> Iterator[StmtOutcome]:
+        if self._deadline_hit():
+            self._budget_breach(
+                "deadline_breaches",
+                f"run deadline reached inside a loop in {frame.fn.name}: "
+                "remaining iterations abandoned",
+                frame.fn.name,
+            )
+            return
         for s1, cond in self._eval(stmt.cond, frame, state):
             guard = simplify(smt.not_(smt.eq(cond, smt.int_const(0))))
             # Exit path.
@@ -763,7 +817,9 @@ class _Frame:
     env: dict[str, int]
     types: TypeInfo
     depth: int
-    lazy_budget: int = 16
+    # No default: the caller must pass config.max_lazy_objects_per_path,
+    # otherwise a frame silently ignores the configured lazy-object cap.
+    lazy_budget: int
 
 
 def _collect_locals(stmt: CStmt, env: dict[str, CType]) -> None:

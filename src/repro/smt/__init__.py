@@ -60,6 +60,7 @@ from repro.smt.solver import (
     is_valid,
 )
 from repro.smt.service import (
+    FaultInjector,
     SolverService,
     SolverStats,
     get_service,
@@ -70,6 +71,7 @@ from repro.smt.service import (
 __all__ = [
     "BOOL",
     "INT",
+    "FaultInjector",
     "FuncDecl",
     "Model",
     "SatResult",

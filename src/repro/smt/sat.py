@@ -23,7 +23,17 @@ permanently falsifying its selector literal while keeping every clause
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Sequence
+
+
+class SatTimeout(Exception):
+    """The search hit its wall-clock deadline (see ``solve(deadline=)``).
+
+    Raised from inside the CDCL loop; the solver remains usable (the
+    next ``add_clause``/``solve`` backtracks to the root as usual) —
+    the caller decides how to degrade, normally to ``UNKNOWN``.
+    """
 
 
 class SatSolver:
@@ -245,21 +255,41 @@ class SatSolver:
         self._enqueue(best if self._phase[best] else -best, None)
         return True
 
-    def solve(self, assumptions: Sequence[int] = ()) -> Optional[dict[int, bool]]:
+    #: Deadline poll cadence: check the clock every this many loop
+    #: iterations.  Each iteration does a full propagation pass, so the
+    #: overshoot past the deadline is a handful of propagations.
+    DEADLINE_CHECK_EVERY = 16
+
+    def solve(
+        self, assumptions: Sequence[int] = (), deadline: Optional[float] = None
+    ) -> Optional[dict[int, bool]]:
         """Search for a model; None means UNSAT (under the assumptions).
 
         Assumption literals are decided, in order, before any heuristic
         decision.  An assumption found falsified (by the clause database
         plus earlier assumptions) yields ``None`` without marking the
         solver permanently unsatisfiable.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant.  The
+        search polls it periodically and raises :class:`SatTimeout` once
+        it has passed; everything learned up to that point is kept.
         """
         if self._pending_unsat:
             return None
+        if deadline is not None and time.monotonic() >= deadline:
+            raise SatTimeout
         self._backtrack(0)
         conflicts_until_restart = _luby(1) * 100
         restarts = 1
         conflicts_here = 0
+        ticks = 0
         while True:
+            if deadline is not None:
+                ticks += 1
+                if ticks >= self.DEADLINE_CHECK_EVERY:
+                    ticks = 0
+                    if time.monotonic() >= deadline:
+                        raise SatTimeout
             conflict = self._propagate()
             if conflict is not None:
                 self.num_conflicts += 1

@@ -38,11 +38,14 @@ driver, and the CLI ``--solver-stats`` flag.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Iterable, Optional
+from typing import Deque, Iterable, Iterator, Mapping, Optional
 
+from repro.budget import Budget
 from repro.smt.solver import Model, SatResult, Solver, SolverError
 from repro.smt.terms import BOOL, Kind, SortError, Term
 
@@ -62,6 +65,18 @@ class SolverStats:
     sat_conflicts: int = 0
     sat_restarts: int = 0
     theory_rounds: int = 0
+    # Resource-governor breach counters (see repro.budget).
+    #: Queries that hit the per-query timeout and degraded to UNKNOWN.
+    query_timeouts: int = 0
+    #: Work refused (queries) or abandoned (frontiers) because the run
+    #: deadline had already passed.
+    deadline_breaches: int = 0
+    #: Frontiers collapsed into a BUDGET outcome by the path budget.
+    path_budget_breaches: int = 0
+    #: Paths stopped by the memory-log depth budget.
+    memlog_breaches: int = 0
+    #: Faults injected by an installed FaultInjector (testing only).
+    injected_faults: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -92,6 +107,11 @@ class SolverStats:
             "sat_conflicts": self.sat_conflicts,
             "sat_restarts": self.sat_restarts,
             "theory_rounds": self.theory_rounds,
+            "query_timeouts": self.query_timeouts,
+            "deadline_breaches": self.deadline_breaches,
+            "path_budget_breaches": self.path_budget_breaches,
+            "memlog_breaches": self.memlog_breaches,
+            "injected_faults": self.injected_faults,
         }
 
     def format_table(self) -> str:
@@ -102,6 +122,62 @@ class SolverStats:
         for key, value in rows:
             lines.append(f"{key:<{width}}  {value}")
         return "\n".join(lines)
+
+
+class FaultInjector:
+    """Deterministic, seedable solver-fault injection (CI degradation tests).
+
+    Installed on a :class:`SolverService` (``service.fault_injector``),
+    it fires on the service's *query counter*: ``faults={n: kind}``
+    injects ``kind`` at the n-th query (1-based), and a ``seed``/``rate``
+    pair additionally injects ``kind`` pseudo-randomly but reproducibly.
+    The three fault kinds mirror the real degradation paths:
+
+    - ``TIMEOUT`` — the query behaves exactly like a per-query deadline
+      breach: ``UNKNOWN``, never cached, ``query_timeouts`` bumped;
+    - ``UNKNOWN`` — an undecided query (e.g. ``int_budget`` exhaustion);
+    - ``ERROR`` — a :class:`SolverError` escapes the solver.
+
+    Faults fire *before* the cache tiers, so "fail the Nth query" is
+    deterministic regardless of what earlier queries populated.
+    """
+
+    TIMEOUT = "timeout"
+    UNKNOWN = "unknown"
+    ERROR = "error"
+    KINDS = (TIMEOUT, UNKNOWN, ERROR)
+
+    def __init__(
+        self,
+        faults: Optional[Mapping[int, str]] = None,
+        seed: Optional[int] = None,
+        rate: float = 0.0,
+        kind: str = TIMEOUT,
+    ) -> None:
+        for fault_kind in (kind, *(faults or {}).values()):
+            if fault_kind not in self.KINDS:
+                raise ValueError(f"unknown fault kind {fault_kind!r}")
+        self.faults = dict(faults or {})
+        self.kind = kind
+        self.rate = rate
+        self._rng = random.Random(seed) if seed is not None else None
+        self.queries_seen = 0
+        self.injected = 0
+
+    @classmethod
+    def at_query(cls, n: int, kind: str = TIMEOUT) -> "FaultInjector":
+        """Inject one fault at the n-th query (1-based)."""
+        return cls(faults={n: kind})
+
+    def next_fault(self) -> Optional[str]:
+        """The fault to inject for the query being served, if any."""
+        self.queries_seen += 1
+        fault = self.faults.get(self.queries_seen)
+        if fault is None and self._rng is not None and self._rng.random() < self.rate:
+            fault = self.kind
+        if fault is not None:
+            self.injected += 1
+        return fault
 
 
 class _Shard:
@@ -137,8 +213,22 @@ class SolverService:
         self.stats = SolverStats()
         self.cache_enabled = cache_enabled
         self._shards: dict[int, _Shard] = {}
+        #: The active run's resource budget (installed via ``governed``).
+        self.budget: Optional[Budget] = None
+        #: Deterministic fault injection for degradation testing.
+        self.fault_injector: Optional[FaultInjector] = None
 
     # -- public API ------------------------------------------------------------
+
+    @contextmanager
+    def governed(self, budget: Optional[Budget]) -> Iterator["SolverService"]:
+        """Install ``budget`` for the duration of a run (re-entrant)."""
+        previous = self.budget
+        self.budget = budget if budget is not None else previous
+        try:
+            yield self
+        finally:
+            self.budget = previous
 
     def is_satisfiable(self, *formulas: Term, int_budget: int = 4000) -> bool:
         """True iff the conjunction of ``formulas`` has a model."""
@@ -162,6 +252,13 @@ class SolverService:
     def model(self, *formulas: Term, int_budget: int = 4000) -> Model:
         """A model of the conjunction (used by variable concretization)."""
         self.stats.queries += 1
+        fault = self._next_fault()
+        if fault is not None:
+            # A model query has no UNKNOWN channel: every fault degrades
+            # to the error callers already handle conservatively.
+            if fault == FaultInjector.TIMEOUT:
+                self.stats.query_timeouts += 1
+            raise SolverError(f"injected solver fault ({fault})")
         conjuncts = self._normalize(formulas)
         if conjuncts is None:
             raise SolverError(f"no model: query is not satisfiable: {list(formulas)}")
@@ -181,6 +278,14 @@ class SolverService:
     def check_sat(self, formulas: Iterable[Term], int_budget: int = 4000) -> SatResult:
         """Tiered satisfiability check of a conjunction of formulas."""
         self.stats.queries += 1
+        fault = self._next_fault()
+        if fault == FaultInjector.ERROR:
+            raise SolverError("injected solver fault (error)")
+        if fault == FaultInjector.TIMEOUT:
+            self.stats.query_timeouts += 1
+            return SatResult.UNKNOWN  # like a real timeout: never cached
+        if fault == FaultInjector.UNKNOWN:
+            return SatResult.UNKNOWN
         formulas = tuple(formulas)
         conjuncts = self._normalize(formulas)
 
@@ -270,11 +375,26 @@ class SolverService:
         except SortError:
             return False
 
+    def _next_fault(self) -> Optional[str]:
+        if self.fault_injector is None:
+            return None
+        fault = self.fault_injector.next_fault()
+        if fault is not None:
+            self.stats.injected_faults += 1
+        return fault
+
     def _solve(
         self, conjuncts: frozenset[Term], int_budget: int
     ) -> tuple[SatResult, Optional[Model]]:
+        deadline: Optional[float] = None
+        if self.budget is not None:
+            if self.budget.expired():
+                # The run is over: refuse the solve outright, cheaply.
+                self.stats.deadline_breaches += 1
+                return SatResult.UNKNOWN, None
+            deadline = self.budget.query_deadline_at()
         self.stats.full_solves += 1
-        solver = Solver(int_budget=int_budget)
+        solver = Solver(int_budget=int_budget, deadline=deadline)
         solver.add(*conjuncts)
         started = time.perf_counter()
         try:
@@ -284,6 +404,8 @@ class SolverService:
             self.stats.sat_conflicts += solver.stats["sat_conflicts"]
             self.stats.sat_restarts += solver.stats["sat_restarts"]
             self.stats.theory_rounds += solver.stats["theory_rounds"]
+        if solver.timed_out:
+            self.stats.query_timeouts += 1
         model = solver.model() if result is SatResult.SAT else None
         return result, model
 

@@ -44,6 +44,7 @@ live assertions (differentially tested in
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
 from enum import Enum, unique
 from typing import Iterable, Optional
@@ -52,7 +53,7 @@ from repro.smt.cnf import CnfBuilder
 from repro.smt.intsolve import IntBudgetExceeded, check_integer
 from repro.smt.linear import LinAtom, atom_from_comparison
 from repro.smt.preprocess import Preprocessor
-from repro.smt.sat import SatSolver
+from repro.smt.sat import SatSolver, SatTimeout
 from repro.smt.terms import (
     BOOL,
     INT,
@@ -191,11 +192,17 @@ class Solver:
     #: Cap on theory-conflict iterations of the lazy loop per ``check``.
     max_theory_rounds = 10_000
 
-    def __init__(self, int_budget: int = 4000) -> None:
+    def __init__(self, int_budget: int = 4000, deadline: Optional[float] = None) -> None:
         self._assertions: list[Term] = []
         self._scopes: list[int] = []
         self._model: Optional[Model] = None
         self._int_budget = int_budget
+        #: Absolute :func:`time.monotonic` instant checks must stop at
+        #: (the resource governor's per-query deadline); None = unbounded.
+        self.deadline = deadline
+        #: True iff the most recent ``check()`` returned UNKNOWN because
+        #: it hit ``deadline`` (as opposed to a budget/round limit).
+        self.timed_out = False
         self.stats = {
             "checks": 0,
             "theory_rounds": 0,
@@ -304,9 +311,15 @@ class Solver:
     # -- solving ---------------------------------------------------------------
 
     def check(self, *extra: Term) -> SatResult:
-        """Decide satisfiability of the asserted formulas plus ``extra``."""
+        """Decide satisfiability of the asserted formulas plus ``extra``.
+
+        With a ``deadline`` set, the lazy loop (and the CDCL search
+        inside it) polls the clock; hitting the deadline yields
+        ``UNKNOWN`` with ``timed_out`` set — never a wrong verdict.
+        """
         self.stats["checks"] += 1
         self._model = None
+        self.timed_out = False
         pre, sat, cnf = self._engine()
         self._encode_pending()
 
@@ -332,7 +345,14 @@ class Solver:
 
         try:
             for _ in range(self.max_theory_rounds):
-                bool_model = sat.solve(assumptions)
+                if self.deadline is not None and time.monotonic() >= self.deadline:
+                    self.timed_out = True
+                    return SatResult.UNKNOWN
+                try:
+                    bool_model = sat.solve(assumptions, deadline=self.deadline)
+                except SatTimeout:
+                    self.timed_out = True
+                    return SatResult.UNKNOWN
                 self.stats["sat_conflicts"] = sat.num_conflicts
                 self.stats["sat_restarts"] = sat.num_restarts
                 if bool_model is None:
@@ -371,6 +391,8 @@ class Solver:
         core = list(asserted)
         if len(core) > 40:
             return core  # minimization cost would dominate; block as-is
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            return core  # out of time — block as-is rather than overshoot
         i = 0
         while i < len(core):
             candidate = core[:i] + core[i + 1 :]

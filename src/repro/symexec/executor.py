@@ -29,6 +29,7 @@ from enum import Enum, unique
 from typing import Callable, Iterator, Optional
 
 from repro import smt
+from repro.budget import Budget
 from repro.lang.ast import (
     App,
     Assign,
@@ -80,6 +81,11 @@ class ErrKind(Enum):
     TYPE_ERROR = "type error"
     UNSUPPORTED = "unsupported"
     LOOP_BOUND = "loop bound exceeded"
+    #: A resource budget (deadline, path count, memory-log depth) was
+    #: breached: the frontier past this point was abandoned.  The mix
+    #: rules treat this conservatively — reported in SOUND mode, warned
+    #: and truncated in GOOD_ENOUGH mode (see repro.budget).
+    BUDGET = "resource budget exceeded"
 
 
 @dataclass(frozen=True)
@@ -166,16 +172,21 @@ class SymExecutor:
         config: Optional[SymConfig] = None,
         names: Optional[NameSupply] = None,
         typed_block_hook: Optional[TypedBlockHook] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.config = config or SymConfig()
         self.names = names or NameSupply()
         self.typed_block_hook = typed_block_hook
+        #: The run's resource budget (shared with the solver service and
+        #: the driver); None = ungoverned.
+        self.budget = budget
         self.stats = {
             "forks": 0,
             "paths_pruned": 0,
             "solver_calls": 0,
             "deref_checks": 0,
             "merges": 0,
+            "budget_breaches": 0,
         }
 
     @property
@@ -191,8 +202,28 @@ class SymExecutor:
     def execute(
         self, expr: Expr, env: Optional[SymEnv] = None, state: Optional[State] = None
     ) -> Iterator[Outcome]:
-        """All execution paths of ``expr`` from the given Σ and S."""
-        yield from self._eval(expr, env or SymEnv(), state or self.initial_state())
+        """All execution paths of ``expr`` from the given Σ and S.
+
+        Under a path budget, each yielded outcome charges one path; the
+        moment the budget is breached the remaining frontier collapses
+        into a single ``ErrKind.BUDGET`` outcome and exploration stops —
+        graceful degradation instead of unbounded enumeration.
+        """
+        outcomes = self._eval(expr, env or SymEnv(), state or self.initial_state())
+        budget = self.budget
+        if budget is None or budget.max_paths is None:
+            yield from outcomes
+            return
+        for out in outcomes:
+            if not budget.charge_path():
+                yield from self._budget_breach(
+                    out.state,
+                    "path_budget_breaches",
+                    f"path budget exhausted ({budget.max_paths} paths): "
+                    "the remaining frontier was abandoned",
+                )
+                return
+            yield out
 
     def execute_all(
         self, expr: Expr, env: Optional[SymEnv] = None, state: Optional[State] = None
@@ -251,6 +282,20 @@ class SymExecutor:
             return smt.is_satisfiable(state.condition())
         except smt.SolverError:
             return True  # undecided — keep the path (sound)
+
+    # -- resource governance -------------------------------------------------------
+
+    def _deadline_hit(self) -> bool:
+        return self.budget is not None and self.budget.expired()
+
+    def _budget_breach(
+        self, state: State, counter: str, message: str, expr: Optional[Expr] = None
+    ) -> Iterator[Outcome]:
+        """One conservative ``BUDGET`` outcome standing in for a frontier."""
+        self.stats["budget_breaches"] += 1
+        stats = smt.get_service().stats
+        setattr(stats, counter, getattr(stats, counter) + 1)
+        return self._err(state, ErrKind.BUDGET, message, expr)
 
     # -- the rules -----------------------------------------------------------------
 
@@ -476,6 +521,14 @@ class SymExecutor:
         self, expr: If, env: SymEnv, state: State, guard: smt.Term
     ) -> Iterator[Outcome]:
         """SEIf-True and SEIf-False: explore both extensions of g."""
+        if self._deadline_hit():
+            yield from self._budget_breach(
+                state,
+                "deadline_breaches",
+                "run deadline reached at a fork: both branches abandoned",
+                expr,
+            )
+            return
         self.stats["forks"] += 1
         for branch, extension in ((expr.then, guard), (expr.els, smt.not_(guard))):
             branch_state = state.and_guard(extension)
@@ -568,6 +621,15 @@ class SymExecutor:
     def _unroll_branches(
         self, expr: While, env: SymEnv, state: State, guard: smt.Term, remaining: int
     ) -> Iterator[Outcome]:
+        if self._deadline_hit():
+            yield from self._budget_breach(
+                state,
+                "deadline_breaches",
+                "run deadline reached inside a loop unroll: "
+                "remaining iterations abandoned",
+                expr,
+            )
+            return
         # Exit path.
         if not guard.is_true:
             exit_state = state.and_guard(self._fold(smt.not_(guard)))
@@ -672,6 +734,16 @@ class SymExecutor:
                 # violates the pointer's type annotation.  ⊢ m ok decides
                 # later whether the violation persists.
                 written = mem.write(s2.memory, target, value)
+                if self.budget is not None and self.budget.memlog_exceeded(
+                    written.depth
+                ):
+                    return self._budget_breach(
+                        s2,
+                        "memlog_breaches",
+                        f"memory log deeper than {self.budget.max_memlog_depth} "
+                        "entries: path abandoned",
+                        expr,
+                    )
                 return self._ok(s2.with_memory(written), value)
 
             return self._bind(self._eval(expr.value, env, s1), with_value)

@@ -27,7 +27,7 @@ equality given the current path condition").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro import smt
@@ -43,6 +43,11 @@ class MemBase:
 
     name: str
 
+    #: Log depth above the base memory (0 for μ itself).  Maintained on
+    #: every node so the resource governor's ``max_memlog_depth`` check
+    #: is O(1) per write instead of a walk of the log.
+    depth: int = field(default=0, init=False, compare=False, repr=False)
+
 
 @dataclass(frozen=True)
 class MemUpdate:
@@ -52,6 +57,10 @@ class MemUpdate:
     loc: SymValue
     value: SymValue
     is_alloc: bool
+    depth: int = field(default=0, init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "depth", self.parent.depth + 1)
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,12 @@ class MemMerge:
     guard: smt.Term
     then_mem: "SymMemory"
     else_mem: "SymMemory"
+    depth: int = field(default=0, init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "depth", max(self.then_mem.depth, self.else_mem.depth) + 1
+        )
 
 
 SymMemory = Union[MemBase, MemUpdate, MemMerge]
@@ -136,9 +151,17 @@ def _inconsistent_writes(
         return []  # Empty-OK
     if isinstance(memory, MemMerge):
         # Extension: a conditional memory is consistent iff both arms are.
+        # Each arm only exists on the paths where its side of the guard
+        # holds, so the arm's writes are judged under the path condition
+        # *strengthened with that guard*: an overwrite whose location
+        # equality is valid only under the branch guard still erases
+        # (semantic_overwrite), and nothing proved under one arm's guard
+        # leaks into the other arm.
+        then_pc = _conjoin(path_condition, memory.guard)
+        else_pc = _conjoin(path_condition, smt.not_(memory.guard))
         return _inconsistent_writes(
-            memory.then_mem, path_condition, semantic_overwrite
-        ) + _inconsistent_writes(memory.else_mem, path_condition, semantic_overwrite)
+            memory.then_mem, then_pc, semantic_overwrite
+        ) + _inconsistent_writes(memory.else_mem, else_pc, semantic_overwrite)
     inconsistent = _inconsistent_writes(
         memory.parent, path_condition, semantic_overwrite
     )
@@ -155,6 +178,10 @@ def _inconsistent_writes(
         ]
     # Arbitrary-NotOK: remember this write as potentially inconsistent.
     return inconsistent + [memory]
+
+
+def _conjoin(path_condition: Optional[smt.Term], guard: smt.Term) -> smt.Term:
+    return guard if path_condition is None else smt.and_(path_condition, guard)
 
 
 def _well_typed_write(entry: MemUpdate) -> bool:

@@ -240,6 +240,76 @@ def test_warm_service_matches_cold_across_queries(conjuncts):
 _WARM_SERVICE = SolverService()
 
 
+# Atoms over variables that never occur in ATOMS: a warm model has no
+# assignment for them, so the model-eval tier must fall back to its
+# total-interpretation defaults (0 / False) — and stay sound doing so.
+f1 = var("fresh_i1", INT)
+f2 = var("fresh_i2", INT)
+fp = var("fresh_b", BOOL)
+
+FRESH_ATOMS = [
+    fp,
+    not_(fp),
+    le(f1, int_const(0)),
+    lt(int_const(0), f1),
+    eq(f1, f2),
+    eq(f2, smt.add(x, int_const(1))),
+    lt(f1, y),
+    eq(f1, int_const(-3)),
+]
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(formulas(2), min_size=1, max_size=3),
+    st.lists(st.sampled_from(FRESH_ATOMS), min_size=1, max_size=3),
+)
+def test_model_eval_tier_sound_for_fresh_variables(warm_conjuncts, fresh_conjuncts):
+    """Pin the model-eval tier against a cold solver on queries containing
+    variables the cached models have never seen.
+
+    Cached models are *total* interpretations (unassigned variables read
+    as 0/False), so a model-eval hit on a query with fresh variables is
+    still a genuine witness — this property keeps that argument honest.
+    """
+    svc = SolverService()
+    # Warm the cache so later queries can hit the model-eval tier.
+    svc.check_sat(warm_conjuncts)
+    mixed = warm_conjuncts + fresh_conjuncts
+    assert svc.check_sat(mixed) is cold_verdict(*mixed)
+    # The fresh conjuncts alone must also agree.
+    assert svc.check_sat(fresh_conjuncts) is cold_verdict(*fresh_conjuncts)
+
+
+def test_model_eval_hit_with_fresh_variable_is_correct():
+    """Directed: a fresh variable satisfied by the default value 0 may hit
+    the model-eval tier, and the verdict must match a cold solver."""
+    svc = SolverService()
+    warm = [gt(x, int_const(0))]
+    assert svc.check_sat(warm) is SatResult.SAT
+    fresh = var("model_eval_fresh", INT)
+    query = warm + [le(fresh, int_const(0))]  # 0 satisfies the default
+    assert svc.check_sat(query) is cold_verdict(*query) is SatResult.SAT
+    # And one the default value falsifies: no hit, full solve, still right.
+    query2 = warm + [lt(int_const(0), fresh)]
+    assert svc.check_sat(query2) is cold_verdict(*query2) is SatResult.SAT
+
+
+def test_model_eval_never_crosses_budget_shards():
+    """A model cached under one int_budget is never consulted for a query
+    under another: shards keep budget-dependent UNKNOWNs honest."""
+    svc = SolverService()
+    formula = gt(x, int_const(0))
+    assert svc.check_sat([formula], int_budget=2000) is SatResult.SAT
+    hits_before = svc.stats.model_eval_hits
+    assert svc.check_sat([formula, le(y, x)], int_budget=4000) is SatResult.SAT
+    assert svc.stats.model_eval_hits == hits_before
+
+
 @pytest.mark.parametrize("budget", [2000, 4000])
 def test_model_method_matches_condition(budget):
     svc = SolverService()

@@ -103,6 +103,77 @@ class TestSemanticOverwrite:
         assert not memory_ok(fixed, smt.true(), semantic_overwrite=True)
 
 
+class TestMergeGuardStrengthening:
+    """Regression: each arm of ``g ? m1 : m2`` exists only on paths where
+    its side of the guard holds, so the ⊢ m ok judgment must check the
+    then-arm under ``pc ∧ g`` and the else-arm under ``pc ∧ ¬g``."""
+
+    def test_overwrite_valid_only_under_guard_erases_in_then_arm(self):
+        # In the then-arm, the locations a and b are equal *only because
+        # the guard says so*; the overwrite must still erase the bad write.
+        a = sym_loc("a")
+        b = sym_loc("b")
+        guard = smt.eq(a.term, b.term)
+        then_mem = write(write(MemBase("mu"), a, bool_value(True)), b, int_value(7))
+        merged = MemMerge(guard, then_mem, MemBase("mu"))
+        assert memory_ok(merged, smt.true(), semantic_overwrite=True)
+
+    def test_guard_does_not_leak_into_else_arm(self):
+        # The same memory as the *else* arm sits under ¬(a = b): the
+        # overwrite cannot be validated there, so the bad write persists.
+        a = sym_loc("a")
+        b = sym_loc("b")
+        guard = smt.eq(a.term, b.term)
+        else_mem = write(write(MemBase("mu"), a, bool_value(True)), b, int_value(7))
+        merged = MemMerge(guard, MemBase("mu"), else_mem)
+        assert not memory_ok(merged, smt.true(), semantic_overwrite=True)
+
+    def test_negated_guard_strengthens_else_arm(self):
+        a = sym_loc("a")
+        b = sym_loc("b")
+        guard = smt.not_(smt.eq(a.term, b.term))  # ¬g gives a = b
+        else_mem = write(write(MemBase("mu"), a, bool_value(True)), b, int_value(7))
+        merged = MemMerge(guard, MemBase("mu"), else_mem)
+        assert memory_ok(merged, smt.true(), semantic_overwrite=True)
+
+    def test_path_condition_still_conjoined_with_guard(self):
+        # pc: a = c, guard: c = b — only together do they give a = b.
+        a = sym_loc("a")
+        b = sym_loc("b")
+        c = sym_loc("c")
+        pc = smt.eq(a.term, c.term)
+        guard = smt.eq(c.term, b.term)
+        then_mem = write(write(MemBase("mu"), a, bool_value(True)), b, int_value(7))
+        merged = MemMerge(guard, then_mem, MemBase("mu"))
+        assert memory_ok(merged, pc, semantic_overwrite=True)
+        assert not memory_ok(merged, smt.true(), semantic_overwrite=True)
+
+
+class TestDepthTracking:
+    """The governor's max_memlog_depth check relies on O(1) depth fields."""
+
+    def test_base_depth_zero(self):
+        assert MemBase("mu").depth == 0
+
+    def test_update_increments(self):
+        m = MemBase("mu")
+        for i in range(1, 5):
+            m = write(m, loc(i), int_value(i))
+            assert m.depth == i
+
+    def test_merge_takes_max_plus_one(self):
+        deep = write(write(MemBase("mu"), loc(1), int_value(1)), loc(2), int_value(2))
+        shallow = MemBase("nu")
+        merged = MemMerge(smt.var("g", smt.BOOL), deep, shallow)
+        assert merged.depth == 3
+
+    def test_depth_does_not_affect_equality(self):
+        assert MemBase("mu") == MemBase("mu")
+        a = write(MemBase("mu"), loc(1), int_value(1))
+        b = write(MemBase("mu"), loc(1), int_value(1))
+        assert a == b and a.depth == b.depth == 1
+
+
 class TestLoweringAndRead:
     def test_read_type_follows_pointer_annotation(self):
         m = fresh_memory(NameSupply())

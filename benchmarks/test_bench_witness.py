@@ -1,0 +1,207 @@
+"""E15 — replay-validation overhead of the trust rings.
+
+Rings 1 and 2 (witness replay + paranoid model self-check,
+`docs/ARCHITECTURE.md` §1.3) sit on the hot path of every analysis: the
+self-check evaluates each SAT model against its query before the cache
+may serve it, and each reported error path costs one extra model query
+plus a concrete replay.  This experiment re-runs the E13/E14 workloads
+(the E4 exponential fork program, the E2' mini-vsftpd corpus) and a
+warning-heavy MIXY program with both rings on, and measures the
+wall-clock overhead against the untrusted baseline.
+
+Acceptance bar: <15% wall-clock overhead with paranoid mode on, at
+identical verdicts, with every reported error path replay-classified.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import smt
+from repro.core import MixConfig, analyze_source
+from repro.mixy import Mixy, MixyConfig
+from repro.mixy.corpus_vsftpd import annotation_subsets, mini_vsftpd
+from repro.smt import SolverService
+from repro.symexec import IfStrategy, SymConfig
+from repro.typecheck import TypeEnv
+from repro.typecheck.types import BOOL, INT
+
+from conftest import print_table
+
+#: timing repetitions; the reported figure is the best of N to damp
+#: scheduler noise (the same discipline E14 uses for its contract)
+REPEATS = 5
+OVERHEAD_BAR = 0.15
+
+
+def run_trusted(workload):
+    """Run ``workload`` with rings 1+2 on; return (result, stats)."""
+    service = SolverService(paranoid=True)
+    previous = smt.set_service(service)
+    try:
+        return workload(validate=True), service.stats
+    finally:
+        smt.set_service(previous)
+
+
+def run_baseline(workload):
+    service = SolverService()
+    previous = smt.set_service(service)
+    try:
+        return workload(validate=False), service.stats
+    finally:
+        smt.set_service(previous)
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Workloads (E13/E14's, parameterized on the trust rings)
+# ---------------------------------------------------------------------------
+
+
+def fork_workload(k: int = 6, validate: bool = False):
+    """E4's exponential fork program: 2^k paths, no errors."""
+    parts = [f"(if p{i} then 1 else 0)" for i in range(k)]
+    source = "{s " + " + ".join(parts) + " s}"
+    env = TypeEnv({f"p{i}": BOOL for i in range(k)})
+    config = MixConfig(
+        sym=SymConfig(if_strategy=IfStrategy.FORK), validate_witnesses=validate
+    )
+    return analyze_source(source, env=env, config=config).ok
+
+
+def mix_error_workload(validate: bool = False):
+    """A rejected MIX program: the diagnostic's path gets replayed."""
+    source = "{s if x < 3 then (if y < 2 then 1 + true else 1) else 2 s}"
+    env = TypeEnv({"x": INT, "y": INT})
+    config = MixConfig(validate_witnesses=validate)
+    report = analyze_source(source, env=env, config=config)
+    return [d.message for d in report.diagnostics]
+
+
+def vsftpd_workload(validate: bool = False):
+    """E2's mini-vsftpd at the fully annotated end of the schedule."""
+    config = MixyConfig(validate_witnesses=validate)
+    warnings = Mixy(mini_vsftpd(annotation_subsets()[-1]), config).run()
+    return sorted(w.message for w in warnings)
+
+
+WARNING_HEAVY = "\n".join(
+    f"void deref{i}(int *p) MIX(symbolic) {{ *p = {i}; }}" for i in range(6)
+) + (
+    "\nvoid main() { "
+    + " ".join(f"deref{i}(NULL);" for i in range(6))
+    + " }"
+)
+
+
+def warning_heavy_workload(validate: bool = False):
+    """Six NULL-flow warnings, each replayed when validation is on."""
+    config = MixyConfig(validate_witnesses=validate)
+    warnings = Mixy(WARNING_HEAVY, config).run()
+    return sorted(w.message for w in warnings)
+
+
+WORKLOADS = [
+    ("fork k=6", fork_workload),
+    ("mix error", mix_error_workload),
+    ("mini-vsftpd", vsftpd_workload),
+    ("6x null-flow", warning_heavy_workload),
+]
+
+
+# ---------------------------------------------------------------------------
+# Shape assertions
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,workload", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+def test_trust_rings_do_not_change_verdicts(name, workload):
+    base_result, _ = run_baseline(workload)
+    trusted_result, stats = run_trusted(workload)
+    assert trusted_result == base_result
+    # Ground truth never contradicts the analyzer on the seed corpus.
+    assert stats.witnesses_diverged == 0
+    assert stats.self_check_failures == 0
+
+
+def test_every_reported_path_is_classified():
+    _, stats = run_trusted(warning_heavy_workload)
+    assert stats.witnesses_confirmed == 6
+    _, stats = run_trusted(mix_error_workload)
+    assert stats.witnesses_confirmed + stats.witnesses_unconfirmed >= 1
+
+
+def test_replay_overhead_within_bar():
+    """The <15% wall-clock acceptance bar, on the combined workload."""
+
+    def combined(validate: bool):
+        for _name, workload in WORKLOADS:
+            if validate:
+                run_trusted(workload)
+            else:
+                run_baseline(workload)
+
+    baseline = best_of(lambda: combined(False))
+    trusted = best_of(lambda: combined(True))
+    overhead = trusted / baseline - 1
+    assert overhead < OVERHEAD_BAR, (
+        f"trust rings cost {overhead:.1%} wall-clock "
+        f"({baseline * 1000:.1f} ms -> {trusted * 1000:.1f} ms); "
+        f"bar is {OVERHEAD_BAR:.0%}"
+    )
+
+
+@pytest.mark.parametrize("name,workload", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+def test_bench_trusted_workload(benchmark, name, workload):
+    benchmark(lambda: run_trusted(workload))
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+def test_report_witness_overhead_table(capsys):
+    rows = []
+    for name, workload in WORKLOADS:
+        base = best_of(lambda: run_baseline(workload))
+        trusted = best_of(lambda: run_trusted(workload))
+        _, stats = run_trusted(workload)
+        rows.append(
+            [
+                name,
+                f"{base * 1000:.1f}",
+                f"{trusted * 1000:.1f}",
+                f"{trusted / base - 1:+.0%}",
+                stats.witnesses_confirmed,
+                stats.witnesses_unconfirmed,
+                stats.witnesses_diverged,
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E15: trust-ring overhead (paranoid solver + witness replay)",
+            [
+                "workload",
+                "base ms",
+                "trusted ms",
+                "overhead",
+                "confirmed",
+                "unconfirmed",
+                "diverged",
+            ],
+            rows,
+        )
+    for row in rows:
+        assert row[6] == 0  # zero REPLAY_DIVERGED on the seed corpus

@@ -64,6 +64,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print solver-service counters (queries, cache hits, solve time)",
     )
     _add_budget_flags(mix)
+    _add_trust_flags(mix)
 
     mixy = sub.add_parser("mixy", help="analyze a mini-C program for null errors")
     mixy.add_argument("file", help="C source file ('-' for stdin)")
@@ -81,11 +82,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print solver-service counters (queries, cache hits, solve time)",
     )
     _add_budget_flags(mixy)
+    _add_trust_flags(mixy)
 
     args = parser.parse_args(argv)
     try:
         source = _read(args.file)
     except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        _apply_trust_flags(args)
+    except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.command == "mix":
@@ -125,6 +132,77 @@ def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
         help="total path budget for the run; the frontier beyond it is "
         "abandoned with a budget diagnostic",
     )
+
+
+def _add_trust_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--validate-witnesses",
+        action="store_true",
+        default=None,
+        help="replay each reported error path through the concrete "
+        "interpreter and attach a CONFIRMED / UNCONFIRMED / "
+        "REPLAY_DIVERGED verdict (trust ring 1)",
+    )
+    sub.add_argument(
+        "--paranoid",
+        action="store_true",
+        default=None,
+        help="self-check every SAT model against its query before trusting "
+        "or caching it (trust ring 2)",
+    )
+    sub.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="N:KIND",
+        help="inject a solver fault at the N-th query; KIND is one of "
+        "timeout, unknown, error, bad_model, crash (repeatable; for "
+        "robustness testing)",
+    )
+    sub.add_argument(
+        "--crash-dir",
+        default=".repro-crashes",
+        metavar="DIR",
+        help="where contained analysis crashes write their minimized repros "
+        "(trust ring 3)",
+    )
+
+
+def _apply_trust_flags(args: argparse.Namespace) -> None:
+    """Configure the shared solver service for rings 2 and 3."""
+    from repro import smt
+    from repro.smt.service import FaultInjector
+
+    service = smt.get_service()
+    if args.paranoid:
+        service.paranoid = True
+    if args.inject_fault:
+        faults: dict[int, str] = {}
+        for spec in args.inject_fault:
+            n_text, _, kind = spec.partition(":")
+            try:
+                n = int(n_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad --inject-fault {spec!r}; expected N:KIND"
+                ) from None
+            faults[n] = kind or FaultInjector.TIMEOUT
+        service.fault_injector = FaultInjector(faults=faults)
+
+
+def _warn_on_divergence() -> int:
+    """Loudly surface REPLAY_DIVERGED verdicts; returns their count."""
+    from repro import smt
+
+    diverged = smt.get_service().stats.witnesses_diverged
+    if diverged:
+        print(
+            f"TRUST FAILURE: {diverged} witness replay(s) DIVERGED from the "
+            "path condition — the executor or solver produced a wrong "
+            "verdict; this is a bug in the analyzer, not the program",
+            file=sys.stderr,
+        )
+    return diverged
 
 
 def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
@@ -167,7 +245,10 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
         if args.good_enough
         else SoundnessMode.SOUND,
         budget=_make_budget(args),
+        crash_dir=args.crash_dir,
     )
+    if args.validate_witnesses:
+        config.validate_witnesses = True
     if args.auto_refine:
         result = auto_place_blocks(program, env, args.entry, config)
         for i, step in enumerate(result.steps, 1):
@@ -184,6 +265,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
         from repro import smt
 
         print(smt.get_service().stats.format_table())
+    _warn_on_divergence()
     return 0 if report.ok else 1
 
 
@@ -196,7 +278,10 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
         qual=QualConfig(deref_requires_nonnull=args.strict_deref),
         enable_cache=not args.no_cache,
         budget=_make_budget(args),
+        crash_dir=args.crash_dir,
     )
+    if args.validate_witnesses:
+        config.validate_witnesses = True
     try:
         mixy = Mixy(source, config)
         warnings = mixy.run(entry=args.entry, entry_function=args.entry_function)
@@ -219,7 +304,15 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
         from repro import smt
 
         print(smt.get_service().stats.format_table())
-    return 0 if not warnings else 1
+    _warn_on_divergence()
+    # Contained analysis crashes degrade a block, they do not make the
+    # program's verdict a failure: the CLI still exits 0 on them.
+    from repro.mixy.symexec import CErrKind
+
+    contained = sum(
+        1 for w in mixy.executor.warnings if w.kind is CErrKind.CRASH
+    )
+    return 0 if len(warnings) <= contained else 1
 
 
 if __name__ == "__main__":

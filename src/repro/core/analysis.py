@@ -19,7 +19,7 @@ configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro import smt
 from repro.core.config import MixConfig, SoundnessMode
@@ -30,6 +30,9 @@ from repro.symexec.executor import ErrKind
 from repro.typecheck.checker import TypeError_
 from repro.typecheck.types import Type, TypeEnv
 
+if TYPE_CHECKING:
+    from repro.witness import Witness
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -39,10 +42,16 @@ class Diagnostic:
     pos: Optional[Pos] = None
     origin: str = "typed"  # "typed" | "symbolic" | "mix"
     kind: Optional[ErrKind] = None
+    #: trust ring 1: replay classification (CONFIRMED / UNCONFIRMED /
+    #: REPLAY_DIVERGED); None unless MixConfig.validate_witnesses is on.
+    witness: Optional["Witness"] = None
 
     def __str__(self) -> str:
         where = f" at {self.pos}" if self.pos else ""
-        return f"[{self.origin}]{where}: {self.message}"
+        rendered = f"[{self.origin}]{where}: {self.message}"
+        if self.witness is not None:
+            rendered += f" [witness: {self.witness}]"
+        return rendered
 
 
 @dataclass
@@ -109,7 +118,10 @@ def _analyze_typed(mix: Mix, program: Expr, env: TypeEnv) -> MixReport:
         return MixReport(
             ok=False,
             diagnostics=[
-                Diagnostic(error.message, error.pos, error.origin, error.kind)
+                Diagnostic(
+                    error.message, error.pos, error.origin, error.kind,
+                    witness=error.witness,
+                )
             ],
         )
     except TypeError_ as error:
@@ -128,7 +140,10 @@ def _analyze_symbolic(mix: Mix, program: Expr, env: TypeEnv) -> MixReport:
         return MixReport(
             ok=False,
             diagnostics=[
-                Diagnostic(error.message, error.pos, error.origin, error.kind)
+                Diagnostic(
+                    error.message, error.pos, error.origin, error.kind,
+                    witness=error.witness,
+                )
             ],
         )
     except TypeError_ as error:

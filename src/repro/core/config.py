@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from enum import Enum, unique
 from typing import Optional
@@ -47,3 +48,18 @@ class MixConfig:
     #: with an ErrKind.BUDGET diagnostic, GOOD_ENOUGH truncates with a
     #: warning (see docs/ARCHITECTURE.md §1.2).
     budget: Optional[Budget] = None
+    #: trust ring 1: replay every reported error path through the
+    #: concrete interpreter and classify the diagnostic CONFIRMED /
+    #: UNCONFIRMED / REPLAY_DIVERGED (see docs/ARCHITECTURE.md §1.3).
+    #: Defaults from the REPRO_VALIDATE_WITNESSES environment variable.
+    validate_witnesses: bool = field(default_factory=lambda: _env_flag("REPRO_VALIDATE_WITNESSES"))
+    #: trust ring 3: catch unexpected exceptions during a block's
+    #: analysis, degrade the block to its typed result, and write a
+    #: shrunken crash repro instead of taking the whole run down.
+    contain_crashes: bool = True
+    #: where contained crashes write their minimized repro reports
+    crash_dir: str = ".repro-crashes"
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")

@@ -10,7 +10,10 @@ symbolic -> typed: the block's result type and nothing else), exactly the
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:
+    from repro.witness import Witness
 
 from repro import smt
 from repro.core.config import MixConfig, SoundnessMode
@@ -37,10 +40,14 @@ class MixTypeError(TypeError_):
         pos: Optional[Pos] = None,
         origin: str = "mix",
         kind: Optional[ErrKind] = None,
+        witness: Optional["Witness"] = None,
     ) -> None:
         super().__init__(message, pos)
         self.origin = origin
         self.kind = kind
+        #: trust ring 1: the replay classification of this diagnostic
+        #: (present only when MixConfig.validate_witnesses is on)
+        self.witness = witness
 
 
 class Mix:
@@ -89,7 +96,72 @@ class Mix:
         if budget is not None:
             budget.start()  # idempotent: the clock arms at first use
         with smt.get_service().governed(budget):
-            return self._type_symbolic_block_governed(gamma, block)
+            try:
+                return self._type_symbolic_block_governed(gamma, block)
+            except TypeError_:
+                raise  # analysis findings (incl. MixTypeError), not crashes
+            except Exception as error:
+                if not self.config.contain_crashes:
+                    raise
+                return self._contain_crash(error, gamma, block)
+
+    def _contain_crash(self, error: Exception, gamma: TypeEnv, block: SymBlock) -> Type:
+        """Trust ring 3: an unexpected exception during a symbolic block's
+        analysis — an executor bug, a solver crash, an injected fault —
+        is contained at the block boundary: counted, recorded with a
+        delta-debugged repro, and the block degraded to the plain type
+        checker, mirroring the BUDGET-breach fallback."""
+        from repro.crash import record_crash
+        from repro.lang.pretty import pretty
+        from repro.shrink import shrink_expr
+
+        smt.get_service().stats.blocks_contained += 1
+        shrunk = shrink_expr(block.body, self._crash_probe(gamma, type(error)))
+        path = record_crash(
+            error,
+            phase="mix:symbolic-block",
+            source=pretty(block.body),
+            shrunk_source=pretty(shrunk),
+            crash_dir=self.config.crash_dir,
+            injector=smt.get_service().fault_injector,
+        )
+        where = path or "(report could not be written)"
+        self.warnings.append(
+            f"symbolic block analysis crashed ({type(error).__name__}: "
+            f"{error}); degraded to the type checker — repro at {where}"
+        )
+        return self.checker.check(block.body, gamma)
+
+    def _crash_probe(self, gamma: TypeEnv, error_type: type):
+        """A shrink predicate: does analyzing this candidate body crash
+        with the same exception type?  Probes run a fresh Mix on a fresh
+        solver service (with a clone of the fault schedule, if any), so
+        they can never disturb the shared service or re-enter containment."""
+        base_injector = smt.get_service().fault_injector
+        paranoid = smt.get_service().paranoid
+
+        def crashes(candidate) -> bool:
+            from dataclasses import replace as dc_replace
+
+            from repro.smt.service import SolverService
+
+            service = SolverService(paranoid=paranoid)
+            if base_injector is not None:
+                service.fault_injector = base_injector.clone()
+            saved = smt.get_service()
+            smt.set_service(service)
+            try:
+                config = dc_replace(self.config, contain_crashes=False, budget=None)
+                Mix(config=config)._type_symbolic_block(gamma, SymBlock(candidate))
+            except TypeError_:
+                return False  # an ordinary rejection, not the crash
+            except Exception as probe_error:
+                return type(probe_error) is error_type
+            finally:
+                smt.set_service(saved)
+            return False
+
+        return crashes
 
     def _type_symbolic_block_governed(self, gamma: TypeEnv, block: SymBlock) -> Type:
         self.stats["symbolic_blocks"] += 1
@@ -104,7 +176,7 @@ class Mix:
                     breached = True
                     self._handle_budget_breach(out, block)
                     continue
-                self._raise_if_feasible(out, block)
+                self._raise_if_feasible(out, block, gamma, sigma)
                 continue  # infeasible failing path: discarded
             surviving.append(out)
         if not surviving:
@@ -186,7 +258,13 @@ class Mix:
             f"resource budget breached: {out.error}; exploration truncated"
         )
 
-    def _raise_if_feasible(self, out: Outcome, block: SymBlock) -> None:
+    def _raise_if_feasible(
+        self,
+        out: Outcome,
+        block: SymBlock,
+        gamma: Optional[TypeEnv] = None,
+        sigma: Optional[SymEnv] = None,
+    ) -> None:
         if out.kind is ErrKind.LOOP_BOUND and (
             self.config.soundness is SoundnessMode.GOOD_ENOUGH
         ):
@@ -197,12 +275,21 @@ class Mix:
         except smt.SolverError:
             feasible = True  # undecided: conservatively report
         if feasible:
-            origin = "symbolic"
+            witness = None
+            if (
+                self.config.validate_witnesses
+                and gamma is not None
+                and sigma is not None
+            ):
+                from repro.witness import validate_mix_outcome
+
+                witness = validate_mix_outcome(block.body, gamma, sigma, out)
             raise MixTypeError(
                 f"symbolic execution failed: {out.error}",
                 out.pos or block.pos,  # type: ignore[arg-type]
-                origin=origin,
+                origin="symbolic",
                 kind=out.kind,
+                witness=witness,
             )
 
     def _join_result_type(
@@ -274,7 +361,18 @@ class Mix:
         try:
             block_type = self.checker.check(block.body, gamma)
         except MixTypeError as error:
-            yield Outcome(state, error=str(error), kind=error.kind or ErrKind.TYPE_ERROR, pos=error.pos or block.pos)
+            # Even if the nested failure came from an inner symbolic
+            # block, *this* outcome is a static judgment of the typed
+            # block: its path condition says nothing about the inner
+            # block's fresh inputs, so replay must not treat it as a
+            # dynamic claim (origin="typed" blocks REPLAY_DIVERGED).
+            yield Outcome(
+                state,
+                error=str(error),
+                kind=error.kind or ErrKind.TYPE_ERROR,
+                pos=error.pos or block.pos,
+                origin="typed",
+            )
             return
         except TypeError_ as error:
             yield Outcome(
@@ -282,6 +380,7 @@ class Mix:
                 error=f"type error in typed block: {error.message}",
                 kind=ErrKind.TYPE_ERROR,
                 pos=error.pos or block.pos,
+                origin="typed",
             )
             return
         # Conclusion: a fresh α of the block's type, havocked memory μ'.

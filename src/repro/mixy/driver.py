@@ -38,10 +38,11 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from repro import smt
 from repro.budget import Budget
+from repro.core.config import _env_flag
 from repro.mixy.c.ast import (
     Call,
     CFunction,
@@ -54,6 +55,7 @@ from repro.mixy.c.ast import (
     VOID_T,
 )
 from repro.mixy.c.parser import parse_program
+from repro.mixy.c.typeinfo import CTypeError
 from repro.mixy.pointers import PointsTo, obj_global, obj_local
 from repro.mixy.qual import (
     NONNULL,
@@ -76,6 +78,9 @@ from repro.mixy.symexec import (
 )
 from repro.smt.simplify import simplify
 
+if TYPE_CHECKING:
+    from repro.witness import Witness
+
 
 @dataclass(frozen=True)
 class Warning_:
@@ -83,9 +88,15 @@ class Warning_:
 
     origin: str  # "qual" | "symbolic"
     message: str
+    #: trust ring 1: replay classification (CONFIRMED / UNCONFIRMED /
+    #: REPLAY_DIVERGED); None unless MixyConfig.validate_witnesses is on.
+    witness: Optional["Witness"] = None
 
     def __str__(self) -> str:
-        return f"[{self.origin}] {self.message}"
+        rendered = f"[{self.origin}] {self.message}"
+        if self.witness is not None:
+            rendered += f" [witness: {self.witness}]"
+        return rendered
 
 
 @dataclass
@@ -107,12 +118,48 @@ class MixyConfig:
     #: function, so the analysis always terminates with a conservative
     #: answer (see docs/ARCHITECTURE.md §1.2).
     budget: Optional[Budget] = None
+    #: trust ring 1: replay each NULL_DEREF warning's error path through
+    #: the concrete mini-C interpreter and attach a CONFIRMED /
+    #: UNCONFIRMED / REPLAY_DIVERGED verdict (docs/ARCHITECTURE.md §1.3).
+    #: Defaults from the REPRO_VALIDATE_WITNESSES environment variable.
+    validate_witnesses: bool = field(
+        default_factory=lambda: _env_flag("REPRO_VALIDATE_WITNESSES")
+    )
+    #: trust ring 3: catch unexpected exceptions during a symbolic
+    #: block's analysis, degrade the function to pure qualifier inference
+    #: (the budget-breach fallback), and write a shrunken crash repro
+    #: instead of taking the whole run down.
+    contain_crashes: bool = True
+    #: where contained crashes write their minimized repro reports
+    crash_dir: str = ".repro-crashes"
 
 
 @dataclass
 class _CacheEntry:
     null_slots: list[QVar]
     warnings: list[CWarning]
+
+
+@dataclass
+class _ReplayContext:
+    """Everything needed to replay a block's error path concretely:
+    the entry function, its symbolic argument values, the materialized
+    entry state, and baselines of the abstraction counters (typed-call
+    havoc, lazy objects, truncation warnings) so a warning can tell
+    whether its block run was exact."""
+
+    fn: CFunction
+    args: list[smt.Term]
+    state: CState
+    global_env: dict[str, int]
+    typed_calls: int
+    lazy_objects: int
+    warnings_len: int
+
+
+#: Warning kinds whose presence means the block run abstracted something
+#: the concrete replay executes for real — never classify DIVERGED then.
+_INEXACT_KINDS = (CErrKind.RECURSION, CErrKind.UNSUPPORTED, CErrKind.BUDGET)
 
 
 class Mixy:
@@ -135,6 +182,10 @@ class Mixy:
             call_hook=self._typed_call_hook,
             budget=self.config.budget,
         )
+        if self.config.validate_witnesses:
+            self.executor.witness_checker = self._check_witness
+        self._replay_context: Optional[_ReplayContext] = None
+        self._entry: tuple[str, str] = ("typed", "main")
         self._cache: dict[tuple, _CacheEntry] = {}
         self._block_stack: list[tuple] = []
         self._cell_slots: dict[int, QVar] = {}  # provenance: cell -> qual var
@@ -171,6 +222,7 @@ class Mixy:
         budget = self.config.budget
         if budget is not None:
             budget.start()  # idempotent: the run clock arms here
+        self._entry = (entry, entry_function)  # crash probes re-run this
         with smt.get_service().governed(budget):
             if entry == "typed":
                 self._run_typed(entry_function)
@@ -189,7 +241,9 @@ class Mixy:
     def warnings(self) -> list[Warning_]:
         out = [Warning_("qual", str(w)) for w in self.qual.warnings()]
         out.extend(
-            Warning_("symbolic", str(w))
+            Warning_(
+                "symbolic", str(w), witness=self.executor.witnesses.get(w.key)
+            )
             for w in self.executor.warnings
             if w.kind is not CErrKind.LOOP_BOUND
         )
@@ -269,6 +323,13 @@ class Mixy:
         breaches_before = self.executor.stats["budget_breaches"]
         try:
             null_slots, warnings = self._execute_symbolic_block(fn, context_slots)
+        except CTypeError:
+            raise  # a frontend/program error, not an analysis crash
+        except Exception as error:
+            if not self.config.contain_crashes:
+                raise
+            self._contain_block_crash(error, fn)
+            return
         finally:
             self._block_stack.pop()
         self._apply_conclusions(null_slots, name)
@@ -333,10 +394,22 @@ class Mixy:
             state, value = self._translate_in(state, qt, f"{fn.name}.{pname}", watched)
             args.append(value)
         warnings_before = len(self.executor.warnings)
+        saved_context = self._replay_context
+        if self.config.validate_witnesses:
+            self._replay_context = _ReplayContext(
+                fn,
+                list(args),
+                state,
+                dict(self.executor.global_env),
+                self.stats["typed_calls"],
+                self.executor.stats["lazy_objects"],
+                warnings_before,
+            )
         try:
             results = list(self.executor.execute_function(fn, args, state))
         finally:
             self.executor.global_env = saved_global_env
+            self._replay_context = saved_context
         new_warnings = self.executor.warnings[warnings_before:]
         # §4.1 symbolic values -> types: a watched cell whose final value
         # may be 0 on some feasible path constrains its slot to null.
@@ -488,6 +561,103 @@ class Mixy:
                 )
 
     # ------------------------------------------------------------------
+    # Trust ring 3: per-block crash containment
+    # ------------------------------------------------------------------
+
+    def _contain_block_crash(self, error: Exception, fn: CFunction) -> None:
+        """An unexpected exception during a symbolic block's analysis is
+        contained at the block boundary: counted, recorded with a
+        delta-debugged repro, and the function degraded to pure qualifier
+        inference — the same fallback a budget breach takes."""
+        from repro.crash import record_crash
+        from repro.mixy.c.pretty import pretty_program
+        from repro.shrink import shrink_c_program
+
+        smt.get_service().stats.blocks_contained += 1
+        shrunk = shrink_c_program(self.program, self._crash_probe(type(error)))
+        path = record_crash(
+            error,
+            phase=f"mixy:symbolic-block:{fn.name}",
+            source=pretty_program(self.program),
+            shrunk_source=pretty_program(shrunk),
+            crash_dir=self.config.crash_dir,
+            injector=smt.get_service().fault_injector,
+        )
+        where = path or "(report could not be written)"
+        self.executor.warn(
+            CErrKind.CRASH,
+            f"analysis crashed ({type(error).__name__}: {error}); degraded "
+            f"to qualifier inference — repro at {where}",
+            fn.name,
+        )
+        self.qual.constrain_function(fn.name)
+
+    def _crash_probe(self, error_type: type):
+        """A shrink predicate: does re-analyzing this candidate program
+        crash with the same exception type?  Probes run a fresh Mixy on a
+        fresh solver service (with a clone of the fault schedule, if
+        any), so they never disturb the shared service or re-enter
+        containment."""
+        base_injector = smt.get_service().fault_injector
+        paranoid = smt.get_service().paranoid
+        entry, entry_function = self._entry
+
+        def crashes(candidate: CProgram) -> bool:
+            from dataclasses import replace as dc_replace
+
+            from repro.smt.service import SolverService
+
+            service = SolverService(paranoid=paranoid)
+            if base_injector is not None:
+                service.fault_injector = base_injector.clone()
+            saved = smt.get_service()
+            smt.set_service(service)
+            try:
+                config = dc_replace(self.config, contain_crashes=False, budget=None)
+                Mixy(candidate, config).run(entry, entry_function)
+            except Exception as probe_error:
+                return type(probe_error) is error_type
+            finally:
+                smt.set_service(saved)
+            return False
+
+        return crashes
+
+    # ------------------------------------------------------------------
+    # Trust ring 1: witness replay of NULL_DEREF warnings
+    # ------------------------------------------------------------------
+
+    def _check_witness(
+        self, state: CState, ptr: smt.Term, warning: CWarning
+    ) -> Optional["Witness"]:
+        """Replay a fresh NULL_DEREF warning through the concrete mini-C
+        interpreter (installed as the executor's ``witness_checker``)."""
+        ctx = self._replay_context
+        if ctx is None:
+            return None
+        from repro.witness import validate_c_null_deref
+
+        exact = (
+            self.stats["typed_calls"] == ctx.typed_calls
+            and self.executor.stats["lazy_objects"] == ctx.lazy_objects
+            and not any(
+                w.kind in _INEXACT_KINDS
+                for w in self.executor.warnings[ctx.warnings_len:]
+            )
+        )
+        return validate_c_null_deref(
+            self.program,
+            ctx.fn,
+            ctx.args,
+            ctx.state,
+            ctx.global_env,
+            self.executor.fn_addresses,
+            state,
+            ptr,
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
     # Typed calls from symbolic context (rule SETypBlock's MIXY analog)
     # ------------------------------------------------------------------
 
@@ -625,8 +795,28 @@ class Mixy:
         args = [
             self.executor.fresh_symbol(f"arg_{p.name}") for p in fn.params
         ]
-        for _result in self.executor.execute_function(fn, args, state):
-            pass
+        saved_context = self._replay_context
+        if self.config.validate_witnesses:
+            self._replay_context = _ReplayContext(
+                fn,
+                list(args),
+                state,
+                dict(self.executor.global_env),
+                self.stats["typed_calls"],
+                self.executor.stats["lazy_objects"],
+                len(self.executor.warnings),
+            )
+        try:
+            for _result in self.executor.execute_function(fn, args, state):
+                pass
+        except CTypeError:
+            raise  # a frontend/program error, not an analysis crash
+        except Exception as error:
+            if not self.config.contain_crashes:
+                raise
+            self._contain_block_crash(error, fn)
+        finally:
+            self._replay_context = saved_context
 
     def _eval_global_init(self, init, state: CState) -> Optional[smt.Term]:
         from repro.mixy.c.ast import IntLit, NullLit, VarRef

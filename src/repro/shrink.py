@@ -1,0 +1,213 @@
+"""Delta-debugging minimizers for crash repros (trust ring 3).
+
+When a block's analysis crashes, the containment boundary records not
+just the offending source but the *smallest* source that still triggers
+the same exception — a greedy structural reduction in the ddmin spirit:
+repeatedly try replacing a node with one of its children (or dropping a
+statement / declaration), keeping any strictly smaller candidate on
+which the probe still crashes the same way.
+
+Probes are capped by count and wall clock (:class:`ProbeBudget`) so
+shrinking can never meaningfully delay the analysis it is protecting; an
+unshrinkable crash simply ships its original source.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.lang.ast import BoolLit, Expr, IntLit, UnitLit
+from repro.mixy.c.ast import Block, CProgram, CStmt, If, While
+
+
+class ProbeBudget:
+    """Caps shrink probes by count and wall clock."""
+
+    def __init__(self, max_probes: int = 200, max_seconds: float = 2.0) -> None:
+        self.remaining = max_probes
+        self.deadline = time.monotonic() + max_seconds
+
+    def take(self) -> bool:
+        if self.remaining <= 0 or time.monotonic() > self.deadline:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _guarded(crashes: Callable, budget: ProbeBudget) -> Callable:
+    """Wrap the caller's probe: budget-checked, exception-safe."""
+
+    def probe(candidate) -> bool:
+        if not budget.take():
+            return False
+        try:
+            return bool(crashes(candidate))
+        except Exception:
+            return False  # a probe must never crash the shrinker
+
+    return probe
+
+
+# ---------------------------------------------------------------------------
+# MIX: shrinking a lang.ast expression
+# ---------------------------------------------------------------------------
+
+
+def shrink_expr(
+    expr: Expr,
+    crashes: Callable[[Expr], bool],
+    max_probes: int = 200,
+    max_seconds: float = 2.0,
+) -> Expr:
+    """The smallest expression found on which ``crashes`` still holds."""
+    probe = _guarded(crashes, ProbeBudget(max_probes, max_seconds))
+    if not probe(expr):
+        return expr  # not reproducible under probing: nothing to minimize
+    progress = True
+    while progress:
+        progress = False
+        size = node_count(expr)
+        for candidate in _expr_reductions(expr):
+            if node_count(candidate) >= size:
+                continue
+            if probe(candidate):
+                expr = candidate
+                progress = True
+                break
+    return expr
+
+
+def node_count(expr: Expr) -> int:
+    return 1 + sum(node_count(child) for _name, child in _expr_children(expr))
+
+
+def _expr_children(expr: Expr) -> list[tuple[str, Expr]]:
+    return [
+        (f.name, getattr(expr, f.name))
+        for f in dataclass_fields(expr)
+        if isinstance(getattr(expr, f.name), Expr)
+    ]
+
+
+def _expr_reductions(expr: Expr) -> Iterator[Expr]:
+    """Strict reductions of ``expr``, biggest cuts first at each node."""
+    children = _expr_children(expr)
+    for _name, child in children:
+        yield child
+    yield UnitLit()
+    yield IntLit(0)
+    yield BoolLit(True)
+    for name, child in children:
+        for reduced in _expr_reductions(child):
+            yield replace(expr, **{name: reduced})
+
+
+# ---------------------------------------------------------------------------
+# MIXY: shrinking a mini-C program
+# ---------------------------------------------------------------------------
+
+
+def shrink_c_program(
+    program: CProgram,
+    crashes: Callable[[CProgram], bool],
+    max_probes: int = 200,
+    max_seconds: float = 2.0,
+) -> CProgram:
+    """The smallest program found on which ``crashes`` still holds."""
+    probe = _guarded(crashes, ProbeBudget(max_probes, max_seconds))
+    if not probe(program):
+        return program
+    progress = True
+    while progress:
+        progress = False
+        size = c_program_size(program)
+        for candidate in _program_reductions(program):
+            if c_program_size(candidate) >= size:
+                continue
+            if probe(candidate):
+                program = candidate
+                progress = True
+                break
+    return program
+
+
+def c_program_size(program: CProgram) -> int:
+    return (
+        len(program.structs)
+        + len(program.globals)
+        + len(program.functions)
+        + sum(
+            _stmt_size(fn.body)
+            for fn in program.functions.values()
+            if fn.body is not None
+        )
+    )
+
+
+def _stmt_size(stmt: CStmt) -> int:
+    if isinstance(stmt, Block):
+        return 1 + sum(_stmt_size(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        els = _stmt_size(stmt.els) if stmt.els is not None else 0
+        return 1 + _stmt_size(stmt.then) + els
+    if isinstance(stmt, While):
+        return 1 + _stmt_size(stmt.body)
+    return 1
+
+
+def _program_reductions(program: CProgram) -> Iterator[CProgram]:
+    # Drop one declaration (the probe rejects candidates that fail in a
+    # different way, e.g. by dropping the entry function).
+    for name in program.functions:
+        yield replace(
+            program,
+            functions={k: v for k, v in program.functions.items() if k != name},
+        )
+    for name in program.globals:
+        yield replace(
+            program,
+            globals={k: v for k, v in program.globals.items() if k != name},
+        )
+    for name in program.structs:
+        yield replace(
+            program,
+            structs={k: v for k, v in program.structs.items() if k != name},
+        )
+    # Reduce one function body.
+    for name, fn in program.functions.items():
+        if fn.body is None:
+            continue
+        for body in _block_reductions(fn.body):
+            functions = dict(program.functions)
+            functions[name] = replace(fn, body=body)
+            yield replace(program, functions=functions)
+
+
+def _block_reductions(block: Block) -> Iterator[Block]:
+    for i in range(len(block.stmts)):
+        yield Block(block.stmts[:i] + block.stmts[i + 1 :])
+    for i, stmt in enumerate(block.stmts):
+        for reduced in _stmt_reductions(stmt):
+            yield Block(block.stmts[:i] + (reduced,) + block.stmts[i + 1 :])
+
+
+def _stmt_reductions(stmt: CStmt) -> Iterator[CStmt]:
+    if isinstance(stmt, Block):
+        yield from _block_reductions(stmt)
+    elif isinstance(stmt, If):
+        yield stmt.then
+        if stmt.els is not None:
+            yield stmt.els
+            yield replace(stmt, els=None)
+        for reduced in _block_reductions(stmt.then):
+            yield replace(stmt, then=reduced)
+        if stmt.els is not None:
+            for reduced in _block_reductions(stmt.els):
+                yield replace(stmt, els=reduced)
+    elif isinstance(stmt, While):
+        yield stmt.body
+        for reduced in _block_reductions(stmt.body):
+            yield replace(stmt, body=reduced)

@@ -61,6 +61,7 @@ from repro.smt.solver import (
 )
 from repro.smt.service import (
     FaultInjector,
+    InjectedCrash,
     SolverService,
     SolverStats,
     get_service,
@@ -73,6 +74,7 @@ __all__ = [
     "INT",
     "FaultInjector",
     "FuncDecl",
+    "InjectedCrash",
     "Model",
     "SatResult",
     "Solver",

@@ -38,6 +38,7 @@ driver, and the CLI ``--solver-stats`` flag.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from collections import deque
@@ -77,6 +78,19 @@ class SolverStats:
     memlog_breaches: int = 0
     #: Faults injected by an installed FaultInjector (testing only).
     injected_faults: int = 0
+    # Trust-ring counters (witness replay / self-check / containment).
+    #: Solver-internal errors (real or injected) contained as UNKNOWN.
+    solver_errors_contained: int = 0
+    #: SAT models that failed the paranoid self-check and were re-solved.
+    self_check_failures: int = 0
+    #: Reported error paths whose concrete replay reproduced the error.
+    witnesses_confirmed: int = 0
+    #: Reported error paths replay could neither confirm nor contradict.
+    witnesses_unconfirmed: int = 0
+    #: Reported error paths a faithful replay contradicted (tool bug!).
+    witnesses_diverged: int = 0
+    #: Typed/symbolic blocks whose analysis crashed and was degraded.
+    blocks_contained: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -112,6 +126,12 @@ class SolverStats:
             "path_budget_breaches": self.path_budget_breaches,
             "memlog_breaches": self.memlog_breaches,
             "injected_faults": self.injected_faults,
+            "solver_errors_contained": self.solver_errors_contained,
+            "self_check_failures": self.self_check_failures,
+            "witnesses_confirmed": self.witnesses_confirmed,
+            "witnesses_unconfirmed": self.witnesses_unconfirmed,
+            "witnesses_diverged": self.witnesses_diverged,
+            "blocks_contained": self.blocks_contained,
         }
 
     def format_table(self) -> str:
@@ -124,6 +144,16 @@ class SolverStats:
         return "\n".join(lines)
 
 
+class InjectedCrash(RuntimeError):
+    """A non-solver exception raised by a ``CRASH``-kind injected fault.
+
+    Deliberately *not* a :class:`SolverError`: it models an unexpected
+    executor/solver implementation bug, so it sails past every SolverError
+    handler in the tower and must be stopped by the per-block crash
+    containment boundary (trust ring 3), nothing earlier.
+    """
+
+
 class FaultInjector:
     """Deterministic, seedable solver-fault injection (CI degradation tests).
 
@@ -131,12 +161,18 @@ class FaultInjector:
     it fires on the service's *query counter*: ``faults={n: kind}``
     injects ``kind`` at the n-th query (1-based), and a ``seed``/``rate``
     pair additionally injects ``kind`` pseudo-randomly but reproducibly.
-    The three fault kinds mirror the real degradation paths:
+    The fault kinds mirror the real degradation paths:
 
     - ``TIMEOUT`` — the query behaves exactly like a per-query deadline
       breach: ``UNKNOWN``, never cached, ``query_timeouts`` bumped;
     - ``UNKNOWN`` — an undecided query (e.g. ``int_budget`` exhaustion);
-    - ``ERROR`` — a :class:`SolverError` escapes the solver.
+    - ``ERROR`` — a solver-internal error; the service contains it like
+      a timeout (uncached UNKNOWN, ``solver_errors_contained`` bumped);
+    - ``BAD_MODEL`` — the solve "succeeds" but returns a corrupted model
+      (wrong variable assignments).  Only the paranoid self-check
+      (trust ring 2) catches this one;
+    - ``CRASH`` — an :class:`InjectedCrash` escapes the service entirely,
+      exercising the per-block containment boundary (trust ring 3).
 
     Faults fire *before* the cache tiers, so "fail the Nth query" is
     deterministic regardless of what earlier queries populated.
@@ -145,7 +181,9 @@ class FaultInjector:
     TIMEOUT = "timeout"
     UNKNOWN = "unknown"
     ERROR = "error"
-    KINDS = (TIMEOUT, UNKNOWN, ERROR)
+    BAD_MODEL = "bad_model"
+    CRASH = "crash"
+    KINDS = (TIMEOUT, UNKNOWN, ERROR, BAD_MODEL, CRASH)
 
     def __init__(
         self,
@@ -160,6 +198,7 @@ class FaultInjector:
         self.faults = dict(faults or {})
         self.kind = kind
         self.rate = rate
+        self.seed = seed
         self._rng = random.Random(seed) if seed is not None else None
         self.queries_seen = 0
         self.injected = 0
@@ -168,6 +207,21 @@ class FaultInjector:
     def at_query(cls, n: int, kind: str = TIMEOUT) -> "FaultInjector":
         """Inject one fault at the n-th query (1-based)."""
         return cls(faults={n: kind})
+
+    def clone(self) -> "FaultInjector":
+        """A fresh injector with the same schedule (crash-repro probes)."""
+        return FaultInjector(
+            faults=self.faults, seed=self.seed, rate=self.rate, kind=self.kind
+        )
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-able description (recorded in crash reports)."""
+        return {
+            "faults": {str(n): kind for n, kind in sorted(self.faults.items())},
+            "seed": self.seed,
+            "rate": self.rate,
+            "kind": self.kind,
+        }
 
     def next_fault(self) -> Optional[str]:
         """The fault to inject for the query being served, if any."""
@@ -209,7 +263,9 @@ class _Shard:
 class SolverService:
     """The shared solver-service layer: cache tiers in front of DPLL(T)."""
 
-    def __init__(self, cache_enabled: bool = True) -> None:
+    def __init__(
+        self, cache_enabled: bool = True, paranoid: Optional[bool] = None
+    ) -> None:
         self.stats = SolverStats()
         self.cache_enabled = cache_enabled
         self._shards: dict[int, _Shard] = {}
@@ -217,6 +273,12 @@ class SolverService:
         self.budget: Optional[Budget] = None
         #: Deterministic fault injection for degradation testing.
         self.fault_injector: Optional[FaultInjector] = None
+        #: Trust ring 2: re-evaluate every SAT model against the original
+        #: conjuncts before returning it or letting any cache tier keep it.
+        #: Defaults from the REPRO_PARANOID environment variable (CI).
+        if paranoid is None:
+            paranoid = os.environ.get("REPRO_PARANOID", "") not in ("", "0")
+        self.paranoid = paranoid
 
     # -- public API ------------------------------------------------------------
 
@@ -253,25 +315,31 @@ class SolverService:
         """A model of the conjunction (used by variable concretization)."""
         self.stats.queries += 1
         fault = self._next_fault()
-        if fault is not None:
+        if fault == FaultInjector.CRASH:
+            raise InjectedCrash("injected solver crash")
+        if fault is not None and fault != FaultInjector.BAD_MODEL:
             # A model query has no UNKNOWN channel: every fault degrades
             # to the error callers already handle conservatively.
             if fault == FaultInjector.TIMEOUT:
                 self.stats.query_timeouts += 1
+            if fault == FaultInjector.ERROR:
+                self.stats.solver_errors_contained += 1
             raise SolverError(f"injected solver fault ({fault})")
         conjuncts = self._normalize(formulas)
         if conjuncts is None:
             raise SolverError(f"no model: query is not satisfiable: {list(formulas)}")
-        if self.cache_enabled:
+        if self.cache_enabled and fault is None:
             shard = self._shard(int_budget)
             for model in reversed(shard.models):
-                if self._model_satisfies(model, conjuncts):
+                if model.satisfies(conjuncts):
                     self.stats.model_eval_hits += 1
                     return model
-        result, model = self._solve(conjuncts, int_budget)
+        result, model = self._solve(
+            conjuncts, int_budget, corrupt=fault == FaultInjector.BAD_MODEL
+        )
         if result is not SatResult.SAT or model is None:
             raise SolverError(f"no model: query is not satisfiable: {list(formulas)}")
-        if self.cache_enabled:
+        if self.cache_enabled and (fault is None or model.satisfies(conjuncts)):
             self._shard(int_budget).record(conjuncts, True, model)
         return model
 
@@ -279,8 +347,15 @@ class SolverService:
         """Tiered satisfiability check of a conjunction of formulas."""
         self.stats.queries += 1
         fault = self._next_fault()
+        if fault == FaultInjector.CRASH:
+            raise InjectedCrash("injected solver crash")
         if fault == FaultInjector.ERROR:
-            raise SolverError("injected solver fault (error)")
+            # Contained like a timeout: a solver-internal error must not
+            # escape the service as a raw exception (see solver_errors_
+            # contained); UNKNOWN is already handled conservatively by
+            # every caller, and is never cached.
+            self.stats.solver_errors_contained += 1
+            return SatResult.UNKNOWN
         if fault == FaultInjector.TIMEOUT:
             self.stats.query_timeouts += 1
             return SatResult.UNKNOWN  # like a real timeout: never cached
@@ -302,7 +377,7 @@ class SolverService:
                 self.stats.syntactic_hits += 1
                 return SatResult.UNSAT
 
-        if self.cache_enabled:
+        if self.cache_enabled and fault is None:
             shard = self._shard(int_budget)
             # Tier 1: exact.
             cached = shard.exact.get(conjuncts)
@@ -323,14 +398,21 @@ class SolverService:
                     return SatResult.UNSAT
             # Tier 4: reuse a recent model as a total interpretation.
             for model in reversed(shard.models):
-                if self._model_satisfies(model, conjuncts):
+                if model.satisfies(conjuncts):
                     self.stats.model_eval_hits += 1
                     shard.record(conjuncts, True, None)
                     return SatResult.SAT
 
         # Tier 5: full DPLL(T) on the shared incremental solver.
-        result, model = self._solve(conjuncts, int_budget)
+        result, model = self._solve(
+            conjuncts, int_budget, corrupt=fault == FaultInjector.BAD_MODEL
+        )
         if self.cache_enabled and result is not SatResult.UNKNOWN:
+            # Never let a model that fails its own conjuncts into the
+            # model-eval tier (a corrupted model's *verdict* is still
+            # the solver's, but the assignment itself is untrustworthy).
+            if model is not None and fault is not None and not model.satisfies(conjuncts):
+                model = None
             self._shard(int_budget).record(
                 conjuncts, result is SatResult.SAT, model
             )
@@ -369,11 +451,14 @@ class SolverService:
         return frozenset(out)
 
     @staticmethod
-    def _model_satisfies(model: Model, conjuncts: frozenset[Term]) -> bool:
-        try:
-            return all(model.eval(term) is True for term in conjuncts)
-        except SortError:
-            return False
+    def _corrupted(model: Model) -> Model:
+        """A coherent but wrong total interpretation (BAD_MODEL faults)."""
+        return Model(
+            {term: not value for term, value in model._bools.items()},
+            {term: -value - 1 for term, value in model._ints.items()},
+            model._apps,
+            model._select_decls,
+        )
 
     def _next_fault(self) -> Optional[str]:
         if self.fault_injector is None:
@@ -384,7 +469,7 @@ class SolverService:
         return fault
 
     def _solve(
-        self, conjuncts: frozenset[Term], int_budget: int
+        self, conjuncts: frozenset[Term], int_budget: int, corrupt: bool = False
     ) -> tuple[SatResult, Optional[Model]]:
         deadline: Optional[float] = None
         if self.budget is not None:
@@ -393,12 +478,43 @@ class SolverService:
                 self.stats.deadline_breaches += 1
                 return SatResult.UNKNOWN, None
             deadline = self.budget.query_deadline_at()
+        result, model = self._solve_once(conjuncts, int_budget, deadline)
+        if corrupt and model is not None:
+            model = self._corrupted(model)
+        if (
+            self.paranoid
+            and result is SatResult.SAT
+            and model is not None
+            and not model.satisfies(conjuncts)
+        ):
+            # Trust ring 2: the solver handed back a "model" that does not
+            # satisfy its own query.  Count it, drop it, and re-solve cold
+            # on a fresh solver; if that one lies too, the query is
+            # undecided as far as we are concerned.
+            self.stats.self_check_failures += 1
+            result, model = self._solve_once(conjuncts, int_budget, deadline)
+            if (
+                result is SatResult.SAT
+                and model is not None
+                and not model.satisfies(conjuncts)
+            ):
+                return SatResult.UNKNOWN, None
+        return result, model
+
+    def _solve_once(
+        self, conjuncts: frozenset[Term], int_budget: int, deadline: Optional[float]
+    ) -> tuple[SatResult, Optional[Model]]:
         self.stats.full_solves += 1
         solver = Solver(int_budget=int_budget, deadline=deadline)
         solver.add(*conjuncts)
         started = time.perf_counter()
         try:
             result = solver.check()
+        except SolverError:
+            # A solver-internal failure is contained at the service
+            # boundary: degrade to an uncached UNKNOWN, like a timeout.
+            self.stats.solver_errors_contained += 1
+            result = SatResult.UNKNOWN
         finally:
             self.stats.solve_seconds += time.perf_counter() - started
             self.stats.sat_conflicts += solver.stats["sat_conflicts"]

@@ -89,6 +89,23 @@ class Model:
         self._ints = int_values
         self._apps = app_instances
         self._select_decls = select_decls
+        # The model is immutable, so evaluation memoizes per term: the
+        # paranoid self-check and the model-eval cache tier walk large
+        # conjunct sets whose subterms are heavily shared.
+        self._memo: dict[Term, object] = {}
+
+    def satisfies(self, terms) -> bool:
+        """True iff every term in ``terms`` evaluates to ``True`` here.
+
+        Models are total interpretations (unassigned variables default to
+        0 / false), so this is a complete check: it is the primitive both
+        the model-eval cache tier and the service's paranoid self-check
+        are built on.
+        """
+        try:
+            return all(self.eval(term) is True for term in terms)
+        except SortError:
+            return False
 
     def eval(self, term: Term) -> object:
         """Evaluate ``term`` under this model (booleans and integers)."""
@@ -101,6 +118,14 @@ class Model:
             if term.sort == INT:
                 return self._ints.get(term, 0)
             raise SortError(f"cannot evaluate variable of sort {term.sort}")
+        cached = self._memo.get(term)
+        if cached is not None:
+            return cached
+        value = self._eval_composite(term, kind)
+        self._memo[term] = value
+        return value
+
+    def _eval_composite(self, term: Term, kind: Kind) -> object:
         if kind is Kind.NOT:
             return not self.eval(term.args[0])
         if kind is Kind.AND:

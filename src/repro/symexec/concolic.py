@@ -38,7 +38,12 @@ from repro.symexec.executor import (
     SymConfig,
     SymExecutor,
 )
-from repro.symexec.valuation import ConcreteValue, Valuation, ValuationError
+from repro.symexec.valuation import (
+    ConcreteValue,
+    Valuation,
+    ValuationError,
+    inputs_from_model,
+)
 from repro.symexec.values import NameSupply, SymEnv, SymValue, fresh_of_type
 from repro.typecheck.types import BOOL, INT, STR, Type, TypeEnv
 
@@ -164,19 +169,7 @@ class ConcolicDriver:
             return None
         if result is not smt.SatResult.SAT:
             return None
-        model = solver.model()
-        inputs: dict[str, ConcreteValue] = {}
-        for name, alpha in self._alphas.items():
-            value = model.eval(alpha)
-            typ = self.input_types[name]
-            if typ == BOOL:
-                inputs[name] = bool(value)
-            elif typ == STR:
-                inputs[name] = f"s{value}"  # fresh-ish representative
-            else:
-                assert isinstance(value, int)
-                inputs[name] = value
-        return inputs
+        return inputs_from_model(solver.model(), self._alphas, self.input_types)
 
 
 class _DirectedExecutor(SymExecutor):

@@ -129,6 +129,12 @@ class Outcome:
     error: Optional[str] = None
     kind: Optional[ErrKind] = None
     pos: Optional[object] = None
+    #: which engine produced the error: "symbolic" for the executor's own
+    #: dynamic checks, "typed" for a typed-block rejection surfaced as an
+    #: outcome.  Witness replay (repro.witness) only lets a *dynamic*
+    #: claim diverge: a static typed-block judgment has no concrete run
+    #: to contradict it.
+    origin: str = "symbolic"
 
     @property
     def ok(self) -> bool:

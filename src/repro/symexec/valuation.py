@@ -152,6 +152,38 @@ def matching_outcomes(outcomes: list[Outcome], valuation: Valuation) -> list[Out
     return [out for out in outcomes if valuation.satisfies(out)]
 
 
+def inputs_from_model(
+    model,
+    alphas: Mapping[str, Term],
+    input_types: Mapping[str, Type],
+) -> dict[str, ConcreteValue]:
+    """Concretize a solver model over the input α's (model -> inputs).
+
+    The inverse direction of :meth:`Valuation.from_inputs`, shared by the
+    concolic driver (flip a branch, rerun on the new inputs) and witness
+    replay (rerun a reported error path through the interpreter).  Models
+    are total interpretations, so don't-care variables the solver never
+    assigned come back as the defaults (0 / false) — callers get a
+    complete input vector either way.
+    """
+    from repro.symexec.values import string_for_code
+
+    inputs: dict[str, ConcreteValue] = {}
+    for name, alpha in alphas.items():
+        typ = input_types[name]
+        value = model.eval(alpha)
+        if typ == BOOL:
+            inputs[name] = bool(value)
+        elif typ == STR:
+            inputs[name] = string_for_code(int(value))  # type: ignore[arg-type]
+        elif typ == UNIT:
+            inputs[name] = None
+        else:
+            assert isinstance(value, int)
+            inputs[name] = value
+    return inputs
+
+
 def concrete_to_code(value: ConcreteValue) -> Union[int, bool]:
     """Encode a concrete value the way the executor's lowering does."""
     if isinstance(value, bool):

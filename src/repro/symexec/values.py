@@ -149,6 +149,23 @@ def string_code(value: str) -> int:
         return code
 
 
+def string_for_code(code: int) -> str:
+    """Invert :func:`string_code` for concretization (model -> inputs).
+
+    Codes the model picked that correspond to interned literals map back
+    to those literals (so an ``s = "lit"`` guard concretizes to a string
+    that *does* equal the literal); any other code maps to a canonical
+    fresh representative, distinct from every literal the program
+    mentions and equal across repeated concretizations of the same code
+    — exactly what the eq-only string fragment can observe.
+    """
+    with _STRING_LOCK:
+        for value, known in _STRING_CODES.items():
+            if known == code:
+                return value
+    return f"s{code}"
+
+
 # ---------------------------------------------------------------------------
 # Value constructors and conversions
 # ---------------------------------------------------------------------------

@@ -1,0 +1,510 @@
+"""Trust ring 1: machine-checked witnesses for reported error paths.
+
+MIX's soundness story (Theorem 1) is stated against big-step concrete
+semantics we already ship as runnable code (:mod:`repro.lang.interp` and
+:mod:`repro.mixy.c.interp`) — yet nothing in the tower ever checked a
+reported error path against them, so a bug in the executor, the mix
+rules, or a cache tier silently became a wrong report.  Following the
+*weak completeness* discipline (every reported bug should come with a
+machine-checked witness), this module closes the loop:
+
+1. ask the solver service for a **model** of the error path's condition;
+2. concretize the model over the block's inputs (the same
+   model-to-inputs plumbing the concolic driver uses —
+   :func:`repro.symexec.valuation.inputs_from_model`);
+3. **replay** those inputs through the concrete interpreter;
+4. classify the report:
+
+   - ``CONFIRMED`` — the replay reproduces the error: the diagnostic
+     ships with a concrete failing input vector;
+   - ``UNCONFIRMED`` — the replay can neither confirm nor contradict the
+     report: no model, inputs that cannot be faithfully concretized
+     (references, functions), a static-limit diagnostic with no dynamic
+     counterpart (loop bound, budget, unsupported construct), or a
+     replay that ran out of steps;
+   - ``REPLAY_DIVERGED`` — a *faithful* replay finished normally even
+     though the path condition claims the error path is taken.  The
+     concrete semantics is ground truth, so this is an executor/solver
+     bug and is surfaced loudly (counted in ``witnesses_diverged``,
+     flagged by the CLI).
+
+Verdicts are counted on the shared :class:`repro.smt.SolverStats`
+(``witnesses_confirmed`` / ``witnesses_unconfirmed`` /
+``witnesses_diverged``) and threaded into :class:`MixReport` diagnostics
+and MIXY warnings behind the ``--validate-witnesses`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import TYPE_CHECKING, Optional
+
+from repro import smt
+from repro.lang.ast import Expr
+from repro.lang.interp import EvalBudgetExceeded, Interpreter, RuntimeTypeError
+from repro.symexec.executor import ErrKind, Outcome
+from repro.symexec.valuation import Valuation, inputs_from_model
+from repro.symexec.values import SymEnv
+from repro.typecheck.types import (
+    BOOL,
+    FunType,
+    INT,
+    RefType,
+    STR,
+    Type,
+    TypeEnv,
+    UNIT,
+)
+
+if TYPE_CHECKING:
+    from repro.mixy.c.ast import CFunction, CProgram, CType
+    from repro.mixy.c.interp import CInterpreter
+    from repro.mixy.symexec import CObj, CState
+
+
+@unique
+class WitnessVerdict(Enum):
+    """The three-way classification of a replayed error report."""
+
+    CONFIRMED = "CONFIRMED"
+    UNCONFIRMED = "UNCONFIRMED"
+    REPLAY_DIVERGED = "REPLAY_DIVERGED"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Witness:
+    """The replay evidence attached to one diagnostic."""
+
+    verdict: WitnessVerdict
+    #: concrete input vector the model concretized to (JSON-able)
+    inputs: dict[str, object] = field(default_factory=dict)
+    reason: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "verdict": self.verdict.value,
+            "inputs": dict(self.inputs),
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.inputs.items()))
+        suffix = f" — {self.reason}" if self.reason else ""
+        if rendered:
+            return f"{self.verdict} (inputs: {rendered}){suffix}"
+        return f"{self.verdict}{suffix}"
+
+
+def _record(witness: Witness) -> Witness:
+    stats = smt.get_service().stats
+    if witness.verdict is WitnessVerdict.CONFIRMED:
+        stats.witnesses_confirmed += 1
+    elif witness.verdict is WitnessVerdict.REPLAY_DIVERGED:
+        stats.witnesses_diverged += 1
+    else:
+        stats.witnesses_unconfirmed += 1
+    return witness
+
+
+# ---------------------------------------------------------------------------
+# MIX: replaying a failing path of a symbolic block through lang.interp
+# ---------------------------------------------------------------------------
+
+#: Diagnostics that report a *static analysis limit*, not a dynamic
+#: error; the concrete semantics has nothing to reproduce for them.
+_STATIC_KINDS = (ErrKind.UNSUPPORTED, ErrKind.LOOP_BOUND, ErrKind.BUDGET)
+
+_SCALARS = (INT, BOOL, STR, UNIT)
+
+
+def validate_mix_outcome(
+    body: Expr,
+    gamma: TypeEnv,
+    sigma: SymEnv,
+    outcome: Outcome,
+    step_budget: int = 200_000,
+) -> Witness:
+    """Replay one failing executor path; classify the report.
+
+    ``sigma`` must be the symbolic context the block was explored under
+    (``Σ(x) = α_x : Γ(x)``), so the model's assignment to each α is the
+    concrete value of the corresponding input.
+    """
+    if outcome.kind in _STATIC_KINDS:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason=f"{outcome.kind.value if outcome.kind else 'limit'} "
+                "diagnostics report a static analysis limit with no dynamic "
+                "counterpart",
+            )
+        )
+    try:
+        model = smt.get_service().model(outcome.state.condition())
+    except smt.SolverError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason=f"no model for the path condition ({error})",
+            )
+        )
+
+    alphas: dict[str, smt.Term] = {}
+    scalar_types: dict[str, Type] = {}
+    ref_types: dict[str, RefType] = {}
+    for name, typ in gamma.items():
+        if isinstance(typ, FunType) or _mentions_fun(typ):
+            return _record(
+                Witness(
+                    WitnessVerdict.UNCONFIRMED,
+                    reason=f"input {name!r} is function-typed and cannot be "
+                    "concretized for replay",
+                )
+            )
+        value = sigma.lookup(name)
+        if value is None or value.term is None:
+            return _record(
+                Witness(
+                    WitnessVerdict.UNCONFIRMED,
+                    reason=f"input {name!r} has no symbolic term to concretize",
+                )
+            )
+        if isinstance(typ, RefType):
+            ref_types[name] = typ
+        else:
+            alphas[name] = value.term
+            scalar_types[name] = typ
+
+    inputs = inputs_from_model(model, alphas, scalar_types)
+    # Reference-typed inputs cannot be faithfully reconstructed from the
+    # model (relating concrete locations to symbolic addresses needs the
+    # Λ₀·V·Λ machinery of the appendix proof); replay them best-effort
+    # with default-initialized cells and treat the run as approximate.
+    exact = not ref_types
+    interp = Interpreter(step_budget=step_budget)
+    env: dict[str, object] = dict(inputs)
+    shown_inputs: dict[str, object] = dict(inputs)
+    for name, typ in ref_types.items():
+        default = _allocate_default(interp, typ.elem)
+        env[name] = interp.allocate(default)
+        shown_inputs[name] = f"ref({default!r})"
+
+    try:
+        interp.eval(body, env)
+    except RuntimeTypeError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.CONFIRMED,
+                inputs=shown_inputs,
+                reason=f"replay reproduces the error: {error}",
+            )
+        )
+    except EvalBudgetExceeded:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason="replay exceeded its step budget before reaching "
+                "(or refuting) the error",
+            )
+        )
+    except Exception as error:  # defensive: a replay bug must not kill analysis
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason=f"replay failed unexpectedly: {type(error).__name__}: {error}",
+            )
+        )
+
+    # The replay finished without the error.  Only a *faithful* replay
+    # contradicting a *dynamic* error claim indicts the tool.
+    if not exact:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason="replay completed normally, but reference-typed inputs "
+                "made it approximate",
+            )
+        )
+    if outcome.origin != "symbolic" or outcome.kind is not ErrKind.TYPE_ERROR:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason="the rejection is a static judgment (typed block), not "
+                "a dynamic error the replay could reproduce",
+            )
+        )
+    if not _follows_path(sigma, inputs, outcome):
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason="the concretized inputs do not take the reported path "
+                "(string/abstraction loss during concretization)",
+            )
+        )
+    return _record(
+        Witness(
+            WitnessVerdict.REPLAY_DIVERGED,
+            inputs=shown_inputs,
+            reason="faithful replay completed normally although the path "
+            "condition claims this error path is taken — executor/solver bug",
+        )
+    )
+
+
+def _follows_path(sigma: SymEnv, inputs: dict[str, object], outcome: Outcome) -> bool:
+    """``[[g(S')]]^V`` under the concretized inputs (defensive check)."""
+    try:
+        return Valuation.from_inputs(sigma, inputs).satisfies(outcome)
+    except Exception:
+        return True  # undecided: do not soften a divergence on a hunch
+
+
+def _mentions_fun(typ: Type) -> bool:
+    while isinstance(typ, RefType):
+        typ = typ.elem
+    return isinstance(typ, FunType)
+
+
+def _allocate_default(interp: Interpreter, typ: Type) -> object:
+    """A type-correct default value (cells of approximate ref replays)."""
+    if typ == INT:
+        return 0
+    if typ == BOOL:
+        return False
+    if typ == STR:
+        return ""
+    if isinstance(typ, RefType):
+        return interp.allocate(_allocate_default(interp, typ.elem))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# MIXY: replaying a NULL_DEREF warning through the concrete mini-C interpreter
+# ---------------------------------------------------------------------------
+
+
+def validate_c_null_deref(
+    program: "CProgram",
+    fn: "CFunction",
+    args: list[smt.Term],
+    initial_state: "CState",
+    global_env: dict[str, int],
+    fn_addresses: dict[str, int],
+    state: "CState",
+    ptr: smt.Term,
+    exact: bool = True,
+    step_budget: int = 200_000,
+) -> Witness:
+    """Replay one MIXY NULL_DEREF warning; classify the report.
+
+    ``initial_state`` is the block's materialized entry state (what the
+    driver built from the qualifier solutions, or the zero-initialized
+    globals of symbolic entry); ``state`` and ``ptr`` come from the warn
+    site in ``CSymExecutor._resolve_pointer``.  A model of
+    ``state.condition() ∧ ptr = 0`` fixes every symbolic input; a
+    type-directed translation rebuilds the entry memory inside a
+    :class:`CInterpreter`, whose replay of ``fn`` is the ground truth.
+
+    ``exact`` must be False when the block run abstracted anything the
+    concrete replay executes for real (typed-call havoc, lazily
+    materialized objects, recursion/unsupported truncation): an inexact
+    replay that completes normally stays UNCONFIRMED instead of
+    indicting the executor with REPLAY_DIVERGED.
+    """
+    from repro.mixy.c.interp import (
+        CInterpreter,
+        CNullDereference,
+        CRuntimeError,
+        CStepBudgetExceeded,
+    )
+
+    condition = state.condition()
+    if not (ptr.is_const and ptr.payload == 0):
+        condition = smt.and_(condition, smt.eq(ptr, smt.int_const(0)))
+    try:
+        model = smt.get_service().model(condition)
+    except smt.SolverError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason=f"no model for the NULL branch of the path ({error})",
+            )
+        )
+
+    interp = CInterpreter(program, step_budget=step_budget)
+    translator = _CMemoryTranslator(
+        program, interp, model, initial_state, fn_addresses
+    )
+    try:
+        translator.seed_globals(global_env)
+        concrete_args = [
+            translator.translate(term, param.typ)
+            for term, param in zip(args, fn.params)
+        ]
+    except Exception as error:  # defensive: translation must not kill analysis
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason="could not concretize the entry state: "
+                f"{type(error).__name__}: {error}",
+            )
+        )
+    shown = {p.name: v for p, v in zip(fn.params, concrete_args)}
+    exact = exact and translator.exact
+
+    try:
+        interp.call(fn.name, concrete_args)
+    except CNullDereference as error:
+        return _record(
+            Witness(
+                WitnessVerdict.CONFIRMED,
+                inputs=shown,
+                reason=f"replay reproduces the NULL dereference: {error}",
+            )
+        )
+    except CStepBudgetExceeded:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason="replay exceeded its step budget before reaching "
+                "(or refuting) the dereference",
+            )
+        )
+    except CRuntimeError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason=f"replay faulted before the dereference: {error}",
+            )
+        )
+    except Exception as error:  # defensive: a replay bug must not kill analysis
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason=f"replay failed unexpectedly: {type(error).__name__}: {error}",
+            )
+        )
+    if not exact:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason="replay completed normally, but the block run was "
+                "approximate (typed-call havoc, lazy objects, or truncation)",
+            )
+        )
+    return _record(
+        Witness(
+            WitnessVerdict.REPLAY_DIVERGED,
+            inputs=shown,
+            reason="faithful replay completed normally although the path "
+            "condition claims NULL is dereferenced — executor/solver bug",
+        )
+    )
+
+
+class _CMemoryTranslator:
+    """Type-directed translation of a solver model over symbolic memory
+    into concrete :class:`CInterpreter` memory.
+
+    Symbolic object base addresses map to freshly allocated concrete
+    cells — an injective renaming, so pointer equalities are preserved.
+    Function addresses map through the executor's address table.  A value
+    the model picked outside every known object is passed through raw and
+    flagged inexact: the replay faults on it as a wild pointer, which
+    classifies UNCONFIRMED rather than CONFIRMED/DIVERGED.
+    """
+
+    def __init__(
+        self,
+        program: "CProgram",
+        interp: "CInterpreter",
+        model: smt.Model,
+        state: "CState",
+        fn_addresses: dict[str, int],
+    ) -> None:
+        self.program = program
+        self.interp = interp
+        self.model = model
+        self.state = state
+        self.fn_by_address = {addr: name for name, addr in fn_addresses.items()}
+        self.memo: dict[int, int] = {}  # symbolic base -> concrete base
+        self.exact = True
+
+    def seed_globals(self, global_env: dict[str, int]) -> None:
+        """Map the block's global objects onto the interpreter's own
+        global cells (memo first, fill second, so cross-global pointer
+        cycles land on the seeded addresses)."""
+        pairs = []
+        for name, cell in global_env.items():
+            obj = self.state.objects.get(cell)
+            target = self.interp.global_env.get(name)
+            if obj is None or target is None:
+                continue
+            self.memo[obj.base] = target
+            pairs.append((obj, target))
+        for obj, target in pairs:
+            self._fill(obj, target)
+
+    def translate(self, term: smt.Term, ctype: "CType") -> int:
+        from repro.mixy.c.ast import PtrType
+
+        value = self.model.eval(term)
+        if not isinstance(value, int) or isinstance(value, bool):
+            self.exact = False
+            return 0
+        if isinstance(ctype, PtrType):
+            return self._translate_address(value)
+        return value
+
+    def _translate_address(self, address: int) -> int:
+        if address == 0:
+            return 0
+        name = self.fn_by_address.get(address)
+        if name is not None and name in self.interp.fn_addresses:
+            return self.interp.fn_addresses[name]
+        obj = self._object_containing(address)
+        if obj is None:
+            self.exact = False
+            return address
+        base = self.memo.get(obj.base)
+        if base is None:
+            base = self.interp._alloc(obj.size)
+            self.memo[obj.base] = base
+            self._fill(obj, base)
+        return base + (address - obj.base)
+
+    def _object_containing(self, address: int) -> Optional["CObj"]:
+        for base, obj in self.state.objects.items():
+            if base <= address < base + obj.size:
+                return obj
+        return None
+
+    def _fill(self, obj: "CObj", base: int) -> None:
+        types = self._cell_types(obj)
+        for i in range(obj.size):
+            term = self.state.cells.get(obj.base + i)
+            value = 0 if term is None else self.translate(term, types[i])
+            self.interp.memory[base + i] = value
+
+    def _cell_types(self, obj: "CObj") -> list:
+        from repro.mixy.c.ast import Scalar, StructType
+
+        if isinstance(obj.ctype, StructType):
+            fields = [
+                ftype for _name, ftype in self.program.struct_def(obj.ctype).fields
+            ]
+            return fields + [Scalar("int")] * (obj.size - len(fields))
+        return [obj.ctype] * obj.size

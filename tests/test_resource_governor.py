@@ -152,10 +152,26 @@ class TestFaultInjector:
         # The UNKNOWN was not cached: the retry gets the true verdict.
         assert fresh_service.check_sat([formula]) is SatResult.SAT
 
-    def test_injected_error_raises_solver_error(self, fresh_service):
+    def test_injected_error_contained_as_unknown(self, fresh_service):
+        # Regression: error-kind faults used to escape check_sat() as raw
+        # SolverErrors; they are now contained like timeouts (uncached
+        # UNKNOWN + solver_errors_contained), so no caller can crash on
+        # a solver-internal failure.
+        p = smt.var("p", smt.BOOL)
+        fresh_service.fault_injector = FaultInjector.at_query(1, FaultInjector.ERROR)
+        assert fresh_service.check_sat([p]) is SatResult.UNKNOWN
+        assert fresh_service.stats.solver_errors_contained == 1
+        assert fresh_service.stats.injected_faults == 1
+        # Not cached: the retry reaches the solver and gets the verdict.
+        assert fresh_service.check_sat([p]) is SatResult.SAT
+
+    def test_injected_error_in_model_still_raises(self, fresh_service):
+        # model() has no UNKNOWN channel; SolverError *is* its contained
+        # degradation path and every caller already handles it.
         fresh_service.fault_injector = FaultInjector.at_query(1, FaultInjector.ERROR)
         with pytest.raises(SolverError):
-            fresh_service.check_sat([smt.var("p", smt.BOOL)])
+            fresh_service.model(smt.var("p", smt.BOOL))
+        assert fresh_service.stats.solver_errors_contained == 1
 
 
 # ---------------------------------------------------------------------------

@@ -171,7 +171,7 @@ class TestBudgetSharding:
         svc = SolverService()
         calls = []
 
-        def fake_solve(conjuncts, int_budget):
+        def fake_solve(conjuncts, int_budget, corrupt=False):
             calls.append(conjuncts)
             svc.stats.full_solves += 1
             return SatResult.UNKNOWN, None

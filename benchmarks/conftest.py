@@ -11,6 +11,30 @@ absolute numbers are environment-specific and not checked.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
+#: Repo root — BENCH_<id>.json files are written here so that
+#: bench_tables.txt regeneration (see README) can find them.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def bench_json(experiment: str, payload: dict) -> pathlib.Path:
+    """Write an experiment's headline numbers to ``BENCH_<id>.json`` at
+    the repo root, merging with any keys a previous test in the same
+    module already wrote (each module may report several tables)."""
+    path = REPO_ROOT / f"BENCH_{experiment}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """Render the rows an experiment reports, paper-style."""

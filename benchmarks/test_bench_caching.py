@@ -13,7 +13,7 @@ import pytest
 
 from repro.mixy import Mixy, MixyConfig
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def program(n_sites: int) -> str:
@@ -68,9 +68,8 @@ def test_report_cache_table(capsys):
                 uncached.stats["symbolic_blocks_run"],
             ]
         )
+    title = "E5: block caching (paper §4.3)"
+    headers = ["call sites", "block runs (cached)", "cache hits", "block runs (uncached)"]
     with capsys.disabled():
-        print_table(
-            "E5: block caching (paper §4.3)",
-            ["call sites", "block runs (cached)", "cache hits", "block runs (uncached)"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E5", {"title": title, "headers": headers, "rows": rows})

@@ -11,7 +11,7 @@ import pytest
 from repro.mixy import Mixy
 from repro.mixy.corpus import CASES
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def analyze(name: str, annotated: bool):
@@ -51,11 +51,10 @@ def test_report_case_table(capsys):
                 mixy.stats["symbolic_blocks_run"],
             ]
         )
+    title = "E1: vsftpd case studies (paper §4.5)"
+    headers = ["case", "pattern", "warnings (pure)", "warnings (MIX)", "blocks run"]
     with capsys.disabled():
-        print_table(
-            "E1: vsftpd case studies (paper §4.5)",
-            ["case", "pattern", "warnings (pure)", "warnings (MIX)", "blocks run"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E1", {"title": title, "headers": headers, "rows": rows})
     for row in rows:
         assert row[2] >= 1 and row[3] == 0

@@ -17,7 +17,7 @@ from repro.lang.interp import RuntimeTypeError
 from repro.symexec import ConcolicDriver
 from repro.typecheck.types import INT
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def guarded_program(magic: int) -> str:
@@ -66,9 +66,8 @@ def test_report_concolic_table(capsys):
                 random_finds(magic, budget=2_000) or "not in 2000",
             ]
         )
+    title = "E12 (extension): concolic vs random testing (runs to find the bug)"
+    headers = ["guard constant", "concolic runs", "random attempts"]
     with capsys.disabled():
-        print_table(
-            "E12 (extension): concolic vs random testing (runs to find the bug)",
-            ["guard constant", "concolic runs", "random attempts"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E12", {"title": title, "headers": headers, "rows": rows})

@@ -14,7 +14,7 @@ import pytest
 
 from repro.core import MixConfig, analyze_source
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def program(k: int) -> str:
@@ -56,10 +56,9 @@ def test_report_effect_table(capsys):
                 "accepts" if effects.ok else "rejects",
             ]
         )
+    title = "E11 (extension): unconditional vs effect-aware havoc (§3.2)"
+    headers = ["read-only typed blocks", "fresh μ' always", "effect-aware"]
     with capsys.disabled():
-        print_table(
-            "E11 (extension): unconditional vs effect-aware havoc (§3.2)",
-            ["read-only typed blocks", "fresh μ' always", "effect-aware"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E11", {"title": title, "headers": headers, "rows": rows})
     assert all(r[1] == "rejects" and r[2] == "accepts" for r in rows)

@@ -19,7 +19,7 @@ from repro.symexec import IfStrategy, SymConfig
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import BOOL
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def program(k: int) -> str:
@@ -68,11 +68,10 @@ def test_report_strategy_table(capsys):
                 defer.stats["sym_merges"],
             ]
         )
+    title = "E4: fork (SEIf-True/False) vs defer (SEIf-Defer)"
+    headers = ["k branches", "fork paths", "defer paths", "forks", "merges"]
     with capsys.disabled():
-        print_table(
-            "E4: fork (SEIf-True/False) vs defer (SEIf-Defer)",
-            ["k branches", "fork paths", "defer paths", "forks", "merges"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E4", {"title": title, "headers": headers, "rows": rows})
     # Crossover claim: fork's path count explodes, defer's stays flat.
     assert rows[-1][1] == 256 and rows[-1][2] == 1

@@ -33,7 +33,7 @@ from repro.symexec.executor import ErrKind
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import BOOL
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 DEADLINE = 0.05
 
@@ -202,17 +202,16 @@ def test_report_governor_table(capsys):
             stats.query_timeouts,
         ]
     )
+    title = (f"E14: degradation under a {DEADLINE * 1000:.0f} ms deadline "
+    "(fork) / 2 ms (vsftpd)")
+    headers = [
+        "workload",
+        "ungoverned",
+        "governed",
+        "degradation",
+        "deadline breaches",
+        "query timeouts",
+    ]
     with capsys.disabled():
-        print_table(
-            f"E14: degradation under a {DEADLINE * 1000:.0f} ms deadline "
-            "(fork) / 2 ms (vsftpd)",
-            [
-                "workload",
-                "ungoverned",
-                "governed",
-                "degradation",
-                "deadline breaches",
-                "query timeouts",
-            ],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E14", {"title": title, "headers": headers, "rows": rows})

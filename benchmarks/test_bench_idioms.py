@@ -13,7 +13,7 @@ from repro.lang import parse
 from repro.typecheck import TypeEnv, TypeError_, check_expr
 from repro.typecheck.types import BOOL, INT, FunType
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 ENV = TypeEnv(
     {
@@ -128,10 +128,9 @@ def test_report_idiom_table(capsys):
                 mixed_report.stats.get("paths_explored", 0),
             ]
         )
+    title = "E3: Section 2 idioms (single analysis vs MIX)"
+    headers = ["idiom", "single analysis", "MIX", "paths"]
     with capsys.disabled():
-        print_table(
-            "E3: Section 2 idioms (single analysis vs MIX)",
-            ["idiom", "single analysis", "MIX", "paths"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E3", {"title": title, "headers": headers, "rows": rows})
     assert all(row[2] == "accepts" for row in rows)

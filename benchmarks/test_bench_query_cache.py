@@ -26,7 +26,7 @@ from repro.symexec import IfStrategy, SymConfig
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import BOOL
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def with_service(cache_enabled, workload):
@@ -142,19 +142,18 @@ def test_report_query_cache_table(capsys):
                 f"{drop:.0%}",
             ]
         )
+    title = "E13: query cache on analysis workloads (full solves = DPLL(T) runs)"
+    headers = [
+        "workload",
+        "queries",
+        "cache hits",
+        "hit rate",
+        "solves (cold)",
+        "solves (cached)",
+        "reduction",
+    ]
     with capsys.disabled():
-        print_table(
-            "E13: query cache on analysis workloads (full solves = DPLL(T) runs)",
-            [
-                "workload",
-                "queries",
-                "cache hits",
-                "hit rate",
-                "solves (cold)",
-                "solves (cached)",
-                "reduction",
-            ],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E13", {"title": title, "headers": headers, "rows": rows})
     for row in rows:
         assert row[4] > row[5]  # every workload benefits

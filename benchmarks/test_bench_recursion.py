@@ -15,7 +15,7 @@ import pytest
 
 from repro.mixy import Mixy
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def mutual_recursion(chain: int) -> str:
@@ -80,9 +80,8 @@ def test_report_recursion_table(capsys):
                 len(warnings),
             ]
         )
+    title = "E8: typed/symbolic block recursion (paper §4.4)"
+    headers = ["chain length", "recursion hits", "fixpoint iters", "block runs", "warnings"]
     with capsys.disabled():
-        print_table(
-            "E8: typed/symbolic block recursion (paper §4.4)",
-            ["chain length", "recursion hits", "fixpoint iters", "block runs", "warnings"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E8", {"title": title, "headers": headers, "rows": rows})

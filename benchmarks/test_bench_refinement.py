@@ -17,7 +17,7 @@ from repro.lang import parse
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import INT
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def program_with_dead_errors(k: int) -> str:
@@ -68,9 +68,8 @@ def test_report_refinement_table(capsys):
                 "converged" if result.ok else "stuck",
             ]
         )
+    title = "E9 (extension): automatic block placement"
+    headers = ["false positives", "refinement steps", "outcome"]
     with capsys.disabled():
-        print_table(
-            "E9 (extension): automatic block placement",
-            ["false positives", "refinement steps", "outcome"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E9", {"title": title, "headers": headers, "rows": rows})

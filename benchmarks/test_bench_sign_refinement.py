@@ -14,7 +14,7 @@ from repro.lang import parse
 from repro.quals import QualTypeError, Sign, SignChecker, SignEnv, analyze_signs
 from repro.quals.checker import int_q
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def guarded_divisions(k: int, mixed: bool) -> str:
@@ -71,10 +71,9 @@ def test_report_sign_table(capsys):
             pass
         mixed = run_mixed(k)
         rows.append([k, pure, "accepts" if mixed.ok else "rejects"])
+    title = "E10 (extension): sign qualifiers — guarded divisions"
+    headers = ["k divisions", "pure sign checking", "MIX (sign x symex)"]
     with capsys.disabled():
-        print_table(
-            "E10 (extension): sign qualifiers — guarded divisions",
-            ["k divisions", "pure sign checking", "MIX (sign x symex)"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E10", {"title": title, "headers": headers, "rows": rows})
     assert all(r[1] == "rejects" and r[2] == "accepts" for r in rows)

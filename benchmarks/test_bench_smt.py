@@ -11,7 +11,7 @@ import pytest
 
 from repro import smt
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 x = smt.var("x", smt.INT)
 y = smt.var("y", smt.INT)
@@ -91,5 +91,8 @@ def test_report_smt_table(capsys):
         start = time.perf_counter()
         fn(arg)
         rows.append([label, f"{(time.perf_counter() - start) * 1000:.1f} ms"])
+    title = "E7: SMT substrate query families"
+    headers = ["query", "time"]
     with capsys.disabled():
-        print_table("E7: SMT substrate query families", ["query", "time"], rows)
+        print_table(title, headers, rows)
+    bench_json("E7", {"title": title, "headers": headers, "rows": rows})

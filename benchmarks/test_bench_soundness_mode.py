@@ -18,7 +18,7 @@ from repro.symexec import SymConfig
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import INT
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 ENV = TypeEnv({"n": INT})
 
@@ -61,9 +61,8 @@ def test_report_soundness_table(capsys):
                     report.stats.get("paths_explored", 0),
                 ]
             )
+    title = "E6: exhaustive vs good-enough (paper §3.2)"
+    headers = ["program", "mode", "verdict", "paths"]
     with capsys.disabled():
-        print_table(
-            "E6: exhaustive vs good-enough (paper §3.2)",
-            ["program", "mode", "verdict", "paths"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E6", {"title": title, "headers": headers, "rows": rows})

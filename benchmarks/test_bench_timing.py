@@ -16,7 +16,7 @@ import pytest
 from repro.mixy import Mixy
 from repro.mixy.corpus import combined_program
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 
 def analyze(n_blocks: int):
@@ -58,16 +58,15 @@ def test_report_timing_table(capsys):
                 mixy.stats["fixpoint_iterations"],
             ]
         )
+    title = "E2: cost vs. symbolic blocks (paper §4.6: <1s / 5-25s / ~60s)"
+    headers = [
+        "#sym blocks",
+        "warnings",
+        "seconds",
+        "solver calls",
+        "block runs",
+        "fixpoint iters",
+    ]
     with capsys.disabled():
-        print_table(
-            "E2: cost vs. symbolic blocks (paper §4.6: <1s / 5-25s / ~60s)",
-            [
-                "#sym blocks",
-                "warnings",
-                "seconds",
-                "solver calls",
-                "block runs",
-                "fixpoint iters",
-            ],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E2", {"title": title, "headers": headers, "rows": rows})

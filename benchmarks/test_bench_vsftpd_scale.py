@@ -11,7 +11,7 @@ import pytest
 from repro.mixy import Mixy
 from repro.mixy.corpus_vsftpd import annotation_subsets, mini_vsftpd
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 SCHEDULE = annotation_subsets()
 
@@ -55,9 +55,8 @@ def test_report_vsftpd_table(capsys):
                 mixy.stats["symbolic_blocks_run"],
             ]
         )
+    title = "E2': mini-vsftpd annotation schedule (paper §4.5/§4.6)"
+    headers = ["#", "annotated sites", "warnings", "seconds", "solver calls", "block runs"]
     with capsys.disabled():
-        print_table(
-            "E2': mini-vsftpd annotation schedule (paper §4.5/§4.6)",
-            ["#", "annotated sites", "warnings", "seconds", "solver calls", "block runs"],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E2prime", {"title": title, "headers": headers, "rows": rows})

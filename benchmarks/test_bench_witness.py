@@ -28,7 +28,7 @@ from repro.symexec import IfStrategy, SymConfig
 from repro.typecheck import TypeEnv
 from repro.typecheck.types import BOOL, INT
 
-from conftest import print_table
+from conftest import bench_json, print_table
 
 #: timing repetitions; the reported figure is the best of N to damp
 #: scheduler noise (the same discipline E14 uses for its contract)
@@ -189,19 +189,18 @@ def test_report_witness_overhead_table(capsys):
                 stats.witnesses_diverged,
             ]
         )
+    title = "E15: trust-ring overhead (paranoid solver + witness replay)"
+    headers = [
+        "workload",
+        "base ms",
+        "trusted ms",
+        "overhead",
+        "confirmed",
+        "unconfirmed",
+        "diverged",
+    ]
     with capsys.disabled():
-        print_table(
-            "E15: trust-ring overhead (paranoid solver + witness replay)",
-            [
-                "workload",
-                "base ms",
-                "trusted ms",
-                "overhead",
-                "confirmed",
-                "unconfirmed",
-                "diverged",
-            ],
-            rows,
-        )
+        print_table(title, headers, rows)
+    bench_json("E15", {"title": title, "headers": headers, "rows": rows})
     for row in rows:
         assert row[6] == 0  # zero REPLAY_DIVERGED on the seed corpus

@@ -114,6 +114,31 @@ class Budget:
     def paths_exhausted(self) -> bool:
         return self.max_paths is not None and self.paths_used >= self.max_paths
 
+    # -- parallel sharding (see repro.parallel) --------------------------------
+
+    def shard_path_caps(self, jobs: int) -> list[Optional[int]]:
+        """Split the *remaining* path budget across ``jobs`` workers:
+        ``max_paths // jobs`` each, remainder redistributed one path at a
+        time to the first shards.  The wall-clock deadline is absolute
+        (``time.monotonic`` is system-wide on Linux), so forked workers
+        share it unchanged — only the path cap is divided."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if self.max_paths is None:
+            return [None] * jobs
+        remaining = max(0, self.max_paths - self.paths_used)
+        base, extra = divmod(remaining, jobs)
+        return [base + 1 if i < extra else base for i in range(jobs)]
+
+    def rescope_for_worker(self, path_cap: Optional[int]) -> "Budget":
+        """Adopt a worker's shard of the path budget (worker side, on a
+        forked copy): the worker starts its own path count at zero and
+        may explore at most ``path_cap`` paths.  Deadline, query timeout,
+        and the armed clock are inherited unchanged."""
+        self.paths_used = 0
+        self.max_paths = path_cap
+        return self
+
     # -- memory log ------------------------------------------------------------
 
     def memlog_exceeded(self, depth: int) -> bool:

@@ -65,6 +65,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_budget_flags(mix)
     _add_trust_flags(mix)
+    _add_perf_flags(mix)
 
     mixy = sub.add_parser("mixy", help="analyze a mini-C program for null errors")
     mixy.add_argument("file", help="C source file ('-' for stdin)")
@@ -83,6 +84,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_budget_flags(mixy)
     _add_trust_flags(mixy)
+    _add_perf_flags(mixy)
 
     args = parser.parse_args(argv)
     try:
@@ -168,6 +170,25 @@ def _add_trust_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for speculative query-cache warming "
+        "(see docs/ARCHITECTURE.md §1.4); 1 = serial, the default",
+    )
+    sub.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile the run with cProfile and print the top N functions "
+        "by cumulative time, per phase, to stderr",
+    )
+
+
 def _apply_trust_flags(args: argparse.Namespace) -> None:
     """Configure the shared solver service for rings 2 and 3."""
     from repro import smt
@@ -230,9 +251,13 @@ def _parse_env(spec: str) -> TypeEnv:
 
 
 def _run_mix(args: argparse.Namespace, source: str) -> int:
+    from repro.profiling import PhaseProfiler
+
+    profiler = PhaseProfiler(args.profile)
     try:
-        program = parse(source)
-        env = _parse_env(args.env)
+        with profiler.phase("parse"):
+            program = parse(source)
+            env = _parse_env(args.env)
     except (ParseError, LexError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -247,17 +272,21 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
         budget=_make_budget(args),
         crash_dir=args.crash_dir,
     )
+    if args.jobs is not None:
+        config.jobs = args.jobs
     if args.validate_witnesses:
         config.validate_witnesses = True
-    if args.auto_refine:
-        result = auto_place_blocks(program, env, args.entry, config)
-        for i, step in enumerate(result.steps, 1):
-            print(f"refinement step {i}: {step}")
-        if result.steps:
-            print(f"annotated program: {result.annotated_source}")
-        report = result.report
-    else:
-        report = analyze(program, env, args.entry, config)
+    with profiler.phase("analyze"):
+        if args.auto_refine:
+            result = auto_place_blocks(program, env, args.entry, config)
+            for i, step in enumerate(result.steps, 1):
+                print(f"refinement step {i}: {step}")
+            if result.steps:
+                print(f"annotated program: {result.annotated_source}")
+            report = result.report
+        else:
+            report = analyze(program, env, args.entry, config)
+    profiler.report()
     print(report)
     for warning in report.warnings:
         print(f"warning: {warning}")
@@ -273,24 +302,31 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     from repro.mixy import Mixy, MixyConfig
     from repro.mixy.c.parser import CParseError
     from repro.mixy.qual import QualConfig
+    from repro.profiling import PhaseProfiler
 
+    profiler = PhaseProfiler(args.profile)
     config = MixyConfig(
         qual=QualConfig(deref_requires_nonnull=args.strict_deref),
         enable_cache=not args.no_cache,
         budget=_make_budget(args),
         crash_dir=args.crash_dir,
     )
+    if args.jobs is not None:
+        config.jobs = args.jobs
     if args.validate_witnesses:
         config.validate_witnesses = True
     try:
-        mixy = Mixy(source, config)
-        warnings = mixy.run(entry=args.entry, entry_function=args.entry_function)
+        with profiler.phase("parse+infer"):
+            mixy = Mixy(source, config)
+        with profiler.phase("analyze"):
+            warnings = mixy.run(entry=args.entry, entry_function=args.entry_function)
     except CParseError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except KeyError as error:
         print(f"error: no such function {error}", file=sys.stderr)
         return 2
+    profiler.report()
     for warning in warnings:
         print(warning)
     summary = (

@@ -59,7 +59,18 @@ class MixConfig:
     contain_crashes: bool = True
     #: where contained crashes write their minimized repro reports
     crash_dir: str = ".repro-crashes"
+    #: worker processes for the parallel engine (``--jobs``; see
+    #: repro.parallel).  1 = the serial path, byte for byte.  Defaults
+    #: from the REPRO_JOBS environment variable (CI equivalence runs).
+    jobs: int = field(default_factory=lambda: _env_int("REPRO_JOBS", 1))
 
 
 def _env_flag(name: str) -> bool:
     return os.environ.get(name, "") not in ("", "0")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default

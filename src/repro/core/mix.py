@@ -74,6 +74,14 @@ class Mix:
             "feasibility_checks": 0,
             "budget_breaches": 0,
         }
+        if self.config.jobs > 1:
+            from repro.parallel import ParallelEngine
+
+            self._parallel: Optional[ParallelEngine] = ParallelEngine(
+                self.config.jobs
+            )
+        else:
+            self._parallel = None
         #: Degradation notices (GOOD_ENOUGH mode only): budget breaches
         #: that truncated exploration instead of rejecting the program.
         self.warnings: list[str] = []
@@ -167,6 +175,8 @@ class Mix:
         self.stats["symbolic_blocks"] += 1
         sigma, state = self.make_symbolic_context(gamma)
         outcomes = self._explore(block, sigma, state)
+        if self._parallel is not None:
+            self._warm_outcome_queries(outcomes)
         result_type: Optional[Type] = None
         surviving: list[Outcome] = []
         breached = False
@@ -210,6 +220,36 @@ class Mix:
             self._check_exhaustive(surviving, block)
         assert result_type is not None
         return result_type
+
+    def _warm_outcome_queries(self, outcomes: list[Outcome]) -> None:
+        """Parallel engine: a block's independent verification queries —
+        one feasibility check per failing path, plus the exhaustiveness
+        check — fanned out to workers *before* the serial logic below
+        runs them.  Workers return only query-cache deltas, so the
+        serial verdict logic stays authoritative and unchanged; it just
+        finds its queries pre-answered (see repro.parallel)."""
+        assert self._parallel is not None
+        groups: list[tuple[smt.Term, ...]] = []
+        guards: list[smt.Term] = []
+        assumptions: list[smt.Term] = []
+        for out in outcomes:
+            if out.ok:
+                # Mirrors _check_exhaustive's formula construction.
+                guards.append(out.state.guard)
+                for d in out.state.defs:
+                    if d not in assumptions:
+                        assumptions.append(d)
+                continue
+            if out.kind is ErrKind.BUDGET:
+                continue
+            if out.kind is ErrKind.LOOP_BOUND and (
+                self.config.soundness is SoundnessMode.GOOD_ENOUGH
+            ):
+                continue
+            groups.append((out.state.condition(),))
+        if self.config.soundness is SoundnessMode.SOUND and guards:
+            groups.append((*assumptions, smt.not_(smt.or_(*guards))))
+        self._parallel.warm_mix_queries(groups)
 
     def make_symbolic_context(self, gamma: TypeEnv) -> tuple[SymEnv, State]:
         """Σ(x) = α_x : Γ(x) for all x, and S = ⟨true; μ⟩ with fresh μ."""

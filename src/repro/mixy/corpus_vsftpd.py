@@ -294,3 +294,133 @@ def annotation_subsets() -> list[FrozenSet[str]]:
         current.add(site)
         out.append(frozenset(current))
     return out
+
+
+# -- the parallel-scale corpus (EXPERIMENTS.md E16) ---------------------------
+
+#: Symbolic worker blocks of ``parallel_vsftpd``, in frontier (sorted)
+#: order.  Styled after vsftpd's utility modules.
+PARALLEL_BLOCKS = (
+    "crunch_access",
+    "crunch_banner",
+    "crunch_chdir",
+    "crunch_dirlist",
+    "crunch_epsv",
+    "crunch_filter",
+)
+
+
+def _guard(block: int, depth: int, arm: int) -> str:
+    """A linear-arithmetic branch guard over the block's int parameters.
+
+    Coefficients are a fixed function of (block, depth, arm) so the
+    program is deterministic; they are spread out so sibling branches
+    carve distinct regions and a good share of nested combinations are
+    infeasible — those forks force full DPLL(T) refutations, which is
+    where a real analysis spends its time."""
+    c1 = 2 + (17 * block + 3 * depth + 41 * arm) % 269
+    c2 = 1 + (5 * block + 29 * depth + 2 * arm) % 283
+    c3 = 1 + (23 * block + 2 * depth + 5 * arm) % 241
+    k = 3 + (7 * block + 11 * depth + 13 * arm) % 251
+    cmp = "<" if (block + depth + arm) % 2 == 0 else ">"
+    return f"{c1} * a + {c2} * b - {c3} * c {cmp} {k} * d - {k + depth}"
+
+
+def _arith_tree(block: int, depth: int, path: int = 0) -> str:
+    """A nested if/else tree of ``_guard`` branches; each fork makes the
+    executor solve both branch feasibilities against a growing path
+    condition."""
+    if depth == 0:
+        return f"    r = r + {path + 1};"
+    then_arm = _arith_tree(block, depth - 1, 2 * path)
+    else_arm = _arith_tree(block, depth - 1, 2 * path + 1)
+    guard = _guard(block, depth, path % 3)
+    return (
+        f"    if ({guard}) {{\n{then_arm}\n    }} else {{\n{else_arm}\n    }}"
+    )
+
+
+def parallel_vsftpd(depth: int = 4) -> str:
+    """A vsftpd-shaped corpus for the parallel engine (E16): six heavy
+    symbolic utility blocks over a staircase of session globals.
+
+    Each block is dominated by a ``depth``-deep linear-arithmetic
+    branching tree over its parameters — solver work whose formulas do
+    not mention the globals.  The staircase couples the blocks *against*
+    the frontier's sorted order: ``crunch_filter`` retires
+    ``g_stage_6`` outright, and each earlier block retires the next
+    stage only once the later block's conclusion has reached the
+    qualifier graph — so exactly one stage falls per fixpoint round, the
+    calling context of every block changes every round (the context
+    carries all globals), and the whole frontier is re-analyzed round
+    after round.  A serial run re-solves every arithmetic query each
+    round; the parallel engine's block-deterministic naming re-derives
+    identical terms, so from round two on its queries are warm-cache
+    hits.  The run ends when the staircase reaches ``g_stage_2``, which
+    ``crunch_filter`` has been handing to ``sysutil_free``'s nonnull
+    parameter all along: one deterministic warning."""
+    stages = "\n".join(f"int *g_stage_{s};" for s in range(1, 7))
+    blocks = []
+    for i, name in enumerate(PARALLEL_BLOCKS):
+        tail: str
+        if name == PARALLEL_BLOCKS[-1]:
+            # Last in sorted order: starts the staircase unconditionally
+            # and reports the end of it.  The free comes first: a typed
+            # call havocs global cells, and a havoc'd final value carries
+            # no null conclusion back to the qualifier graph.
+            tail = (
+                "  sysutil_free(g_stage_2);\n"
+                "  g_stage_6 = NULL;"
+            )
+        else:
+            # Block i retires stage i+1 once stage i+2 is known null;
+            # the owner of stage i+2 sorts *after* this block, so the
+            # trigger is only visible one round later.
+            tail = (
+                f"  if (g_stage_{i + 2} == NULL) {{\n"
+                f"    g_stage_{i + 1} = NULL;\n"
+                f"  }}"
+            )
+        # The bounding shell keeps every parameter in a finite range so
+        # the int solver's branch-and-bound stays shallow; the tree's
+        # queries are then hard but bounded.
+        shell_open = "\n".join(
+            f"  if ({v} < 1) {{ return 0; }}\n  if ({v} > 40) {{ return 0; }}"
+            for v in "abcd"
+        )
+        blocks.append(
+            f"int {name}(int a, int b, int c, int d) MIX(symbolic) {{\n"
+            f"  int r = 0;\n"
+            f"{shell_open}\n"
+            f"{_arith_tree(i, depth)}\n"
+            f"{tail}\n"
+            f"  return r;\n"
+            f"}}"
+        )
+    body = "\n\n".join(blocks)
+    calls = "\n".join(
+        f"  total = total + {name}(seed + {i}, seed - {2 * i}, "
+        f"seed * {i + 2}, limit + {i});"
+        for i, name in enumerate(PARALLEL_BLOCKS)
+    )
+    return f"""
+/* ============ sysutil.c (shared with mini_vsftpd) ============ */
+void sysutil_free(void *nonnull p_ptr) MIX(typed);
+
+/* ============ session globals: the staircase ============ */
+{stages}
+
+/* ============ the worker modules ============ */
+{body}
+
+int main(void) {{
+  int total;
+  int seed;
+  int limit;
+  total = 0;
+  seed = 3;
+  limit = 40;
+{calls}
+  return total;
+}}
+"""

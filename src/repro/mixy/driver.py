@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from repro import smt
 from repro.budget import Budget
-from repro.core.config import _env_flag
+from repro.core.config import _env_flag, _env_int
 from repro.mixy.c.ast import (
     Call,
     CFunction,
@@ -132,6 +132,12 @@ class MixyConfig:
     contain_crashes: bool = True
     #: where contained crashes write their minimized repro reports
     crash_dir: str = ".repro-crashes"
+    #: worker processes for the parallel engine (``--jobs``; see
+    #: repro.parallel): each fixpoint round's symbolic frontier is
+    #: speculatively fanned out and the warmed query cache merged back
+    #: before the authoritative serial pass.  1 = the serial path, byte
+    #: for byte.  Defaults from the REPRO_JOBS environment variable.
+    jobs: int = field(default_factory=lambda: _env_int("REPRO_JOBS", 1))
 
 
 @dataclass
@@ -188,6 +194,17 @@ class Mixy:
         self._entry: tuple[str, str] = ("typed", "main")
         self._cache: dict[tuple, _CacheEntry] = {}
         self._block_stack: list[tuple] = []
+        #: entry -> (qualifier-graph edge count, (typed, frontier)); the
+        #: call-graph walk is invalidated only when the graph gained edges
+        self._partition_cache: dict[str, tuple[int, tuple[frozenset[str], frozenset[str]]]] = {}
+        if self.config.jobs > 1:
+            from repro.parallel import ParallelEngine
+
+            self._parallel: Optional[ParallelEngine] = ParallelEngine(
+                self.config.jobs
+            )
+        else:
+            self._parallel = None
         self._cell_slots: dict[int, QVar] = {}  # provenance: cell -> qual var
         self.stats = {
             "fixpoint_iterations": 0,
@@ -262,7 +279,16 @@ class Mixy:
             typed, frontier = self._reachable_partition(entry_function)
             for name in typed:
                 self.qual.constrain_function(name)
-            for name in sorted(frontier):
+            ordered = sorted(frontier)
+            if self._parallel is not None:
+                # Speculative fan-out: workers fork off the current
+                # state, analyze the round's blocks, and send back query
+                # -cache deltas (merged in block-name order).  The serial
+                # loop below then recomputes everything authoritatively
+                # against the warmed cache, so its results are identical
+                # to --jobs 1 by construction (see repro.parallel).
+                self._parallel.warm_mixy_round(self, ordered)
+            for name in ordered:
                 self._analyze_symbolic_function(name)
             unchanged = (
                 self.qual.graph.num_edges == edges_before
@@ -273,7 +299,23 @@ class Mixy:
 
     def _reachable_partition(self, entry_function: str) -> tuple[set[str], set[str]]:
         """Functions reachable from the entry, split into (typed region,
-        symbolic frontier)."""
+        symbolic frontier).  Cached across fixpoint iterations: the walk
+        depends on the call graph (via the points-to sets) and on nothing
+        the iterations mutate except the qualifier graph, so a cached
+        partition is reused until the graph has gained edges."""
+        edges = self.qual.graph.num_edges
+        cached = self._partition_cache.get(entry_function)
+        if cached is not None and cached[0] == edges:
+            typed, frontier = cached[1]
+            return set(typed), set(frontier)
+        typed, frontier = self._walk_reachable(entry_function)
+        self._partition_cache[entry_function] = (
+            edges,
+            (frozenset(typed), frozenset(frontier)),
+        )
+        return typed, frontier
+
+    def _walk_reachable(self, entry_function: str) -> tuple[set[str], set[str]]:
         typed: set[str] = set()
         frontier: set[str] = set()
         stack = [entry_function]
@@ -306,6 +348,14 @@ class Mixy:
         fn = self.program.functions[name]
         if fn.body is None:
             return
+        if self._parallel is not None and not self._block_stack:
+            # Parallel mode: block-deterministic naming.  Restarting the
+            # fresh-symbol and address counters at each top-level block
+            # entry makes a block's terms a function of (program, calling
+            # context) alone, so speculative worker verdicts — and earlier
+            # fixpoint rounds' verdicts — hit the cache here.  Never done
+            # at --jobs 1, which must take the serial path byte for byte.
+            self.executor.reset_block_counters()
         context_key, context_slots = self._calling_context(fn)
         stack_key = (name, context_key)
         if stack_key in self._block_stack:

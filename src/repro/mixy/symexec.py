@@ -25,6 +25,7 @@ limitation behind the paper's Case 4.
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field, replace
 from enum import Enum, unique
 from typing import Callable, Iterator, Optional
@@ -194,6 +195,9 @@ class CSymExecutor:
         ] = None
         self.witnesses: dict[tuple, object] = {}
         self._alpha = itertools.count(1)
+        #: per-hint fresh-symbol counters; installed (non-None) only by
+        #: reset_block_counters, i.e. only ever in parallel mode
+        self._hint_alpha: Optional[defaultdict] = None
         self._next_address = 1
         self.fn_addresses: dict[str, int] = {}
         self.stats = {
@@ -209,6 +213,9 @@ class CSymExecutor:
         for name in program.functions:
             self.fn_addresses[name] = self._alloc_address(1)
         self._fn_by_address = {v: k for k, v in self.fn_addresses.items()}
+        #: first address past the (stable) function addresses; the
+        #: block-deterministic naming reset rewinds allocation to here
+        self._address_base = self._next_address
 
     # -- allocation ----------------------------------------------------------------
 
@@ -217,7 +224,30 @@ class CSymExecutor:
         self._next_address += max(size, 1)
         return base
 
+    def reset_block_counters(self) -> None:
+        """Switch to block-deterministic naming and rewind allocation to
+        its post-init point (function addresses stay put).  The parallel
+        engine calls this at each *top-level* block entry so a block's
+        terms depend only on (program, calling context), making them
+        identical between a speculative worker run, the parent's
+        authoritative run, and re-runs in later fixpoint rounds — which
+        is what lets the query cache match across processes and rounds.
+
+        Naming becomes *per hint* rather than one global sequence: a
+        context change that adds one fresh symbol (say a global turning
+        may-null adds its ``_isnull`` choice) must not shift the names of
+        every later symbol, or no formula from the previous round would
+        ever match again.  Distinct hints yield distinct names and the
+        per-hint sequence keeps repeats of one hint apart, so uniqueness
+        within a path condition is preserved.  Blocks use disjoint fresh
+        states, so reused names/addresses can never collide within one
+        path.  Serial mode (``--jobs 1``) never calls this."""
+        self._hint_alpha = defaultdict(lambda: itertools.count(1))
+        self._next_address = self._address_base
+
     def fresh_symbol(self, hint: str = "c") -> smt.Term:
+        if self._hint_alpha is not None:
+            return smt.var(f"{hint}!{next(self._hint_alpha[hint])}", smt.INT)
         return smt.var(f"{hint}!{next(self._alpha)}", smt.INT)
 
     def object_size(self, ctype: CType) -> int:

@@ -56,28 +56,33 @@ class _Budget:
 
 
 def _branch(atoms: Sequence[LinAtom], bounds: Bounds, budget: _Budget) -> IntResult:
-    budget.spend()
-    result = check_rational(atoms, bounds)
-    if not result.feasible:
-        return IntResult(False, {})
-    fractional = _pick_fractional(result.assignment)
-    if fractional is None:
-        model = {
-            v: int(value)
-            for v, value in result.assignment.items()
-            if not isinstance(v, tuple)  # drop internal slack variables
-        }
-        return IntResult(True, model)
-    v, value = fractional
-    lo, hi = bounds.get(v, (None, None))
-    down = dict(bounds)
-    down[v] = (lo, Fraction(floor(value)))
-    branch = _branch(atoms, down, budget)
-    if branch.feasible:
-        return branch
-    up = dict(bounds)
-    up[v] = (Fraction(ceil(value)), hi)
-    return _branch(atoms, up, budget)
+    # Depth-first with an explicit stack: branch chains can run hundreds
+    # of cuts deep on wide integer ranges, which would blow the Python
+    # recursion limit long before the search budget.
+    stack: list[Bounds] = [bounds]
+    while stack:
+        bounds = stack.pop()
+        budget.spend()
+        result = check_rational(atoms, bounds)
+        if not result.feasible:
+            continue
+        fractional = _pick_fractional(result.assignment)
+        if fractional is None:
+            model = {
+                v: int(value)
+                for v, value in result.assignment.items()
+                if not isinstance(v, tuple)  # drop internal slack variables
+            }
+            return IntResult(True, model)
+        v, value = fractional
+        lo, hi = bounds.get(v, (None, None))
+        down = dict(bounds)
+        down[v] = (lo, Fraction(floor(value)))
+        up = dict(bounds)
+        up[v] = (Fraction(ceil(value)), hi)
+        stack.append(up)
+        stack.append(down)  # LIFO: the down branch is explored first
+    return IntResult(False, {})
 
 
 def _pick_fractional(

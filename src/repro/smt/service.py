@@ -48,7 +48,15 @@ from typing import Deque, Iterable, Iterator, Mapping, Optional
 
 from repro.budget import Budget
 from repro.smt.solver import Model, SatResult, Solver, SolverError
-from repro.smt.terms import BOOL, Kind, SortError, Term
+from repro.smt.terms import (
+    BOOL,
+    Kind,
+    SortError,
+    Term,
+    Wire,
+    from_wire_many,
+    to_wire_many,
+)
 
 
 @dataclass
@@ -91,6 +99,14 @@ class SolverStats:
     witnesses_diverged: int = 0
     #: Typed/symbolic blocks whose analysis crashed and was degraded.
     blocks_contained: int = 0
+    # Parallel-engine counters (see repro.parallel).
+    #: Blocks/query batches speculatively analyzed by worker processes.
+    speculative_blocks: int = 0
+    #: Worker tasks that died or errored; their deltas were discarded and
+    #: the serial pass re-did the work (nothing is lost but time).
+    speculation_failures: int = 0
+    #: Cache entries imported from worker deltas into this service.
+    cache_entries_imported: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -132,7 +148,45 @@ class SolverStats:
             "witnesses_unconfirmed": self.witnesses_unconfirmed,
             "witnesses_diverged": self.witnesses_diverged,
             "blocks_contained": self.blocks_contained,
+            "speculative_blocks": self.speculative_blocks,
+            "speculation_failures": self.speculation_failures,
+            "cache_entries_imported": self.cache_entries_imported,
         }
+
+    #: Counters that describe solver *work* and may be summed across
+    #: processes.  Trust-ring verdicts and injected-fault counts are
+    #: deliberately absent: workers run speculatively, so their trust
+    #: observations are not authoritative and must not pollute the run's.
+    PERF_FIELDS = (
+        "queries",
+        "syntactic_hits",
+        "exact_hits",
+        "subset_hits",
+        "superset_hits",
+        "model_eval_hits",
+        "full_solves",
+        "solve_seconds",
+        "sat_conflicts",
+        "sat_restarts",
+        "theory_rounds",
+        "query_timeouts",
+        "deadline_breaches",
+        "path_budget_breaches",
+        "memlog_breaches",
+        "solver_errors_contained",
+    )
+
+    def perf_delta_since(self, baseline: "SolverStats") -> "SolverStats":
+        """The perf-counter difference ``self - baseline`` (worker side)."""
+        delta = SolverStats()
+        for name in self.PERF_FIELDS:
+            setattr(delta, name, getattr(self, name) - getattr(baseline, name))
+        return delta
+
+    def merge_perf(self, delta: "SolverStats") -> None:
+        """Fold a worker's perf-counter delta into these stats."""
+        for name in self.PERF_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(delta, name))
 
     def format_table(self) -> str:
         """A human-readable counter table (used by ``--solver-stats``)."""
@@ -258,6 +312,28 @@ class _Shard:
                 self.models.append(model)
         else:
             self.unsat_cores.append(key)
+
+
+@dataclass
+class CacheDelta:
+    """Cache entries gained since a :meth:`SolverService.cache_baseline`.
+
+    The picklable cross-process form of "what this worker learned":
+    conjunct sets are wire-encoded (:mod:`repro.smt.terms`, one shared
+    node table) because terms hash by identity and cannot cross a
+    process boundary as objects.  Each entry is
+    ``(int_budget, conjunct root positions, verdict, in sat_sets,
+    in unsat_cores)``.  Models are deliberately not shipped: a model is
+    dead weight on the wire next to an exact verdict, and the model-eval
+    tier refills from the parent's own solves.
+    """
+
+    wire: Wire
+    entries: list[tuple[int, tuple[int, ...], bool, bool, bool]]
+    stats: SolverStats
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 class SolverService:
@@ -422,6 +498,71 @@ class SolverService:
         """Drop all cached state and counters (tests and benchmarks)."""
         self.stats = SolverStats()
         self._shards.clear()
+
+    # -- cross-process cache deltas (see repro.parallel) -----------------------
+
+    def cache_baseline(self) -> dict[int, set[frozenset[Term]]]:
+        """Snapshot the exact-tier keys (worker side, right after fork)."""
+        return {b: set(shard.exact) for b, shard in self._shards.items()}
+
+    def collect_delta(
+        self,
+        baseline: dict[int, set[frozenset[Term]]],
+        stats_baseline: SolverStats,
+    ) -> CacheDelta:
+        """Everything cached since ``baseline``, wire-encoded for the
+        parent.  Only definite verdicts live in the exact tier (UNKNOWN
+        is never cached), so every shipped entry is sound to reuse: SAT
+        is a function of the formula, not of which process solved it."""
+        keys: list[tuple[int, frozenset[Term], bool, bool, bool]] = []
+        for int_budget, shard in self._shards.items():
+            seen = baseline.get(int_budget, set())
+            for key, verdict in shard.exact.items():
+                if key in seen:
+                    continue
+                keys.append(
+                    (
+                        int_budget,
+                        key,
+                        verdict,
+                        key in shard.sat_sets,
+                        key in shard.unsat_cores,
+                    )
+                )
+        flat: list[Term] = []
+        entries: list[tuple[int, tuple[int, ...], bool, bool, bool]] = []
+        for int_budget, key, verdict, in_sats, in_cores in keys:
+            positions = tuple(range(len(flat), len(flat) + len(key)))
+            flat.extend(key)
+            entries.append((int_budget, positions, verdict, in_sats, in_cores))
+        return CacheDelta(
+            wire=to_wire_many(flat),
+            entries=entries,
+            stats=self.stats.perf_delta_since(stats_baseline),
+        )
+
+    def merge_delta(self, delta: CacheDelta) -> int:
+        """Fold a worker's :class:`CacheDelta` into this service's cache
+        and stats; returns the number of entries actually imported.
+        Callers merge deltas in a deterministic (block-name) order so
+        the cache contents are reproducible run to run."""
+        roots = from_wire_many(delta.wire)
+        imported = 0
+        for int_budget, positions, verdict, in_sats, in_cores in delta.entries:
+            key = frozenset(roots[i] for i in positions)
+            shard = self._shard(int_budget)
+            if key not in shard.exact:
+                if len(shard.exact) >= shard.MAX_EXACT:
+                    shard.exact.clear()
+                shard.exact[key] = verdict
+                imported += 1
+            if in_sats and key not in shard.sat_sets:
+                shard.sat_sets.append(key)
+            if in_cores and key not in shard.unsat_cores:
+                shard.unsat_cores.append(key)
+        self.stats.merge_perf(delta.stats)
+        self.stats.cache_entries_imported += imported
+        return imported
 
     # -- internals -------------------------------------------------------------
 

@@ -216,6 +216,27 @@ def _simp_eq(term: Term, args: tuple[Term, ...]) -> Term:
         return bool_const(True)
     if left.is_const and right.is_const:
         return bool_const(left.payload == right.payload)
+    # (ite c k1 k2) = k  collapses to c / ¬c / false when the arms are
+    # constants — the C frontend's int-encoded truth values (`ite c 1 0`
+    # compared against 0) otherwise reach the solver as opaque ite atoms
+    # it can only case-split on.
+    for ite_side, const_side in ((left, right), (right, left)):
+        if (
+            ite_side.kind is Kind.ITE
+            and const_side.is_const
+            and ite_side.args[1].is_const
+            and ite_side.args[2].is_const
+        ):
+            cond = ite_side.args[0]
+            then_hit = ite_side.args[1].payload == const_side.payload
+            else_hit = ite_side.args[2].payload == const_side.payload
+            if then_hit and else_hit:
+                return bool_const(True)
+            if then_hit:
+                return cond
+            if else_hit:
+                return _simp_not(term, (cond,))
+            return bool_const(False)
     return eq(left, right)
 
 

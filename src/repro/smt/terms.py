@@ -402,6 +402,80 @@ def apply_func(decl: FuncDecl, *args: Term) -> Term:
 
 
 # ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+#
+# Terms hash (and pickle-compare) by identity, so they cannot cross a
+# process boundary naively: two processes interning the same structure
+# hold *different* objects.  The wire form is therefore purely
+# structural — a post-order node list with structure sharing — and
+# ``from_wire`` rebuilds through ``_TABLE.make``, re-interning every
+# node.  Within one process this makes the round trip the identity:
+# ``from_wire(to_wire(t)) is t``.  ``Sort`` and ``FuncDecl`` are plain
+# frozen dataclasses and ship by value inside node payloads.
+
+#: wire node: (kind value, sort, argument node indices, payload)
+WireNode = tuple[str, Sort, tuple[int, ...], object]
+#: wire form of a term list: (shared node table, root indices)
+Wire = tuple[list[WireNode], list[int]]
+
+
+def to_wire_many(terms: Iterable[Term]) -> Wire:
+    """Encode ``terms`` into one shared-structure node table."""
+    index: dict[Term, int] = {}
+    nodes: list[WireNode] = []
+
+    def visit(root: Term) -> int:
+        stack: list[tuple[Term, bool]] = [(root, False)]
+        while stack:
+            term, ready = stack.pop()
+            if term in index:
+                continue
+            if ready:
+                index[term] = len(nodes)
+                nodes.append(
+                    (
+                        term.kind.value,
+                        term.sort,
+                        tuple(index[a] for a in term.args),
+                        term.payload,
+                    )
+                )
+            else:
+                stack.append((term, True))
+                for arg in term.args:
+                    if arg not in index:
+                        stack.append((arg, False))
+        return index[root]
+
+    roots = [visit(t) for t in terms]
+    return nodes, roots
+
+
+def from_wire_many(wire: Wire) -> list[Term]:
+    """Decode a :func:`to_wire_many` result, re-interning every node."""
+    nodes, roots = wire
+    built: list[Term] = []
+    for kind_value, sort, arg_indices, payload in nodes:
+        args = tuple(built[i] for i in arg_indices)
+        built.append(_TABLE.make(Kind(kind_value), sort, args, payload))
+    return [built[i] for i in roots]
+
+
+def to_wire(term: Term) -> Wire:
+    """Encode one term (see :func:`to_wire_many`)."""
+    return to_wire_many((term,))
+
+
+def from_wire(wire: Wire) -> Term:
+    """Decode one term; interned, so within a process this is identity."""
+    roots = from_wire_many(wire)
+    if len(roots) != 1:
+        raise SortError(f"expected a single wire root, got {len(roots)}")
+    return roots[0]
+
+
+# ---------------------------------------------------------------------------
 # Pretty-printing
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,259 @@
+"""The parallel engine's building blocks: budget sharding, cache
+deltas, and worker-crash containment (see docs/ARCHITECTURE.md §1.4).
+
+Full jobs=1 / jobs=N output equivalence lives in
+``test_parallel_equivalence.py``; these tests exercise the pieces the
+equivalence rests on.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import smt
+from repro.budget import Budget
+from repro.cli import main
+from repro.smt.service import SolverService
+
+
+class TestShardPathCaps:
+    def test_unbounded_budget_shards_to_none(self):
+        assert Budget().shard_path_caps(3) == [None, None, None]
+
+    def test_even_split(self):
+        assert Budget(max_paths=12).shard_path_caps(4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_first_shards_one_each(self):
+        assert Budget(max_paths=11).shard_path_caps(4) == [3, 3, 3, 2]
+        assert Budget(max_paths=5).shard_path_caps(4) == [2, 1, 1, 1]
+
+    def test_caps_cover_exactly_the_remaining_budget(self):
+        budget = Budget(max_paths=100)
+        for _ in range(37):
+            budget.charge_path()
+        caps = budget.shard_path_caps(8)
+        assert sum(caps) == 100 - 37
+
+    def test_exhausted_budget_shards_to_zero(self):
+        budget = Budget(max_paths=2)
+        for _ in range(5):
+            budget.charge_path()
+        assert budget.shard_path_caps(2) == [0, 0]
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            Budget().shard_path_caps(0)
+
+
+class TestRescopeForWorker:
+    def test_worker_restarts_path_count_with_its_cap(self):
+        budget = Budget(deadline=60.0, query_timeout=1.0, max_paths=100)
+        for _ in range(40):
+            budget.charge_path()
+        cap = budget.shard_path_caps(4)[0]
+        budget.rescope_for_worker(cap)  # in real use: the forked copy
+        assert budget.paths_used == 0
+        assert budget.max_paths == 15
+        # The wall-clock limits ride along unchanged (the deadline is an
+        # absolute monotonic instant shared by parent and workers).
+        assert budget.deadline == 60.0
+        assert budget.query_timeout == 1.0
+
+    def test_none_cap_means_unbounded_worker(self):
+        budget = Budget(max_paths=7)
+        budget.rescope_for_worker(None)
+        assert budget.max_paths is None
+        assert not budget.paths_exhausted()
+
+
+def _some_queries():
+    x, y = smt.var("x", smt.INT), smt.var("y", smt.INT)
+    k = smt.int_const
+    return [
+        (smt.lt(x, k(3)), smt.lt(k(5), x)),  # UNSAT
+        (smt.le(k(0), x), smt.lt(x, y), smt.lt(y, k(10))),  # SAT
+        (smt.eq(smt.add(x, y), k(7)), smt.lt(x, k(0))),  # SAT
+    ]
+
+
+class TestCacheDelta:
+    def test_empty_delta_when_nothing_was_solved(self):
+        service = SolverService()
+        baseline = service.cache_baseline()
+        from dataclasses import replace
+
+        delta = service.collect_delta(baseline, replace(service.stats))
+        assert len(delta) == 0
+
+    def test_delta_transfers_verdicts_to_a_fresh_service(self):
+        worker = SolverService()
+        baseline = worker.cache_baseline()
+        from dataclasses import replace
+
+        stats0 = replace(worker.stats)
+        expected = [worker.check_sat(q) for q in _some_queries()]
+        delta = worker.collect_delta(baseline, stats0)
+        assert len(delta) == len(_some_queries())
+
+        parent = SolverService()
+        imported = parent.merge_delta(delta)
+        assert imported == len(delta)
+        solves_before = parent.stats.full_solves
+        got = [parent.check_sat(q) for q in _some_queries()]
+        assert got == expected
+        # Every query was answered from the imported entries.
+        assert parent.stats.full_solves == solves_before
+
+    def test_merge_is_idempotent(self):
+        worker = SolverService()
+        baseline = worker.cache_baseline()
+        from dataclasses import replace
+
+        stats0 = replace(worker.stats)
+        for q in _some_queries():
+            worker.check_sat(q)
+        delta = worker.collect_delta(baseline, stats0)
+
+        parent = SolverService()
+        assert parent.merge_delta(delta) == len(delta)
+        assert parent.merge_delta(delta) == 0  # all entries already known
+
+    def test_delta_excludes_entries_known_at_the_baseline(self):
+        worker = SolverService()
+        worker.check_sat(_some_queries()[0])  # cached pre-fork
+        baseline = worker.cache_baseline()
+        from dataclasses import replace
+
+        stats0 = replace(worker.stats)
+        for q in _some_queries():
+            worker.check_sat(q)  # first one is a cache hit, not a new entry
+        delta = worker.collect_delta(baseline, stats0)
+        assert len(delta) == len(_some_queries()) - 1
+
+    def test_delta_ships_perf_counters_only(self):
+        worker = SolverService()
+        baseline = worker.cache_baseline()
+        from dataclasses import replace
+
+        stats0 = replace(worker.stats)
+        worker.stats.witnesses_confirmed += 3  # trust verdicts: not perf
+        for q in _some_queries():
+            worker.check_sat(q)
+        delta = worker.collect_delta(baseline, stats0)
+        assert delta.stats.full_solves > 0
+        assert delta.stats.witnesses_confirmed == 0
+
+        parent = SolverService()
+        parent.merge_delta(delta)
+        assert parent.stats.full_solves == delta.stats.full_solves
+        assert parent.stats.witnesses_confirmed == 0
+        assert parent.stats.cache_entries_imported == len(delta)
+
+
+TWO_CLEAN_BLOCKS = """
+int block_a(int a, int b) MIX(symbolic) {
+  if (a < 0) { return 0; }
+  if (3 * a + 2 * b < 7) {
+    return 1;
+  }
+  return 2;
+}
+
+int block_b(int c) MIX(symbolic) {
+  if (c > 10) {
+    return c - 1;
+  }
+  return c;
+}
+
+int main(void) {
+  int r;
+  r = block_a(1, 2);
+  r = r + block_b(3);
+  return r;
+}
+"""
+
+BLOCKS_WITH_WARNING = """
+void sysutil_free(void *nonnull p_ptr) MIX(typed);
+int *g_ptr;
+
+int block_a(int a, int b) MIX(symbolic) {
+  if (a < 0) { return 0; }
+  if (3 * a + 2 * b < 7) {
+    return 1;
+  }
+  return 2;
+}
+
+int block_b(int c) MIX(symbolic) {
+  if (c > 10) {
+    sysutil_free(g_ptr);
+    g_ptr = NULL;
+  }
+  return c;
+}
+
+int main(void) {
+  int r;
+  r = block_a(1, 2);
+  r = r + block_b(3);
+  return r;
+}
+"""
+
+
+class TestWorkerCrashContainment:
+    def _run(self, tmp_path, source, argv, capsys):
+        path = tmp_path / "program.c"
+        path.write_text(source)
+        code = main(["mixy", str(path), *argv])
+        return code, capsys.readouterr().out
+
+    def test_injected_crash_under_jobs_degrades_block_and_exits_zero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        smt.reset_service()
+        # Query 3 lands inside a symbolic block's exploration.  The
+        # injected crash fires in the worker (delta discarded) and then
+        # deterministically re-fires in the authoritative pass, where
+        # trust ring 3 contains it: repro written, block degraded to
+        # qualifier inference, run continues, exit code 0.
+        code, out = self._run(
+            tmp_path,
+            TWO_CLEAN_BLOCKS,
+            ["--jobs", "2", "--inject-fault", "3:crash", "--crash-dir", "crashes"],
+            capsys,
+        )
+        assert code == 0
+        assert "analysis crash contained" in out
+        repros = list(pathlib.Path("crashes").glob("crash-*.json"))
+        assert repros, "expected a crash repro to be recorded"
+        phases = {json.loads(p.read_text())["phase"] for p in repros}
+        assert any(p.startswith("mixy:") for p in phases)
+
+    def test_other_blocks_warnings_survive_a_crashed_block(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        smt.reset_service()
+        code, out = self._run(
+            tmp_path,
+            BLOCKS_WITH_WARNING,
+            ["--jobs", "2", "--inject-fault", "3:crash", "--crash-dir", "crashes"],
+            capsys,
+        )
+        # block_a's crash is contained; block_b's genuine nonnull
+        # violation is still reported and still drives the exit code.
+        assert code == 1
+        assert "analysis crash contained in block_a" in out
+        assert "nonnull parameter p_ptr of sysutil_free" in out
+
+    def test_uninjected_parallel_run_is_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        smt.reset_service()
+        code, out = self._run(tmp_path, TWO_CLEAN_BLOCKS, ["--jobs", "2"], capsys)
+        assert code == 0
+        assert "crash" not in out

@@ -14,15 +14,51 @@ from __future__ import annotations
 import json
 import pathlib
 
+import pytest
+
+from repro.trace import TRACER, aggregate, read_trace
+
 #: Repo root — BENCH_<id>.json files are written here so that
 #: bench_tables.txt regeneration (see README) can find them.
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The whole benchmark session runs under the event tracer; bench_json
+#: slices the stream per experiment via this running line offset.
+_TRACE_PATH = REPO_ROOT / ".bench-trace.jsonl"
+_trace_state = {"offset": 0}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_tracer():
+    """Trace every benchmark run; each BENCH_<id>.json gets the digest
+    of its own slice of the stream (see bench_json)."""
+    TRACER.enable(_TRACE_PATH)
+    yield
+    TRACER.close()
+    try:
+        _TRACE_PATH.unlink()
+    except OSError:
+        pass
+
+
+def _trace_digest_since_last_call() -> dict | None:
+    """Aggregate the trace lines emitted since the previous bench_json
+    call — the same aggregator that powers ``repro trace-report``."""
+    if not TRACER.enabled:
+        return None
+    TRACER.flush()
+    events = read_trace(_TRACE_PATH)
+    start = _trace_state["offset"]
+    _trace_state["offset"] = len(events)
+    return aggregate(events[start:])
 
 
 def bench_json(experiment: str, payload: dict) -> pathlib.Path:
     """Write an experiment's headline numbers to ``BENCH_<id>.json`` at
     the repo root, merging with any keys a previous test in the same
-    module already wrote (each module may report several tables)."""
+    module already wrote (each module may report several tables).  Every
+    file gains a ``trace_digest`` section aggregated from the event
+    trace of the measurements since the previous bench_json call."""
     path = REPO_ROOT / f"BENCH_{experiment}.json"
     merged: dict = {}
     if path.exists():
@@ -31,6 +67,9 @@ def bench_json(experiment: str, payload: dict) -> pathlib.Path:
         except (OSError, json.JSONDecodeError):
             merged = {}
     merged.update(payload)
+    digest = _trace_digest_since_last_call()
+    if digest is not None:
+        merged["trace_digest"] = digest
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     return path

@@ -1,0 +1,163 @@
+"""E17 — the trace subsystem's overhead guard.
+
+The tracer's contract (docs/ARCHITECTURE.md §1.5) is that a *disabled*
+tracer costs one attribute check per instrumentation site — cheap enough
+to leave compiled into every hot loop.  This module pins that contract
+with numbers:
+
+1. Run the staircase corpus serially with the tracer flag off and time
+   it; microbenchmark the ``if TRACER.enabled:`` guard itself; bound the
+   guard's total contribution (per-check cost x a generous estimate of
+   site hits) below 2% of the run's wall clock.
+2. Run the same corpus with tracing on, writing real spans and events,
+   and check the enabled run stays within 1.5x of the disabled one —
+   tracing is cheap enough to keep on for any investigative run.
+
+Both runs reset the solver service and qualifier-variable counter so
+they see identical initial conditions (same discipline as E16).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import timeit
+
+import pytest
+
+from repro import smt
+from repro.mixy import Mixy
+from repro.mixy.c import parse_program
+from repro.mixy.corpus_vsftpd import parallel_vsftpd
+from repro.mixy.driver import MixyConfig
+from repro.mixy.qual import QVar
+from repro.trace import TRACER
+
+from conftest import bench_json, print_table
+
+DEPTH = 3
+DISABLED_OVERHEAD_BAR = 0.02  # guard cost must stay under 2% of wall
+ENABLED_SLOWDOWN_BAR = 1.5  # full tracing within 1.5x of disabled
+GUARD_CHECKS = 200_000  # microbench loop size
+
+
+def _run_corpus() -> float:
+    """One serial analysis of the staircase corpus, timed."""
+    smt.reset_service()
+    QVar._ids = itertools.count(1)
+    program = parse_program(parallel_vsftpd(depth=DEPTH))
+    mixy = Mixy(program, config=MixyConfig(jobs=1))
+    start = time.monotonic()
+    mixy.run()
+    return time.monotonic() - start
+
+
+def _guard_cost_seconds() -> float:
+    """Per-check cost of the disabled tracer's ``if TRACER.enabled:``
+    guard — the only code a hot site executes when tracing is off."""
+    tracer = TRACER
+    timer = timeit.Timer("tracer.enabled", globals={"tracer": tracer})
+    # Best of five: scheduler noise only ever inflates a timing.
+    return min(timer.repeat(repeat=5, number=GUARD_CHECKS)) / GUARD_CHECKS
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    # The benchmark session's tracer (conftest) is enabled; the disabled
+    # measurement flips the same flag the hot-path guards read.  enable()
+    # would raise here — the flag toggle *is* the disabled state.
+    assert TRACER.enabled
+    TRACER.flush()
+    spans0, lines0 = TRACER.spans_started, TRACER.lines_written
+    TRACER.enabled = False
+    try:
+        disabled_wall = _run_corpus()
+        assert TRACER.spans_started == spans0  # truly off: no bookkeeping
+        guard_cost = _guard_cost_seconds()
+    finally:
+        TRACER.enabled = True
+
+    enabled_wall = _run_corpus()
+    TRACER.flush()
+    spans = TRACER.spans_started - spans0
+    lines = TRACER.lines_written - lines0
+
+    # Site-hit estimate for the disabled run: every line the enabled run
+    # wrote is one guard hit; triple it to cover guards that fire without
+    # writing (disabled spans, suppressed events) and stay conservative.
+    estimated_checks = 3 * lines
+    return {
+        "disabled_wall": disabled_wall,
+        "enabled_wall": enabled_wall,
+        "guard_cost": guard_cost,
+        "estimated_checks": estimated_checks,
+        "estimated_overhead": guard_cost * estimated_checks,
+        "spans": spans,
+        "lines": lines,
+    }
+
+
+def test_enabled_run_actually_traced(measurements):
+    assert measurements["spans"] > 0
+    assert measurements["lines"] > measurements["spans"]
+
+
+def test_disabled_tracer_overhead_under_two_percent(measurements):
+    overhead = measurements["estimated_overhead"]
+    wall = measurements["disabled_wall"]
+    assert overhead < DISABLED_OVERHEAD_BAR * wall, (
+        f"{measurements['estimated_checks']} guard checks at "
+        f"{measurements['guard_cost'] * 1e9:.1f}ns each = {overhead * 1e3:.2f}ms, "
+        f"over {DISABLED_OVERHEAD_BAR:.0%} of the {wall:.2f}s run"
+    )
+
+
+def test_enabled_tracing_stays_cheap(measurements):
+    slowdown = measurements["enabled_wall"] / measurements["disabled_wall"]
+    assert slowdown < ENABLED_SLOWDOWN_BAR, (
+        f"tracing slowed the run {slowdown:.2f}x "
+        f"({measurements['disabled_wall']:.2f}s -> "
+        f"{measurements['enabled_wall']:.2f}s); bar is {ENABLED_SLOWDOWN_BAR}x"
+    )
+
+
+def test_report_trace_overhead_table(measurements, capsys):
+    m = measurements
+    slowdown = m["enabled_wall"] / m["disabled_wall"]
+    overhead_pct = m["estimated_overhead"] / m["disabled_wall"]
+    title = f"E17: trace subsystem overhead (staircase corpus, depth {DEPTH})"
+    headers = ["mode", "seconds", "spans", "lines", "guard overhead"]
+    rows = [
+        [
+            "tracer off",
+            f"{m['disabled_wall']:.2f}",
+            0,
+            0,
+            f"{overhead_pct:.3%} (est.)",
+        ],
+        [
+            "tracer on",
+            f"{m['enabled_wall']:.2f}",
+            m["spans"],
+            m["lines"],
+            f"{slowdown:.2f}x wall",
+        ],
+    ]
+    with capsys.disabled():
+        print_table(title, headers, rows)
+    bench_json(
+        "E17",
+        {
+            "title": title,
+            "headers": headers,
+            "rows": rows,
+            "disabled_wall_seconds": round(m["disabled_wall"], 3),
+            "enabled_wall_seconds": round(m["enabled_wall"], 3),
+            "guard_cost_ns": round(m["guard_cost"] * 1e9, 2),
+            "estimated_guard_checks": m["estimated_checks"],
+            "estimated_disabled_overhead_pct": round(100 * overhead_pct, 4),
+            "enabled_slowdown": round(slowdown, 2),
+        },
+    )
+    assert overhead_pct < DISABLED_OVERHEAD_BAR
+    assert slowdown < ENABLED_SLOWDOWN_BAR

@@ -117,18 +117,28 @@ class Budget:
     # -- parallel sharding (see repro.parallel) --------------------------------
 
     def shard_path_caps(self, jobs: int) -> list[Optional[int]]:
-        """Split the *remaining* path budget across ``jobs`` workers:
-        ``max_paths // jobs`` each, remainder redistributed one path at a
-        time to the first shards.  The wall-clock deadline is absolute
-        (``time.monotonic`` is system-wide on Linux), so forked workers
-        share it unchanged — only the path cap is divided."""
+        """Split the *remaining* path budget across at most ``jobs``
+        workers: ``remaining // shards`` each, remainder redistributed
+        one path at a time to the first shards.  The wall-clock deadline
+        is absolute (``time.monotonic`` is system-wide on Linux), so
+        forked workers share it unchanged — only the path cap is divided.
+
+        When fewer paths remain than ``jobs``, the shard count is
+        clamped to ``remaining`` so no worker receives a 0-path cap
+        (which would make it breach instantly and speculate nothing);
+        callers spawn ``len(result)`` workers.  An exhausted budget
+        yields ``[]``: there is no useful work to fan out.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if self.max_paths is None:
             return [None] * jobs
         remaining = max(0, self.max_paths - self.paths_used)
-        base, extra = divmod(remaining, jobs)
-        return [base + 1 if i < extra else base for i in range(jobs)]
+        shards = min(jobs, remaining)
+        if shards == 0:
+            return []
+        base, extra = divmod(remaining, shards)
+        return [base + 1 if i < extra else base for i in range(shards)]
 
     def rescope_for_worker(self, path_cap: Optional[int]) -> "Budget":
         """Adopt a worker's shard of the path budget (worker side, on a

@@ -17,6 +17,7 @@ it rejects or warns, 2 on usage or parse errors.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -86,7 +87,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_trust_flags(mixy)
     _add_perf_flags(mixy)
 
+    report = sub.add_parser(
+        "trace-report",
+        help="aggregate a --trace file into per-block / per-round / "
+        "per-query-tier tables",
+    )
+    report.add_argument("file", help="JSONL trace file written by --trace")
+    report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hottest blocks to show (default 10)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the aggregated digest as JSON instead of tables",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "trace-report":
+        return _run_trace_report(args)
     try:
         source = _read(args.file)
     except OSError as error:
@@ -97,9 +115,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.command == "mix":
-        return _run_mix(args, source)
-    return _run_mixy(args, source)
+    traced = _start_trace(args)
+    try:
+        if args.command == "mix":
+            return _run_mix(args, source)
+        return _run_mixy(args, source)
+    finally:
+        _finish_trace(traced)
 
 
 def _read(path: str) -> str:
@@ -187,6 +209,13 @@ def _add_perf_flags(sub: argparse.ArgumentParser) -> None:
         help="profile the run with cProfile and print the top N functions "
         "by cumulative time, per phase, to stderr",
     )
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL event trace (spans, counters) of "
+        "the run to FILE; aggregate it with 'repro trace-report FILE'",
+    )
 
 
 def _apply_trust_flags(args: argparse.Namespace) -> None:
@@ -209,6 +238,57 @@ def _apply_trust_flags(args: argparse.Namespace) -> None:
                 ) from None
             faults[n] = kind or FaultInjector.TIMEOUT
         service.fault_injector = FaultInjector(faults=faults)
+
+
+def _start_trace(args: argparse.Namespace) -> bool:
+    """Arm the process-wide tracer when ``--trace FILE`` was given."""
+    if not getattr(args, "trace", None):
+        return False
+    from repro.trace import TRACER
+
+    TRACER.enable(args.trace)
+    return True
+
+
+def _finish_trace(traced: bool) -> None:
+    """Stamp the run's final solver counters onto the trace and close it."""
+    if not traced:
+        return
+    from repro import smt
+    from repro.trace import TRACER
+
+    stats = smt.get_service().stats
+    if TRACER.enabled:
+        TRACER.counter("solver.queries", stats.queries)
+        TRACER.counter("solver.cache_hits", stats.cache_hits)
+        TRACER.counter("solver.full_solves", stats.full_solves)
+        TRACER.counter("solver.solve_seconds", round(stats.solve_seconds, 6))
+        if stats.speculative is not None:
+            TRACER.counter(
+                "solver.speculative.solve_seconds",
+                round(stats.speculative.solve_seconds, 6),
+            )
+    TRACER.close()
+
+
+def _run_trace_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.trace import TraceSchemaError, digest_file, format_report
+
+    try:
+        digest = digest_file(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except TraceSchemaError as error:
+        print(f"error: invalid trace: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(digest, indent=2, sort_keys=True))
+    else:
+        print(format_report(digest, top=args.top))
+    return 0
 
 
 def _warn_on_divergence() -> int:
@@ -254,6 +334,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
     from repro.profiling import PhaseProfiler
 
     profiler = PhaseProfiler(args.profile)
+    profiler.warn_if_parallel(args.jobs)
     try:
         with profiler.phase("parse"):
             program = parse(source)
@@ -305,6 +386,7 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     from repro.profiling import PhaseProfiler
 
     profiler = PhaseProfiler(args.profile)
+    profiler.warn_if_parallel(args.jobs)
     config = MixyConfig(
         qual=QualConfig(deref_requires_nonnull=args.strict_deref),
         enable_cache=not args.no_cache,
@@ -352,4 +434,12 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Reports are made to be piped (trace-report ... | head); a
+        # closed consumer is not an error worth a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -27,6 +27,7 @@ from repro.core.mix import Mix, MixTypeError
 from repro.lang.ast import Expr, Pos, SymBlock
 from repro.lang.parser import parse
 from repro.symexec.executor import ErrKind
+from repro.trace import TRACER
 from repro.typecheck.checker import TypeError_
 from repro.typecheck.types import Type, TypeEnv
 
@@ -85,12 +86,13 @@ def analyze(
     env = env or TypeEnv()
     svc = smt.get_service().stats
     queries0, hits0, solves0 = svc.queries, svc.cache_hits, svc.full_solves
-    if entry == "typed":
-        report = _analyze_typed(mix, program, env)
-    elif entry == "symbolic":
-        report = _analyze_symbolic(mix, program, env)
-    else:
-        raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
+    with TRACER.span("run", f"mix:{entry}"):
+        if entry == "typed":
+            report = _analyze_typed(mix, program, env)
+        elif entry == "symbolic":
+            report = _analyze_symbolic(mix, program, env)
+        else:
+            raise ValueError(f"entry must be 'typed' or 'symbolic', got {entry!r}")
     report.warnings = list(mix.warnings)
     report.stats = dict(mix.stats)
     report.stats.update({f"sym_{k}": v for k, v in mix.executor.stats.items()})

@@ -21,6 +21,7 @@ from repro.lang.ast import Pos, SymBlock, TypedBlock
 from repro.symexec.executor import ErrKind, Outcome, State, SymExecutor
 from repro.symexec.memory import fresh_memory, memory_ok
 from repro.symexec.values import NameSupply, SymEnv, SymValue, fresh_of_type, fun_value, UnknownFun
+from repro.trace import TRACER
 from repro.typecheck.checker import TypeChecker, TypeError_
 from repro.typecheck.types import FunType, Type, TypeEnv
 
@@ -103,7 +104,8 @@ class Mix:
         budget = self.config.budget
         if budget is not None:
             budget.start()  # idempotent: the clock arms at first use
-        with smt.get_service().governed(budget):
+        name = str(block.pos) if block.pos is not None else f"block{self.stats['symbolic_blocks'] + 1}"
+        with smt.get_service().governed(budget), TRACER.span("mix.block", name):
             try:
                 return self._type_symbolic_block_governed(gamma, block)
             except TypeError_:

@@ -77,6 +77,7 @@ from repro.mixy.symexec import (
     PathResult,
 )
 from repro.smt.simplify import simplify
+from repro.trace import TRACER
 
 if TYPE_CHECKING:
     from repro.witness import Witness
@@ -240,7 +241,9 @@ class Mixy:
         if budget is not None:
             budget.start()  # idempotent: the run clock arms here
         self._entry = (entry, entry_function)  # crash probes re-run this
-        with smt.get_service().governed(budget):
+        with smt.get_service().governed(budget), TRACER.span(
+            "run", f"mixy:{entry}:{entry_function}"
+        ):
             if entry == "typed":
                 self._run_typed(entry_function)
             elif entry == "symbolic":
@@ -274,26 +277,30 @@ class Mixy:
         self.qual.constrain_globals()
         for iteration in range(self.config.max_fixpoint_iters):
             self.stats["fixpoint_iterations"] += 1
-            edges_before = self.qual.graph.num_edges
-            warnings_before = len(self.executor.warnings)
-            typed, frontier = self._reachable_partition(entry_function)
-            for name in typed:
-                self.qual.constrain_function(name)
-            ordered = sorted(frontier)
-            if self._parallel is not None:
-                # Speculative fan-out: workers fork off the current
-                # state, analyze the round's blocks, and send back query
-                # -cache deltas (merged in block-name order).  The serial
-                # loop below then recomputes everything authoritatively
-                # against the warmed cache, so its results are identical
-                # to --jobs 1 by construction (see repro.parallel).
-                self._parallel.warm_mixy_round(self, ordered)
-            for name in ordered:
-                self._analyze_symbolic_function(name)
-            unchanged = (
-                self.qual.graph.num_edges == edges_before
-                and len(self.executor.warnings) == warnings_before
-            )
+            with TRACER.span("mixy.round", f"round{iteration + 1}") as round_span:
+                edges_before = self.qual.graph.num_edges
+                warnings_before = len(self.executor.warnings)
+                typed, frontier = self._reachable_partition(entry_function)
+                for name in typed:
+                    self.qual.constrain_function(name)
+                ordered = sorted(frontier)
+                if round_span is not None:
+                    round_span.fields["frontier"] = len(ordered)
+                    round_span.fields["typed"] = len(typed)
+                if self._parallel is not None:
+                    # Speculative fan-out: workers fork off the current
+                    # state, analyze the round's blocks, and send back query
+                    # -cache deltas (merged in block-name order).  The serial
+                    # loop below then recomputes everything authoritatively
+                    # against the warmed cache, so its results are identical
+                    # to --jobs 1 by construction (see repro.parallel).
+                    self._parallel.warm_mixy_round(self, ordered)
+                for name in ordered:
+                    self._analyze_symbolic_function(name)
+                unchanged = (
+                    self.qual.graph.num_edges == edges_before
+                    and len(self.executor.warnings) == warnings_before
+                )
             if unchanged and iteration > 0:
                 break
 
@@ -345,6 +352,12 @@ class Mixy:
     # ------------------------------------------------------------------
 
     def _analyze_symbolic_function(self, name: str) -> None:
+        if not TRACER.enabled:
+            return self._analyze_symbolic_inner(name, None)
+        with TRACER.span("mixy.block", name) as span:
+            return self._analyze_symbolic_inner(name, span)
+
+    def _analyze_symbolic_inner(self, name: str, span) -> None:
         fn = self.program.functions[name]
         if fn.body is None:
             return
@@ -362,11 +375,15 @@ class Mixy:
             # §4.4: recursion — return the optimistic assumption; the outer
             # fixpoint iterates until assumption and result agree.
             self.stats["recursion_detected"] += 1
+            if span is not None:
+                span.fields["recursion"] = True
             return
         if self.config.enable_cache:
             cached = self._cache.get(stack_key)
             if cached is not None:
                 self.stats["cache_hits"] += 1
+                if span is not None:
+                    span.fields["cached"] = True
                 self._apply_conclusions(cached.null_slots, name)
                 return
         self._block_stack.append(stack_key)
@@ -392,6 +409,8 @@ class Mixy:
             # had the function not been marked symbolic — and do not cache
             # the truncated result (a later, better-funded run may redo it).
             self.stats["budget_fallbacks"] += 1
+            if span is not None:
+                span.fields["budget_fallback"] = True
             self.qual.constrain_function(name)
             return
         if self.config.enable_cache:

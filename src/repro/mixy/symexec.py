@@ -65,6 +65,7 @@ from repro.mixy.c.ast import (
 )
 from repro.mixy.c.typeinfo import CTypeError, TypeInfo
 from repro.smt.simplify import simplify
+from repro.trace import TRACER, conjunct_count
 
 
 @unique
@@ -300,6 +301,8 @@ class CSymExecutor:
         self.stats["budget_breaches"] += 1
         stats = smt.get_service().stats
         setattr(stats, counter, getattr(stats, counter) + 1)
+        if TRACER.enabled:
+            TRACER.event("budget.breach", counter=counter, function=function)
         self.warn(CErrKind.BUDGET, message, function)
 
     def feasible(self, state: CState, extra: Optional[smt.Term] = None) -> bool:
@@ -360,6 +363,8 @@ class CSymExecutor:
                 )
                 return
             self.stats["paths"] += 1
+            if depth == 0 and TRACER.enabled:
+                TRACER.event("path.complete", function=fn.name)
             yield PathResult(out.state, out.ret)
 
     def _havoc_return(self, ret_type: CType) -> Optional[smt.Term]:
@@ -425,6 +430,10 @@ class CSymExecutor:
                 branches.append((else_block, simplify(smt.not_(guard))))
             if len(branches) > 1:
                 self.stats["forks"] += 1
+                if TRACER.enabled:
+                    TRACER.event(
+                        "path.fork", pc_size=conjunct_count(s1.condition())
+                    )
             for block, extension in branches:
                 branch_state = s1.and_guard(extension)
                 if len(branches) > 1 and not self.feasible(branch_state):

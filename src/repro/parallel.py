@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro import smt
 from repro.smt.service import CacheDelta
 from repro.smt.terms import Wire, from_wire_many, to_wire_many
+from repro.trace import TRACER
 
 if TYPE_CHECKING:
     from repro.mixy.driver import Mixy
@@ -78,6 +79,10 @@ def _mark_worker() -> None:
     """Pool initializer (runs in each freshly forked worker)."""
     global _IN_WORKER
     _IN_WORKER = True
+    # Redirect the inherited tracer to a per-worker sidecar file with
+    # w<pid>-prefixed span ids; the parent merges sidecars after the
+    # pool drains (see Tracer.merge_worker_files).
+    TRACER.rescope_for_worker()
     driver = _WORKER_DRIVER
     if driver is not None:
         # Speculation needs verdicts, not trust-ring ceremony: witness
@@ -110,10 +115,13 @@ def _speculate_block(name: str, path_cap: Optional[int]) -> SpeculationResult:
     if budget is not None:
         budget.rescope_for_worker(path_cap)  # forked copy: parent unaffected
     error: Optional[str] = None
-    try:
-        driver._analyze_symbolic_function(name)
-    except BaseException as exc:  # injected crashes included — contain all
-        error = f"{type(exc).__name__}: {exc}"
+    with TRACER.span("worker.task", name, cap=path_cap):
+        try:
+            driver._analyze_symbolic_function(name)
+        except BaseException as exc:  # injected crashes included — contain all
+            error = f"{type(exc).__name__}: {exc}"
+    if TRACER.enabled:
+        TRACER.flush()
     try:
         delta = service.collect_delta(baseline, stats0)
     except Exception as exc:
@@ -131,13 +139,16 @@ def _speculate_queries(
     stats0 = replace(service.stats)
     roots = from_wire_many(wire)
     error: Optional[str] = None
-    for positions in groups:
-        try:
-            service.check_sat(
-                tuple(roots[i] for i in positions), int_budget=int_budget
-            )
-        except BaseException as exc:
-            error = f"{type(exc).__name__}: {exc}"
+    with TRACER.span("worker.task", "queries", groups=len(groups)):
+        for positions in groups:
+            try:
+                service.check_sat(
+                    tuple(roots[i] for i in positions), int_budget=int_budget
+                )
+            except BaseException as exc:
+                error = f"{type(exc).__name__}: {exc}"
+    if TRACER.enabled:
+        TRACER.flush()
     try:
         delta = service.collect_delta(baseline, stats0)
     except Exception as exc:
@@ -179,16 +190,26 @@ class ParallelEngine:
         caps: list[Optional[int]] = (
             budget.shard_path_caps(self.jobs) if budget is not None else [None] * self.jobs
         )
+        if not caps:
+            return  # path budget exhausted: nothing useful to speculate
         results: dict[str, Optional[SpeculationResult]] = {}
         _WORKER_DRIVER = driver
+        # Flush before forking so workers inherit an empty write buffer
+        # (anything buffered would otherwise be duplicated into every
+        # worker's sidecar stream at its process exit).
+        if TRACER.enabled:
+            TRACER.flush()
+        fanout = TRACER.begin_span(
+            "parallel.fanout", "mixy-round", jobs=len(caps), blocks=len(names)
+        ) if TRACER.enabled else None
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(names)),
+                max_workers=min(len(caps), len(names)),
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_mark_worker,
             ) as pool:
                 futures = {
-                    name: pool.submit(_speculate_block, name, caps[i % self.jobs])
+                    name: pool.submit(_speculate_block, name, caps[i % len(caps)])
                     for i, name in enumerate(names)
                 }
                 for name, future in futures.items():
@@ -202,7 +223,12 @@ class ParallelEngine:
                         self._record_worker_death(driver, name, exc)
         finally:
             _WORKER_DRIVER = None
-        self._merge(names, results)
+            if fanout is not None:
+                TRACER.end_span(fanout)
+        with TRACER.span("parallel.merge", "mixy-round"):
+            if TRACER.enabled:
+                TRACER.merge_worker_files()
+            self._merge(names, results)
 
     @staticmethod
     def _record_worker_death(driver: "Mixy", name: str, exc: Exception) -> None:
@@ -243,23 +269,35 @@ class ParallelEngine:
             positions[i::jobs] for i in range(jobs)
         ]
         results: list[Optional[SpeculationResult]] = []
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=multiprocessing.get_context("fork"),
-            initializer=_mark_worker,
-        ) as pool:
-            futures = [
-                pool.submit(_speculate_queries, wire, chunk, int_budget)
-                for chunk in chunks
-            ]
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except (BrokenProcessPool, Exception):
-                    results.append(None)
-        self._merge([f"chunk{i}" for i in range(len(results))], dict(
-            (f"chunk{i}", r) for i, r in enumerate(results)
-        ))
+        if TRACER.enabled:
+            TRACER.flush()  # workers must not inherit buffered lines
+        fanout = TRACER.begin_span(
+            "parallel.fanout", "mix-queries", jobs=jobs, queries=len(groups)
+        ) if TRACER.enabled else None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_mark_worker,
+            ) as pool:
+                futures = [
+                    pool.submit(_speculate_queries, wire, chunk, int_budget)
+                    for chunk in chunks
+                ]
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except (BrokenProcessPool, Exception):
+                        results.append(None)
+        finally:
+            if fanout is not None:
+                TRACER.end_span(fanout)
+        with TRACER.span("parallel.merge", "mix-queries"):
+            if TRACER.enabled:
+                TRACER.merge_worker_files()
+            self._merge([f"chunk{i}" for i in range(len(results))], dict(
+                (f"chunk{i}", r) for i, r in enumerate(results)
+            ))
 
     # -- shared -------------------------------------------------------------
 

@@ -50,6 +50,18 @@ class PhaseProfiler:
             profile.disable()
             self._phases.append((name, profile))
 
+    def warn_if_parallel(self, jobs: Optional[int], stream: TextIO = sys.stderr) -> None:
+        """``--profile`` + ``--jobs N``: cProfile state dies with the
+        forked workers, so say plainly what the numbers do (and do not)
+        cover instead of silently dropping the worker-side profiles."""
+        if self.enabled and jobs is not None and jobs > 1:
+            print(
+                f"profile: --jobs {jobs} worker processes are not profiled "
+                "(cProfile state is lost in forked children); the numbers "
+                "below cover the authoritative serial pass only",
+                file=stream,
+            )
+
     def report(self, stream: TextIO = sys.stderr) -> None:
         """Print each phase's top-N functions by cumulative time."""
         if not self.enabled:

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Deque, Iterable, Iterator, Mapping, Optional
 
 from repro.budget import Budget
+from repro.trace import TRACER
 from repro.smt.solver import Model, SatResult, Solver, SolverError
 from repro.smt.terms import (
     BOOL,
@@ -107,6 +108,12 @@ class SolverStats:
     speculation_failures: int = 0
     #: Cache entries imported from worker deltas into this service.
     cache_entries_imported: int = 0
+    #: Worker-side (speculative) perf counters, accumulated by
+    #: :meth:`merge_perf` under ``--jobs N``.  Workers overlap the
+    #: parent's wall clock, so their ``solve_seconds`` (and hits/solves)
+    #: live in this sub-table instead of the authoritative fields above
+    #: — summing the two would double-count wall-time attribution.
+    speculative: Optional["SolverStats"] = None
 
     @property
     def cache_hits(self) -> int:
@@ -123,7 +130,7 @@ class SolverStats:
         return self.cache_hits / self.queries if self.queries else 0.0
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "queries": self.queries,
             "syntactic_hits": self.syntactic_hits,
             "exact_hits": self.exact_hits,
@@ -152,6 +159,15 @@ class SolverStats:
             "speculation_failures": self.speculation_failures,
             "cache_entries_imported": self.cache_entries_imported,
         }
+        if self.speculative is not None:
+            spec: dict[str, object] = {
+                name: getattr(self.speculative, name) for name in self.PERF_FIELDS
+            }
+            spec["solve_seconds"] = round(self.speculative.solve_seconds, 6)
+            spec["cache_hits"] = self.speculative.cache_hits
+            spec["hit_rate"] = round(self.speculative.hit_rate, 4)
+            out["speculative"] = spec
+        return out
 
     #: Counters that describe solver *work* and may be summed across
     #: processes.  Trust-ring verdicts and injected-fault counts are
@@ -184,17 +200,36 @@ class SolverStats:
         return delta
 
     def merge_perf(self, delta: "SolverStats") -> None:
-        """Fold a worker's perf-counter delta into these stats."""
+        """Fold a worker's perf-counter delta into the ``speculative``
+        sub-table.  Workers run concurrently with (and are then replayed
+        by) the authoritative pass, so adding their counters to the
+        authoritative fields would count the same wall time twice."""
+        if self.speculative is None:
+            self.speculative = SolverStats()
+        spec = self.speculative
         for name in self.PERF_FIELDS:
-            setattr(self, name, getattr(self, name) + getattr(delta, name))
+            setattr(spec, name, getattr(spec, name) + getattr(delta, name))
+
+    def _rows(self) -> list[tuple[str, object]]:
+        """Flattened ``(key, value)`` rows straight from :meth:`as_dict`
+        — the one code path both the JSON form and the table render
+        from, so the two can never drift."""
+        rows: list[tuple[str, object]] = []
+        for key, value in self.as_dict().items():
+            if isinstance(value, dict):
+                rows.extend((f"{key}.{sub}", v) for sub, v in value.items())
+            else:
+                rows.append((key, value))
+        return rows
 
     def format_table(self) -> str:
         """A human-readable counter table (used by ``--solver-stats``)."""
-        rows = list(self.as_dict().items())
-        width = max(len(k) for k, _ in rows)
-        lines = ["solver service stats", "-" * (width + 12)]
+        rows = self._rows()
+        key_w = max(len(k) for k, _ in rows)
+        val_w = max(len(str(v)) for _, v in rows)
+        lines = ["solver service stats", "-" * (key_w + 2 + val_w)]
         for key, value in rows:
-            lines.append(f"{key:<{width}}  {value}")
+            lines.append(f"{key:<{key_w}}  {value}")
         return "\n".join(lines)
 
 
@@ -389,6 +424,22 @@ class SolverService:
 
     def model(self, *formulas: Term, int_budget: int = 4000) -> Model:
         """A model of the conjunction (used by variable concretization)."""
+        if not TRACER.enabled:
+            return self._model(formulas, int_budget)
+        span = TRACER.begin_span("solver.query", "model", budget=int_budget)
+        before = self._tier_snapshot()
+        try:
+            model = self._model(formulas, int_budget)
+        except BaseException as error:
+            TRACER.end_span(
+                span, tier=self._tier_hit(before), verdict="error",
+                error=type(error).__name__,
+            )
+            raise
+        TRACER.end_span(span, tier=self._tier_hit(before), verdict="MODEL")
+        return model
+
+    def _model(self, formulas: tuple[Term, ...], int_budget: int) -> Model:
         self.stats.queries += 1
         fault = self._next_fault()
         if fault == FaultInjector.CRASH:
@@ -421,6 +472,22 @@ class SolverService:
 
     def check_sat(self, formulas: Iterable[Term], int_budget: int = 4000) -> SatResult:
         """Tiered satisfiability check of a conjunction of formulas."""
+        if not TRACER.enabled:
+            return self._check_sat(formulas, int_budget)
+        span = TRACER.begin_span("solver.query", "check_sat", budget=int_budget)
+        before = self._tier_snapshot()
+        try:
+            result = self._check_sat(formulas, int_budget)
+        except BaseException as error:
+            TRACER.end_span(
+                span, tier=self._tier_hit(before), verdict="error",
+                error=type(error).__name__,
+            )
+            raise
+        TRACER.end_span(span, tier=self._tier_hit(before), verdict=result.name)
+        return result
+
+    def _check_sat(self, formulas: Iterable[Term], int_budget: int) -> SatResult:
         self.stats.queries += 1
         fault = self._next_fault()
         if fault == FaultInjector.CRASH:
@@ -565,6 +632,29 @@ class SolverService:
         return imported
 
     # -- internals -------------------------------------------------------------
+
+    #: Counter → trace tier label, in answer-precedence order (a
+    #: BAD_MODEL fault still does a full solve: report "full_solve").
+    _TIER_COUNTERS = (
+        ("syntactic_hits", "syntactic"),
+        ("exact_hits", "exact"),
+        ("subset_hits", "subset"),
+        ("superset_hits", "superset"),
+        ("model_eval_hits", "model_eval"),
+        ("full_solves", "full_solve"),
+        ("injected_faults", "fault"),
+    )
+
+    def _tier_snapshot(self) -> tuple[int, ...]:
+        """Tier counters before a query (trace spans diff them after)."""
+        return tuple(getattr(self.stats, name) for name, _ in self._TIER_COUNTERS)
+
+    def _tier_hit(self, before: tuple[int, ...]) -> str:
+        """Which cache tier answered the query since ``before``."""
+        for (name, label), prev in zip(self._TIER_COUNTERS, before):
+            if getattr(self.stats, name) > prev:
+                return label
+        return "uncached"
 
     def _shard(self, int_budget: int) -> _Shard:
         shard = self._shards.get(int_budget)

@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Optional
 
 from repro import smt
 from repro.budget import Budget
+from repro.trace import TRACER, conjunct_count
 from repro.lang.ast import (
     App,
     Assign,
@@ -218,7 +219,12 @@ class SymExecutor:
         outcomes = self._eval(expr, env or SymEnv(), state or self.initial_state())
         budget = self.budget
         if budget is None or budget.max_paths is None:
-            yield from outcomes
+            if not TRACER.enabled:
+                yield from outcomes
+                return
+            for out in outcomes:
+                TRACER.event("path.complete")
+                yield out
             return
         for out in outcomes:
             if not budget.charge_path():
@@ -229,6 +235,8 @@ class SymExecutor:
                     "the remaining frontier was abandoned",
                 )
                 return
+            if TRACER.enabled:
+                TRACER.event("path.complete")
             yield out
 
     def execute_all(
@@ -301,6 +309,8 @@ class SymExecutor:
         self.stats["budget_breaches"] += 1
         stats = smt.get_service().stats
         setattr(stats, counter, getattr(stats, counter) + 1)
+        if TRACER.enabled:
+            TRACER.event("budget.breach", counter=counter)
         return self._err(state, ErrKind.BUDGET, message, expr)
 
     # -- the rules -----------------------------------------------------------------
@@ -536,6 +546,8 @@ class SymExecutor:
             )
             return
         self.stats["forks"] += 1
+        if TRACER.enabled:
+            TRACER.event("path.fork", pc_size=conjunct_count(state.condition()))
         for branch, extension in ((expr.then, guard), (expr.els, smt.not_(guard))):
             branch_state = state.and_guard(extension)
             if self.config.prune_infeasible and not self._feasible(branch_state):
@@ -566,6 +578,10 @@ class SymExecutor:
             if t.value.typ == e.value.typ and t.value.term is not None:
                 assert e.value.term is not None
                 self.stats["merges"] += 1
+                if TRACER.enabled:
+                    TRACER.event(
+                        "path.merge", pc_size=conjunct_count(state.condition())
+                    )
                 merged_value = SymValue(
                     t.value.typ, self._fold(smt.ite(guard, t.value.term, e.value.term))
                 )
@@ -583,7 +599,12 @@ class SymExecutor:
                 expr,
             )
             return
+        # A branch forked or erred: degrade the deferred 'if' to forking.
         self.stats["forks"] += 1
+        if TRACER.enabled:
+            TRACER.event(
+                "path.fork", pc_size=conjunct_count(state.condition()), deferred=True
+            )
         yield from then_outs
         yield from else_outs
 

@@ -1,0 +1,708 @@
+"""Structured run-trace observability: JSONL spans and counters.
+
+The paper's evaluation (§4.5-4.6) is an *attribution* story — "where did
+the 5-25 s with one symbolic block go?" — and answering it needs more
+than headline counters: it needs every block entry, fixpoint round,
+solver query, witness replay, and worker lifecycle stamped onto one
+timeline that a reporting tool can cross-correlate.  This module is that
+layer:
+
+- A process-wide :data:`TRACER` writes newline-delimited JSON events to
+  a file given by ``--trace FILE``.  Three event shapes exist (see
+  `EVENT SCHEMA`_ below): ``span`` (an interval with a monotonic start
+  ``t``, a duration ``dur``, and a ``parent`` span id), ``event`` (a
+  point occurrence attached to the enclosing span), and ``counter``
+  (a named value, e.g. the final solver-service counters).
+- :func:`aggregate` folds a trace into a digest — per-block, per-round
+  and per-query-tier tables, time-in-solver vs time-in-executor vs
+  time-in-merge, and the fraction of run wall-clock attributed to named
+  spans — rendered by ``repro trace-report`` and embedded into every
+  ``BENCH_<id>.json`` as a ``trace_digest`` section.
+
+**Cost discipline.**  Disabled tracing (the default) must stay off the
+profile: every hot call site guards with a single attribute check
+(``if TRACER.enabled:``), exactly the :class:`~repro.profiling.
+PhaseProfiler` discipline, and :meth:`Tracer.span` is a no-op context
+manager that allocates no span object when disabled.  The trace
+benchmark (``benchmarks/test_bench_trace.py``) verifies both the
+disabled-check cost and the enabled overhead.
+
+**Parallel runs.**  Forked workers inherit the enabled tracer; each
+worker rescopes it to a per-worker sidecar file
+(``<trace>.worker-<pid>``) and prefixes its span ids with ``w<pid>:`` so
+they can never collide with the parent's.  Worker spans keep their
+inherited parent pointer (the fan-out span that forked them), so the
+timeline stays one tree across processes.  After each pool drains, the
+parent appends the sidecar files' lines to the main trace in sorted
+filename order and deletes them — deterministic merge order, mirroring
+the query-cache delta merge.
+
+.. _EVENT SCHEMA:
+
+Event schema (version 1)
+------------------------
+
+Every line is one JSON object with an ``ev`` discriminator:
+
+``{"ev": "meta", "schema": 1, "pid": ..., "t": 0.0}``
+    First line of each file (main and sidecar).
+
+``{"ev": "span", "id": "7", "parent": "3", "kind": K, "name": N,
+"t": start, "dur": seconds, ...}``
+    A completed interval.  ``t`` is seconds since the tracer was
+    enabled (monotonic clock, comparable across forked workers).
+    ``kind`` is one of :data:`SPAN_KINDS`; extra keys are span fields
+    (e.g. ``tier``/``verdict``/``budget`` on ``solver.query``).
+
+``{"ev": "event", "kind": K, "span": "7", "t": ..., ...}``
+    A point occurrence inside span ``span``; ``kind`` is one of
+    :data:`POINT_KINDS` (e.g. ``path.fork`` with ``pc_size``).
+
+``{"ev": "counter", "name": N, "value": V, "span": ..., "t": ...}``
+    A named value (the CLI dumps the final solver stats this way).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Optional, TextIO, Union
+
+SCHEMA_VERSION = 1
+
+#: Interval kinds.  ``run`` is the root; one per analysis entry point.
+SPAN_KINDS = frozenset(
+    {
+        "run",  # one whole analysis run (MIX analyze / Mixy.run)
+        "mix.block",  # MIX: type-checking one {s ... s} symbolic block
+        "mixy.round",  # MIXY: one fixpoint round
+        "mixy.block",  # MIXY: one symbolic block analysis (per function)
+        "solver.query",  # one SolverService check_sat/model call
+        "witness.replay",  # trust ring 1: one concrete replay
+        "parallel.fanout",  # parent: one worker-pool round (incl. waiting)
+        "parallel.merge",  # parent: merging worker deltas + trace files
+        "worker.task",  # worker: one speculative task
+    }
+)
+
+#: Point-event kinds.
+POINT_KINDS = frozenset(
+    {
+        "path.fork",  # executor forked a branch (pc_size field)
+        "path.merge",  # SEIf-Defer merged two branches into one ite
+        "path.complete",  # one execution path finished
+        "budget.breach",  # resource governor cut something short
+    }
+)
+
+#: Keys reserved by the envelope; span/event fields must avoid them.
+RESERVED_KEYS = frozenset({"ev", "id", "parent", "kind", "name", "t", "dur", "span", "value", "schema", "pid"})
+
+#: solver.query tier labels (order = cache tier order).
+QUERY_TIERS = (
+    "syntactic",
+    "exact",
+    "subset",
+    "superset",
+    "model_eval",
+    "full_solve",
+    "fault",
+    "uncached",
+)
+
+
+class TraceSchemaError(ValueError):
+    """A trace line failed schema validation."""
+
+
+class Span:
+    """A live (not yet emitted) span.  ``fields`` may be mutated until
+    :meth:`Tracer.end_span` runs; they land flattened on the JSON line."""
+
+    __slots__ = ("id", "parent", "kind", "name", "start", "fields")
+
+    def __init__(
+        self,
+        span_id: str,
+        parent: Optional[str],
+        kind: str,
+        name: str,
+        start: float,
+        fields: dict,
+    ) -> None:
+        self.id = span_id
+        self.parent = parent
+        self.kind = kind
+        self.name = name
+        self.start = start
+        self.fields = fields
+
+
+class Tracer:
+    """The process-wide event tracer (one instance: :data:`TRACER`).
+
+    Disabled by default; :meth:`enable` arms it.  All instrumentation
+    call sites check :attr:`enabled` first — a single attribute read —
+    so a disabled tracer contributes nothing measurable to a run.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: Spans begun since enable() — the zero-overhead test asserts
+        #: this stays 0 across a run with the tracer disabled.
+        self.spans_started = 0
+        #: Lines written since enable() (same purpose).
+        self.lines_written = 0
+        self._fh: Optional[TextIO] = None
+        self._path: Optional[str] = None
+        self._prefix = ""
+        self._next_id = 0
+        self._stack: list[Span] = []
+        self._t0 = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, path: Union[str, os.PathLike]) -> None:
+        """Start tracing to ``path`` (truncates any existing file)."""
+        if self.enabled:
+            raise RuntimeError("tracer is already enabled")
+        self._path = os.fspath(path)
+        self._fh = open(self._path, "w", encoding="utf-8")
+        self._prefix = ""
+        self._next_id = 0
+        self._stack = []
+        self.spans_started = 0
+        self.lines_written = 0
+        self._t0 = time.monotonic()
+        self.enabled = True
+        self._emit({"ev": "meta", "schema": SCHEMA_VERSION, "pid": os.getpid(), "t": 0.0})
+
+    def close(self) -> None:
+        """Stop tracing and close the file (idempotent)."""
+        if not self.enabled:
+            return
+        self.enabled = False
+        assert self._fh is not None
+        self._fh.close()
+        self._fh = None
+        self._stack = []
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    # -- emission ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _emit(self, obj: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(obj, separators=(",", ":"), default=str) + "\n")
+        self.lines_written += 1
+
+    def begin_span(self, kind: str, name: str, **fields: Any) -> Span:
+        """Open a span; pair with :meth:`end_span`.  Caller must have
+        checked :attr:`enabled` (hot paths) — calling this disabled is a
+        bug and raises."""
+        assert self.enabled, "begin_span on a disabled tracer"
+        self._next_id += 1
+        span = Span(
+            f"{self._prefix}{self._next_id}",
+            self._stack[-1].id if self._stack else None,
+            kind,
+            name,
+            self._now(),
+            fields,
+        )
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def end_span(self, span: Span, **fields: Any) -> None:
+        """Close ``span`` (and any span erroneously left open inside it)
+        and write its line."""
+        if not self.enabled:
+            return  # tracer was closed while the span was open
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # orphans of a crashed sub-phase
+        if self._stack:
+            self._stack.pop()
+        if fields:
+            span.fields.update(fields)
+        now = self._now()
+        line = {
+            "ev": "span",
+            "id": span.id,
+            "parent": span.parent,
+            "kind": span.kind,
+            "name": span.name,
+            "t": round(span.start, 6),
+            "dur": round(now - span.start, 6),
+        }
+        line.update(span.fields)
+        self._emit(line)
+
+    @contextmanager
+    def span(self, kind: str, name: str, **fields: Any) -> Iterator[Optional[Span]]:
+        """Span as a context manager.  Yields ``None`` (allocating no
+        span object) when disabled — suitable for coarse spans (runs,
+        rounds, blocks); per-query hot paths use begin/end behind an
+        explicit ``enabled`` check instead."""
+        if not self.enabled:
+            yield None
+            return
+        span = self.begin_span(kind, name, **fields)
+        try:
+            yield span
+        except BaseException as error:
+            span.fields.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            self.end_span(span)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """A point event attached to the current span.  Caller must have
+        checked :attr:`enabled`."""
+        assert self.enabled, "event on a disabled tracer"
+        line = {
+            "ev": "event",
+            "kind": kind,
+            "span": self._stack[-1].id if self._stack else None,
+            "t": round(self._now(), 6),
+        }
+        line.update(fields)
+        self._emit(line)
+
+    def counter(self, name: str, value: Union[int, float], **fields: Any) -> None:
+        """A named counter sample (e.g. final solver stats)."""
+        assert self.enabled, "counter on a disabled tracer"
+        line = {
+            "ev": "counter",
+            "name": name,
+            "value": value,
+            "span": self._stack[-1].id if self._stack else None,
+            "t": round(self._now(), 6),
+        }
+        line.update(fields)
+        self._emit(line)
+
+    # -- parallel workers (see repro.parallel) --------------------------------
+
+    def rescope_for_worker(self) -> None:
+        """In a freshly forked worker: redirect output to a per-worker
+        sidecar file and prefix span ids with ``w<pid>:``.  The parent
+        flushed before forking, so the inherited buffer holds nothing;
+        the inherited stack is kept so worker spans parent to the
+        fan-out span that forked them."""
+        if not self.enabled:
+            return
+        pid = os.getpid()
+        self._prefix = f"w{pid}:"
+        self._next_id = 0
+        assert self._path is not None
+        # The inherited file object shares the parent's fd; never write
+        # or close it here (its buffer is empty — the parent flushed).
+        self._fh = open(f"{self._path}.worker-{pid}", "a", encoding="utf-8")
+        self._emit({"ev": "meta", "schema": SCHEMA_VERSION, "pid": pid, "t": round(self._now(), 6)})
+
+    def merge_worker_files(self) -> int:
+        """Parent, after a pool drained: append every sidecar file's
+        lines to the main trace in sorted filename order, then delete
+        them.  Tolerates a torn final line from a killed worker.
+        Returns the number of files merged."""
+        if not self.enabled:
+            return 0
+        assert self._fh is not None and self._path is not None
+        merged = 0
+        for wpath in sorted(glob.glob(glob.escape(self._path) + ".worker-*")):
+            try:
+                with open(wpath, encoding="utf-8") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            # Keep only whole lines: a worker killed mid-write leaves a
+            # torn tail that would corrupt the JSONL stream.
+            complete = data[: data.rfind("\n") + 1]
+            if complete:
+                self._fh.write(complete)
+                self.lines_written += complete.count("\n")
+            os.unlink(wpath)
+            merged += 1
+        return merged
+
+
+#: The process-wide tracer.  Import the module and guard call sites with
+#: ``if TRACER.enabled:`` — never ``from repro.trace import TRACER`` into
+#: a local that outlives a test's enable/disable cycle... actually the
+#: object is a singleton whose ``enabled`` flag flips in place, so both
+#: import styles observe enable/disable correctly.
+TRACER = Tracer()
+
+
+def conjunct_count(term: Any) -> int:
+    """Cheap path-condition size metric: the number of conjuncts of a
+    guard term (AND nodes flattened, anything else counts 1)."""
+    from repro.smt.terms import Kind  # local: avoid import cycles at load
+
+    count = 0
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if t.kind is Kind.AND:
+            stack.extend(t.args)
+        else:
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Loading + schema validation
+# ---------------------------------------------------------------------------
+
+
+def validate_line(obj: Any) -> None:
+    """Raise :class:`TraceSchemaError` unless ``obj`` is a valid event."""
+    if not isinstance(obj, dict):
+        raise TraceSchemaError(f"event must be a JSON object, got {type(obj).__name__}")
+    ev = obj.get("ev")
+    if ev == "meta":
+        if obj.get("schema") != SCHEMA_VERSION:
+            raise TraceSchemaError(f"unsupported schema version {obj.get('schema')!r}")
+        return
+    if ev == "span":
+        for key, types in (("id", str), ("kind", str), ("name", str), ("t", (int, float)), ("dur", (int, float))):
+            if not isinstance(obj.get(key), types):
+                raise TraceSchemaError(f"span is missing/mistyped {key!r}: {obj}")
+        if obj["kind"] not in SPAN_KINDS:
+            raise TraceSchemaError(f"unknown span kind {obj['kind']!r}")
+        if not (obj.get("parent") is None or isinstance(obj["parent"], str)):
+            raise TraceSchemaError(f"span parent must be a span id or null: {obj}")
+        if obj["dur"] < 0 or obj["t"] < 0:
+            raise TraceSchemaError(f"span has negative time: {obj}")
+        return
+    if ev == "event":
+        if not isinstance(obj.get("kind"), str) or obj["kind"] not in POINT_KINDS:
+            raise TraceSchemaError(f"unknown event kind {obj.get('kind')!r}")
+        if not isinstance(obj.get("t"), (int, float)):
+            raise TraceSchemaError(f"event is missing 't': {obj}")
+        return
+    if ev == "counter":
+        if not isinstance(obj.get("name"), str):
+            raise TraceSchemaError(f"counter is missing 'name': {obj}")
+        if not isinstance(obj.get("value"), (int, float)):
+            raise TraceSchemaError(f"counter is missing a numeric 'value': {obj}")
+        return
+    raise TraceSchemaError(f"unknown event discriminator {ev!r}")
+
+
+def read_trace(path: Union[str, os.PathLike]) -> list[dict]:
+    """Load and validate a trace file; raises :class:`TraceSchemaError`
+    (with the offending line number) on any malformed line."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(f"{path}:{lineno}: not JSON ({error})") from None
+            try:
+                validate_line(obj)
+            except TraceSchemaError as error:
+                raise TraceSchemaError(f"{path}:{lineno}: {error}") from None
+            events.append(obj)
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Aggregation — the single source for trace-report and trace_digest
+# ---------------------------------------------------------------------------
+
+
+def _is_worker_id(span_id: Optional[str]) -> bool:
+    return bool(span_id) and span_id.startswith("w")
+
+
+def aggregate(events: Iterable[dict]) -> dict:
+    """Fold trace events into the digest dict behind ``repro
+    trace-report`` and the ``trace_digest`` section of BENCH files.
+
+    Spans from worker processes (id prefix ``w``) are speculative work
+    overlapping the parent's wall-clock; they are reported in their own
+    section and excluded from wall-clock attribution.
+    """
+    spans: dict[str, dict] = {}
+    point_counts: dict[str, int] = {}
+    worker_point_counts: dict[str, int] = {}
+    counters: dict[str, Union[int, float]] = {}
+    n_events = 0
+    for obj in events:
+        n_events += 1
+        ev = obj.get("ev")
+        if ev == "span":
+            spans[obj["id"]] = obj
+        elif ev == "event":
+            table = (
+                worker_point_counts
+                if _is_worker_id(obj.get("span"))
+                else point_counts
+            )
+            table[obj["kind"]] = table.get(obj["kind"], 0) + 1
+        elif ev == "counter":
+            counters[obj["name"]] = obj["value"]
+
+    def nearest_block(span: dict) -> Optional[dict]:
+        """The closest enclosing block-ish span (mixy.block / mix.block /
+        worker.task), following parent links."""
+        seen = set()
+        cur: Optional[dict] = span
+        while cur is not None:
+            parent_id = cur.get("parent")
+            if parent_id is None or parent_id in seen:
+                return None
+            seen.add(parent_id)
+            cur = spans.get(parent_id)
+            if cur is not None and cur["kind"] in ("mixy.block", "mix.block", "worker.task"):
+                return cur
+        return None
+
+    parent_spans = [s for s in spans.values() if not _is_worker_id(s["id"])]
+    worker_spans = [s for s in spans.values() if _is_worker_id(s["id"])]
+
+    runs = [s for s in parent_spans if s["kind"] == "run"]
+    wall = sum(s["dur"] for s in runs)
+    run_ids = {s["id"] for s in runs}
+    attributed = sum(s["dur"] for s in parent_spans if s.get("parent") in run_ids)
+
+    span_kinds: dict[str, dict] = {}
+    for s in parent_spans:
+        agg = span_kinds.setdefault(s["kind"], {"count": 0, "seconds": 0.0})
+        agg["count"] += 1
+        agg["seconds"] += s["dur"]
+
+    # Per-query-tier totals, split authoritative vs speculative.
+    def tier_table(query_spans: list[dict]) -> dict[str, dict]:
+        table: dict[str, dict] = {}
+        for s in query_spans:
+            tier = s.get("tier", "uncached")
+            agg = table.setdefault(tier, {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += s["dur"]
+        return table
+
+    parent_queries = [s for s in parent_spans if s["kind"] == "solver.query"]
+    worker_queries = [s for s in worker_spans if s["kind"] == "solver.query"]
+
+    # Per-block table (authoritative only): inclusive seconds, query
+    # count, and solver seconds attributed through the parent chain.
+    blocks: dict[tuple[str, str], dict] = {}
+    for s in parent_spans:
+        if s["kind"] not in ("mixy.block", "mix.block"):
+            continue
+        agg = blocks.setdefault(
+            (s["kind"], s["name"]),
+            {"kind": s["kind"], "name": s["name"], "count": 0, "seconds": 0.0,
+             "queries": 0, "solver_seconds": 0.0, "cache_hits": 0},
+        )
+        agg["count"] += 1
+        agg["seconds"] += s["dur"]
+        if s.get("cached"):
+            agg["cache_hits"] += 1
+    for q in parent_queries:
+        block = nearest_block(q)
+        if block is None:
+            continue
+        key = (block["kind"], block["name"])
+        if key in blocks:
+            blocks[key]["queries"] += 1
+            blocks[key]["solver_seconds"] += q["dur"]
+
+    # Per-round table (MIXY).
+    rounds = [
+        {
+            "name": s["name"],
+            "seconds": round(s["dur"], 6),
+            "frontier": s.get("frontier"),
+            "typed": s.get("typed"),
+        }
+        for s in sorted(
+            (s for s in parent_spans if s["kind"] == "mixy.round"),
+            key=lambda s: s["t"],
+        )
+    ]
+
+    solver_seconds = sum(s["dur"] for s in parent_queries)
+    witness_seconds = sum(s["dur"] for s in parent_spans if s["kind"] == "witness.replay")
+    merge_seconds = sum(s["dur"] for s in parent_spans if s["kind"] == "parallel.merge")
+    fanout_seconds = sum(s["dur"] for s in parent_spans if s["kind"] == "parallel.fanout")
+    block_seconds = sum(b["seconds"] for b in blocks.values())
+
+    verdicts: dict[str, int] = {}
+    for s in parent_spans:
+        if s["kind"] == "witness.replay" and "verdict" in s:
+            verdicts[s["verdict"]] = verdicts.get(s["verdict"], 0) + 1
+
+    def rounded(table: dict[str, dict]) -> dict[str, dict]:
+        return {
+            k: {"count": v["count"], "seconds": round(v["seconds"], 6)}
+            for k, v in sorted(table.items())
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "events": n_events,
+        "wall_seconds": round(wall, 6),
+        "attributed_seconds": round(attributed, 6),
+        "attributed_fraction": round(attributed / wall, 4) if wall else 0.0,
+        "span_kinds": rounded(span_kinds),
+        "time_in": {
+            "blocks": round(block_seconds, 6),
+            "solver": round(solver_seconds, 6),
+            "executor": round(max(0.0, block_seconds - solver_seconds - witness_seconds), 6),
+            "witness_replay": round(witness_seconds, 6),
+            "parallel_fanout": round(fanout_seconds, 6),
+            "parallel_merge": round(merge_seconds, 6),
+        },
+        "query_tiers": rounded(tier_table(parent_queries)),
+        "blocks": sorted(
+            (
+                {
+                    "kind": b["kind"],
+                    "name": b["name"],
+                    "count": b["count"],
+                    "seconds": round(b["seconds"], 6),
+                    "queries": b["queries"],
+                    "solver_seconds": round(b["solver_seconds"], 6),
+                    "cache_hits": b["cache_hits"],
+                }
+                for b in blocks.values()
+            ),
+            key=lambda b: (-b["seconds"], b["name"]),
+        ),
+        "rounds": rounds,
+        "point_events": dict(sorted(point_counts.items())),
+        "speculative": {
+            "tasks": sum(1 for s in worker_spans if s["kind"] == "worker.task"),
+            "seconds": round(sum(s["dur"] for s in worker_spans if s["kind"] == "worker.task"), 6),
+            "query_tiers": rounded(tier_table(worker_queries)),
+            "point_events": dict(sorted(worker_point_counts.items())),
+        },
+        "witness_verdicts": dict(sorted(verdicts.items())),
+        "counters": counters,
+    }
+
+
+def digest_file(path: Union[str, os.PathLike]) -> dict:
+    """Validate and aggregate a trace file in one step."""
+    return aggregate(read_trace(path))
+
+
+# ---------------------------------------------------------------------------
+# Report rendering (``repro trace-report``)
+# ---------------------------------------------------------------------------
+
+
+def _table(title: str, headers: list[str], rows: list[list]) -> list[str]:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    out = [f"== {title} ==",
+           " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+           "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        out.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def format_report(digest: dict, top: int = 10) -> str:
+    """Render a digest as the human-readable trace-report tables."""
+    lines: list[str] = []
+    wall = digest["wall_seconds"]
+    lines.append(
+        f"trace: {digest['events']} events, wall {wall:.3f}s, "
+        f"{digest['attributed_fraction']:.1%} attributed to named spans"
+    )
+    ti = digest["time_in"]
+    lines.append(
+        f"time in: blocks {ti['blocks']:.3f}s (solver {ti['solver']:.3f}s, "
+        f"executor {ti['executor']:.3f}s, witness {ti['witness_replay']:.3f}s), "
+        f"parallel fan-out {ti['parallel_fanout']:.3f}s, merge {ti['parallel_merge']:.3f}s"
+    )
+    lines.append("")
+    lines.extend(
+        _table(
+            f"top {top} hottest blocks",
+            ["block", "kind", "runs", "seconds", "queries", "solver s", "cache hits"],
+            [
+                [b["name"], b["kind"], b["count"], f"{b['seconds']:.4f}",
+                 b["queries"], f"{b['solver_seconds']:.4f}", b["cache_hits"]]
+                for b in digest["blocks"][:top]
+            ],
+        )
+    )
+    if digest["rounds"]:
+        lines.append("")
+        lines.extend(
+            _table(
+                "fixpoint rounds",
+                ["round", "seconds", "frontier", "typed fns"],
+                [
+                    [r["name"], f"{r['seconds']:.4f}", r.get("frontier", "-"), r.get("typed", "-")]
+                    for r in digest["rounds"]
+                ],
+            )
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            "solver queries by cache tier (authoritative pass)",
+            ["tier", "count", "seconds"],
+            [
+                [tier, agg["count"], f"{agg['seconds']:.4f}"]
+                for tier, agg in digest["query_tiers"].items()
+            ],
+        )
+    )
+    spec = digest["speculative"]
+    if spec["tasks"]:
+        lines.append("")
+        lines.extend(
+            _table(
+                f"speculative workers ({spec['tasks']} tasks, {spec['seconds']:.3f}s)",
+                ["tier", "count", "seconds"],
+                [
+                    [tier, agg["count"], f"{agg['seconds']:.4f}"]
+                    for tier, agg in spec["query_tiers"].items()
+                ],
+            )
+        )
+    if digest["point_events"]:
+        lines.append("")
+        lines.extend(
+            _table(
+                "point events",
+                ["kind", "count"],
+                [[k, v] for k, v in digest["point_events"].items()],
+            )
+        )
+    if digest["witness_verdicts"]:
+        lines.append("")
+        lines.extend(
+            _table(
+                "witness replays",
+                ["verdict", "count"],
+                [[k, v] for k, v in digest["witness_verdicts"].items()],
+            )
+        )
+    return "\n".join(lines)

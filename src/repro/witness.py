@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro import smt
 from repro.lang.ast import Expr
+from repro.trace import TRACER
 from repro.lang.interp import EvalBudgetExceeded, Interpreter, RuntimeTypeError
 from repro.symexec.executor import ErrKind, Outcome
 from repro.symexec.valuation import Valuation, inputs_from_model
@@ -134,6 +135,21 @@ def validate_mix_outcome(
     (``Σ(x) = α_x : Γ(x)``), so the model's assignment to each α is the
     concrete value of the corresponding input.
     """
+    if not TRACER.enabled:
+        return _validate_mix_outcome(body, gamma, sigma, outcome, step_budget)
+    with TRACER.span("witness.replay", "mix") as span:
+        witness = _validate_mix_outcome(body, gamma, sigma, outcome, step_budget)
+        span.fields["verdict"] = witness.verdict.value
+        return witness
+
+
+def _validate_mix_outcome(
+    body: Expr,
+    gamma: TypeEnv,
+    sigma: SymEnv,
+    outcome: Outcome,
+    step_budget: int,
+) -> Witness:
     if outcome.kind in _STATIC_KINDS:
         return _record(
             Witness(
@@ -320,6 +336,32 @@ def validate_c_null_deref(
     replay that completes normally stays UNCONFIRMED instead of
     indicting the executor with REPLAY_DIVERGED.
     """
+    if not TRACER.enabled:
+        return _validate_c_null_deref(
+            program, fn, args, initial_state, global_env, fn_addresses,
+            state, ptr, exact, step_budget,
+        )
+    with TRACER.span("witness.replay", fn.name) as span:
+        witness = _validate_c_null_deref(
+            program, fn, args, initial_state, global_env, fn_addresses,
+            state, ptr, exact, step_budget,
+        )
+        span.fields["verdict"] = witness.verdict.value
+        return witness
+
+
+def _validate_c_null_deref(
+    program: "CProgram",
+    fn: "CFunction",
+    args: list[smt.Term],
+    initial_state: "CState",
+    global_env: dict[str, int],
+    fn_addresses: dict[str, int],
+    state: "CState",
+    ptr: smt.Term,
+    exact: bool,
+    step_budget: int,
+) -> Witness:
     from repro.mixy.c.interp import (
         CInterpreter,
         CNullDereference,

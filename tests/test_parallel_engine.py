@@ -14,7 +14,7 @@ import pytest
 from repro import smt
 from repro.budget import Budget
 from repro.cli import main
-from repro.smt.service import SolverService
+from repro.smt.service import SolverService, SolverStats
 
 
 class TestShardPathCaps:
@@ -35,11 +35,32 @@ class TestShardPathCaps:
         caps = budget.shard_path_caps(8)
         assert sum(caps) == 100 - 37
 
-    def test_exhausted_budget_shards_to_zero(self):
+    def test_exhausted_budget_shards_to_no_workers(self):
+        # No 0-path caps: a worker with cap 0 would breach instantly and
+        # speculate nothing.  An exhausted budget fans out to nobody.
         budget = Budget(max_paths=2)
         for _ in range(5):
             budget.charge_path()
-        assert budget.shard_path_caps(2) == [0, 0]
+        assert budget.shard_path_caps(2) == []
+
+    def test_more_jobs_than_paths_clamps_shards_to_one_path_each(self):
+        budget = Budget(max_paths=3)
+        assert budget.shard_path_caps(8) == [1, 1, 1]
+
+    @pytest.mark.parametrize("max_paths", [1, 2, 3, 5, 17, 64])
+    @pytest.mark.parametrize("used", [0, 1, 4, 20])
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 7, 16])
+    def test_cap_conservation_property(self, max_paths, used, jobs):
+        """Total cap conservation: every shard gets >= 1 path, and the
+        shards together cover exactly the remaining budget."""
+        budget = Budget(max_paths=max_paths)
+        for _ in range(used):
+            budget.charge_path()
+        caps = budget.shard_path_caps(jobs)
+        remaining = max(0, max_paths - used)
+        assert sum(caps) == remaining
+        assert len(caps) == min(jobs, remaining)
+        assert all(cap >= 1 for cap in caps)
 
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ValueError):
@@ -146,9 +167,27 @@ class TestCacheDelta:
 
         parent = SolverService()
         parent.merge_delta(delta)
-        assert parent.stats.full_solves == delta.stats.full_solves
+        # Worker counters land in the speculative sub-table, never in the
+        # authoritative fields: the parent re-runs the blocks itself, so
+        # folding worker solve time in would double-count wall time.
+        assert parent.stats.full_solves == 0
+        assert parent.stats.solve_seconds == 0.0
+        assert parent.stats.speculative is not None
+        assert parent.stats.speculative.full_solves == delta.stats.full_solves
         assert parent.stats.witnesses_confirmed == 0
         assert parent.stats.cache_entries_imported == len(delta)
+
+    def test_merged_perf_shows_up_as_a_speculative_table(self):
+        stats = SolverService().stats
+        assert "speculative" not in stats.as_dict()  # serial runs: absent
+        delta = SolverStats(queries=4, full_solves=2, solve_seconds=0.5)
+        stats.merge_perf(delta)
+        stats.merge_perf(delta)
+        spec = stats.as_dict()["speculative"]
+        assert spec["queries"] == 8
+        assert spec["full_solves"] == 4
+        assert spec["solve_seconds"] == 1.0
+        assert stats.queries == 0 and stats.solve_seconds == 0.0
 
 
 TWO_CLEAN_BLOCKS = """

@@ -53,6 +53,25 @@ def _trace_digest_since_last_call() -> dict | None:
     return aggregate(events[start:])
 
 
+def trace_offset() -> int:
+    """Current length of the session trace stream (events so far).
+    Benchmarks that need *per-run* digests — e.g. E18's hint-learning
+    pipeline — bracket each run with ``trace_offset`` /
+    ``trace_digest_since`` without disturbing bench_json's own slicing."""
+    if not TRACER.enabled:
+        return 0
+    TRACER.flush()
+    return len(read_trace(_TRACE_PATH))
+
+
+def trace_digest_since(offset: int) -> dict | None:
+    """Aggregate the trace events emitted after ``offset``."""
+    if not TRACER.enabled:
+        return None
+    TRACER.flush()
+    return aggregate(read_trace(_TRACE_PATH)[offset:])
+
+
 def bench_json(experiment: str, payload: dict) -> pathlib.Path:
     """Write an experiment's headline numbers to ``BENCH_<id>.json`` at
     the repo root, merging with any keys a previous test in the same

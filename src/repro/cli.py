@@ -101,6 +101,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--json", action="store_true",
         help="print the aggregated digest as JSON instead of tables",
     )
+    report.add_argument(
+        "--emit-hints", default=None, metavar="FILE",
+        help="distill the digest into a scheduling hint file "
+        "(.repro-sched.json schema v1) for a later run's --sched-hints",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "trace-report":
@@ -216,6 +221,23 @@ def _add_perf_flags(sub: argparse.ArgumentParser) -> None:
         help="write a structured JSONL event trace (spans, counters) of "
         "the run to FILE; aggregate it with 'repro trace-report FILE'",
     )
+    sub.add_argument(
+        "--schedule",
+        choices=["fifo", "waves", "portfolio"],
+        default=None,
+        help="speculative dispatch policy under --jobs N: fifo = one task "
+        "per block, waves = similarity-batched waves with convergence "
+        "skipping, portfolio = waves plus strategy racing for hot blocks "
+        "(output is identical in every mode; see repro.schedule)",
+    )
+    sub.add_argument(
+        "--sched-hints",
+        default=None,
+        metavar="FILE",
+        help="scheduling hint file from a prior run's "
+        "'trace-report --emit-hints' (.repro-sched.json); stale or "
+        "corrupt hints are ignored gracefully",
+    )
 
 
 def _apply_trust_flags(args: argparse.Namespace) -> None:
@@ -263,6 +285,10 @@ def _finish_trace(traced: bool) -> None:
         TRACER.counter("solver.cache_hits", stats.cache_hits)
         TRACER.counter("solver.full_solves", stats.full_solves)
         TRACER.counter("solver.solve_seconds", round(stats.solve_seconds, 6))
+        if stats.waves_dispatched:
+            TRACER.counter("solver.waves_dispatched", stats.waves_dispatched)
+        if stats.blocks_skipped:
+            TRACER.counter("solver.blocks_skipped", stats.blocks_skipped)
         if stats.speculative is not None:
             TRACER.counter(
                 "solver.speculative.solve_seconds",
@@ -284,6 +310,15 @@ def _run_trace_report(args: argparse.Namespace) -> int:
     except TraceSchemaError as error:
         print(f"error: invalid trace: {error}", file=sys.stderr)
         return 2
+    if args.emit_hints:
+        from repro.schedule import emit_hints
+
+        hints = emit_hints(digest, args.emit_hints)
+        print(
+            f"wrote {len(hints)} block hint(s) ({len(hints.hot)} hot) "
+            f"to {args.emit_hints}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(digest, indent=2, sort_keys=True))
     else:
@@ -304,6 +339,20 @@ def _warn_on_divergence() -> int:
             file=sys.stderr,
         )
     return diverged
+
+
+def _apply_perf_flags(args: argparse.Namespace, config, profiler) -> None:
+    """Fold --jobs / --schedule / --sched-hints into the config and arm
+    worker-side profiling sidecars when --profile meets --jobs N."""
+    if args.jobs is not None:
+        config.jobs = args.jobs
+    if args.schedule is not None:
+        config.schedule = args.schedule
+    if args.sched_hints is not None:
+        config.sched_hints = args.sched_hints
+    if profiler.enabled and config.jobs > 1:
+        profiler.enable_workers(args.trace or f".repro-profile-{os.getpid()}")
+    profiler.warn_if_parallel(config.jobs)
 
 
 def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
@@ -334,7 +383,6 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
     from repro.profiling import PhaseProfiler
 
     profiler = PhaseProfiler(args.profile)
-    profiler.warn_if_parallel(args.jobs)
     try:
         with profiler.phase("parse"):
             program = parse(source)
@@ -353,8 +401,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
         budget=_make_budget(args),
         crash_dir=args.crash_dir,
     )
-    if args.jobs is not None:
-        config.jobs = args.jobs
+    _apply_perf_flags(args, config, profiler)
     if args.validate_witnesses:
         config.validate_witnesses = True
     with profiler.phase("analyze"):
@@ -386,15 +433,13 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     from repro.profiling import PhaseProfiler
 
     profiler = PhaseProfiler(args.profile)
-    profiler.warn_if_parallel(args.jobs)
     config = MixyConfig(
         qual=QualConfig(deref_requires_nonnull=args.strict_deref),
         enable_cache=not args.no_cache,
         budget=_make_budget(args),
         crash_dir=args.crash_dir,
     )
-    if args.jobs is not None:
-        config.jobs = args.jobs
+    _apply_perf_flags(args, config, profiler)
     if args.validate_witnesses:
         config.validate_witnesses = True
     try:

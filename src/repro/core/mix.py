@@ -77,9 +77,10 @@ class Mix:
         }
         if self.config.jobs > 1:
             from repro.parallel import ParallelEngine
+            from repro.schedule import make_scheduler
 
             self._parallel: Optional[ParallelEngine] = ParallelEngine(
-                self.config.jobs
+                self.config.jobs, scheduler=make_scheduler(self.config)
             )
         else:
             self._parallel = None

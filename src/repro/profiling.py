@@ -9,16 +9,58 @@ did the time go" directly instead of burying it in one merged table.
 
 Profiles are collected only when enabled, so a disabled profiler (the
 default) adds a single attribute check per phase and nothing else.
+
+Under ``--jobs N`` the speculative workers run in forked processes
+whose in-memory profiles die with them.  :meth:`PhaseProfiler.
+enable_workers` arms per-*task* sidecar profiles instead: the worker
+wraps each task body in :func:`worker_task_profile`, which dumps raw
+``cProfile`` state to ``<prefix>.prof.<pid>.<seq>`` (mirroring the
+tracer's per-worker sidecar files), and the parent's :meth:`report`
+merges every sidecar into one extra "speculative workers" table and
+deletes the files.
 """
 
 from __future__ import annotations
 
 import cProfile
+import glob
 import io
+import os
 import pstats
 import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional, TextIO
+
+#: Sidecar path prefix for worker-task profiles.  Set in the parent by
+#: ``PhaseProfiler.enable_workers`` *before* the pool forks, inherited
+#: by every worker; None keeps ``worker_task_profile`` a no-op.
+_WORKER_PREFIX: Optional[str] = None
+
+#: Per-process dump counter: one worker runs many tasks, each dumping
+#: its own ``.prof.<pid>.<seq>`` file (cheap, and merge-order free).
+_TASK_SEQ = 0
+
+
+@contextmanager
+def worker_task_profile() -> Iterator[None]:
+    """Profile one worker task into a sidecar file (no-op unless the
+    parent armed worker profiling).  Dump failures are swallowed: a
+    profile is diagnostics, never worth failing a speculation over."""
+    global _TASK_SEQ
+    if _WORKER_PREFIX is None:
+        yield
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        _TASK_SEQ += 1
+        try:
+            profile.dump_stats(f"{_WORKER_PREFIX}.prof.{os.getpid()}.{_TASK_SEQ}")
+        except OSError:
+            pass
 
 
 class PhaseProfiler:
@@ -31,6 +73,7 @@ class PhaseProfiler:
     def __init__(self, top: Optional[int]) -> None:
         self.top = top if top else None
         self._phases: list[tuple[str, cProfile.Profile]] = []
+        self._worker_prefix: Optional[str] = None
 
     @property
     def enabled(self) -> bool:
@@ -50,11 +93,31 @@ class PhaseProfiler:
             profile.disable()
             self._phases.append((name, profile))
 
+    def enable_workers(self, prefix: str) -> None:
+        """Arm worker-side task profiling: forked workers will dump
+        ``<prefix>.prof.<pid>.<seq>`` sidecars that :meth:`report`
+        merges.  Call before any pool is created (workers inherit the
+        prefix through fork)."""
+        global _WORKER_PREFIX
+        if not self.enabled:
+            return
+        self._worker_prefix = prefix
+        _WORKER_PREFIX = prefix
+
     def warn_if_parallel(self, jobs: Optional[int], stream: TextIO = sys.stderr) -> None:
-        """``--profile`` + ``--jobs N``: cProfile state dies with the
-        forked workers, so say plainly what the numbers do (and do not)
-        cover instead of silently dropping the worker-side profiles."""
-        if self.enabled and jobs is not None and jobs > 1:
+        """``--profile`` + ``--jobs N``: say plainly what the numbers
+        cover.  With worker sidecars armed, workers *are* profiled (into
+        a separate merged table); without, only the serial pass is."""
+        if not (self.enabled and jobs is not None and jobs > 1):
+            return
+        if self._worker_prefix is not None:
+            print(
+                f"profile: --jobs {jobs} worker tasks are profiled into "
+                f"{self._worker_prefix}.prof.* sidecars, merged below as "
+                "'speculative workers' (wall times overlap the serial pass)",
+                file=stream,
+            )
+        else:
             print(
                 f"profile: --jobs {jobs} worker processes are not profiled "
                 "(cProfile state is lost in forked children); the numbers "
@@ -62,8 +125,32 @@ class PhaseProfiler:
                 file=stream,
             )
 
+    def _merged_worker_stats(self, stream: TextIO) -> Optional[pstats.Stats]:
+        """Merge (and delete) every worker sidecar dumped under the
+        armed prefix; None when no sidecar arrived or none parsed."""
+        if self._worker_prefix is None:
+            return None
+        paths = sorted(glob.glob(glob.escape(self._worker_prefix) + ".prof.*"))
+        merged: Optional[pstats.Stats] = None
+        for path in paths:
+            try:
+                if merged is None:
+                    merged = pstats.Stats(path, stream=stream)
+                else:
+                    merged.add(path)
+            except Exception:
+                # A worker died mid-dump: a truncated sidecar is noise,
+                # not a reason to lose the rest of the table.
+                pass
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return merged
+
     def report(self, stream: TextIO = sys.stderr) -> None:
-        """Print each phase's top-N functions by cumulative time."""
+        """Print each phase's top-N functions by cumulative time, then
+        the merged speculative-worker table when sidecars were armed."""
         if not self.enabled:
             return
         for name, profile in self._phases:
@@ -75,4 +162,16 @@ class PhaseProfiler:
                   file=stream)
             # pstats prints a preamble (call counts, sort order) worth
             # keeping; strip only the leading blank lines.
+            print(buffer.getvalue().strip("\n"), file=stream)
+        worker_stats = self._merged_worker_stats(stream)
+        if worker_stats is not None:
+            buffer = io.StringIO()
+            worker_stats.stream = buffer
+            worker_stats.sort_stats(pstats.SortKey.CUMULATIVE)
+            worker_stats.print_stats(self.top)
+            print(
+                f"== profile: speculative workers (top {self.top} by "
+                "cumulative time, merged across worker tasks) ==",
+                file=stream,
+            )
             print(buffer.getvalue().strip("\n"), file=stream)

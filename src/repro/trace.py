@@ -461,9 +461,10 @@ def aggregate(events: Iterable[dict]) -> dict:
         elif ev == "counter":
             counters[obj["name"]] = obj["value"]
 
-    def nearest_block(span: dict) -> Optional[dict]:
-        """The closest enclosing block-ish span (mixy.block / mix.block /
-        worker.task), following parent links."""
+    def nearest_ancestor(span: dict, kinds: tuple) -> Optional[dict]:
+        """The closest enclosing span of one of ``kinds``, following
+        parent links (which cross the worker/parent boundary: a worker
+        span's chain passes through the parent's fanout span)."""
         seen = set()
         cur: Optional[dict] = span
         while cur is not None:
@@ -472,9 +473,12 @@ def aggregate(events: Iterable[dict]) -> dict:
                 return None
             seen.add(parent_id)
             cur = spans.get(parent_id)
-            if cur is not None and cur["kind"] in ("mixy.block", "mix.block", "worker.task"):
+            if cur is not None and cur["kind"] in kinds:
                 return cur
         return None
+
+    def nearest_block(span: dict) -> Optional[dict]:
+        return nearest_ancestor(span, ("mixy.block", "mix.block", "worker.task"))
 
     parent_spans = [s for s in spans.values() if not _is_worker_id(s["id"])]
     worker_spans = [s for s in spans.values() if _is_worker_id(s["id"])]
@@ -512,12 +516,17 @@ def aggregate(events: Iterable[dict]) -> dict:
         agg = blocks.setdefault(
             (s["kind"], s["name"]),
             {"kind": s["kind"], "name": s["name"], "count": 0, "seconds": 0.0,
-             "queries": 0, "solver_seconds": 0.0, "cache_hits": 0},
+             "queries": 0, "solver_seconds": 0.0, "cache_hits": 0,
+             "chash": None, "tiers": {}, "spec_runs": 0, "spec_queries": 0,
+             "spec_solver_seconds": 0.0, "spec_first_solver_seconds": 0.0,
+             "spec_later_solver_seconds": 0.0},
         )
         agg["count"] += 1
         agg["seconds"] += s["dur"]
         if s.get("cached"):
             agg["cache_hits"] += 1
+        if s.get("chash"):
+            agg["chash"] = s["chash"]
     for q in parent_queries:
         block = nearest_block(q)
         if block is None:
@@ -526,6 +535,43 @@ def aggregate(events: Iterable[dict]) -> dict:
         if key in blocks:
             blocks[key]["queries"] += 1
             blocks[key]["solver_seconds"] += q["dur"]
+            tier = q.get("tier", "uncached")
+            blocks[key]["tiers"][tier] = blocks[key]["tiers"].get(tier, 0) + 1
+
+    # Speculative (worker-side) per-block attribution.  Worker spans
+    # carry real block names inside their worker.task wrappers; bucket
+    # their query time by enclosing parallel.fanout so hint emission can
+    # split cold (first fanout) from later-round re-speculation.
+    fanouts = sorted(
+        (s for s in parent_spans if s["kind"] == "parallel.fanout"),
+        key=lambda s: s["t"],
+    )
+    fanout_index = {s["id"]: i for i, s in enumerate(fanouts)}
+    for s in worker_spans:
+        if s["kind"] not in ("mixy.block", "mix.block"):
+            continue
+        key = (s["kind"], s["name"])
+        if key in blocks:
+            blocks[key]["spec_runs"] += 1
+            if s.get("chash") and blocks[key]["chash"] is None:
+                blocks[key]["chash"] = s["chash"]
+    for q in worker_queries:
+        block = nearest_ancestor(q, ("mixy.block", "mix.block"))
+        if block is None:
+            continue
+        key = (block["kind"], block["name"])
+        if key not in blocks:
+            continue
+        b = blocks[key]
+        b["spec_queries"] += 1
+        b["spec_solver_seconds"] += q["dur"]
+        tier = q.get("tier", "uncached")
+        b["tiers"][tier] = b["tiers"].get(tier, 0) + 1
+        fan = nearest_ancestor(q, ("parallel.fanout",))
+        if fan is not None and fanout_index.get(fan["id"], 0) > 0:
+            b["spec_later_solver_seconds"] += q["dur"]
+        else:
+            b["spec_first_solver_seconds"] += q["dur"]
 
     # Per-round table (MIXY).
     rounds = [
@@ -551,6 +597,24 @@ def aggregate(events: Iterable[dict]) -> dict:
     for s in parent_spans:
         if s["kind"] == "witness.replay" and "verdict" in s:
             verdicts[s["verdict"]] = verdicts.get(s["verdict"], 0) + 1
+
+    # Scheduler activity, summed over fanout spans (repro.schedule).
+    sched_modes = [s["mode"] for s in fanouts if s.get("mode")]
+    race_winners: dict[str, str] = {}
+    for s in fanouts:
+        if isinstance(s.get("winners"), dict):
+            race_winners.update(s["winners"])
+    scheduler = {
+        "mode": next(
+            (m for m in sched_modes if m != "fifo"),
+            sched_modes[0] if sched_modes else "fifo",
+        ),
+        "waves": sum(s.get("waves") or 0 for s in fanouts),
+        "races": sum(s.get("races") or 0 for s in fanouts),
+        "skipped": sum(s.get("skipped") or 0 for s in fanouts),
+        "cancelled": sum(s.get("cancelled") or 0 for s in fanouts),
+        "race_winners": dict(sorted(race_winners.items())),
+    }
 
     def rounded(table: dict[str, dict]) -> dict[str, dict]:
         return {
@@ -584,6 +648,17 @@ def aggregate(events: Iterable[dict]) -> dict:
                     "queries": b["queries"],
                     "solver_seconds": round(b["solver_seconds"], 6),
                     "cache_hits": b["cache_hits"],
+                    "chash": b["chash"],
+                    "tiers": dict(sorted(b["tiers"].items())),
+                    "spec_runs": b["spec_runs"],
+                    "spec_queries": b["spec_queries"],
+                    "spec_solver_seconds": round(b["spec_solver_seconds"], 6),
+                    "spec_first_solver_seconds": round(
+                        b["spec_first_solver_seconds"], 6
+                    ),
+                    "spec_later_solver_seconds": round(
+                        b["spec_later_solver_seconds"], 6
+                    ),
                 }
                 for b in blocks.values()
             ),
@@ -597,6 +672,7 @@ def aggregate(events: Iterable[dict]) -> dict:
             "query_tiers": rounded(tier_table(worker_queries)),
             "point_events": dict(sorted(worker_point_counts.items())),
         },
+        "scheduler": scheduler,
         "witness_verdicts": dict(sorted(verdicts.items())),
         "counters": counters,
     }
@@ -687,6 +763,20 @@ def format_report(digest: dict, top: int = 10) -> str:
                 ],
             )
         )
+    sched = digest.get("scheduler") or {}
+    if sched.get("mode", "fifo") != "fifo":
+        lines.append("")
+        lines.append(
+            f"scheduler: mode {sched['mode']}, {sched['waves']} wave(s) "
+            f"dispatched, {sched['races']} race(s) "
+            f"({sched['cancelled']} loser(s) cancelled), "
+            f"{sched['skipped']} converged block speculation(s) skipped"
+        )
+        if sched.get("race_winners"):
+            winners = ", ".join(
+                f"{name}={strat}" for name, strat in sched["race_winners"].items()
+            )
+            lines.append(f"race winners: {winners}")
     if digest["point_events"]:
         lines.append("")
         lines.extend(

@@ -1,0 +1,367 @@
+"""Unit tests for the trace-driven scheduler (repro.schedule).
+
+The scheduler's contract has three parts, tested here without any
+process fan-out: plans are a *pure function* of their inputs plus
+accumulated feedback (determinism), hints degrade gracefully on any
+bad input (robustness), and strategy variants answer queries with the
+same verdicts as the default solver (the portfolio's soundness
+precondition — the parallel equivalence tests then check the full
+pipeline end to end).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import smt
+from repro.smt import INT, SatResult, eq, int_const, le, lt, not_, var
+from repro.schedule import (
+    CHEAP_STRATEGIES,
+    RACE_STRATEGIES,
+    STRATEGIES,
+    BlockHint,
+    RoundPlan,
+    Scheduler,
+    ScheduleHints,
+    build_hints,
+    make_scheduler,
+)
+
+# ---------------------------------------------------------------------------
+# Hint files
+# ---------------------------------------------------------------------------
+
+
+def _hints_with(**block_kwargs) -> ScheduleHints:
+    hints = ScheduleHints()
+    hints.blocks["aa" * 8] = BlockHint(name="blk", **block_kwargs)
+    return hints
+
+
+class TestHintFile:
+    def test_round_trip(self, tmp_path):
+        hints = ScheduleHints()
+        hints.blocks["ab" * 8] = BlockHint(
+            name="f",
+            rank=0,
+            solver_seconds=1.25,
+            queries=40,
+            tier_order=("superset", "subset"),
+            strategy="intfirst",
+            cold_only=True,
+        )
+        hints.blocks["cd" * 8] = BlockHint(name="g", rank=1)
+        hints.hot = ("ab" * 8,)
+        path = tmp_path / "h.json"
+        hints.save(str(path))
+        loaded = ScheduleHints.load(str(path))
+        assert loaded.as_dict() == hints.as_dict()
+        assert loaded.get("ab" * 8).strategy == "intfirst"
+        assert loaded.get("ab" * 8).tier_order == ("superset", "subset")
+        assert loaded.is_hot("ab" * 8)
+        assert not loaded.is_hot("cd" * 8)
+        assert loaded.note is None
+
+    def test_missing_file_degrades(self, tmp_path):
+        loaded = ScheduleHints.load(str(tmp_path / "nope.json"))
+        assert len(loaded) == 0
+        assert "not found" in loaded.note
+
+    def test_corrupt_json_degrades(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{oops", encoding="utf-8")
+        loaded = ScheduleHints.load(str(path))
+        assert len(loaded) == 0
+        assert "corrupt" in loaded.note
+
+    def test_foreign_version_degrades(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"version": 99, "blocks": {}}))
+        loaded = ScheduleHints.load(str(path))
+        assert len(loaded) == 0
+        assert "version" in loaded.note
+
+    def test_mistyped_entries_are_dropped_or_sanitized(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "blocks": {
+                "good": {"name": "f", "rank": 1},
+                "badrank": {"name": "g", "rank": "many"},
+                "notadict": [1, 2],
+                "badtier": {"name": "h", "tier_order": ["up", "down"]},
+                "badstrat": {"name": "i", "strategy": "quantum"},
+            },
+            "hot": ["good"],
+        }))
+        loaded = ScheduleHints.load(str(path))
+        assert set(loaded.blocks) == {"good", "badtier", "badstrat"}
+        assert loaded.get("badtier").tier_order is None
+        assert loaded.get("badstrat").strategy is None
+
+    def test_stale_hash_simply_never_matches(self):
+        hints = _hints_with(rank=0)
+        assert hints.get("ff" * 8) is None
+        assert hints.get(None) is None
+
+
+class TestBuildHints:
+    DIGEST = {
+        "blocks": [
+            {"name": "hot_block", "chash": "11" * 8, "solver_seconds": 2.0,
+             "queries": 50, "tiers": {"subset": 1, "superset": 9},
+             "spec_runs": 3, "spec_first_solver_seconds": 1.0,
+             "spec_later_solver_seconds": 0.01},
+            {"name": "cool_block", "chash": "22" * 8, "solver_seconds": 0.5,
+             "queries": 10, "tiers": {"subset": 5, "superset": 0},
+             "spec_runs": 3, "spec_first_solver_seconds": 0.2,
+             "spec_later_solver_seconds": 0.2},
+            {"name": "serial_block", "solver_seconds": 9.9},  # no chash
+        ],
+        "scheduler": {"race_winners": {
+            "hot_block": "intfirst", "cool_block": "warpdrive",
+        }},
+    }
+
+    def test_distillation(self):
+        hints = build_hints(self.DIGEST)
+        assert set(h.name for h in hints.blocks.values()) == {
+            "hot_block", "cool_block"
+        }  # chash-less rows never produce hints
+        hot = hints.get("11" * 8)
+        assert hot.rank == 0 and hot.cold_only and hot.strategy == "intfirst"
+        assert hot.tier_order == ("superset", "subset")
+        cool = hints.get("22" * 8)
+        assert cool.rank == 1 and not cool.cold_only
+        assert cool.strategy is None  # unknown winner name is ignored
+        assert cool.tier_order is None
+        assert hints.hot == ("11" * 8, "22" * 8)
+
+    def test_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "h.json"
+        build_hints(self.DIGEST).save(str(path))
+        assert ScheduleHints.load(str(path)).as_dict() == build_hints(
+            self.DIGEST
+        ).as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Round planning
+# ---------------------------------------------------------------------------
+
+NAMES = ["a", "b", "c", "d", "e", "f"]
+FEATURES = {
+    "a": frozenset({"g1", "g2"}),
+    "b": frozenset({"g1", "g2", "g3"}),
+    "c": frozenset({"h1"}),
+    "d": frozenset({"h1", "h2"}),
+    "e": frozenset({"k1"}),
+    "f": frozenset(),
+}
+HASHES = {n: (n * 16)[:16] for n in NAMES}
+
+
+def _plan(sched: Scheduler) -> RoundPlan:
+    return sched.plan_mixy_round(NAMES, FEATURES, HASHES)
+
+
+class TestPlanning:
+    def test_plans_are_deterministic(self):
+        plans = [
+            _plan(Scheduler("waves", jobs=4, cores=4)) for _ in range(3)
+        ]
+        first = plans[0]
+        assert first.waves  # similar blocks actually grouped
+        for p in plans[1:]:
+            assert p.waves == first.waves
+            assert p.wave_strategies == first.wave_strategies
+
+    def test_similar_blocks_share_a_wave(self):
+        plan = _plan(Scheduler("waves", jobs=4, cores=4))
+        by_member = {n: w for w in plan.waves for n in w}
+        assert by_member["a"] == by_member["b"]
+        assert by_member["c"] == by_member["d"]
+        assert sorted(n for w in plan.waves for n in w) == NAMES
+
+    def test_wave_slots_fold_to_cores(self):
+        sched = Scheduler("waves", jobs=4, cores=1)
+        assert sched.wave_slots == 1
+        plan = _plan(sched)
+        assert len(plan.waves) == 1  # one strategy group, one core
+        assert plan.waves[0] == tuple(NAMES)
+
+    def test_waves_are_strategy_homogeneous(self):
+        hints = ScheduleHints()
+        for n in ("a", "b"):  # a and b are similar but learn differently
+            hints.blocks[HASHES[n]] = BlockHint(
+                name=n, strategy="intfirst" if n == "a" else "flip"
+            )
+        sched = Scheduler("portfolio", jobs=4, hints=hints, cores=4)
+        sched._raced.update(NAMES)  # focus on waves, not races
+        plan = _plan(sched)
+        strat_of = {
+            n: plan.wave_strategies[i]
+            for i, w in enumerate(plan.waves) for n in w
+        }
+        assert strat_of["a"] == "intfirst"
+        assert strat_of["b"] == "flip"
+        assert strat_of["c"] == "default"
+
+    def test_first_round_never_skips(self):
+        plan = _plan(Scheduler("waves", jobs=4, cores=1))
+        assert plan.skipped == ()
+
+    def test_converged_blocks_skip(self):
+        sched = Scheduler("waves", jobs=4, cores=4)
+        _plan(sched)
+        sched.note_result(("a",), imported=0)  # converged
+        sched.note_result(("b",), imported=100)  # still producing
+        plan = _plan(sched)
+        assert "a" in plan.skipped
+        assert any("b" in w for w in plan.waves)
+
+    def test_single_core_skips_all_rerunds_without_cheap_strategy(self):
+        sched = Scheduler("waves", jobs=4, cores=1)
+        _plan(sched)
+        plan = _plan(sched)
+        assert plan.skipped == tuple(NAMES)
+        assert plan.empty
+
+    def test_cheap_strategy_rerunds_even_on_one_core(self):
+        assert "intfirst" in CHEAP_STRATEGIES
+        sched = Scheduler("portfolio", jobs=4, cores=1)
+        sched._raced.update(NAMES)
+        sched.note_winner("a", "intfirst")
+        sched.note_winner("b", "flip")  # not cheap: still skips
+        _plan(sched)
+        plan = _plan(sched)
+        assert plan.waves == [("a",)]
+        assert plan.wave_strategies == ["intfirst"]
+        assert "b" in plan.skipped
+
+    def test_races_only_on_first_speculation_and_never_twice(self):
+        sched = Scheduler("portfolio", jobs=4, cores=4)
+        plan = _plan(sched)
+        assert sorted(r.name for r in plan.races) == NAMES  # unhinted: all
+        assert all(r.strategies == RACE_STRATEGIES for r in plan.races)
+        assert _plan(sched).races == []
+
+    def test_hints_gate_racing_to_hot_unlearned_blocks(self):
+        hints = ScheduleHints()
+        hints.blocks[HASHES["a"]] = BlockHint(name="a", strategy="intfirst")
+        hints.blocks[HASHES["b"]] = BlockHint(name="b")
+        hints.hot = (HASHES["b"], HASHES["c"])
+        sched = Scheduler("portfolio", jobs=4, hints=hints, cores=4)
+        plan = _plan(sched)
+        # a already learned; b hot and unlearned; c hot; d/e/f not hot.
+        assert sorted(r.name for r in plan.races) == ["b", "c"]
+
+    def test_hot_waves_dispatch_first(self):
+        hints = ScheduleHints()
+        hints.blocks[HASHES["e"]] = BlockHint(name="e", rank=0)
+        hints.hot = (HASHES["e"],)
+        sched = Scheduler("waves", jobs=4, hints=hints, cores=4)
+        plan = _plan(sched)
+        assert "e" in plan.waves[0]
+
+    def test_tier_order_lookup(self):
+        hints = _hints_with(rank=0, tier_order=("superset", "subset"))
+        sched = Scheduler("waves", jobs=2, hints=hints, cores=2)
+        assert sched.tier_order_for("aa" * 8) == ("superset", "subset")
+        assert sched.tier_order_for("bb" * 8) == ("subset", "superset")
+        assert sched.tier_order_for(None) == ("subset", "superset")
+
+    def test_query_waves_cluster_shared_conjuncts(self):
+        sched = Scheduler("waves", jobs=2, cores=2)
+        positions = [(0, 1), (1, 2), (3,), (4,)]
+        roots = [10, 11, 12, 13, 13]
+        waves = sched.plan_query_waves(positions, roots)
+        assert waves == sched.plan_query_waves(positions, roots)
+        by_member = {g: w for w in waves for g in w}
+        assert by_member[0] == by_member[1]  # share root 11
+        assert by_member[2] == by_member[3]  # share root 13
+        assert sorted(g for w in waves for g in w) == [0, 1, 2, 3]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule mode"):
+            Scheduler("lifo")
+
+
+class TestMakeScheduler:
+    class Cfg:
+        def __init__(self, jobs=4, schedule="waves", sched_hints=None):
+            self.jobs = jobs
+            self.schedule = schedule
+            self.sched_hints = sched_hints
+
+    def test_serial_and_fifo_bypass(self):
+        assert make_scheduler(self.Cfg(jobs=1)) is None
+        assert make_scheduler(self.Cfg(schedule="fifo")) is None
+
+    def test_bad_mode_raises_even_for_serial(self):
+        with pytest.raises(ValueError):
+            make_scheduler(self.Cfg(jobs=1, schedule="???"))
+
+    def test_bad_hint_file_warns_but_schedules(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("%%%", encoding="utf-8")
+        sched = make_scheduler(self.Cfg(sched_hints=str(path)))
+        assert sched is not None and len(sched.hints) == 0
+        assert "ignoring corrupt hint file" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Strategy variants: verdict equivalence
+# ---------------------------------------------------------------------------
+
+x = var("sched_x", INT)
+y = var("sched_y", INT)
+
+QUERIES = [
+    # SAT: a satisfiable staircase segment.
+    (le(int_const(0), x), lt(x, int_const(10)), eq(y, smt.add(x, int_const(1)))),
+    # UNSAT: contradictory bounds (intfirst minimizes a conjunct core).
+    (le(x, int_const(3)), le(int_const(5), x), lt(y, x)),
+    # SAT: single conjunct.
+    (not_(eq(x, int_const(0))),),
+    # UNSAT: propositional-flavored contradiction.
+    (eq(x, int_const(1)), not_(eq(x, int_const(1)))),
+]
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_agree_with_default(self, strategy):
+        expected = []
+        service = smt.SolverService()
+        for conjuncts in QUERIES:
+            expected.append(service.check_sat(conjuncts))
+        varied = smt.SolverService()
+        varied.strategy = strategy
+        got = [varied.check_sat(conjuncts) for conjuncts in QUERIES]
+        assert got == expected
+        assert SatResult.UNKNOWN not in got
+
+    def test_intfirst_core_is_a_sound_proper_subset(self):
+        service = smt.SolverService()
+        service.strategy = "intfirst"
+        conjuncts = (le(x, int_const(3)), le(int_const(5), x), lt(y, x))
+        assert service.check_sat(conjuncts) is SatResult.UNSAT
+        if service.stats.cores_minimized:
+            shard = service._shards[4000]
+            cores = [c for c in shard.unsat_cores if c < frozenset(conjuncts)]
+            assert cores, "minimized core should be recorded as its own entry"
+            for core in cores:
+                # The recorded core must itself be UNSAT on a cold solver.
+                fresh = smt.SolverService()
+                assert fresh.check_sat(tuple(core)) is SatResult.UNSAT
+
+    def test_cancel_check_aborts_with_sat_cancelled(self):
+        from repro.smt.sat import SatCancelled
+
+        service = smt.SolverService()
+        service.cancel_check = lambda: True
+        with pytest.raises(SatCancelled):
+            service.check_sat(QUERIES[0])

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Guard ``bench_tables.txt`` against going stale.
+
+``bench_tables.txt`` is the rendered, human-readable form of the
+``BENCH_<id>.json`` headline numbers (see README).  Because it is
+produced by a separate pytest invocation, it silently drifts whenever a
+benchmark is re-run or a new experiment lands without the tables being
+regenerated.  This tool pins the two together:
+
+* ``--stamp`` appends a fingerprint footer — a SHA-256 over the sorted
+  (name, content-hash) pairs of every ``BENCH_*.json`` — to
+  ``bench_tables.txt``.  Run it right after regenerating the tables::
+
+      pytest benchmarks/ --benchmark-disable -q -p no:randomly > bench_tables.txt
+      python tools/check_bench_tables.py --stamp
+
+* With no arguments it *checks*: the footer must exist and match the
+  current ``BENCH_*.json`` set, and every experiment with a JSON file
+  must render at least one table.  Exit 1 with a diagnosis otherwise
+  (CI runs this; see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TABLES = REPO_ROOT / "bench_tables.txt"
+FOOTER_PREFIX = "# bench-fingerprint: "
+
+#: Experiment id as rendered in a table title, per BENCH file name.
+#: (E2prime's table renders as "E2'".)
+TITLE_ALIASES = {"E2prime": "E2'"}
+
+
+def bench_files() -> list[pathlib.Path]:
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def fingerprint(files: list[pathlib.Path]) -> str:
+    digest = hashlib.sha256()
+    for path in files:
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()
+
+
+def split_footer(text: str) -> tuple[str, str | None]:
+    """(body, fingerprint-or-None) of the tables file."""
+    lines = text.splitlines(keepends=True)
+    if lines and lines[-1].startswith(FOOTER_PREFIX):
+        return "".join(lines[:-1]), lines[-1][len(FOOTER_PREFIX):].strip()
+    return text, None
+
+
+def stamp() -> int:
+    if not TABLES.exists():
+        print(f"error: {TABLES.name} not found; regenerate it first "
+              f"(see README)", file=sys.stderr)
+        return 1
+    body, _ = split_footer(TABLES.read_text(encoding="utf-8"))
+    if body and not body.endswith("\n"):
+        body += "\n"
+    fp = fingerprint(bench_files())
+    TABLES.write_text(body + FOOTER_PREFIX + fp + "\n", encoding="utf-8")
+    print(f"stamped {TABLES.name} over {len(bench_files())} BENCH files: {fp[:16]}…")
+    return 0
+
+
+def check() -> int:
+    problems: list[str] = []
+    files = bench_files()
+    if not TABLES.exists():
+        problems.append(f"{TABLES.name} is missing")
+        body, found = "", None
+    else:
+        body, found = split_footer(TABLES.read_text(encoding="utf-8"))
+        expected = fingerprint(files)
+        if found is None:
+            problems.append(
+                f"{TABLES.name} has no fingerprint footer — regenerate the "
+                f"tables and run tools/check_bench_tables.py --stamp"
+            )
+        elif found != expected:
+            problems.append(
+                f"{TABLES.name} is stale: footer {found[:16]}… does not match "
+                f"the current BENCH_*.json set ({expected[:16]}…) — regenerate "
+                f"the tables and re-stamp"
+            )
+    rendered = set(re.findall(r"^=== (E[0-9]+'?|E2')", body, re.MULTILINE))
+    for path in files:
+        exp = path.stem[len("BENCH_"):]
+        title = TITLE_ALIASES.get(exp, exp)
+        if title not in rendered:
+            problems.append(
+                f"{path.name} exists but no '=== {title}' table is rendered "
+                f"in {TABLES.name}"
+            )
+    if problems:
+        for p in problems:
+            print(f"bench-tables check: {p}", file=sys.stderr)
+        return 1
+    print(f"bench_tables.txt is fresh ({len(files)} BENCH files, "
+          f"{len(rendered)} tables)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stamp", action="store_true",
+        help="append/replace the fingerprint footer instead of checking",
+    )
+    args = parser.parse_args(argv)
+    return stamp() if args.stamp else check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""E19 — the cross-run analysis store on the staircase vsftpd corpus.
+
+E16/E18 made *within-run* reuse cheap; this experiment measures reuse
+*across* runs — the ``repro serve`` / ``--store DIR`` scenario of a
+CI bot re-analyzing a mostly-unchanged tree.  Four serial runs over
+``parallel_vsftpd(depth=3)``:
+
+* ``nostore`` — the plain baseline (no store attached);
+* ``cold``    — first run against an empty store: it records block
+  memos and, on save, the solver service's exact-tier cache;
+* ``warm``    — a fresh "process" (reset ordinal state, cold solver
+  service) re-analyzing the identical source from the persisted store:
+  pure blocks replay from their memos, everything else from the
+  imported query cache;
+* ``edited``  — the same but after a one-function edit (semantically
+  neutral, so the warning set is unchanged): only that function's
+  dependency cone misses its memos and re-executes.
+
+Acceptance bars: the warm run's wall clock is **<10%** of cold
+(measured ~1-3%), its warning output is bitwise-identical to both
+baselines (the store accelerates, never answers), and the edited run
+pins cone-precise invalidation — block-memo hit counters show most
+blocks replayed and strictly fewer symbolic blocks executed than cold.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro import smt
+from repro.mixy import Mixy, MixyConfig
+from repro.mixy.corpus_vsftpd import parallel_vsftpd
+from repro.mixy.qual import QVar
+from repro.store import AnalysisStore
+from repro.symexec import values
+
+from conftest import bench_json, print_table
+
+DEPTH = 3
+WARM_RATIO_BAR = 0.10
+
+
+def _run(store, source):
+    """One serial run in a reproducible fresh-process state (solver
+    service, qualifier ids, string interning all reset), warmed only by
+    ``store``."""
+    smt.reset_service()
+    QVar._ids = itertools.count(1)
+    values._STRING_CODES.clear()
+    if store is not None:
+        store.load_into_service(smt.get_service())
+    config = MixyConfig()
+    config.jobs = 1
+    config.store = store
+    mixy = Mixy(source, config)
+    start = time.monotonic()
+    warnings = mixy.run()
+    elapsed = time.monotonic() - start
+    stats = smt.get_service().stats
+    return {
+        "seconds": elapsed,
+        "warnings": [str(w) for w in warnings],
+        "blocks_run": mixy.stats["symbolic_blocks_run"],
+        "full_solves": stats.full_solves,
+        "store": dict(store.stats) if store is not None else {},
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("e19-store")
+    source = parallel_vsftpd(depth=DEPTH)
+    runs = {}
+    runs["nostore"] = _run(None, source)
+
+    store = AnalysisStore.open(str(tmp / "store"))
+    runs["cold"] = _run(store, source)
+    store.save(smt.get_service())
+
+    runs["warm"] = _run(AnalysisStore.open(str(tmp / "store")), source)
+
+    # One-function edit: `r = r + 1;` -> `r = r + 0 + 1;` in the first
+    # function that contains it (crunch_access).  Semantically neutral,
+    # so the warning set must not move; content-hash keying must retire
+    # exactly that function's dependency cone.
+    edited_source = source.replace("r = r + 1;", "r = r + 0 + 1;", 1)
+    assert edited_source != source
+    runs["edited"] = _run(AnalysisStore.open(str(tmp / "store")), edited_source)
+    return runs
+
+
+def test_store_is_an_accelerator_never_an_answer(measurements):
+    texts = {
+        mode: tuple(measurements[mode]["warnings"])
+        for mode in ("nostore", "cold", "warm")
+    }
+    assert len(set(texts.values())) == 1, texts
+    assert len(texts["nostore"]) == 1  # the staircase's single finding
+
+
+def test_cold_run_records_and_warm_run_replays(measurements):
+    cold, warm = measurements["cold"], measurements["warm"]
+    assert cold["store"]["mixy_records"] > 0
+    assert warm["store"]["solver_entries_loaded"] > 0
+    assert warm["store"]["mixy_hits"] >= cold["store"]["mixy_records"]
+    # Only the impure (typed-calling) blocks re-execute when warm.
+    assert warm["blocks_run"] < cold["blocks_run"]
+
+
+def test_warm_reanalysis_is_under_the_bar(measurements):
+    cold, warm = measurements["cold"], measurements["warm"]
+    ratio = warm["seconds"] / cold["seconds"]
+    assert ratio < WARM_RATIO_BAR, (
+        f"warm re-analysis took {ratio:.1%} of cold "
+        f"(bar {WARM_RATIO_BAR:.0%})"
+    )
+
+
+def test_one_edit_reanalyzes_only_its_cone(measurements):
+    cold, edited = measurements["cold"], measurements["edited"]
+    # The edit is semantically neutral: identical warnings...
+    assert edited["warnings"] == cold["warnings"]
+    # ...most blocks still replay from their memos (cone precision,
+    # pinned by the hit counters)...
+    assert edited["store"]["mixy_hits"] > edited["store"]["mixy_misses"]
+    # ...and strictly fewer symbolic blocks execute than a cold run.
+    assert 0 < edited["blocks_run"] < cold["blocks_run"]
+
+
+def test_report(measurements, capsys):
+    rows = []
+    for mode in ("nostore", "cold", "warm", "edited"):
+        m = measurements[mode]
+        rows.append(
+            [
+                mode,
+                f"{m['seconds']:.3f}",
+                m["blocks_run"],
+                m["full_solves"],
+                m["store"].get("mixy_hits", 0),
+                m["store"].get("mixy_records", 0),
+                m["store"].get("solver_entries_loaded", 0),
+                len(m["warnings"]),
+            ]
+        )
+    ratio = measurements["warm"]["seconds"] / measurements["cold"]["seconds"]
+    title = (
+        f"E19: cross-run store on the staircase corpus "
+        f"(depth {DEPTH}, warm/cold {ratio:.1%})"
+    )
+    with capsys.disabled():
+        print_table(
+            title,
+            ["mode", "secs", "blocks", "solves", "memo hits",
+             "memo records", "cache loaded", "warnings"],
+            rows,
+        )
+    payload = {
+        "experiment": "E19",
+        "depth": DEPTH,
+        "warm_over_cold": round(ratio, 4),
+        "warm_ratio_bar": WARM_RATIO_BAR,
+        "modes": {
+            mode: {
+                k: (round(v, 4) if isinstance(v, float) else v)
+                for k, v in m.items()
+                if k != "warnings"
+            }
+            for mode, m in measurements.items()
+        },
+        "warnings": measurements["nostore"]["warnings"],
+    }
+    bench_json("E19", payload)

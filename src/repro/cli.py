@@ -87,6 +87,109 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_trust_flags(mixy)
     _add_perf_flags(mixy)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a persistent analysis daemon with a warm, disk-backed "
+        "cross-run cache (see repro.serve for the protocol)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix socket to listen on (default .repro-serve.sock)",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP instead of a Unix socket (port 0 picks a free "
+        "port; the chosen one is announced on stdout)",
+    )
+    serve.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="cross-run store directory persisted between restarts "
+        "(default .repro-store)",
+    )
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="serve from memory only; nothing is persisted",
+    )
+    serve.add_argument(
+        "--save-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="persist the store after every N analyze requests (default 1)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N requests (for tests and CI)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the daemon's JSONL event trace to FILE",
+    )
+    serve.add_argument(
+        "--trace-mode",
+        choices=["truncate", "append", "rotate"],
+        default="rotate",
+        help="what to do with an existing trace file (default rotate: the "
+        "previous daemon life survives as FILE.1)",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="send one request to a running 'repro serve' daemon and print "
+        "the result exactly like a fresh mix/mixy run would",
+    )
+    client.add_argument(
+        "lang", nargs="?", choices=["mix", "mixy"], help="analysis language"
+    )
+    client.add_argument("file", nargs="?", help="source file ('-' for stdin)")
+    client.add_argument(
+        "--connect",
+        default="unix:.repro-serve.sock",
+        metavar="ADDR",
+        help="daemon address: unix:PATH or tcp:HOST:PORT "
+        "(default unix:.repro-serve.sock)",
+    )
+    client.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    client.add_argument(
+        "--ping", action="store_true", help="health-check the daemon and exit"
+    )
+    client.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's cache/request counters and exit",
+    )
+    client.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the daemon to persist its store and exit",
+    )
+    client.add_argument(
+        "--served",
+        action="store_true",
+        help="also print this request's daemon-side cache counters to stderr",
+    )
+    client.add_argument("--entry", choices=["typed", "symbolic"], default="typed")
+    client.add_argument("--entry-function", default="main")
+    client.add_argument("--strict-deref", action="store_true")
+    client.add_argument("--no-cache", action="store_true")
+    client.add_argument("--env", default="")
+    client.add_argument("--defer", action="store_true")
+    client.add_argument("--good-enough", action="store_true")
+    client.add_argument("--max-unroll", type=int, default=64)
+    _add_budget_flags(client)
+
     report = sub.add_parser(
         "trace-report",
         help="aggregate a --trace file into per-block / per-round / "
@@ -110,6 +213,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "trace-report":
         return _run_trace_report(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     try:
         source = _read(args.file)
     except OSError as error:
@@ -222,6 +329,21 @@ def _add_perf_flags(sub: argparse.ArgumentParser) -> None:
         "the run to FILE; aggregate it with 'repro trace-report FILE'",
     )
     sub.add_argument(
+        "--trace-mode",
+        choices=["truncate", "append", "rotate"],
+        default="truncate",
+        help="what to do with an existing --trace file: truncate it (the "
+        "default), append this run's session to it, or rotate it to FILE.1",
+    )
+    sub.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="cross-run analysis store (see repro.store): warm the solver "
+        "query cache and block memos from DIR before the run and persist "
+        "them back after; a missing or corrupt store degrades to cold",
+    )
+    sub.add_argument(
         "--schedule",
         choices=["fifo", "waves", "portfolio"],
         default=None,
@@ -268,7 +390,7 @@ def _start_trace(args: argparse.Namespace) -> bool:
         return False
     from repro.trace import TRACER
 
-    TRACER.enable(args.trace)
+    TRACER.enable(args.trace, mode=getattr(args, "trace_mode", "truncate"))
     return True
 
 
@@ -355,6 +477,118 @@ def _apply_perf_flags(args: argparse.Namespace, config, profiler) -> None:
     profiler.warn_if_parallel(config.jobs)
 
 
+def _open_store(args: argparse.Namespace):
+    """Open ``--store DIR`` and warm the solver service from it."""
+    if not getattr(args, "store", None):
+        return None
+    from repro import smt
+    from repro.store import AnalysisStore
+
+    store = AnalysisStore.open(args.store)
+    store.load_into_service(smt.get_service())
+    return store
+
+
+def _save_store(store) -> None:
+    if store is not None:
+        from repro import smt
+
+        store.save(smt.get_service())
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproDaemon
+    from repro.trace import TRACER
+
+    socket_path = args.socket
+    if socket_path is None and args.listen is None:
+        socket_path = ".repro-serve.sock"
+    if args.trace:
+        TRACER.enable(args.trace, mode=args.trace_mode)
+    daemon = ReproDaemon(
+        socket_path=socket_path,
+        listen=args.listen,
+        store_dir=None if args.no_store else args.store,
+        save_every=args.save_every,
+        max_requests=args.max_requests,
+    )
+    try:
+        announce = daemon.bind()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"repro-serve: listening on {announce}", flush=True)
+    try:
+        return daemon.serve_forever()
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        TRACER.close()
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import request
+
+    try:
+        if args.ping or args.stats or args.shutdown:
+            cmd = "ping" if args.ping else "stats" if args.stats else "shutdown"
+            response = request(args.connect, {"cmd": cmd}, timeout=args.timeout)
+            print(json.dumps(response, indent=2, sort_keys=True))
+            return 0 if response.get("ok") else 2
+        if not args.lang or not args.file:
+            print(
+                "error: client needs LANG FILE "
+                "(or one of --ping / --stats / --shutdown)",
+                file=sys.stderr,
+            )
+            return 2
+        source = _read(args.file)
+        options = {
+            "entry": args.entry,
+            "deadline": args.deadline,
+            "query_timeout_ms": args.query_timeout_ms,
+            "max_paths": args.max_paths,
+        }
+        if args.lang == "mixy":
+            options.update(
+                entry_function=args.entry_function,
+                strict_deref=args.strict_deref,
+                no_cache=args.no_cache,
+            )
+        else:
+            options.update(
+                env=args.env,
+                defer=args.defer,
+                good_enough=args.good_enough,
+                max_unroll=args.max_unroll,
+            )
+        response = request(
+            args.connect,
+            {"cmd": "analyze", "lang": args.lang, "source": source, "options": options},
+            timeout=args.timeout,
+        )
+    except (OSError, ConnectionError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        print(f"error: daemon: {response.get('error')}", file=sys.stderr)
+        return 2
+    result = response["result"]
+    # Parse/usage failures print to stderr in the one-shot CLI; keep the
+    # client stream-for-stream identical with it.
+    out = sys.stderr if result["exit"] == 2 else sys.stdout
+    for line in result["lines"]:
+        print(line, file=out)
+    if args.served:
+        print(
+            f"served: {json.dumps(response.get('served', {}), sort_keys=True)}",
+            file=sys.stderr,
+        )
+    return int(result["exit"])
+
+
 def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
     if args.deadline is None and args.query_timeout_ms is None and args.max_paths is None:
         return None
@@ -404,6 +638,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
     _apply_perf_flags(args, config, profiler)
     if args.validate_witnesses:
         config.validate_witnesses = True
+    config.store = _open_store(args)
     with profiler.phase("analyze"):
         if args.auto_refine:
             result = auto_place_blocks(program, env, args.entry, config)
@@ -414,6 +649,7 @@ def _run_mix(args: argparse.Namespace, source: str) -> int:
             report = result.report
         else:
             report = analyze(program, env, args.entry, config)
+    _save_store(config.store)
     profiler.report()
     print(report)
     for warning in report.warnings:
@@ -442,6 +678,7 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     _apply_perf_flags(args, config, profiler)
     if args.validate_witnesses:
         config.validate_witnesses = True
+    config.store = _open_store(args)
     try:
         with profiler.phase("parse+infer"):
             mixy = Mixy(source, config)
@@ -453,6 +690,7 @@ def _run_mixy(args: argparse.Namespace, source: str) -> int:
     except KeyError as error:
         print(f"error: no such function {error}", file=sys.stderr)
         return 2
+    _save_store(config.store)
     profiler.report()
     for warning in warnings:
         print(warning)

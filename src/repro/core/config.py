@@ -74,6 +74,12 @@ class MixConfig:
     sched_hints: Optional[str] = field(
         default_factory=lambda: os.environ.get("REPRO_SCHED_HINTS") or None
     )
+    #: cross-run analysis store (``--store DIR``; see repro.store): an
+    #: opened :class:`repro.store.AnalysisStore`, or None.  Symbolic
+    #: blocks that type-checked cleanly are memoized keyed on (block
+    #: text, Γ, config) and skipped on later runs; active only on the
+    #: serial path with no budget / validation / fault injection.
+    store: Optional[object] = None
 
 
 def _env_flag(name: str) -> bool:

@@ -108,13 +108,86 @@ class Mix:
         name = str(block.pos) if block.pos is not None else f"block{self.stats['symbolic_blocks'] + 1}"
         with smt.get_service().governed(budget), TRACER.span("mix.block", name):
             try:
-                return self._type_symbolic_block_governed(gamma, block)
+                memo_key = self._store_key(gamma, block) if self._store_active() else None
+                if memo_key is not None:
+                    entry = self.config.store.mix_get(memo_key)
+                    if entry is not None:
+                        # Cross-run store hit: the block type-checked
+                        # cleanly under this exact (text, Γ, config)
+                        # before.  Replay its observable effects — name
+                        # consumption and stat deltas — and return the
+                        # stored result type without re-exploring.
+                        return self._replay_block_entry(entry)
+                names_mark = self.names.mark()
+                stats_before = dict(self.stats)
+                warnings_before = len(self.warnings)
+                result = self._type_symbolic_block_governed(gamma, block)
+                if memo_key is not None and len(self.warnings) == warnings_before:
+                    self.config.store.mix_put(
+                        memo_key,
+                        {
+                            "result_type": result,
+                            "names": self.names.mark() - names_mark,
+                            "stats": {
+                                k: self.stats[k] - stats_before[k]
+                                for k in self.stats
+                            },
+                        },
+                    )
+                return result
             except TypeError_:
                 raise  # analysis findings (incl. MixTypeError), not crashes
             except Exception as error:
                 if not self.config.contain_crashes:
                     raise
                 return self._contain_crash(error, gamma, block)
+
+    # -- cross-run block memos (see repro.store) ------------------------
+
+    def _store_active(self) -> bool:
+        """Memoization is on only when a skip is provably transparent:
+        serial mode, no budget (a skipped block consumes none of it),
+        no witness validation, no fault injection (the fault schedule
+        indexes live queries a skip would renumber)."""
+        return (
+            self.config.store is not None
+            and self._parallel is None
+            and self.config.budget is None
+            and not self.config.validate_witnesses
+            and smt.get_service().fault_injector is None
+        )
+
+    def _store_key(self, gamma: TypeEnv, block: SymBlock) -> str:
+        """The block's cross-run identity: pretty-printed body (the
+        normalized form — whitespace/comment edits cannot retire it),
+        the typing environment it is checked under, and the analysis
+        configuration."""
+        import hashlib
+
+        from repro.lang.pretty import pretty
+
+        gamma_fp = tuple(sorted((n, str(t)) for n, t in gamma.items()))
+        config_fp = repr(
+            (
+                self.config.sym,
+                self.config.soundness,
+                self.config.max_paths_per_block,
+                self.config.effect_aware_havoc,
+            )
+        )
+        payload = "\x00".join([pretty(block.body), repr(gamma_fp), config_fp])
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def _replay_block_entry(self, entry: dict) -> Type:
+        """Apply a stored block result: fast-forward the name supply by
+        what exploration consumed (later blocks' fresh names must match
+        a cold run's) and replay the stat deltas, including any nested
+        blocks' counts — a skip covers the whole subtree."""
+        self.names.fast_forward(entry["names"])
+        for key, delta in entry["stats"].items():
+            if key in self.stats:
+                self.stats[key] += delta
+        return entry["result_type"]
 
     def _contain_crash(self, error: Exception, gamma: TypeEnv, block: SymBlock) -> Type:
         """Trust ring 3: an unexpected exception during a symbolic block's

@@ -19,6 +19,7 @@ import time
 import traceback
 from typing import Optional
 
+from repro.fsio import atomic_write
 from repro.smt.service import FaultInjector
 
 
@@ -50,7 +51,9 @@ def record_crash(
     path = os.path.join(crash_dir, f"crash-{digest}.json")
     try:
         os.makedirs(crash_dir, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
+        # Atomic: a run killed mid-report must not leave a torn JSON file
+        # for the next triage pass to choke on.
+        with atomic_write(path) as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
     except OSError:

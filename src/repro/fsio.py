@@ -1,0 +1,49 @@
+"""Durable file I/O for analysis artifacts.
+
+Everything the tower writes to disk — crash repros, scheduling hints,
+the cross-run analysis store — must survive the process dying at any
+instruction: these files are read back by *later* runs, and a torn or
+half-written artifact would either crash that run or (worse) silently
+feed it garbage.  :func:`atomic_write` is the one way to write them:
+the content lands in a temporary file in the destination directory and
+is moved into place with :func:`os.replace`, which POSIX guarantees is
+atomic on a single filesystem.  A reader therefore sees either the old
+complete file or the new complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator, Union
+
+
+@contextmanager
+def atomic_write(
+    path: Union[str, os.PathLike], binary: bool = False
+) -> Iterator[IO]:
+    """Write ``path`` atomically: yield a handle to a sibling temp file,
+    fsync it, and :func:`os.replace` it over the destination on clean
+    exit.  On any exception the temp file is removed and the
+    destination is left untouched."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        mode = "wb" if binary else "w"
+        with os.fdopen(
+            fd, mode, encoding=None if binary else "utf-8"
+        ) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -152,12 +152,35 @@ class MixyConfig:
     sched_hints: Optional[str] = field(
         default_factory=lambda: os.environ.get("REPRO_SCHED_HINTS") or None
     )
+    #: cross-run analysis store (``--store DIR``; see repro.store): an
+    #: opened :class:`repro.store.AnalysisStore`, or None.  Block-result
+    #: memos are consulted/recorded only on the serial path with no
+    #: budget, witness validation, or fault injection — exactly the
+    #: conditions under which a skipped block's observable effects can
+    #: be replayed bit for bit (see _analyze_symbolic_inner).
+    store: Optional[object] = None
 
 
 @dataclass
 class _CacheEntry:
     null_slots: list[QVar]
     warnings: list[CWarning]
+
+
+@dataclass
+class _BlockExecution:
+    """One symbolic block execution's results plus the bookkeeping the
+    cross-run store needs to replay it: null conclusions as indices into
+    the (deterministic) watched list, and how many fresh symbols /
+    addresses execution consumed (a store hit fast-forwards past them so
+    later blocks' names match a cold run's exactly)."""
+
+    null_slots: list[QVar]
+    warnings: list[CWarning]
+    null_indices: tuple[int, ...]
+    symbols_consumed: int
+    addresses_consumed: int
+    typed_calls_delta: int
 
 
 @dataclass
@@ -447,10 +470,23 @@ class Mixy:
                     span.fields["cached"] = True
                 self._apply_conclusions(cached.null_slots, name)
                 return
+        memo_key: Optional[str] = None
+        if self._store_active():
+            memo_key = self._store_key(fn, context_key)
+            entry = self.config.store.mixy_get(memo_key)
+            if entry is not None:
+                # Cross-run store hit: replay the block's observable
+                # effects — materialization, name consumption, warnings,
+                # null conclusions — without re-executing it.
+                if span is not None:
+                    span.fields["store_hit"] = True
+                self._replay_block_entry(fn, context_slots, entry, name, stack_key)
+                return
         self._block_stack.append(stack_key)
         breaches_before = self.executor.stats["budget_breaches"]
         try:
-            null_slots, warnings = self._execute_symbolic_block(fn, context_slots)
+            execution = self._execute_symbolic_block(fn, context_slots)
+            null_slots, warnings = execution.null_slots, execution.warnings
         except CTypeError:
             raise  # a frontend/program error, not an analysis crash
         except Exception as error:
@@ -476,6 +512,123 @@ class Mixy:
             return
         if self.config.enable_cache:
             self._cache[stack_key] = _CacheEntry(null_slots, warnings)
+        if memo_key is not None and execution.typed_calls_delta == 0:
+            # Record for future runs.  Only *pure* blocks — no typed
+            # calls executed — are memoizable: a typed call's qualifier
+            # constraints and nested analyses are side effects a skip
+            # could not replay.  Warnings ship as plain strings; null
+            # conclusions as indices into the deterministic watched
+            # list, never as QVar objects (their identity is per-run).
+            self.config.store.mixy_put(
+                memo_key,
+                {
+                    "null_indices": execution.null_indices,
+                    "warnings": tuple(
+                        (w.kind.value, w.message, w.function)
+                        for w in execution.warnings
+                    ),
+                    "symbols": execution.symbols_consumed,
+                    "addresses": execution.addresses_consumed,
+                },
+            )
+        if self.config.restore_aliasing:
+            self._restore_aliasing(fn)
+
+    # -- cross-run block memos (see repro.store) ------------------------
+
+    def _store_active(self) -> bool:
+        """Memoization is on only when a skip is provably transparent:
+        serial naming (no parallel reset), no budget (a skip consumes no
+        paths, so breach behavior would differ), no witness validation
+        (replay needs the real execution), no fault injection (the
+        fault schedule indexes live queries)."""
+        return (
+            self.config.store is not None
+            and self._parallel is None
+            and self.config.budget is None
+            and not self.config.validate_witnesses
+            and smt.get_service().fault_injector is None
+        )
+
+    def _store_key(self, fn: CFunction, context_key: tuple) -> str:
+        """The block's cross-run identity: its content hash widened with
+        its transitive callee cone, struct layouts, the typed calling
+        context, and the analysis configuration.  Editing one function
+        retires exactly the keys whose cone contains it."""
+        from repro.mixy.c.pretty import function_text, struct_text
+        from repro.schedule import block_content_hash
+
+        cone = []
+        for cname in sorted(self._callee_cone(fn.name) - {fn.name}):
+            cfn = self.program.functions.get(cname)
+            if cfn is not None and cfn.body is not None:
+                cone.append(function_text(cfn))
+            else:
+                cone.append(f"extern {cname}")
+        structs = [
+            struct_text(s) for _, s in sorted(self.program.structs.items())
+        ]
+        config_fp = repr(
+            (
+                self.config.qual,
+                self.config.csym,
+                self.config.enable_cache,
+                self.config.restore_aliasing,
+                self.config.havoc_on_typed_call,
+            )
+        )
+        return block_content_hash(
+            self.program,
+            fn.name,
+            context=(tuple(cone), tuple(structs), context_key, config_fp),
+        )
+
+    def _callee_cone(self, name: str) -> set[str]:
+        """``name`` plus every function transitively callable from it
+        (by text, not by what actually executed — an over-approximation
+        is a safe invalidation key)."""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            fn = self.program.functions.get(current)
+            if fn is not None and fn.body is not None:
+                stack.extend(self._called_functions(fn))
+        return seen
+
+    def _replay_block_entry(
+        self,
+        fn: CFunction,
+        context_slots: list[tuple[str, QualType]],
+        entry: dict,
+        name: str,
+        stack_key: tuple,
+    ) -> None:
+        """Apply a stored block result as if the block had just run: the
+        context is materialized for real (same fresh names as a cold
+        run), execution's name consumption is fast-forwarded, warnings
+        are re-raised through the deduplicating path, and the stored
+        watched-slot indices become this run's QVar conclusions."""
+        state = self.executor.initial_state()
+        watched: list[tuple[int, QVar]] = []
+        saved_global_env = self.executor.global_env
+        self.executor.global_env = {}
+        try:
+            self._materialize_context(fn, context_slots, state, watched)
+        finally:
+            self.executor.global_env = saved_global_env
+        self.executor.fast_forward(entry["symbols"], entry["addresses"])
+        warnings = []
+        for kind_value, message, function in entry["warnings"]:
+            self.executor.warn(CErrKind(kind_value), message, function)
+            warnings.append(CWarning(CErrKind(kind_value), message, function))
+        null_slots = [watched[i][1] for i in entry["null_indices"]]
+        self._apply_conclusions(null_slots, name)
+        if self.config.enable_cache:
+            self._cache[stack_key] = _CacheEntry(null_slots, warnings)
         if self.config.restore_aliasing:
             self._restore_aliasing(fn)
 
@@ -497,19 +650,18 @@ class Mixy:
             "null" if self.qual.graph.may_null(q) else "nonnull" for q in qt.quals
         )
 
-    def _execute_symbolic_block(
-        self, fn: CFunction, context_slots: list[tuple[str, QualType]]
-    ) -> tuple[list[QVar], list[CWarning]]:
-        """Translate types to symbolic values, run, translate back."""
-        self.stats["symbolic_blocks_run"] += 1
-        state = self.executor.initial_state()
-        watched: list[tuple[int, QVar]] = []  # (cell, slot) to read back
-        # Globals first (shared addresses for this block run).  The global
-        # environment is saved and restored so that a nested symbolic block
-        # (reached through a typed call made *during* another symbolic
-        # execution) does not clobber the outer block's globals.
-        saved_global_env = self.executor.global_env
-        self.executor.global_env = {}
+    def _materialize_context(
+        self,
+        fn: CFunction,
+        context_slots: list[tuple[str, QualType]],
+        state: CState,
+        watched: list[tuple[int, QVar]],
+    ) -> tuple[CState, list[smt.Term]]:
+        """§4.1 types -> symbolic values for a whole calling context:
+        globals first (shared addresses, installed in ``global_env``),
+        then parameters.  Fully deterministic given (program, context),
+        which is what lets a store hit rebuild the same ``watched`` list
+        a cold run saw.  The caller owns the global_env save/restore."""
         for label, qt in context_slots:
             if not label.startswith("global:"):
                 continue
@@ -523,7 +675,25 @@ class Mixy:
             pname = label.split(":", 1)[1]
             state, value = self._translate_in(state, qt, f"{fn.name}.{pname}", watched)
             args.append(value)
+        return state, args
+
+    def _execute_symbolic_block(
+        self, fn: CFunction, context_slots: list[tuple[str, QualType]]
+    ) -> "_BlockExecution":
+        """Translate types to symbolic values, run, translate back."""
+        self.stats["symbolic_blocks_run"] += 1
+        state = self.executor.initial_state()
+        watched: list[tuple[int, QVar]] = []  # (cell, slot) to read back
+        # Globals first (shared addresses for this block run).  The global
+        # environment is saved and restored so that a nested symbolic block
+        # (reached through a typed call made *during* another symbolic
+        # execution) does not clobber the outer block's globals.
+        saved_global_env = self.executor.global_env
+        self.executor.global_env = {}
+        state, args = self._materialize_context(fn, context_slots, state, watched)
         warnings_before = len(self.executor.warnings)
+        typed_calls_before = self.stats["typed_calls"]
+        alpha_mark, address_mark = self.executor.counter_marks()
         saved_context = self._replay_context
         if self.config.validate_witnesses:
             self._replay_context = _ReplayContext(
@@ -540,6 +710,7 @@ class Mixy:
         finally:
             self.executor.global_env = saved_global_env
             self._replay_context = saved_context
+        alpha_after, address_after = self.executor.counter_marks()
         new_warnings = self.executor.warnings[warnings_before:]
         # §4.1 symbolic values -> types: a watched cell whose final value
         # may be 0 on some feasible path constrains its slot to null.
@@ -547,14 +718,23 @@ class Mixy:
         # typed callee's own qualifier constraints already describe that
         # write, and the havoc placeholder carries no information.
         null_slots: list[QVar] = []
+        null_indices: list[int] = []
         for result in results:
-            for cell, slot in watched:
+            for index, (cell, slot) in enumerate(watched):
                 final = result.state.cells.get(cell)
                 if final is None or _is_havoc(final):
                     continue
                 if self._may_be_null(result.state, final):
                     null_slots.append(slot)
-        return null_slots, new_warnings
+                    null_indices.append(index)
+        return _BlockExecution(
+            null_slots=null_slots,
+            warnings=new_warnings,
+            null_indices=tuple(null_indices),
+            symbols_consumed=alpha_after - alpha_mark,
+            addresses_consumed=address_after - address_mark,
+            typed_calls_delta=self.stats["typed_calls"] - typed_calls_before,
+        )
 
     def _materialize_slot(
         self, state: CState, qt: QualType, label: str, watched: list[tuple[int, QVar]]

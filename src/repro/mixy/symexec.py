@@ -195,7 +195,9 @@ class CSymExecutor:
             Callable[[CState, smt.Term, CWarning], Optional[object]]
         ] = None
         self.witnesses: dict[tuple, object] = {}
-        self._alpha = itertools.count(1)
+        #: next fresh-symbol ordinal; a plain int (not itertools.count)
+        #: so the cross-run block store can snapshot and fast-forward it
+        self._alpha = 1
         #: per-hint fresh-symbol counters; installed (non-None) only by
         #: reset_block_counters, i.e. only ever in parallel mode
         self._hint_alpha: Optional[defaultdict] = None
@@ -246,10 +248,29 @@ class CSymExecutor:
         self._hint_alpha = defaultdict(lambda: itertools.count(1))
         self._next_address = self._address_base
 
+    def counter_marks(self) -> tuple[int, int]:
+        """(fresh-symbol ordinal, next address) — a peek, consuming
+        nothing.  The cross-run block store diffs two marks to learn how
+        many symbols/addresses a block's execution consumed, so a store
+        hit can :meth:`fast_forward` past them and leave every later
+        block's names exactly where a cold run would have put them."""
+        return self._alpha, self._next_address
+
+    def fast_forward(self, symbols: int, addresses: int) -> None:
+        """Advance the serial naming counters as if ``symbols`` fresh
+        symbols and ``addresses`` cells had been allocated (store hits
+        replaying a skipped execution; serial naming only — the
+        block-deterministic mode has nothing to fast-forward)."""
+        assert self._hint_alpha is None, "fast_forward is serial-only"
+        self._alpha += symbols
+        self._next_address += addresses
+
     def fresh_symbol(self, hint: str = "c") -> smt.Term:
         if self._hint_alpha is not None:
             return smt.var(f"{hint}!{next(self._hint_alpha[hint])}", smt.INT)
-        return smt.var(f"{hint}!{next(self._alpha)}", smt.INT)
+        name = f"{hint}!{self._alpha}"
+        self._alpha += 1
+        return smt.var(name, smt.INT)
 
     def object_size(self, ctype: CType) -> int:
         if isinstance(ctype, StructType):

@@ -107,15 +107,28 @@ WAVE_SIMILARITY = 0.25
 COLD_ONLY_FRACTION = 0.25
 
 
-def block_content_hash(program, name: str) -> str:
+def block_content_hash(program, name: str, context: object = None) -> str:
     """A stable identity for one function's *content*: the SHA-1 of its
-    pretty-printed text.  Survives renames of other functions, global
-    reorderings, and annotation edits elsewhere; any edit to the
-    function itself retires its hints (they simply stop matching)."""
+    pretty-printed text.  The pretty-printer renders from the parsed
+    AST, so the hash is normalized by construction — whitespace and
+    comment edits to the source cannot retire hints or store entries
+    (pinned by ``tests/test_schedule.py``).  It survives renames of
+    other functions, global reorderings, and annotation edits
+    elsewhere; any edit to the function itself retires its hints (they
+    simply stop matching).
+
+    ``context``, when given, widens the key with a stable ``repr`` of
+    the block's typed calling context — the cross-run block store keys
+    results on (content, context) so that one function body analyzed
+    under two qualifier states gets two entries (see repro.store)."""
     from repro.mixy.c.pretty import function_text  # local: layering
 
     fn = program.functions[name]
-    return hashlib.sha1(function_text(fn).encode("utf-8")).hexdigest()[:16]
+    digest = hashlib.sha1(function_text(fn).encode("utf-8"))
+    if context is not None:
+        digest.update(b"\x00")
+        digest.update(repr(context).encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 @dataclass
@@ -184,7 +197,11 @@ class ScheduleHints:
         }
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
+        from repro.fsio import atomic_write  # local: layering
+
+        # Atomic: a half-written hint file would be "corrupt" to the
+        # next run — degraded gracefully, but the hints would be lost.
+        with atomic_write(path) as fh:
             json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
 

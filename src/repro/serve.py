@@ -1,0 +1,418 @@
+"""``repro serve``: a persistent analysis daemon with a warm cache.
+
+The CI-bot / editor-integration scenario: many short analyze requests
+against mostly-unchanged sources.  A fresh process pays the full cost
+every time; this daemon keeps the :class:`~repro.smt.service.
+SolverService` query cache and the cross-run block store
+(:mod:`repro.store`) warm across requests, and persists both to
+``.repro-store/`` so even a daemon restart starts warm.
+
+**Protocol** — line-delimited JSON over a Unix or TCP socket; one JSON
+object per line, one response line per request, requests served
+strictly in arrival order (the daemon is single-threaded on purpose:
+serialization is what makes two concurrent clients deterministic)::
+
+    -> {"cmd": "analyze", "lang": "mixy", "source": "...", "options": {...}}
+    <- {"ok": true, "result": {"exit": 0, "lines": [...]}, "served": {...}}
+    -> {"cmd": "ping"}           <- {"ok": true, "pong": true}
+    -> {"cmd": "stats"}          <- {"ok": true, "stats": {...}}
+    -> {"cmd": "shutdown"}       <- {"ok": true, "bye": true}
+
+``result`` is the request's *deterministic analysis payload*: the exit
+status and the exact diagnostic lines a fresh ``repro mix|mixy
+--jobs 1`` run would print (warnings, report, the ``N warning(s)``
+count).  Wall-clock timing and cache-hit counters are deliberately
+outside it — they live in ``served`` — so ``result`` is bitwise
+identical between a cold run, a warm run, and a fresh process: the
+store accelerates, it never answers.
+
+Per-request equivalence with a fresh process is engineered, not hoped
+for: each analyze request resets the process-global qualifier-variable
+ids and string-intern table (exactly what the parallel-equivalence
+tests do between runs), builds a fresh analyzer on the *shared* solver
+service, and defaults to the serial path (``jobs: 1``) regardless of
+environment overrides.  Options may carry a per-request ``Budget``
+(deadline / query timeout / path cap) — budgeted requests simply skip
+the block memo, which is only transparent for unbudgeted runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import sys
+from typing import Optional
+
+PROTOCOL_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# One-request analysis (shared by the daemon and `--store` CLI runs)
+# ---------------------------------------------------------------------------
+
+
+def fresh_equivalence_state() -> None:
+    """Reset the process-global counters that leak ordinal state between
+    runs in one process: qualifier-variable ids and the string-intern
+    table.  After this, an analysis run produces byte-identical
+    diagnostics to the same run in a fresh process.  (The solver
+    service is *not* reset — its cache is keyed on formulas, which are
+    ordinal-free across runs of the same source precisely because of
+    this reset.)"""
+    from repro.mixy.qual import QVar
+    from repro.symexec import values
+
+    QVar._ids = itertools.count(1)
+    values._STRING_CODES.clear()
+
+
+def analyze_source(lang: str, source: str, options: dict, store=None) -> dict:
+    """Run one analysis; returns ``{"exit": int, "lines": [str, ...]}``
+    — exactly the deterministic output contract described in the module
+    docstring.  Never raises on program errors (they are exit-2 lines,
+    like the CLI); analyzer crashes propagate to the caller."""
+    from repro.budget import Budget
+
+    budget = None
+    if any(
+        options.get(k) is not None
+        for k in ("deadline", "query_timeout_ms", "max_paths")
+    ):
+        timeout_ms = options.get("query_timeout_ms")
+        budget = Budget(
+            deadline=options.get("deadline"),
+            query_timeout=timeout_ms / 1000.0 if timeout_ms is not None else None,
+            max_paths=options.get("max_paths"),
+        )
+    fresh_equivalence_state()
+    if lang == "mixy":
+        return _analyze_mixy(source, options, budget, store)
+    if lang == "mix":
+        return _analyze_mix(source, options, budget, store)
+    raise ValueError(f"unknown lang {lang!r}; expected 'mix' or 'mixy'")
+
+
+def _analyze_mixy(source: str, options: dict, budget, store) -> dict:
+    from repro.mixy import Mixy, MixyConfig
+    from repro.mixy.c.parser import CParseError
+    from repro.mixy.qual import QualConfig
+    from repro.mixy.symexec import CErrKind
+
+    config = MixyConfig(
+        qual=QualConfig(
+            deref_requires_nonnull=bool(options.get("strict_deref", False))
+        ),
+        enable_cache=not options.get("no_cache", False),
+        budget=budget,
+        # Explicit defaults, not environment defaults: a daemon request
+        # answers for itself, not for whatever REPRO_JOBS the daemon
+        # happened to inherit.
+        validate_witnesses=bool(options.get("validate_witnesses", False)),
+    )
+    config.jobs = int(options.get("jobs", 1))
+    config.schedule = options.get("schedule", "fifo")
+    config.sched_hints = options.get("sched_hints")
+    config.store = store
+    try:
+        mixy = Mixy(source, config)
+        warnings = mixy.run(
+            entry=options.get("entry", "typed"),
+            entry_function=options.get("entry_function", "main"),
+        )
+    except CParseError as error:
+        return {"exit": 2, "lines": [f"error: {error}"]}
+    except KeyError as error:
+        return {"exit": 2, "lines": [f"error: no such function {error}"]}
+    lines = [str(w) for w in warnings]
+    lines.append(f"{len(warnings)} warning(s)")
+    contained = sum(
+        1 for w in mixy.executor.warnings if w.kind is CErrKind.CRASH
+    )
+    return {"exit": 0 if len(warnings) <= contained else 1, "lines": lines}
+
+
+def _analyze_mix(source: str, options: dict, budget, store) -> dict:
+    from repro.core import MixConfig, SoundnessMode, analyze
+    from repro.lang.lexer import LexError
+    from repro.lang.parser import ParseError, parse, parse_type
+    from repro.symexec import IfStrategy, SymConfig
+    from repro.typecheck.types import TypeEnv
+
+    try:
+        program = parse(source)
+        bindings = {}
+        for item in filter(
+            None, (part.strip() for part in options.get("env", "").split(","))
+        ):
+            name, _, type_text = item.partition(":")
+            if not type_text:
+                raise ValueError(f"bad env entry {item!r}; expected name:type")
+            bindings[name.strip()] = parse_type(type_text.strip())
+        env = TypeEnv(bindings)
+    except (ParseError, LexError, ValueError) as error:
+        return {"exit": 2, "lines": [f"error: {error}"]}
+    config = MixConfig(
+        sym=SymConfig(
+            if_strategy=IfStrategy.DEFER
+            if options.get("defer", False)
+            else IfStrategy.FORK,
+            max_loop_unroll=int(options.get("max_unroll", 64)),
+        ),
+        soundness=SoundnessMode.GOOD_ENOUGH
+        if options.get("good_enough", False)
+        else SoundnessMode.SOUND,
+        budget=budget,
+        validate_witnesses=bool(options.get("validate_witnesses", False)),
+    )
+    config.jobs = int(options.get("jobs", 1))
+    config.store = store
+    report = analyze(program, env, options.get("entry", "typed"), config)
+    lines = [str(report)]
+    lines.extend(f"warning: {w}" for w in report.warnings)
+    return {"exit": 0 if report.ok else 1, "lines": lines}
+
+
+# ---------------------------------------------------------------------------
+# The daemon
+# ---------------------------------------------------------------------------
+
+
+class ReproDaemon:
+    """One serving loop over one listening socket and one open store."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        listen: Optional[str] = None,
+        store_dir: Optional[str] = ".repro-store",
+        save_every: int = 1,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        if (socket_path is None) == (listen is None):
+            raise ValueError("exactly one of socket_path / listen required")
+        self.socket_path = socket_path
+        self.listen = listen
+        self.store_dir = store_dir
+        self.save_every = max(1, save_every)
+        self.max_requests = max_requests
+        self.requests_served = 0
+        self._unsaved = 0
+        self._stop = False
+        self.store = None
+        self._sock: Optional[socket.socket] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self) -> str:
+        """Open the store, bind the socket, and return the announce
+        string (``unix:PATH`` or ``tcp:HOST:PORT`` with the real port)."""
+        from repro import smt
+        from repro.store import AnalysisStore
+
+        if self.store_dir is not None:
+            self.store = AnalysisStore.open(self.store_dir)
+            loaded = self.store.load_into_service(smt.get_service())
+            if loaded:
+                print(
+                    f"repro-serve: warmed {loaded} solver-cache entr"
+                    f"{'y' if loaded == 1 else 'ies'} from {self.store_dir}",
+                    file=sys.stderr,
+                )
+        if self.socket_path is not None:
+            # A previous life's socket file would make bind() fail; it is
+            # dead by definition (one daemon per socket path).
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.bind(self.socket_path)
+            announce = f"unix:{self.socket_path}"
+        else:
+            host, _, port_text = self.listen.rpartition(":")
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._sock.bind((host or "127.0.0.1", int(port_text or 0)))
+            bound_host, bound_port = self._sock.getsockname()
+            announce = f"tcp:{bound_host}:{bound_port}"
+        self._sock.listen(8)
+        return announce
+
+    def serve_forever(self) -> int:
+        """Accept and serve connections until shutdown / max_requests.
+        Returns 0; daemon-fatal errors propagate."""
+        assert self._sock is not None, "bind() first"
+        try:
+            while not self._stop:
+                conn, _ = self._sock.accept()
+                with conn:
+                    self._serve_connection(conn)
+        finally:
+            self._persist()
+            self._sock.close()
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+        return 0
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reader = conn.makefile("r", encoding="utf-8")
+        writer = conn.makefile("w", encoding="utf-8")
+        try:
+            for line in reader:
+                if not line.strip():
+                    continue
+                response = self.handle_line(line)
+                writer.write(json.dumps(response, sort_keys=True) + "\n")
+                writer.flush()
+                if self._stop:
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-conversation; nothing to do
+        finally:
+            try:
+                writer.close()
+                reader.close()
+            except OSError:
+                pass
+
+    # -- request handling ----------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        """One request line -> one response object.  Never raises: any
+        analyzer or protocol failure becomes an ``{"ok": false}``
+        response — a bad request must not take the daemon (and every
+        other client's warm cache) down with it."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, ValueError) as error:
+            return {"ok": False, "error": f"bad request: {error}"}
+        try:
+            return self._dispatch(request)
+        except Exception as error:  # daemon survives anything per-request
+            return {
+                "ok": False,
+                "error": f"{type(error).__name__}: {error}",
+            }
+
+    def _dispatch(self, request: dict) -> dict:
+        from repro import smt
+
+        cmd = request.get("cmd")
+        self.requests_served += 1
+        if self.max_requests is not None and (
+            self.requests_served >= self.max_requests
+        ):
+            self._stop = True
+        if cmd == "ping":
+            return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+        if cmd == "shutdown":
+            self._stop = True
+            return {"ok": True, "bye": True}
+        if cmd == "stats":
+            stats = {
+                "requests_served": self.requests_served,
+                "solver": smt.get_service().stats.as_dict(),
+            }
+            if self.store is not None:
+                stats["store"] = dict(self.store.stats)
+            return {"ok": True, "stats": stats}
+        if cmd == "analyze":
+            return self._handle_analyze(request)
+        return {"ok": False, "error": f"unknown cmd {cmd!r}"}
+
+    def _handle_analyze(self, request: dict) -> dict:
+        from repro import smt
+
+        lang = request.get("lang", "mixy")
+        source = request.get("source")
+        if not isinstance(source, str):
+            return {"ok": False, "error": "analyze needs a string 'source'"}
+        options = request.get("options") or {}
+        if not isinstance(options, dict):
+            return {"ok": False, "error": "'options' must be an object"}
+        store_stats_before = (
+            dict(self.store.stats) if self.store is not None else {}
+        )
+        tracer = self._request_tracer(options)
+        try:
+            result = analyze_source(lang, source, options, store=self.store)
+        finally:
+            if tracer:
+                from repro.trace import TRACER
+
+                TRACER.close()
+        served = {"requests_served": self.requests_served}
+        if self.store is not None:
+            served["store"] = {
+                key: self.store.stats[key] - store_stats_before.get(key, 0)
+                for key in self.store.stats
+                if self.store.stats[key] != store_stats_before.get(key, 0)
+            }
+            self._unsaved += 1
+            if self._unsaved >= self.save_every:
+                self.store.save(smt.get_service())
+                self._unsaved = 0
+        return {"ok": True, "result": result, "served": served}
+
+    def _request_tracer(self, options: dict) -> bool:
+        """Per-request tracing: honor ``options["trace"]`` when the
+        daemon itself is not already tracing.  Appends, so a client
+        re-using one trace path accumulates sessions instead of
+        truncating them (the bug this PR fixes)."""
+        path = options.get("trace")
+        if not path:
+            return False
+        from repro.trace import TRACER
+
+        if TRACER.enabled:
+            return False
+        TRACER.enable(path, mode="append")
+        return True
+
+    def _persist(self) -> None:
+        if self.store is not None:
+            from repro import smt
+
+            self.store.save(smt.get_service())
+
+
+# ---------------------------------------------------------------------------
+# The client
+# ---------------------------------------------------------------------------
+
+
+def connect(address: str, timeout: float = 60.0) -> socket.socket:
+    """Open a client socket to ``unix:PATH`` / ``tcp:HOST:PORT`` (or a
+    bare filesystem path, treated as a Unix socket)."""
+    if address.startswith("tcp:"):
+        host, _, port_text = address[len("tcp:"):].rpartition(":")
+        sock = socket.create_connection(
+            (host or "127.0.0.1", int(port_text)), timeout=timeout
+        )
+        return sock
+    path = address[len("unix:"):] if address.startswith("unix:") else address
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(path)
+    return sock
+
+
+def request(address: str, payload: dict, timeout: float = 60.0) -> dict:
+    """One request, one response, over a fresh connection."""
+    with connect(address, timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8")
+        line = reader.readline()
+    if not line:
+        raise ConnectionError(f"no response from {address}")
+    response = json.loads(line)
+    if not isinstance(response, dict):
+        raise ConnectionError(f"malformed response from {address}")
+    return response

@@ -721,6 +721,12 @@ class SolverService:
         and stats; returns the number of entries actually imported.
         Callers merge deltas in a deterministic (block-name) order so
         the cache contents are reproducible run to run."""
+        imported = self._import_entries(delta)
+        self.stats.merge_perf(delta.stats)
+        self.stats.cache_entries_imported += imported
+        return imported
+
+    def _import_entries(self, delta: CacheDelta) -> int:
         roots = from_wire_many(delta.wire)
         imported = 0
         for int_budget, positions, verdict, in_sats, in_cores in delta.entries:
@@ -735,9 +741,29 @@ class SolverService:
                 shard.sat_sets.append(key)
             if in_cores and key not in shard.unsat_cores:
                 shard.unsat_cores.append(key)
-        self.stats.merge_perf(delta.stats)
-        self.stats.cache_entries_imported += imported
         return imported
+
+    # -- cross-run cache persistence (see repro.store) -------------------------
+
+    def export_cache(self) -> CacheDelta:
+        """Every exact-tier entry of every shard, wire-encoded — the
+        persistable form of the whole cache, not a delta.  Reuses the
+        :class:`CacheDelta` shape against an empty baseline; the stats
+        payload is zeroed (a store records verdicts, not the solve time
+        some other run paid for them).  Models are not exported, same
+        as deltas: the model-eval tier refills from live solves."""
+        delta = self.collect_delta({}, self.stats)
+        return CacheDelta(wire=delta.wire, entries=delta.entries, stats=SolverStats())
+
+    def import_cache(self, delta: CacheDelta) -> int:
+        """Load a persisted :meth:`export_cache` into the shards;
+        returns the number of entries imported.  Unlike
+        :meth:`merge_delta` this merges no perf counters — a disk
+        store's history is not this run's work — so the run's own
+        tier/timing stats stay honest.  Every entry is a definite
+        verdict of its formula (UNKNOWN is never cached), so importing
+        can accelerate but never change any answer."""
+        return self._import_entries(delta)
 
     # -- internals -------------------------------------------------------------
 

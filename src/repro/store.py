@@ -1,0 +1,252 @@
+"""The cross-run analysis store (``.repro-store/``).
+
+The tower's caches already make re-analysis cheap *within* one process:
+the :class:`~repro.smt.service.SolverService` answers repeated queries
+from its tiered cache, and the MIXY driver's §4.3 block cache skips
+whole blocks whose calling context is unchanged.  This module makes
+that reuse survive the process: a small on-disk store that a later run
+— or a long-lived ``repro serve`` daemon across restarts — loads to
+start warm.
+
+Layout of one store directory::
+
+    .repro-store/
+      meta.json          # {"schema": "repro-store", "version": 1}
+      solver-cache.pkl   # SolverService.export_cache(), wire-encoded
+      blocks.pkl         # block-result memos, keyed on content hashes
+
+The **solver cache** section persists every exact-tier entry (verdict
+plus sat-set / unsat-core membership) via the wire codec
+(:func:`repro.smt.terms.to_wire_many`): terms hash by identity, so they
+cross runs the same way they cross processes in the parallel engine.
+Every entry is a definite verdict of its formula — UNKNOWN is never
+cached — so importing a store can accelerate but never change an
+answer.
+
+The **block memo** sections record, per analyzed block, just enough to
+replay the block's *observable effects* without re-executing it: which
+watched slots concluded null (MIXY), the result type and stat deltas
+(MIX), the warnings it raised, and how many fresh names it consumed
+(so a skip leaves every later block's terms exactly where a cold run
+would put them).  Keys are content hashes over the block's text, its
+transitive callee cone, and its typed calling context
+(:func:`repro.schedule.block_content_hash` widened with a context), so
+editing one function invalidates exactly that function's dependency
+cone and nothing else.
+
+Durability contract, same as the PR-6 hint files: the store is an
+accelerator, never a correctness input.  All writes go through
+:func:`repro.fsio.atomic_write`; a missing, torn, corrupt, or
+version-mismatched store degrades to a cold start with a note on
+stderr, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+from typing import Optional
+
+STORE_VERSION = 1
+STORE_SCHEMA = "repro-store"
+
+#: Exceptions that mean "this store file is unusable": anything pickle
+#: or a shape mismatch can throw.  Broad on purpose — a bad store must
+#: degrade to cold, never take the analysis down.
+_LOAD_ERRORS = (
+    OSError,
+    EOFError,
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    IndexError,
+    ImportError,
+    pickle.UnpicklingError,
+    json.JSONDecodeError,
+)
+
+
+class AnalysisStore:
+    """One open store directory: loaded sections plus hit/record stats."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        #: the persisted solver cache, if one loaded (a CacheDelta)
+        self.solver_cache = None
+        #: content-hash -> memo entry (plain dicts; see mixy_put/mix_put)
+        self.mixy_blocks: dict[str, dict] = {}
+        self.mix_blocks: dict[str, dict] = {}
+        #: why (part of) the store was ignored, for stderr surfacing
+        self.notes: list[str] = []
+        #: set by put(); save() is a no-op on a clean store
+        self.dirty = False
+        self.stats = {
+            "solver_entries_loaded": 0,
+            "mixy_hits": 0,
+            "mixy_misses": 0,
+            "mixy_records": 0,
+            "mix_hits": 0,
+            "mix_misses": 0,
+            "mix_records": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, root: str, quiet: bool = False) -> "AnalysisStore":
+        """Open (or initialize) the store at ``root``.  Never raises on
+        bad contents: each unusable section is skipped with a note."""
+        store = cls(root)
+        meta_path = os.path.join(root, "meta.json")
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, encoding="utf-8") as fh:
+                    meta = json.load(fh)
+                if (
+                    not isinstance(meta, dict)
+                    or meta.get("schema") != STORE_SCHEMA
+                    or meta.get("version") != STORE_VERSION
+                ):
+                    store.notes.append(
+                        f"store {root}: unsupported meta {meta!r}; starting cold"
+                    )
+                    store._surface(quiet)
+                    return store
+            except _LOAD_ERRORS as error:
+                store.notes.append(
+                    f"store {root}: unreadable meta.json ({error}); starting cold"
+                )
+                store._surface(quiet)
+                return store
+            store._load_solver_cache()
+            store._load_blocks()
+        elif os.path.exists(root) and not os.path.isdir(root):
+            store.notes.append(f"store {root}: not a directory; starting cold")
+        store._surface(quiet)
+        return store
+
+    def _load_solver_cache(self) -> None:
+        path = os.path.join(self.root, "solver-cache.pkl")
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload["version"] != STORE_VERSION:
+                raise ValueError(f"version {payload['version']}")
+            delta = payload["delta"]
+            len(delta.entries)  # shape probe: unusable payloads fail here
+            self.solver_cache = delta
+        except _LOAD_ERRORS as error:
+            self.notes.append(
+                f"store {self.root}: ignoring corrupt solver-cache.pkl "
+                f"({type(error).__name__}: {error}); solver cache starts cold"
+            )
+
+    def _load_blocks(self) -> None:
+        path = os.path.join(self.root, "blocks.pkl")
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload["version"] != STORE_VERSION:
+                raise ValueError(f"version {payload['version']}")
+            mixy, mix = dict(payload["mixy"]), dict(payload["mix"])
+            self.mixy_blocks, self.mix_blocks = mixy, mix
+        except _LOAD_ERRORS as error:
+            self.notes.append(
+                f"store {self.root}: ignoring corrupt blocks.pkl "
+                f"({type(error).__name__}: {error}); block memos start cold"
+            )
+
+    def _surface(self, quiet: bool) -> None:
+        if quiet:
+            return
+        for note in self.notes:
+            print(f"note: {note}", file=sys.stderr)
+
+    def load_into_service(self, service) -> int:
+        """Import the persisted solver cache into ``service``; returns
+        the number of entries imported (0 on a cold store)."""
+        if self.solver_cache is None:
+            return 0
+        try:
+            imported = service.import_cache(self.solver_cache)
+        except _LOAD_ERRORS as error:
+            self.notes.append(
+                f"store {self.root}: solver cache failed to import "
+                f"({type(error).__name__}: {error}); continuing cold"
+            )
+            print(f"note: {self.notes[-1]}", file=sys.stderr)
+            return 0
+        self.stats["solver_entries_loaded"] += imported
+        return imported
+
+    def save(self, service=None, force: bool = False) -> None:
+        """Persist the store atomically: the block memos, plus
+        ``service.export_cache()`` when a service is given.  Write
+        failures are swallowed with a note — persisting is an
+        optimization, never worth failing an analysis over."""
+        if not (self.dirty or force or service is not None):
+            return
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            from repro.fsio import atomic_write
+
+            if service is not None:
+                with atomic_write(
+                    os.path.join(self.root, "solver-cache.pkl"), binary=True
+                ) as fh:
+                    pickle.dump(
+                        {"version": STORE_VERSION, "delta": service.export_cache()},
+                        fh,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+            with atomic_write(
+                os.path.join(self.root, "blocks.pkl"), binary=True
+            ) as fh:
+                pickle.dump(
+                    {
+                        "version": STORE_VERSION,
+                        "mixy": self.mixy_blocks,
+                        "mix": self.mix_blocks,
+                    },
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            with atomic_write(os.path.join(self.root, "meta.json")) as fh:
+                json.dump(
+                    {"schema": STORE_SCHEMA, "version": STORE_VERSION}, fh
+                )
+                fh.write("\n")
+            self.dirty = False
+        except OSError as error:
+            note = f"store {self.root}: could not persist ({error})"
+            self.notes.append(note)
+            print(f"note: {note}", file=sys.stderr)
+
+    # -- block memos ---------------------------------------------------------
+
+    def mixy_get(self, key: str) -> Optional[dict]:
+        entry = self.mixy_blocks.get(key)
+        self.stats["mixy_hits" if entry is not None else "mixy_misses"] += 1
+        return entry
+
+    def mixy_put(self, key: str, entry: dict) -> None:
+        self.mixy_blocks[key] = entry
+        self.stats["mixy_records"] += 1
+        self.dirty = True
+
+    def mix_get(self, key: str) -> Optional[dict]:
+        entry = self.mix_blocks.get(key)
+        self.stats["mix_hits" if entry is not None else "mix_misses"] += 1
+        return entry
+
+    def mix_put(self, key: str, entry: dict) -> None:
+        self.mix_blocks[key] = entry
+        self.stats["mix_records"] += 1
+        self.dirty = True

@@ -27,7 +27,6 @@ unit      ``Int`` (always 0)
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
@@ -117,12 +116,29 @@ class NameSupply:
     """Fresh names for symbolic variables (α) and base memories (μ)."""
 
     def __init__(self) -> None:
-        self._counter = itertools.count(1)
+        #: next ordinal; a plain int (not itertools.count) so the
+        #: cross-run block store can snapshot and fast-forward it
+        self._counter = 1
         self._lock = threading.Lock()
 
     def fresh(self, prefix: str) -> str:
         with self._lock:
-            return f"{prefix}!{next(self._counter)}"
+            name = f"{prefix}!{self._counter}"
+            self._counter += 1
+            return name
+
+    def mark(self) -> int:
+        """Peek the next ordinal (consumes nothing); the block store
+        diffs two marks to learn a block's name consumption."""
+        with self._lock:
+            return self._counter
+
+    def fast_forward(self, names: int) -> None:
+        """Advance as if ``names`` fresh names had been drawn — store
+        hits replay a skipped block's name consumption so later blocks
+        name their symbols exactly as a cold run would."""
+        with self._lock:
+            self._counter += names
 
     def fresh_int(self, prefix: str = "a") -> smt.Term:
         return smt.var(self.fresh(prefix), smt.INT)

@@ -165,12 +165,34 @@ class Tracer:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def enable(self, path: Union[str, os.PathLike]) -> None:
-        """Start tracing to ``path`` (truncates any existing file)."""
+    def enable(
+        self, path: Union[str, os.PathLike], mode: str = "truncate"
+    ) -> None:
+        """Start tracing to ``path``.
+
+        ``mode`` decides what happens to an existing file:
+
+        - ``"truncate"`` (default): start fresh — the right call for a
+          one-shot CLI run, where the file is that run's artifact.
+        - ``"append"``: keep prior lines and append a new session after
+          them.  Each session opens with its own ``meta`` line, and the
+          readers treat every line independently, so a file holding
+          several sessions still validates and aggregates.
+        - ``"rotate"``: move an existing file to ``path.1`` (replacing
+          any previous ``path.1``) and start fresh.  This is what a
+          restarted daemon wants: the previous life's spans survive at
+          a predictable name instead of being silently destroyed.
+        """
         if self.enabled:
             raise RuntimeError("tracer is already enabled")
+        if mode not in ("truncate", "append", "rotate"):
+            raise ValueError(f"unknown trace mode {mode!r}")
         self._path = os.fspath(path)
-        self._fh = open(self._path, "w", encoding="utf-8")
+        if mode == "rotate" and os.path.exists(self._path):
+            os.replace(self._path, self._path + ".1")
+        self._fh = open(
+            self._path, "a" if mode == "append" else "w", encoding="utf-8"
+        )
         self._prefix = ""
         self._next_id = 0
         self._stack = []

@@ -365,3 +365,62 @@ class TestStrategyEquivalence:
         service.cancel_check = lambda: True
         with pytest.raises(SatCancelled):
             service.check_sat(QUERIES[0])
+
+
+# ---------------------------------------------------------------------------
+# block_content_hash: normalized content identity (hint + store keying)
+# ---------------------------------------------------------------------------
+
+FN_SOURCE = """
+int helper(int a) {
+  if (a < 0) { return 0; }
+  return a + 1;
+}
+"""
+
+#: Same function, gratuitously reformatted: the hash must not move.
+FN_REFORMATTED = """
+
+int   helper( int   a )
+{
+    if (a < 0)
+        { return 0; }
+
+    return a    + 1;
+}
+"""
+
+
+class TestBlockContentHash:
+    """The store/hint key is the SHA-1 of the *pretty-printed* function,
+    so it is normalized by construction: whitespace and layout edits
+    cannot retire memo entries; any edit to the function itself does."""
+
+    def _hash(self, source, name="helper", context=None):
+        from repro.mixy.c import parse_program
+        from repro.schedule import block_content_hash
+
+        return block_content_hash(parse_program(source), name, context)
+
+    def test_reformatting_is_hash_stable(self):
+        assert self._hash(FN_SOURCE) == self._hash(FN_REFORMATTED)
+
+    def test_body_edits_change_the_hash(self):
+        edited = FN_SOURCE.replace("a + 1", "a + 2")
+        assert self._hash(FN_SOURCE) != self._hash(edited)
+
+    def test_edits_elsewhere_do_not_change_the_hash(self):
+        grown = FN_SOURCE + "\nint other(int b) { return b; }\n"
+        assert self._hash(FN_SOURCE) == self._hash(grown)
+
+    def test_context_widens_the_key_and_stays_normalized(self):
+        plain = self._hash(FN_SOURCE)
+        ctx = ("cone-text", "ctx-key")
+        assert self._hash(FN_SOURCE, context=ctx) != plain
+        # Same context, reformatted body: still the same widened key.
+        assert self._hash(FN_SOURCE, context=ctx) == self._hash(
+            FN_REFORMATTED, context=ctx
+        )
+        assert self._hash(FN_SOURCE, context=("other",)) != self._hash(
+            FN_SOURCE, context=ctx
+        )

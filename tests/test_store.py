@@ -1,0 +1,240 @@
+"""The cross-run analysis store and the atomic-write durability layer.
+
+Two contracts under test here:
+
+1. :func:`repro.fsio.atomic_write` — readers never observe a torn
+   file: either the old content or the complete new content exists,
+   and a failed write leaves no temp droppings behind.
+2. :class:`repro.store.AnalysisStore` — persisting the solver cache
+   and block memos is an *accelerator, never a correctness input*:
+   a warm run produces bitwise-identical warnings to a cold one, and
+   any corrupt / truncated / version-mismatched store file degrades
+   to a cold start with a stderr note, never a crash or a changed
+   verdict.
+"""
+
+import itertools
+import json
+import os
+import pickle
+
+import pytest
+
+from repro import smt
+from repro.budget import Budget
+from repro.fsio import atomic_write
+from repro.mixy import Mixy, MixyConfig
+from repro.mixy.corpus import CASES
+from repro.mixy.corpus_vsftpd import parallel_vsftpd
+from repro.mixy.qual import QVar
+from repro.store import STORE_VERSION, AnalysisStore
+from repro.symexec import values
+
+#: Fast corpus for degradation tests.  Its symbolic blocks all make
+#: typed calls, so it exercises the store plumbing without recording.
+SOURCE = CASES["case1"].source(False)
+#: Corpus with *pure* symbolic blocks (no typed calls), the memoizable
+#: kind — what the round-trip tests need.
+STAIRCASE = parallel_vsftpd(depth=1)
+
+
+def _fresh_process_state():
+    """Reset everything that carries ordinal state across runs in one
+    process (same discipline as the parallel-equivalence tests)."""
+    smt.reset_service()
+    QVar._ids = itertools.count(1)
+    values._STRING_CODES.clear()
+
+
+def _analyze(store=None, budget=None, source=SOURCE):
+    """One serial MIXY run in a reproducible process state; returns
+    (warning texts, store-stat snapshot)."""
+    _fresh_process_state()
+    if store is not None:
+        store.load_into_service(smt.get_service())
+    config = MixyConfig(budget=budget)
+    config.jobs = 1  # the memo is serial-only; don't inherit REPRO_JOBS
+    config.store = store
+    mixy = Mixy(source, config)
+    warnings = [str(w) for w in mixy.run()]
+    return warnings, dict(store.stats) if store is not None else {}
+
+
+# ---------------------------------------------------------------------------
+# atomic_write
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        with atomic_write(str(path)) as fh:
+            fh.write("hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "out.pkl"
+        with atomic_write(str(path), binary=True) as fh:
+            pickle.dump({"k": 1}, fh)
+        with open(path, "rb") as fh:
+            assert pickle.load(fh) == {"k": 1}
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_write(str(path)) as fh:
+            fh.write("new")
+        assert path.read_text() == "new"
+
+    def test_failed_write_keeps_old_content_and_no_droppings(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(str(path)) as fh:
+                fh.write("half-written")
+                raise RuntimeError("boom")
+        # The old content survives and no *.tmp siblings are left over.
+        assert path.read_text() == "old"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_no_partial_file_on_first_write_failure(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(str(path)) as fh:
+                fh.write("half")
+                raise RuntimeError("boom")
+        assert os.listdir(tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# Store round trip
+# ---------------------------------------------------------------------------
+
+
+class TestStoreRoundTrip:
+    def test_memo_entries_survive_save_open(self, tmp_path):
+        store = AnalysisStore.open(str(tmp_path / "store"))
+        store.mixy_put("k1", {"null_indices": (0,), "warnings": (),
+                              "symbols": 3, "addresses": 1})
+        store.mix_put("k2", {"names": 2})
+        store.save()
+        reopened = AnalysisStore.open(str(tmp_path / "store"))
+        assert reopened.mixy_get("k1") == store.mixy_blocks["k1"]
+        assert reopened.mix_get("k2") == store.mix_blocks["k2"]
+        assert reopened.notes == []
+
+    def test_solver_cache_round_trips_through_disk(self, tmp_path):
+        _fresh_process_state()
+        service = smt.get_service()
+        from repro.smt import eq, int_const, var
+        from repro.smt.terms import INT
+
+        x = var("store_rt_x", INT)
+        verdict = service.check_sat((eq(x, int_const(1)),))
+        store = AnalysisStore.open(str(tmp_path / "store"))
+        store.save(service)
+        reopened = AnalysisStore.open(str(tmp_path / "store"))
+        fresh = smt.SolverService()
+        imported = reopened.solver_cache is not None and fresh.import_cache(
+            reopened.solver_cache
+        )
+        assert imported and imported >= 1
+        # The imported entry answers without a fresh solve.
+        solves_before = fresh.stats.full_solves
+        assert fresh.check_sat((eq(x, int_const(1)),)) is verdict
+        assert fresh.stats.full_solves == solves_before
+
+    def test_warm_run_is_bitwise_identical_and_hits(self, tmp_path):
+        cold_warnings, _ = _analyze(source=STAIRCASE)
+        store = AnalysisStore.open(str(tmp_path / "store"))
+        first_warnings, first_stats = _analyze(store, source=STAIRCASE)
+        store.save(smt.get_service())
+        assert first_warnings == cold_warnings
+        assert first_stats["mixy_records"] > 0
+
+        warm = AnalysisStore.open(str(tmp_path / "store"))
+        assert warm.notes == []
+        warm_warnings, warm_stats = _analyze(warm, source=STAIRCASE)
+        assert warm_warnings == cold_warnings
+        assert warm_stats["mixy_hits"] > 0
+        assert warm_stats["solver_entries_loaded"] > 0
+
+    def test_memo_is_inactive_under_a_budget(self, tmp_path):
+        store = AnalysisStore.open(str(tmp_path / "store"))
+        _, stats = _analyze(
+            store, budget=Budget(deadline=3600.0), source=STAIRCASE
+        )
+        assert stats["mixy_records"] == 0
+        assert stats["mixy_hits"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Degradation: every broken store starts cold, never crashes
+# ---------------------------------------------------------------------------
+
+
+def _populated_store_dir(tmp_path) -> str:
+    root = str(tmp_path / "store")
+    store = AnalysisStore.open(root)
+    _analyze(store)
+    store.save(smt.get_service())
+    return root
+
+
+class TestDegradation:
+    def test_missing_store_is_silent_cold(self, tmp_path, capsys):
+        store = AnalysisStore.open(str(tmp_path / "nope"))
+        assert store.notes == []
+        assert store.mixy_blocks == {} and store.solver_cache is None
+        assert capsys.readouterr().err == ""
+
+    def test_corrupt_pickles_degrade_with_a_note(self, tmp_path, capsys):
+        root = _populated_store_dir(tmp_path)
+        with open(os.path.join(root, "solver-cache.pkl"), "wb") as fh:
+            fh.write(b"not a pickle")
+        with open(os.path.join(root, "blocks.pkl"), "wb") as fh:
+            fh.write(b"\x80")  # truncated pickle stream
+        store = AnalysisStore.open(root)
+        err = capsys.readouterr().err
+        assert "corrupt solver-cache.pkl" in err
+        assert "corrupt blocks.pkl" in err
+        warnings, stats = _analyze(store)
+        cold_warnings, _ = _analyze()
+        assert warnings == cold_warnings
+        assert stats["mixy_hits"] == 0 and stats["solver_entries_loaded"] == 0
+
+    def test_version_mismatched_meta_starts_cold(self, tmp_path, capsys):
+        root = _populated_store_dir(tmp_path)
+        with open(os.path.join(root, "meta.json"), "w") as fh:
+            json.dump({"schema": "repro-store", "version": STORE_VERSION + 1}, fh)
+        store = AnalysisStore.open(root)
+        assert "unsupported meta" in capsys.readouterr().err
+        assert store.mixy_blocks == {} and store.solver_cache is None
+
+    def test_version_mismatched_sections_start_cold(self, tmp_path, capsys):
+        root = _populated_store_dir(tmp_path)
+        with open(os.path.join(root, "blocks.pkl"), "wb") as fh:
+            pickle.dump({"version": STORE_VERSION + 1, "mixy": {}, "mix": {}}, fh)
+        store = AnalysisStore.open(root)
+        assert "blocks.pkl" in capsys.readouterr().err
+        assert store.mixy_blocks == {}
+        # The untouched solver cache still loads.
+        assert store.solver_cache is not None
+
+    def test_unreadable_meta_starts_cold(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        with open(os.path.join(root, "meta.json"), "w") as fh:
+            fh.write("{half a json")
+        store = AnalysisStore.open(root)
+        assert "unreadable meta.json" in capsys.readouterr().err
+        assert store.solver_cache is None
+
+    def test_quiet_open_suppresses_notes(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        with open(os.path.join(root, "meta.json"), "w") as fh:
+            fh.write("%%%")
+        store = AnalysisStore.open(root, quiet=True)
+        assert store.notes  # recorded...
+        assert capsys.readouterr().err == ""  # ...but not printed

@@ -343,3 +343,74 @@ class TestSolverStatsTable:
         # hit_rate renders exactly the rounded as_dict value.
         hit_rate_line = next(l for l in lines if l.startswith("hit_rate"))
         assert hit_rate_line.split()[-1] == "0.0"
+
+
+# ---------------------------------------------------------------------------
+# Trace file modes (satellite: the enable() truncate-on-start fix)
+# ---------------------------------------------------------------------------
+
+
+class TestTraceModes:
+    """``Tracer.enable`` historically truncated an existing trace file
+    unconditionally — a daemon restarted onto its own trace path wiped
+    the evidence of its previous life.  The fix: an explicit mode.
+    ``truncate`` keeps the old behavior, ``append`` accumulates
+    sessions (each with its own ``meta`` line), ``rotate`` moves the
+    previous file to ``FILE.1`` first."""
+
+    def _session(self, path, mode, marker):
+        TRACER.enable(path, mode=mode)
+        TRACER.counter(marker, 1)
+        TRACER.close()
+
+    @staticmethod
+    def _counters(events):
+        return [e["name"] for e in events if e["ev"] == "counter"]
+
+    def test_truncate_drops_the_previous_session(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._session(path, "truncate", "first")
+        self._session(path, "truncate", "second")
+        events = read_trace(path)
+        assert self._counters(events) == ["second"]
+        assert sum(e["ev"] == "meta" for e in events) == 1
+
+    def test_append_accumulates_sessions(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._session(path, "append", "first")
+        self._session(path, "append", "second")
+        events = read_trace(path)  # readers tolerate multiple metas
+        assert self._counters(events) == ["first", "second"]
+        assert sum(e["ev"] == "meta" for e in events) == 2
+
+    def test_rotate_keeps_the_previous_life(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._session(path, "rotate", "first")   # no file yet: plain start
+        self._session(path, "rotate", "second")  # first life -> t.jsonl.1
+        assert self._counters(read_trace(path)) == ["second"]
+        assert self._counters(read_trace(path + ".1")) == ["first"]
+
+    def test_append_to_a_fresh_path_just_starts_one(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._session(path, "append", "only")
+        assert self._counters(read_trace(path)) == ["only"]
+
+    def test_unknown_mode_is_rejected_before_touching_the_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("precious")
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            TRACER.enable(str(path), mode="overwrite")
+        assert path.read_text() == "precious"
+        assert not TRACER.enabled
+
+    def test_appended_sessions_aggregate_as_one_stream(self, tmp_path):
+        """The daemon-restart shape: two appended sessions still feed
+        the trace-report aggregator without schema errors."""
+        path = str(tmp_path / "t.jsonl")
+        for marker in ("life1", "life2"):
+            TRACER.enable(path, mode="append")
+            with TRACER.span("run", marker):
+                pass
+            TRACER.close()
+        digest = aggregate(read_trace(path))
+        assert digest["schema"] == 1

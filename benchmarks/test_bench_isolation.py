@@ -1,0 +1,198 @@
+"""E20 — the price of request isolation in ``repro serve``.
+
+The hardened daemon forks every analyze request into a disposable
+worker: a crashing or deadline-blown analysis kills the worker, never
+the daemon, and the parent merges the worker's cache delta only after a
+clean exit.  That safety has a cost — fork, pickle the delta over a
+pipe, merge — and this experiment prices it against ``--no-isolate``
+(the pre-hardening in-process mode) on the staircase vsftpd corpus.
+
+Both daemons run as real subprocesses over loopback TCP with fresh
+stores and serve the same request series: one cold analyze (pays the
+full analysis) and four warm ones (memo replays — the regime where a
+fixed per-request overhead would hurt most, and the steady state of a
+CI bot re-analyzing an unchanged tree).
+
+Acceptance bars:
+
+* every reply — cold, warm, either mode — is bitwise-identical to a
+  fresh one-shot ``repro mixy --jobs 1`` run (isolation must not leak
+  into answers);
+* total isolated wall clock is within **25%** of in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.mixy.corpus_vsftpd import parallel_vsftpd
+from repro.serve import request
+
+from conftest import bench_json, print_table
+
+DEPTH = 2
+WARM_REQUESTS = 4
+OVERHEAD_BAR = 0.25
+
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "0"  # qualifier-id rendering is seed-dependent
+    return env
+
+
+def _start_daemon(tmp, store, *extra):
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--listen", "127.0.0.1:0", "--store", str(tmp / store), *extra,
+    ]
+    proc = subprocess.Popen(
+        argv, cwd=tmp, env=_env(), text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+    )
+    announce = proc.stdout.readline()
+    assert "listening on tcp:" in announce, announce
+    return proc, announce.rsplit(" ", 1)[-1].strip()
+
+
+def _serve_series(tmp, source, mode, *extra):
+    """One daemon life: a cold analyze then WARM_REQUESTS warm ones."""
+    proc, address = _start_daemon(tmp, f"store-{mode}", *extra)
+    payload = {"cmd": "analyze", "lang": "mixy", "source": source,
+               "options": {}}
+    try:
+        timings = []
+        replies = []
+        for _ in range(1 + WARM_REQUESTS):
+            start = time.monotonic()
+            reply = request(address, payload, timeout=300)
+            timings.append(time.monotonic() - start)
+            assert reply["ok"], reply
+            replies.append(reply)
+        stats = request(address, {"cmd": "stats"})["stats"]
+        request(address, {"cmd": "shutdown"})
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert bool(stats["isolated_workers"]) == ("--no-isolate" not in extra)
+    warm = timings[1:]
+    return {
+        "cold_secs": timings[0],
+        "warm_secs_each": warm,
+        "warm_secs_mean": sum(warm) / len(warm),
+        "total_secs": sum(timings),
+        "results": [r["result"] for r in replies],
+        "warm_memo_hits": replies[-1]["served"]["store"].get("mixy_hits", 0),
+    }
+
+
+def _one_shot(tmp, source):
+    path = tmp / "baseline.c"
+    path.write_text(source)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "mixy", str(path), "--jobs", "1"],
+        capture_output=True, text=True, env=_env(), cwd=tmp, timeout=300,
+    )
+    warnings = proc.stdout.splitlines()[:-1]  # drop the perf summary
+    return {
+        "exit": proc.returncode,
+        "lines": warnings + [f"{len(warnings)} warning(s)"],
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    if not hasattr(os, "fork"):
+        pytest.skip("isolation needs fork")
+    tmp = tmp_path_factory.mktemp("e20-isolation")
+    source = parallel_vsftpd(depth=DEPTH)
+    return {
+        "baseline": _one_shot(tmp, source),
+        "isolated": _serve_series(tmp, source, "isolated"),
+        "inproc": _serve_series(tmp, source, "inproc", "--no-isolate"),
+    }
+
+
+def test_isolation_never_leaks_into_answers(measurements):
+    baseline = measurements["baseline"]
+    for mode in ("isolated", "inproc"):
+        for result in measurements[mode]["results"]:
+            assert result == baseline, mode
+
+
+def test_both_modes_actually_went_warm(measurements):
+    for mode in ("isolated", "inproc"):
+        m = measurements[mode]
+        assert m["warm_memo_hits"] > 0, mode
+        assert m["warm_secs_mean"] < m["cold_secs"], mode
+
+
+def test_isolation_overhead_is_under_the_bar(measurements):
+    iso = measurements["isolated"]["total_secs"]
+    inproc = measurements["inproc"]["total_secs"]
+    overhead = iso / inproc - 1.0
+    assert overhead <= OVERHEAD_BAR, (
+        f"forked workers cost {overhead:.1%} over in-process "
+        f"(bar {OVERHEAD_BAR:.0%})"
+    )
+
+
+def test_report(measurements, capsys):
+    iso = measurements["isolated"]
+    inproc = measurements["inproc"]
+    overhead = iso["total_secs"] / inproc["total_secs"] - 1.0
+    rows = [
+        [
+            mode,
+            f"{m['cold_secs']:.3f}",
+            f"{m['warm_secs_mean']:.3f}",
+            f"{m['total_secs']:.3f}",
+            m["warm_memo_hits"],
+        ]
+        for mode, m in (("isolated", iso), ("inproc", inproc))
+    ]
+    title = (
+        f"E20: request-isolation overhead (depth {DEPTH}, "
+        f"1 cold + {WARM_REQUESTS} warm, overhead {overhead:+.1%})"
+    )
+    with capsys.disabled():
+        print_table(
+            title,
+            ["mode", "cold s", "warm s (mean)", "total s", "memo hits"],
+            rows,
+        )
+    payload = {
+        "experiment": "E20",
+        "depth": DEPTH,
+        "warm_requests": WARM_REQUESTS,
+        "overhead": round(overhead, 4),
+        "overhead_bar": OVERHEAD_BAR,
+        "modes": {
+            mode: {
+                "cold_secs": round(m["cold_secs"], 4),
+                "warm_secs_mean": round(m["warm_secs_mean"], 4),
+                "warm_secs_each": [round(s, 4) for s in m["warm_secs_each"]],
+                "total_secs": round(m["total_secs"], 4),
+                "warm_memo_hits": m["warm_memo_hits"],
+            }
+            for mode, m in (("isolated", iso), ("inproc", inproc))
+        },
+        "result_identity": all(
+            result == measurements["baseline"]
+            for mode in ("isolated", "inproc")
+            for result in measurements[mode]["results"]
+        ),
+    }
+    bench_json("E20", payload)

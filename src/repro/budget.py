@@ -62,6 +62,38 @@ class Budget:
     paths_used: int = field(default=0, init=False, repr=False)
     _started: Optional[float] = field(default=None, init=False, repr=False)
 
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_request(
+        cls, options: dict, request_deadline: Optional[float] = None
+    ) -> Optional["Budget"]:
+        """Build the budget for one daemon request: the client-supplied
+        limits from the analyze ``options`` payload, with the daemon's
+        ``--request-deadline`` folded in as an *additional* wall-clock
+        cap (the tighter of the two wins — a client cannot opt out of
+        the server's limit by sending a looser one).  Returns ``None``
+        when nothing is bounded, so unbudgeted requests keep the exact
+        one-shot semantics (including block-memo eligibility)."""
+        deadline = options.get("deadline")
+        if request_deadline is not None:
+            deadline = (
+                request_deadline
+                if deadline is None
+                else min(deadline, request_deadline)
+            )
+        query_timeout_ms = options.get("query_timeout_ms")
+        max_paths = options.get("max_paths")
+        if deadline is None and query_timeout_ms is None and max_paths is None:
+            return None
+        return cls(
+            deadline=deadline,
+            query_timeout=(
+                None if query_timeout_ms is None else query_timeout_ms / 1000.0
+            ),
+            max_paths=max_paths,
+        )
+
     # -- clock -----------------------------------------------------------------
 
     def start(self) -> "Budget":

@@ -144,6 +144,69 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="what to do with an existing trace file (default rotate: the "
         "previous daemon life survives as FILE.1)",
     )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="server-side wall-clock cap per analyze request, folded into "
+        "its Budget; a worker still running S+2s later is killed and the "
+        "client gets a 'degraded' reply",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="analyze requests admitted (running + queued) before the "
+        "daemon sheds with 'busy' replies (default 8)",
+    )
+    serve.add_argument(
+        "--read-deadline",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-connection read deadline: a request line stalled this "
+        "long gets a protocol_error and the connection is closed "
+        "(default 10; 0 disables)",
+    )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        metavar="N",
+        help="longest accepted request line; longer ones are dropped with "
+        "a protocol_error reply (default 4MiB)",
+    )
+    serve.add_argument(
+        "--max-conns",
+        type=int,
+        default=32,
+        metavar="N",
+        help="concurrent connections before new ones are refused with a "
+        "'busy' reply (default 32)",
+    )
+    serve.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="run analyses in the daemon process instead of forked request "
+        "workers (faster, but a crashing analysis takes the daemon down)",
+    )
+    serve.add_argument(
+        "--checkpoint-secs",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="persist dirty warm state every S seconds, on top of "
+        "--save-every (default 30; 0 disables)",
+    )
+    serve.add_argument(
+        "--crash-dir",
+        default=".repro-crashes",
+        metavar="DIR",
+        help="where dead request workers' crash repros land "
+        "(default .repro-crashes)",
+    )
 
     client = sub.add_parser(
         "client",
@@ -162,6 +225,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default unix:.repro-serve.sock)",
     )
     client.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    client.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="give up connecting after S seconds (default 10)",
+    )
+    client.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry up to N times on transient failures (dead socket, "
+        "daemon died mid-reply, 'busy' replies) with jittered exponential "
+        "backoff honoring the daemon's retry_after_ms hint",
+    )
+    client.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="N:KIND",
+        help="ship a solver-fault schedule with the request (served by the "
+        "daemon's isolated worker); same N:KIND specs as mix/mixy",
+    )
     client.add_argument(
         "--ping", action="store_true", help="health-check the daemon and exit"
     )
@@ -210,6 +297,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(.repro-sched.json schema v1) for a later run's --sched-hints",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="drive a live daemon through a scripted fault campaign "
+        "(worker kills, solver faults, store corruption, socket abuse) "
+        "and check it survives with sound answers",
+    )
+    chaos.add_argument(
+        "chaos_args",
+        nargs=argparse.REMAINDER,
+        help="arguments for the chaos harness; see 'repro chaos -- --help'",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "trace-report":
         return _run_trace_report(args)
@@ -217,6 +316,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "client":
         return _run_client(args)
+    if args.command == "chaos":
+        from repro.chaos import main as chaos_main
+
+        forwarded = args.chaos_args
+        if forwarded and forwarded[0] == "--":
+            forwarded = forwarded[1:]
+        return chaos_main(forwarded)
     try:
         source = _read(args.file)
     except OSError as error:
@@ -511,6 +617,14 @@ def _run_serve(args: argparse.Namespace) -> int:
         store_dir=None if args.no_store else args.store,
         save_every=args.save_every,
         max_requests=args.max_requests,
+        queue_depth=args.queue_depth,
+        read_deadline=args.read_deadline,
+        max_request_bytes=args.max_request_bytes,
+        max_conns=args.max_conns,
+        request_deadline=args.request_deadline,
+        isolate=False if args.no_isolate else None,
+        checkpoint_secs=args.checkpoint_secs,
+        crash_dir=args.crash_dir,
     )
     try:
         announce = daemon.bind()
@@ -529,12 +643,18 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_client(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serve import request
+    from repro.serve import ClientError, request_with_retry
 
     try:
         if args.ping or args.stats or args.shutdown:
             cmd = "ping" if args.ping else "stats" if args.stats else "shutdown"
-            response = request(args.connect, {"cmd": cmd}, timeout=args.timeout)
+            response = request_with_retry(
+                args.connect,
+                {"cmd": cmd},
+                timeout=args.timeout,
+                connect_timeout=args.connect_timeout,
+                retries=args.retry,
+            )
             print(json.dumps(response, indent=2, sort_keys=True))
             return 0 if response.get("ok") else 2
         if not args.lang or not args.file:
@@ -551,6 +671,8 @@ def _run_client(args: argparse.Namespace) -> int:
             "query_timeout_ms": args.query_timeout_ms,
             "max_paths": args.max_paths,
         }
+        if args.inject_fault:
+            options["inject_fault"] = list(args.inject_fault)
         if args.lang == "mixy":
             options.update(
                 entry_function=args.entry_function,
@@ -564,16 +686,26 @@ def _run_client(args: argparse.Namespace) -> int:
                 good_enough=args.good_enough,
                 max_unroll=args.max_unroll,
             )
-        response = request(
+        response = request_with_retry(
             args.connect,
             {"cmd": "analyze", "lang": args.lang, "source": source, "options": options},
             timeout=args.timeout,
+            connect_timeout=args.connect_timeout,
+            retries=args.retry,
         )
-    except (OSError, ConnectionError, json.JSONDecodeError) as error:
+    except (ClientError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if not response.get("ok"):
-        print(f"error: daemon: {response.get('error')}", file=sys.stderr)
+        status = response.get("status", "error")
+        detail = response.get("error") or "request rejected"
+        line = f"error: daemon: {detail}" if status == "error" else (
+            f"error: daemon: {status}: {detail}"
+        )
+        print(line, file=sys.stderr)
+        repro_path = response.get("crash_repro")
+        if repro_path:
+            print(f"crash repro: {repro_path}", file=sys.stderr)
         return 2
     result = response["result"]
     # Parse/usage failures print to stderr in the one-shot CLI; keep the

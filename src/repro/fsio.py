@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import os
 import tempfile
+import zlib
 from contextlib import contextmanager
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, Optional, Union
 
 
 @contextmanager
@@ -47,3 +48,36 @@ def atomic_write(
         except OSError:
             pass
         raise
+
+
+def checksummed_write(path: Union[str, os.PathLike], data: bytes) -> dict:
+    """Atomically write ``data`` to ``path`` and return its integrity
+    record ``{"crc32": ..., "size": ...}`` for the caller to persist in
+    a manifest.  Atomicity protects against *torn* writes; the checksum
+    additionally detects post-write damage (bit rot, a partial restore,
+    an editor or test poking the file) when the reader verifies it with
+    :func:`read_checksummed`."""
+    record = {"crc32": zlib.crc32(data), "size": len(data)}
+    with atomic_write(path, binary=True) as handle:
+        handle.write(data)
+    return record
+
+
+def read_checksummed(
+    path: Union[str, os.PathLike], record: dict
+) -> Optional[bytes]:
+    """Read ``path`` and verify it against a :func:`checksummed_write`
+    record.  Returns the content, or ``None`` on any mismatch or read
+    failure — the caller decides whether to fall back to an older
+    generation or start cold; this layer never raises."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    try:
+        if len(data) != record["size"] or zlib.crc32(data) != record["crc32"]:
+            return None
+    except (KeyError, TypeError):
+        return None
+    return data

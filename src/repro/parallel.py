@@ -96,14 +96,26 @@ _RACE_EVENTS: list = []
 _IN_WORKER = False
 
 
-def _mark_worker() -> None:
-    """Pool initializer (runs in each freshly forked worker)."""
+def mark_forked_child(rescope_trace: bool = True) -> None:
+    """Mark this freshly forked process as a worker: it must never fan
+    out again (``ParallelEngine.available()`` turns False), and its
+    inherited tracer is rescoped to a per-worker sidecar file.  Called
+    by the pool initializer below and by ``repro serve``'s per-request
+    isolation workers — a SIGKILLed request worker that had forked its
+    own grandchildren would orphan them, so request workers run serial.
+    """
     global _IN_WORKER
     _IN_WORKER = True
+    if rescope_trace:
+        TRACER.rescope_for_worker()
+
+
+def _mark_worker() -> None:
+    """Pool initializer (runs in each freshly forked worker)."""
     # Redirect the inherited tracer to a per-worker sidecar file with
     # w<pid>-prefixed span ids; the parent merges sidecars after the
     # pool drains (see Tracer.merge_worker_files).
-    TRACER.rescope_for_worker()
+    mark_forked_child()
     driver = _WORKER_DRIVER
     if driver is not None:
         # Speculation needs verdicts, not trust-ring ceremony: witness

@@ -1,4 +1,4 @@
-"""``repro serve``: a persistent analysis daemon with a warm cache.
+"""``repro serve``: a supervised, overload-tolerant analysis daemon.
 
 The CI-bot / editor-integration scenario: many short analyze requests
 against mostly-unchanged sources.  A fresh process pays the full cost
@@ -7,33 +7,78 @@ SolverService` query cache and the cross-run block store
 (:mod:`repro.store`) warm across requests, and persists both to
 ``.repro-store/`` so even a daemon restart starts warm.
 
-**Protocol** — line-delimited JSON over a Unix or TCP socket; one JSON
-object per line, one response line per request, requests served
-strictly in arrival order (the daemon is single-threaded on purpose:
-serialization is what makes two concurrent clients deterministic)::
+**Protocol (version 2)** — line-delimited JSON over a Unix or TCP
+socket; one JSON object per line, one response line per request.
+Every response carries a terminal ``status`` (plus the legacy ``ok``
+boolean, true iff ``status == "ok"``)::
 
     -> {"cmd": "analyze", "lang": "mixy", "source": "...", "options": {...}}
-    <- {"ok": true, "result": {"exit": 0, "lines": [...]}, "served": {...}}
-    -> {"cmd": "ping"}           <- {"ok": true, "pong": true}
-    -> {"cmd": "stats"}          <- {"ok": true, "stats": {...}}
-    -> {"cmd": "shutdown"}       <- {"ok": true, "bye": true}
+    <- {"ok": true, "status": "ok", "result": {...}, "served": {...}}
+    -> {"cmd": "ping"}     <- {"ok": true, "status": "ok", "pong": true}
+    -> {"cmd": "stats"}    <- {"ok": true, "status": "ok", "stats": {...}}
+    -> {"cmd": "shutdown"} <- {"ok": true, "status": "ok", "bye": true}
+
+The terminal statuses (:data:`TERMINAL_STATUSES`):
+
+- ``ok`` — the request completed; ``result`` is authoritative.
+- ``error`` — the analyzer raised; ``error`` carries the one-line why.
+- ``degraded`` — an isolated request worker died (crash, OOM-kill,
+  injected ``die`` fault) or blew through the request deadline; the
+  daemon survived, shipped a content-addressed crash repro
+  (``crash_repro``), and no warm state from the doomed worker was kept.
+- ``busy`` — load shed: the bounded queue was full.  The reply carries
+  ``retry_after_ms``, an EWMA-based estimate of when a slot frees up.
+- ``protocol_error`` — the *request* was unusable: not JSON, not an
+  object, unknown ``cmd``, missing/ill-typed fields, over the size cap,
+  or stalled mid-line past the read deadline.  The daemon replies
+  instead of dropping the connection, so a client always learns why.
 
 ``result`` is the request's *deterministic analysis payload*: the exit
 status and the exact diagnostic lines a fresh ``repro mix|mixy
---jobs 1`` run would print (warnings, report, the ``N warning(s)``
-count).  Wall-clock timing and cache-hit counters are deliberately
-outside it — they live in ``served`` — so ``result`` is bitwise
-identical between a cold run, a warm run, and a fresh process: the
-store accelerates, it never answers.
+--jobs 1`` run would print.  Wall-clock timing and cache-hit counters
+live in ``served`` — so ``result`` is bitwise identical between a cold
+run, a warm run, and a fresh process: the store accelerates, it never
+answers.
+
+**Request isolation.**  By default (POSIX) each analyze request runs in
+a forked worker subprocess — the PR-4 trick pointed at robustness
+instead of speed: the worker inherits the warm caches for free, runs
+the analysis, and ships back its result plus wire-encoded cache deltas
+(:meth:`~repro.smt.service.SolverService.collect_delta`) and new block
+memos over a pipe.  The parent merges warm state **only from clean,
+un-faulted completions**; a worker that dies — segfault, OOM kill,
+injected fault, deadline breach (SIGKILL after ``--request-deadline``
+plus a grace period) — produces a ``degraded`` reply and a crash repro,
+and the daemon itself never goes down.  Workers are marked via
+:func:`repro.parallel.mark_forked_child` so they can never fan out
+grandchildren (which a SIGKILL would orphan).  ``--no-isolate`` opts
+into the old in-process mode (faster, but a crashing analysis is then
+fate-shared with the daemon).
+
+**Overload and hostile input.**  Connections are handled by one thread
+each (analyses still serialize on one lock — serialization is what
+makes concurrent clients deterministic).  Admission is a bounded
+semaphore of ``--queue-depth`` analyze slots: when full, the daemon
+*sheds* with a ``busy`` reply instead of queueing unboundedly.  Each
+connection has a read deadline (anti slow-loris) and a max-request-size
+cap (anti memory bomb); both produce ``protocol_error`` replies, not a
+wedged accept loop.
+
+**Durability.**  The store uses per-section CRC32 checksums and a
+two-generation write scheme (see :mod:`repro.store`), and a checkpoint
+thread persists dirty warm state every ``--checkpoint-secs`` — so
+``kill -9`` at any instruction loses at most one checkpoint interval of
+warm state and can never corrupt the store.
 
 Per-request equivalence with a fresh process is engineered, not hoped
 for: each analyze request resets the process-global qualifier-variable
-ids and string-intern table (exactly what the parallel-equivalence
-tests do between runs), builds a fresh analyzer on the *shared* solver
-service, and defaults to the serial path (``jobs: 1``) regardless of
-environment overrides.  Options may carry a per-request ``Budget``
-(deadline / query timeout / path cap) — budgeted requests simply skip
-the block memo, which is only transparent for unbudgeted runs.
+ids and string-intern table, builds a fresh analyzer on the *shared*
+solver service, and defaults to the serial path (``jobs: 1``).
+Options may carry a per-request ``Budget`` (deadline / query timeout /
+path cap) and a fault-injection schedule (``inject_fault``, same
+``N:KIND`` specs as ``--inject-fault``) — both budgeted and
+fault-injected requests skip the block memo, which is only transparent
+for unbudgeted, un-faulted runs.
 """
 
 from __future__ import annotations
@@ -41,11 +86,43 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import pickle
+import random
+import select
+import signal
 import socket
+import struct
 import sys
+import threading
+import time
 from typing import Optional
 
-PROTOCOL_VERSION = 1
+from repro.trace import TRACER
+
+PROTOCOL_VERSION = 2
+
+#: Every reply's ``status`` is one of these; a client can always switch
+#: on it (chaos invariant: no reply without a terminal status).
+TERMINAL_STATUSES = ("ok", "error", "degraded", "busy", "protocol_error")
+
+#: Seconds past the effective request deadline before a worker that has
+#: not replied is SIGKILLed (covers budget-aware wind-down + pickling).
+WORKER_KILL_GRACE = 2.0
+
+#: Socket poll interval: how often blocked reads re-check stop flags.
+_POLL_SECS = 0.25
+
+
+def _reply(status: str, **fields) -> dict:
+    assert status in TERMINAL_STATUSES, status
+    response = {"ok": status == "ok", "status": status}
+    response.update(fields)
+    return response
+
+
+class WorkerCrash(RuntimeError):
+    """A request worker died without a clean reply (recorded in the
+    crash repro's traceback)."""
 
 
 # ---------------------------------------------------------------------------
@@ -68,24 +145,22 @@ def fresh_equivalence_state() -> None:
     values._STRING_CODES.clear()
 
 
-def analyze_source(lang: str, source: str, options: dict, store=None) -> dict:
+def analyze_source(
+    lang: str,
+    source: str,
+    options: dict,
+    store=None,
+    request_deadline: Optional[float] = None,
+) -> dict:
     """Run one analysis; returns ``{"exit": int, "lines": [str, ...]}``
     — exactly the deterministic output contract described in the module
     docstring.  Never raises on program errors (they are exit-2 lines,
-    like the CLI); analyzer crashes propagate to the caller."""
+    like the CLI); analyzer crashes propagate to the caller.
+    ``request_deadline`` is the daemon's server-side wall-clock cap,
+    folded into the request budget (the tighter limit wins)."""
     from repro.budget import Budget
 
-    budget = None
-    if any(
-        options.get(k) is not None
-        for k in ("deadline", "query_timeout_ms", "max_paths")
-    ):
-        timeout_ms = options.get("query_timeout_ms")
-        budget = Budget(
-            deadline=options.get("deadline"),
-            query_timeout=timeout_ms / 1000.0 if timeout_ms is not None else None,
-            max_paths=options.get("max_paths"),
-        )
+    budget = Budget.from_request(options, request_deadline)
     fresh_equivalence_state()
     if lang == "mixy":
         return _analyze_mixy(source, options, budget, store)
@@ -174,6 +249,166 @@ def _analyze_mix(source: str, options: dict, budget, store) -> dict:
     return {"exit": 0 if report.ok else 1, "lines": lines}
 
 
+def _injector_from_options(options: dict):
+    """Build the per-request :class:`~repro.smt.service.FaultInjector`
+    from ``options["inject_fault"]``: either ``"N:KIND"`` specs (string
+    or list — the ``--inject-fault`` CLI syntax) or an object
+    ``{"faults": {"N": KIND}, "seed": S, "rate": R, "kind": K}``.
+    Raises :class:`ValueError` on malformed specs (a protocol error,
+    not an analysis error)."""
+    spec = options.get("inject_fault")
+    if not spec:
+        return None
+    from repro.smt.service import FaultInjector
+
+    if isinstance(spec, str):
+        spec = [spec]
+    if isinstance(spec, list):
+        faults: dict[int, str] = {}
+        for item in spec:
+            n_text, _, kind = (
+                item.partition(":") if isinstance(item, str) else ("", "", "")
+            )
+            try:
+                n = int(n_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad inject_fault entry {item!r}; expected 'N:KIND'"
+                ) from None
+            faults[n] = kind or FaultInjector.TIMEOUT
+        return FaultInjector(faults=faults)
+    if isinstance(spec, dict):
+        faults_spec = spec.get("faults") or {}
+        if not isinstance(faults_spec, dict):
+            raise ValueError("inject_fault.faults must be an object")
+        try:
+            return FaultInjector(
+                faults={int(n): str(k) for n, k in faults_spec.items()},
+                seed=spec.get("seed"),
+                rate=float(spec.get("rate", 0.0)),
+                kind=str(spec.get("kind", FaultInjector.TIMEOUT)),
+            )
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"bad inject_fault spec: {error}") from None
+    raise ValueError("inject_fault must be a string, list, or object")
+
+
+# ---------------------------------------------------------------------------
+# Worker-side request execution (runs in the forked child)
+# ---------------------------------------------------------------------------
+
+
+def _write_frame(fd: int, blob: bytes) -> None:
+    """Write one length-prefixed frame to a pipe fd."""
+    view = memoryview(struct.pack("<Q", len(blob)) + blob)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _read_frame(
+    fd: int, pid: int, kill_after: Optional[float]
+) -> tuple[Optional[bytes], bool]:
+    """Parent: read one length-prefixed frame from a worker pipe.
+    Returns ``(frame, timed_out)``: frame is ``None`` when the worker
+    died before completing its reply (EOF mid-frame), and ``timed_out``
+    is True when the kill deadline fired first (the worker was
+    SIGKILLed and the frame abandoned)."""
+    deadline = None if kill_after is None else time.monotonic() + kill_after
+    data = bytearray()
+    want: Optional[int] = None
+    while True:
+        if want is None and len(data) >= 8:
+            want = struct.unpack("<Q", bytes(data[:8]))[0]
+        if want is not None and len(data) >= 8 + want:
+            return bytes(data[8 : 8 + want]), False
+        timeout = None
+        if deadline is not None:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                return None, True
+        try:
+            ready, _, _ = select.select([fd], [], [], timeout)
+        except OSError:
+            return None, False
+        if not ready:
+            continue  # re-check the deadline
+        try:
+            chunk = os.read(fd, 1 << 16)
+        except OSError:
+            return None, False
+        if not chunk:
+            return None, False  # EOF before a complete frame: dead worker
+        data += chunk
+
+
+def _worker_payload(
+    lang: str,
+    source: str,
+    options: dict,
+    injector,
+    store,
+    request_deadline: Optional[float],
+) -> dict:
+    """Child: run one isolated request and build the pickle frame the
+    parent merges.  Fault-injected requests are marked ``faulted`` and
+    ship no solver delta — chaos must never poison the shared cache
+    (their block memos are already suppressed by the drivers)."""
+    from dataclasses import replace
+
+    from repro import smt
+
+    service = smt.get_service()
+    if injector is not None:
+        service.fault_injector = injector
+    baseline = service.cache_baseline()
+    stats0 = replace(service.stats)
+    mixy_keys = set(store.mixy_blocks) if store is not None else set()
+    mix_keys = set(store.mix_blocks) if store is not None else set()
+    stats_before = dict(store.stats) if store is not None else {}
+    opened_trace = False
+    trace_path = options.get("trace")
+    if trace_path and not TRACER.enabled:
+        TRACER.enable(trace_path, mode="append")
+        opened_trace = True
+    try:
+        result = analyze_source(
+            lang, source, options, store=store,
+            request_deadline=request_deadline,
+        )
+    finally:
+        if opened_trace:
+            TRACER.close()
+        elif TRACER.enabled:
+            TRACER.flush()  # sidecar file: parent merges after waitpid
+    payload = {
+        "result": result,
+        "delta": None,
+        "faulted": injector is not None,
+        "mixy_new": {},
+        "mix_new": {},
+        "store_stats": {},
+    }
+    if injector is None:
+        payload["delta"] = service.collect_delta(baseline, stats0)
+    if store is not None:
+        payload["mixy_new"] = {
+            k: v for k, v in store.mixy_blocks.items() if k not in mixy_keys
+        }
+        payload["mix_new"] = {
+            k: v for k, v in store.mix_blocks.items() if k not in mix_keys
+        }
+        payload["store_stats"] = {
+            k: store.stats[k] - stats_before.get(k, 0)
+            for k in store.stats
+            if store.stats[k] != stats_before.get(k, 0)
+        }
+    return payload
+
+
 # ---------------------------------------------------------------------------
 # The daemon
 # ---------------------------------------------------------------------------
@@ -189,6 +424,14 @@ class ReproDaemon:
         store_dir: Optional[str] = ".repro-store",
         save_every: int = 1,
         max_requests: Optional[int] = None,
+        queue_depth: int = 8,
+        read_deadline: float = 10.0,
+        max_request_bytes: int = 4 * 1024 * 1024,
+        max_conns: int = 32,
+        request_deadline: Optional[float] = None,
+        isolate: Optional[bool] = None,
+        checkpoint_secs: float = 30.0,
+        crash_dir: str = ".repro-crashes",
     ) -> None:
         if (socket_path is None) == (listen is None):
             raise ValueError("exactly one of socket_path / listen required")
@@ -197,11 +440,35 @@ class ReproDaemon:
         self.store_dir = store_dir
         self.save_every = max(1, save_every)
         self.max_requests = max_requests
+        self.queue_depth = max(1, queue_depth)
+        self.read_deadline = read_deadline
+        self.max_request_bytes = max_request_bytes
+        self.max_conns = max(1, max_conns)
+        self.request_deadline = request_deadline
+        self.checkpoint_secs = checkpoint_secs
+        self.crash_dir = crash_dir
+        # Auto: isolate wherever fork exists; --no-isolate opts out.
+        self._isolate = (
+            isolate if isolate is not None else hasattr(os, "fork")
+        )
         self.requests_served = 0
         self._unsaved = 0
         self._stop = False
+        self._stop_event = threading.Event()
         self.store = None
         self._sock: Optional[socket.socket] = None
+        #: serializes analyses + store/delta merges + saves — the
+        #: serialization is what makes concurrent clients deterministic.
+        self._serial = threading.Lock()
+        #: guards the small shared counters below.
+        self._lock = threading.Lock()
+        #: bounded admission: acquired per analyze, shed when exhausted.
+        self._slots = threading.BoundedSemaphore(self.queue_depth)
+        self._conns = 0
+        self._inflight = 0
+        self._shed = 0
+        self._worker_crashes = 0
+        self._avg_secs = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -237,19 +504,50 @@ class ReproDaemon:
             self._sock.bind((host or "127.0.0.1", int(port_text or 0)))
             bound_host, bound_port = self._sock.getsockname()
             announce = f"tcp:{bound_host}:{bound_port}"
-        self._sock.listen(8)
+        self._sock.listen(max(8, self.max_conns))
         return announce
 
     def serve_forever(self) -> int:
         """Accept and serve connections until shutdown / max_requests.
-        Returns 0; daemon-fatal errors propagate."""
+        Returns 0; daemon-fatal errors propagate (per-request and
+        per-connection failures never do)."""
         assert self._sock is not None, "bind() first"
+        self._sock.settimeout(_POLL_SECS)
+        checkpointer: Optional[threading.Thread] = None
+        if self.store is not None and self.checkpoint_secs > 0:
+            checkpointer = threading.Thread(
+                target=self._checkpoint_loop, daemon=True, name="checkpoint"
+            )
+            checkpointer.start()
+        threads: list[threading.Thread] = []
         try:
             while not self._stop:
-                conn, _ = self._sock.accept()
-                with conn:
-                    self._serve_connection(conn)
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                with self._lock:
+                    refuse = self._conns >= self.max_conns
+                    if not refuse:
+                        self._conns += 1
+                if refuse:
+                    self._refuse(conn)
+                    continue
+                thread = threading.Thread(
+                    target=self._connection_thread, args=(conn,), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+                threads = [t for t in threads if t.is_alive()]
         finally:
+            self._stop = True
+            self._stop_event.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            if checkpointer is not None:
+                checkpointer.join(timeout=10.0)
             self._persist()
             self._sock.close()
             if self.socket_path is not None:
@@ -259,118 +557,487 @@ class ReproDaemon:
                     pass
         return 0
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        reader = conn.makefile("r", encoding="utf-8")
-        writer = conn.makefile("w", encoding="utf-8")
+    def _refuse(self, conn: socket.socket) -> None:
+        """Over the connection cap: shed at accept time, best effort."""
+        with self._lock:
+            self._shed += 1
         try:
-            for line in reader:
+            with conn:
+                conn.settimeout(1.0)
+                self._send(
+                    conn,
+                    _reply(
+                        "busy",
+                        error="too many connections",
+                        retry_after_ms=self._retry_after_ms(),
+                    ),
+                )
+        except OSError:
+            pass
+
+    def _connection_thread(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                self._serve_connection(conn)
+        except Exception:
+            pass  # a hostile connection must never unwind the daemon
+        finally:
+            with self._lock:
+                self._conns -= 1
+
+    def _send(self, conn: socket.socket, response: dict) -> bool:
+        """One response line, best effort; False if the client is gone."""
+        try:
+            conn.settimeout(30.0)
+            conn.sendall(
+                (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+            )
+            conn.settimeout(_POLL_SECS)
+            return True
+        except OSError:
+            return False
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Read newline-delimited requests with a per-connection read
+        deadline and size cap.  Hostile input — garbage bytes, an
+        unterminated (slow-loris) line, a line over the cap — gets a
+        ``protocol_error`` reply and, where recovery is meaningless, a
+        close; it never wedges the daemon or other connections."""
+        conn.settimeout(_POLL_SECS)
+        buf = bytearray()
+        idle = 0.0
+        skipping = False  # inside an oversized line, already refused
+        while not self._stop:
+            newline = buf.find(b"\n")
+            if newline >= 0:
+                raw = bytes(buf[: newline])
+                del buf[: newline + 1]
+                if skipping:
+                    skipping = False  # the oversized line finally ended
+                    continue
+                if len(raw) > self.max_request_bytes:
+                    # The whole oversized line arrived in one read, so it
+                    # never tripped the mid-accumulation check below.
+                    if not self._send(
+                        conn,
+                        _reply(
+                            "protocol_error",
+                            error=(
+                                f"request exceeds {self.max_request_bytes} "
+                                "bytes; line dropped"
+                            ),
+                        ),
+                    ):
+                        return
+                    continue
+                line = raw.decode("utf-8", errors="replace")
                 if not line.strip():
                     continue
-                response = self.handle_line(line)
-                writer.write(json.dumps(response, sort_keys=True) + "\n")
-                writer.flush()
-                if self._stop:
-                    break
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away mid-conversation; nothing to do
-        finally:
+                idle = 0.0
+                if not self._send(conn, self.handle_line(line)):
+                    return
+                continue
+            if not skipping and len(buf) > self.max_request_bytes:
+                self._send(
+                    conn,
+                    _reply(
+                        "protocol_error",
+                        error=(
+                            f"request exceeds {self.max_request_bytes} "
+                            "bytes; line dropped"
+                        ),
+                    ),
+                )
+                skipping = True
+            if skipping:
+                del buf[:]  # discard until the newline shows up
             try:
-                writer.close()
-                reader.close()
+                chunk = conn.recv(1 << 16)
+            except socket.timeout:
+                idle += _POLL_SECS
+                if self.read_deadline and idle >= self.read_deadline:
+                    if buf or skipping:
+                        # Mid-request stall (slow loris): say why.
+                        self._send(
+                            conn,
+                            _reply(
+                                "protocol_error",
+                                error=(
+                                    "read stalled for "
+                                    f"{self.read_deadline:g}s mid-request"
+                                ),
+                            ),
+                        )
+                    return
+                continue
             except OSError:
-                pass
+                return  # reset / shutdown underneath us
+            if not chunk:
+                return  # clean EOF
+            idle = 0.0
+            buf += chunk
 
     # -- request handling ----------------------------------------------------
 
     def handle_line(self, line: str) -> dict:
         """One request line -> one response object.  Never raises: any
-        analyzer or protocol failure becomes an ``{"ok": false}``
-        response — a bad request must not take the daemon (and every
+        analyzer or protocol failure becomes a non-``ok`` terminal
+        status — a bad request must not take the daemon (and every
         other client's warm cache) down with it."""
         try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
+            request_obj = json.loads(line)
+            if not isinstance(request_obj, dict):
                 raise ValueError("request must be a JSON object")
         except (json.JSONDecodeError, ValueError) as error:
-            return {"ok": False, "error": f"bad request: {error}"}
+            return _reply("protocol_error", error=f"bad request: {error}")
         try:
-            return self._dispatch(request)
+            return self._dispatch(request_obj)
         except Exception as error:  # daemon survives anything per-request
-            return {
-                "ok": False,
-                "error": f"{type(error).__name__}: {error}",
-            }
+            return _reply("error", error=f"{type(error).__name__}: {error}")
 
-    def _dispatch(self, request: dict) -> dict:
+    def _dispatch(self, request_obj: dict) -> dict:
         from repro import smt
 
-        cmd = request.get("cmd")
-        self.requests_served += 1
-        if self.max_requests is not None and (
-            self.requests_served >= self.max_requests
-        ):
-            self._stop = True
+        cmd = request_obj.get("cmd")
+        with self._lock:
+            self.requests_served += 1
+            if self.max_requests is not None and (
+                self.requests_served >= self.max_requests
+            ):
+                self._stop = True
+                self._stop_event.set()
         if cmd == "ping":
-            return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+            return _reply("ok", pong=True, protocol=PROTOCOL_VERSION)
         if cmd == "shutdown":
             self._stop = True
-            return {"ok": True, "bye": True}
+            self._stop_event.set()
+            return _reply("ok", bye=True)
         if cmd == "stats":
-            stats = {
-                "requests_served": self.requests_served,
-                "solver": smt.get_service().stats.as_dict(),
-            }
+            with self._lock:
+                stats = {
+                    "requests_served": self.requests_served,
+                    "protocol": PROTOCOL_VERSION,
+                    "isolated_workers": bool(self._isolate),
+                    "queue_depth": self.queue_depth,
+                    "inflight": self._inflight,
+                    "shed": self._shed,
+                    "worker_crashes": self._worker_crashes,
+                    "solver": smt.get_service().stats.as_dict(),
+                }
             if self.store is not None:
                 stats["store"] = dict(self.store.stats)
-            return {"ok": True, "stats": stats}
+            return _reply("ok", stats=stats)
         if cmd == "analyze":
-            return self._handle_analyze(request)
-        return {"ok": False, "error": f"unknown cmd {cmd!r}"}
+            return self._handle_analyze(request_obj)
+        return _reply("protocol_error", error=f"unknown cmd {cmd!r}")
 
-    def _handle_analyze(self, request: dict) -> dict:
+    def _handle_analyze(self, request_obj: dict) -> dict:
         from repro import smt
 
-        lang = request.get("lang", "mixy")
-        source = request.get("source")
+        lang = request_obj.get("lang", "mixy")
+        source = request_obj.get("source")
         if not isinstance(source, str):
-            return {"ok": False, "error": "analyze needs a string 'source'"}
-        options = request.get("options") or {}
+            return _reply(
+                "protocol_error", error="analyze needs a string 'source'"
+            )
+        options = request_obj.get("options")
+        if options is None:
+            options = {}
         if not isinstance(options, dict):
-            return {"ok": False, "error": "'options' must be an object"}
+            return _reply("protocol_error", error="'options' must be an object")
+        if lang not in ("mix", "mixy"):
+            # Same message the in-process ValueError produces, but
+            # decided before paying for a fork.
+            return _reply(
+                "error",
+                error=(
+                    f"ValueError: unknown lang {lang!r}; "
+                    "expected 'mix' or 'mixy'"
+                ),
+            )
+        try:
+            injector = _injector_from_options(options)
+        except ValueError as error:
+            return _reply("protocol_error", error=f"bad request: {error}")
+        if not self._slots.acquire(blocking=False):
+            retry_ms = self._retry_after_ms()
+            with self._lock:
+                self._shed += 1
+            if TRACER.enabled:
+                TRACER.event("shed", retry_after_ms=retry_ms)
+            return _reply(
+                "busy",
+                error="server busy: analyze queue is full",
+                retry_after_ms=retry_ms,
+            )
+        start = time.monotonic()
+        try:
+            with self._lock:
+                self._inflight += 1
+            with self._serial:
+                with TRACER.span("request", lang, isolated=self._isolate):
+                    if self._isolate:
+                        reply = self._analyze_isolated(
+                            lang, source, options, injector
+                        )
+                    else:
+                        reply = self._analyze_inproc(
+                            lang, source, options, injector
+                        )
+                if self.store is not None and reply["status"] == "ok":
+                    self._unsaved += 1
+                    if self._unsaved >= self.save_every:
+                        self.store.save(smt.get_service())
+                        self._unsaved = 0
+            elapsed = time.monotonic() - start
+            with self._lock:
+                self._avg_secs = (
+                    elapsed
+                    if self._avg_secs == 0.0
+                    else 0.7 * self._avg_secs + 0.3 * elapsed
+                )
+            return reply
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()
+
+    def _retry_after_ms(self) -> int:
+        """When to tell a shed client to come back: the EWMA request
+        duration scaled by the queue in front of it, clamped sane."""
+        with self._lock:
+            estimate = max(0.05, self._avg_secs) * max(1, self._inflight)
+        return max(50, min(30_000, int(estimate * 1000)))
+
+    # -- in-process execution (--no-isolate; also fork-less platforms) -------
+
+    def _analyze_inproc(
+        self, lang: str, source: str, options: dict, injector
+    ) -> dict:
+        from repro import smt
+
+        service = smt.get_service()
         store_stats_before = (
             dict(self.store.stats) if self.store is not None else {}
         )
-        tracer = self._request_tracer(options)
+        saved_injector = service.fault_injector
+        if injector is not None:
+            service.fault_injector = injector
+        tracer_opened = self._request_tracer(options)
         try:
-            result = analyze_source(lang, source, options, store=self.store)
+            result = analyze_source(
+                lang, source, options, store=self.store,
+                request_deadline=self.request_deadline,
+            )
         finally:
-            if tracer:
-                from repro.trace import TRACER
-
+            service.fault_injector = saved_injector
+            if tracer_opened:
                 TRACER.close()
-        served = {"requests_served": self.requests_served}
+        served = {"requests_served": self.requests_served, "isolated": False}
         if self.store is not None:
             served["store"] = {
                 key: self.store.stats[key] - store_stats_before.get(key, 0)
                 for key in self.store.stats
                 if self.store.stats[key] != store_stats_before.get(key, 0)
             }
-            self._unsaved += 1
-            if self._unsaved >= self.save_every:
-                self.store.save(smt.get_service())
-                self._unsaved = 0
-        return {"ok": True, "result": result, "served": served}
+        return _reply("ok", result=result, served=served)
+
+    # -- isolated execution (forked request workers) -------------------------
+
+    def _kill_after(self, options: dict) -> Optional[float]:
+        """Seconds until an unresponsive worker is SIGKILLed: the
+        tighter of the client deadline and ``--request-deadline``, plus
+        grace for the budget machinery to wind down cleanly."""
+        limits = [
+            value
+            for value in (options.get("deadline"), self.request_deadline)
+            if isinstance(value, (int, float)) and value > 0
+        ]
+        if not limits:
+            return None
+        return min(limits) + WORKER_KILL_GRACE
+
+    def _analyze_isolated(
+        self, lang: str, source: str, options: dict, injector
+    ) -> dict:
+        from repro import smt
+        from repro.parallel import mark_forked_child
+
+        service = smt.get_service()
+        kill_after = self._kill_after(options)
+        if TRACER.enabled:
+            TRACER.flush()  # fork must not duplicate buffered lines
+        sys.stdout.flush()
+        sys.stderr.flush()
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # -- child: never return to the caller's stack ----------------
+            code = 1
+            try:
+                os.close(read_fd)
+                mark_forked_child()  # no grandchildren; sidecar tracing
+                if self._sock is not None:
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                payload = _worker_payload(
+                    lang, source, options, injector, self.store,
+                    self.request_deadline,
+                )
+                _write_frame(
+                    write_fd,
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+                code = 0
+            except BaseException as error:
+                try:
+                    _write_frame(
+                        write_fd,
+                        pickle.dumps(
+                            {"error": f"{type(error).__name__}: {error}"}
+                        ),
+                    )
+                    code = 0
+                except BaseException:
+                    pass
+            finally:
+                try:
+                    os.close(write_fd)
+                except OSError:
+                    pass
+                os._exit(code)
+        # -- parent -------------------------------------------------------
+        os.close(write_fd)
+        try:
+            frame, timed_out = _read_frame(read_fd, pid, kill_after)
+        finally:
+            os.close(read_fd)
+        _, status = os.waitpid(pid, 0)
+        if TRACER.enabled:
+            # Worker spans land in a sidecar; merge tolerates torn tails
+            # from a SIGKILLed worker.
+            TRACER.merge_worker_files()
+        payload = None
+        if frame is not None:
+            try:
+                payload = pickle.loads(frame)
+            except Exception:
+                payload = None  # torn/corrupt frame: treat as a crash
+        if payload is None:
+            reason = (
+                "request deadline exceeded "
+                f"({kill_after - WORKER_KILL_GRACE:g}s); worker killed"
+                if timed_out
+                else _death_reason(status)
+            )
+            return self._degraded_reply(lang, source, injector, reason)
+        if "error" in payload:
+            return _reply(
+                "error",
+                error=payload["error"],
+                served={
+                    "requests_served": self.requests_served,
+                    "isolated": True,
+                },
+            )
+        self._merge_worker(service, payload)
+        served = {"requests_served": self.requests_served, "isolated": True}
+        if self.store is not None:
+            served["store"] = dict(payload.get("store_stats") or {})
+        return _reply("ok", result=payload["result"], served=served)
+
+    def _merge_worker(self, service, payload: dict) -> None:
+        """Fold a clean worker completion's warm state into the parent.
+        Fault-injected requests merge nothing (``faulted``), and a merge
+        failure degrades to a cold-cache note — the result already in
+        hand stays authoritative."""
+        if payload.get("faulted"):
+            return
+        delta = payload.get("delta")
+        try:
+            if delta is not None:
+                service.merge_delta(delta)
+        except Exception as error:
+            print(
+                "repro-serve: note: dropped a worker cache delta "
+                f"({type(error).__name__}: {error})",
+                file=sys.stderr,
+            )
+        if self.store is None:
+            return
+        mixy_new = payload.get("mixy_new") or {}
+        mix_new = payload.get("mix_new") or {}
+        self.store.mixy_blocks.update(mixy_new)
+        self.store.mix_blocks.update(mix_new)
+        if mixy_new or mix_new:
+            self.store.dirty = True
+        for key, delta_value in (payload.get("store_stats") or {}).items():
+            self.store.stats[key] = self.store.stats.get(key, 0) + delta_value
+
+    def _degraded_reply(
+        self, lang: str, source: str, injector, reason: str
+    ) -> dict:
+        """A worker died without a clean reply: record a crash repro,
+        count it, and answer ``degraded`` — the daemon and its warm
+        state are unharmed (nothing from the doomed worker merged)."""
+        with self._lock:
+            self._worker_crashes += 1
+        repro_path = None
+        try:
+            from repro.crash import record_crash
+
+            try:
+                raise WorkerCrash(f"request worker died: {reason}")
+            except WorkerCrash as error:
+                repro_path = record_crash(
+                    error,
+                    phase=f"serve:request-worker:{lang}",
+                    source=source,
+                    shrunk_source=source,
+                    crash_dir=self.crash_dir,
+                    injector=injector,
+                )
+        except Exception:
+            repro_path = None  # repro recording is best effort
+        if TRACER.enabled:
+            TRACER.event("worker_crash", reason=reason)
+        reply = _reply(
+            "degraded",
+            error=f"request worker died: {reason}",
+            served={
+                "requests_served": self.requests_served,
+                "isolated": True,
+            },
+        )
+        if repro_path:
+            reply["crash_repro"] = str(repro_path)
+        return reply
+
+    # -- periodic checkpointing ---------------------------------------------
+
+    def _checkpoint_loop(self) -> None:
+        """Persist dirty warm state every ``checkpoint_secs`` so a
+        ``kill -9`` loses at most one interval, on top of the per-N
+        ``--save-every`` saves."""
+        from repro import smt
+
+        while not self._stop_event.wait(self.checkpoint_secs):
+            if self._stop or self.store is None or not self.store.dirty:
+                continue
+            with self._serial:
+                with TRACER.span("checkpoint", "periodic"):
+                    self.store.save(smt.get_service())
 
     def _request_tracer(self, options: dict) -> bool:
         """Per-request tracing: honor ``options["trace"]`` when the
         daemon itself is not already tracing.  Appends, so a client
         re-using one trace path accumulates sessions instead of
-        truncating them (the bug this PR fixes)."""
+        truncating them."""
         path = options.get("trace")
         if not path:
             return False
-        from repro.trace import TRACER
-
         if TRACER.enabled:
             return False
         TRACER.enable(path, mode="append")
@@ -380,7 +1047,22 @@ class ReproDaemon:
         if self.store is not None:
             from repro import smt
 
-            self.store.save(smt.get_service())
+            with self._serial:
+                self.store.save(smt.get_service())
+
+
+def _death_reason(status: int) -> str:
+    """Human-readable cause from a ``waitpid`` status word."""
+    if os.WIFSIGNALED(status):
+        num = os.WTERMSIG(status)
+        try:
+            name = signal.Signals(num).name
+        except ValueError:
+            name = f"signal {num}"
+        return f"killed by {name}"
+    if os.WIFEXITED(status):
+        return f"exited with status {os.WEXITSTATUS(status)} before replying"
+    return "died without a reply"
 
 
 # ---------------------------------------------------------------------------
@@ -388,31 +1070,142 @@ class ReproDaemon:
 # ---------------------------------------------------------------------------
 
 
-def connect(address: str, timeout: float = 60.0) -> socket.socket:
+class ClientError(ConnectionError):
+    """A client-side failure with a one-line diagnostic.  ``retryable``
+    marks transient conditions (dead/refused socket, daemon died
+    mid-reply) worth retrying with backoff; protocol-level garbage is
+    not retryable."""
+
+    def __init__(self, message: str, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+def connect(
+    address: str,
+    timeout: float = 60.0,
+    connect_timeout: Optional[float] = None,
+) -> socket.socket:
     """Open a client socket to ``unix:PATH`` / ``tcp:HOST:PORT`` (or a
-    bare filesystem path, treated as a Unix socket)."""
+    bare filesystem path, treated as a Unix socket).  The connect phase
+    uses ``connect_timeout`` (default: ``timeout``) so a dead host
+    fails fast even when the request timeout is generous."""
+    establish = timeout if connect_timeout is None else connect_timeout
     if address.startswith("tcp:"):
         host, _, port_text = address[len("tcp:"):].rpartition(":")
         sock = socket.create_connection(
-            (host or "127.0.0.1", int(port_text)), timeout=timeout
+            (host or "127.0.0.1", int(port_text)), timeout=establish
         )
+        sock.settimeout(timeout)
         return sock
     path = address[len("unix:"):] if address.startswith("unix:") else address
     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    sock.settimeout(timeout)
+    sock.settimeout(establish)
     sock.connect(path)
+    sock.settimeout(timeout)
     return sock
 
 
-def request(address: str, payload: dict, timeout: float = 60.0) -> dict:
-    """One request, one response, over a fresh connection."""
-    with connect(address, timeout=timeout) as sock:
-        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-        reader = sock.makefile("r", encoding="utf-8")
-        line = reader.readline()
+def request(
+    address: str,
+    payload: dict,
+    timeout: float = 60.0,
+    connect_timeout: Optional[float] = None,
+) -> dict:
+    """One request, one response, over a fresh connection.  Every
+    failure mode — no daemon, refused/reset connection, a daemon dying
+    mid-reply, a truncated or malformed response — raises
+    :class:`ClientError` with a one-line diagnostic, never a raw
+    traceback-bait exception."""
+    try:
+        sock = connect(address, timeout=timeout, connect_timeout=connect_timeout)
+    except FileNotFoundError:
+        raise ClientError(
+            f"cannot connect to {address}: no such socket", retryable=True
+        ) from None
+    except ConnectionRefusedError:
+        raise ClientError(
+            f"cannot connect to {address}: connection refused", retryable=True
+        ) from None
+    except (socket.timeout, TimeoutError):
+        raise ClientError(
+            f"cannot connect to {address}: connect timed out", retryable=True
+        ) from None
+    except OSError as error:
+        raise ClientError(f"cannot connect to {address}: {error}") from None
+    with sock:
+        try:
+            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            reader = sock.makefile("rb")
+            line = reader.readline()
+        except (BrokenPipeError, ConnectionResetError):
+            raise ClientError(
+                f"{address}: connection lost mid-request "
+                "(daemon died or reset?)",
+                retryable=True,
+            ) from None
+        except (socket.timeout, TimeoutError):
+            raise ClientError(
+                f"{address}: timed out after {timeout:g}s waiting for a reply",
+                retryable=True,
+            ) from None
+        except OSError as error:
+            raise ClientError(f"{address}: {error}", retryable=True) from None
     if not line:
-        raise ConnectionError(f"no response from {address}")
-    response = json.loads(line)
+        raise ClientError(
+            f"{address}: daemon closed the connection without replying",
+            retryable=True,
+        )
+    if not line.endswith(b"\n"):
+        raise ClientError(
+            f"{address}: truncated reply (daemon died mid-reply?)",
+            retryable=True,
+        )
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError:
+        raise ClientError(f"{address}: malformed reply (not JSON)") from None
     if not isinstance(response, dict):
-        raise ConnectionError(f"malformed response from {address}")
+        raise ClientError(f"{address}: malformed reply (not an object)")
     return response
+
+
+def request_with_retry(
+    address: str,
+    payload: dict,
+    timeout: float = 60.0,
+    connect_timeout: Optional[float] = None,
+    retries: int = 0,
+    base_ms: float = 100.0,
+    max_ms: float = 5000.0,
+    rng: Optional[random.Random] = None,
+) -> dict:
+    """:func:`request` plus up to ``retries`` retried attempts on
+    transient failures: retryable :class:`ClientError` and ``busy``
+    replies.  Backoff is exponential (``base_ms * 2**attempt``, capped
+    at ``max_ms``) with full jitter, except that a ``busy`` reply's
+    ``retry_after_ms`` hint — the daemon's own queue estimate —
+    overrides the exponential schedule."""
+    rng = rng if rng is not None else random.Random()
+    attempt = 0
+    while True:
+        try:
+            response = request(
+                address, payload, timeout=timeout,
+                connect_timeout=connect_timeout,
+            )
+        except ClientError as error:
+            if attempt >= retries or not error.retryable:
+                raise
+            delay_ms = min(max_ms, base_ms * (2 ** attempt))
+        else:
+            if response.get("status") != "busy" or attempt >= retries:
+                return response
+            hint = response.get("retry_after_ms")
+            delay_ms = (
+                float(hint)
+                if isinstance(hint, (int, float)) and hint > 0
+                else min(max_ms, base_ms * (2 ** attempt))
+            )
+        time.sleep((delay_ms / 1000.0) * (0.5 + rng.random()))
+        attempt += 1

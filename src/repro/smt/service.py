@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -324,7 +325,11 @@ class FaultInjector:
       (wrong variable assignments).  Only the paranoid self-check
       (trust ring 2) catches this one;
     - ``CRASH`` — an :class:`InjectedCrash` escapes the service entirely,
-      exercising the per-block containment boundary (trust ring 3).
+      exercising the per-block containment boundary (trust ring 3);
+    - ``DIE`` — the process ``SIGKILL``s itself mid-query: no exception,
+      no cleanup, no chance to contain.  Nothing inside the process can
+      survive this one — it exists to exercise *cross-process* isolation
+      (the ``repro serve`` request workers and the chaos harness).
 
     Faults fire *before* the cache tiers, so "fail the Nth query" is
     deterministic regardless of what earlier queries populated.
@@ -335,7 +340,12 @@ class FaultInjector:
     ERROR = "error"
     BAD_MODEL = "bad_model"
     CRASH = "crash"
+    DIE = "die"
+    #: Faults the analysis process itself can survive — in-process tests
+    #: sweep these.  ``DIE`` is deliberately excluded: it SIGKILLs the
+    #: host process and is only meaningful behind a worker fork.
     KINDS = (TIMEOUT, UNKNOWN, ERROR, BAD_MODEL, CRASH)
+    ALL_KINDS = KINDS + (DIE,)
 
     def __init__(
         self,
@@ -345,7 +355,7 @@ class FaultInjector:
         kind: str = TIMEOUT,
     ) -> None:
         for fault_kind in (kind, *(faults or {}).values()):
-            if fault_kind not in self.KINDS:
+            if fault_kind not in self.ALL_KINDS:
                 raise ValueError(f"unknown fault kind {fault_kind!r}")
         self.faults = dict(faults or {})
         self.kind = kind
@@ -539,6 +549,8 @@ class SolverService:
     def _model(self, formulas: tuple[Term, ...], int_budget: int) -> Model:
         self.stats.queries += 1
         fault = self._next_fault()
+        if fault == FaultInjector.DIE:
+            os.kill(os.getpid(), signal.SIGKILL)
         if fault == FaultInjector.CRASH:
             raise InjectedCrash("injected solver crash")
         if fault is not None and fault != FaultInjector.BAD_MODEL:
@@ -592,6 +604,8 @@ class SolverService:
             raise SatCancelled  # race already lost: do no work at all
         self.stats.queries += 1
         fault = self._next_fault()
+        if fault == FaultInjector.DIE:
+            os.kill(os.getpid(), signal.SIGKILL)
         if fault == FaultInjector.CRASH:
             raise InjectedCrash("injected solver crash")
         if fault == FaultInjector.ERROR:

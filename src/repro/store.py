@@ -8,12 +8,14 @@ that reuse survive the process: a small on-disk store that a later run
 — or a long-lived ``repro serve`` daemon across restarts — loads to
 start warm.
 
-Layout of one store directory::
+Layout of one store directory (format version 2)::
 
     .repro-store/
-      meta.json          # {"schema": "repro-store", "version": 1}
-      solver-cache.pkl   # SolverService.export_cache(), wire-encoded
-      blocks.pkl         # block-result memos, keyed on content hashes
+      meta.json            # manifest: schema, generation, per-section CRCs
+      solver-cache.0.pkl   # section files, one per (section, slot)
+      solver-cache.1.pkl
+      blocks.0.pkl
+      blocks.1.pkl
 
 The **solver cache** section persists every exact-tier entry (verdict
 plus sat-set / unsat-core membership) via the wire codec
@@ -34,6 +36,20 @@ transitive callee cone, and its typed calling context
 editing one function invalidates exactly that function's dependency
 cone and nothing else.
 
+**Integrity: per-section checksums, two generations.**  Saves alternate
+between two file *slots* per section: generation ``n`` writes its
+sections to slot ``n % 2`` and then atomically replaces ``meta.json``
+with a manifest recording both the new generation and the previous one,
+each with per-section CRC32/size records
+(:func:`repro.fsio.checksummed_write`).  A ``kill -9`` at any
+instruction therefore leaves at least one fully consistent generation:
+the manifest flip is atomic, and the generation a manifest calls newest
+is never the one being overwritten.  On load each section is verified
+against its CRC; a damaged current section **rolls back** to the
+previous generation's copy (counted in ``sections_recovered``), and
+only when both generations fail does that section start cold — with a
+stderr note either way.
+
 Durability contract, same as the PR-6 hint files: the store is an
 accelerator, never a correctness input.  All writes go through
 :func:`repro.fsio.atomic_write`; a missing, torn, corrupt, or
@@ -49,8 +65,13 @@ import pickle
 import sys
 from typing import Optional
 
-STORE_VERSION = 1
+from repro.fsio import atomic_write, checksummed_write, read_checksummed
+
+STORE_VERSION = 2
 STORE_SCHEMA = "repro-store"
+
+#: The persisted sections, in save order.
+SECTIONS = ("solver-cache", "blocks")
 
 #: Exceptions that mean "this store file is unusable": anything pickle
 #: or a shape mismatch can throw.  Broad on purpose — a bad store must
@@ -83,6 +104,11 @@ class AnalysisStore:
         self.notes: list[str] = []
         #: set by put(); save() is a no-op on a clean store
         self.dirty = False
+        #: last persisted generation (0 = never saved); save() writes
+        #: generation+1 into slot (generation+1) % 2.
+        self.generation = 0
+        #: the manifest entry save() will record as "previous".
+        self._current_manifest: Optional[dict] = None
         self.stats = {
             "solver_entries_loaded": 0,
             "mixy_hits": 0,
@@ -91,6 +117,11 @@ class AnalysisStore:
             "mix_hits": 0,
             "mix_misses": 0,
             "mix_records": 0,
+            #: sections whose current generation failed its checksum but
+            #: whose previous generation verified (rollback happened)
+            "sections_recovered": 0,
+            #: sections unusable in every recorded generation
+            "sections_lost": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -102,66 +133,109 @@ class AnalysisStore:
         store = cls(root)
         meta_path = os.path.join(root, "meta.json")
         if os.path.exists(meta_path):
-            try:
-                with open(meta_path, encoding="utf-8") as fh:
-                    meta = json.load(fh)
-                if (
-                    not isinstance(meta, dict)
-                    or meta.get("schema") != STORE_SCHEMA
-                    or meta.get("version") != STORE_VERSION
-                ):
-                    store.notes.append(
-                        f"store {root}: unsupported meta {meta!r}; starting cold"
-                    )
-                    store._surface(quiet)
-                    return store
-            except _LOAD_ERRORS as error:
-                store.notes.append(
-                    f"store {root}: unreadable meta.json ({error}); starting cold"
-                )
-                store._surface(quiet)
-                return store
-            store._load_solver_cache()
-            store._load_blocks()
+            manifest = store._load_manifest(meta_path)
+            if manifest is not None:
+                store.generation = manifest.get("generation", 0)
+                store._current_manifest = manifest
+                store._load_sections(manifest)
         elif os.path.exists(root) and not os.path.isdir(root):
             store.notes.append(f"store {root}: not a directory; starting cold")
         store._surface(quiet)
         return store
 
-    def _load_solver_cache(self) -> None:
-        path = os.path.join(self.root, "solver-cache.pkl")
-        if not os.path.exists(path):
-            return
+    def _load_manifest(self, meta_path: str) -> Optional[dict]:
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if payload["version"] != STORE_VERSION:
-                raise ValueError(f"version {payload['version']}")
-            delta = payload["delta"]
-            len(delta.entries)  # shape probe: unusable payloads fail here
-            self.solver_cache = delta
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if (
+                not isinstance(meta, dict)
+                or meta.get("schema") != STORE_SCHEMA
+                or meta.get("version") != STORE_VERSION
+                or not isinstance(meta.get("generation"), int)
+                or not isinstance(meta.get("sections"), dict)
+            ):
+                self.notes.append(
+                    f"store {self.root}: unsupported meta {meta!r}; "
+                    "starting cold"
+                )
+                return None
+            return meta
         except _LOAD_ERRORS as error:
             self.notes.append(
-                f"store {self.root}: ignoring corrupt solver-cache.pkl "
-                f"({type(error).__name__}: {error}); solver cache starts cold"
+                f"store {self.root}: unreadable meta.json ({error}); "
+                "starting cold"
             )
+            return None
 
-    def _load_blocks(self) -> None:
-        path = os.path.join(self.root, "blocks.pkl")
-        if not os.path.exists(path):
-            return
-        try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if payload["version"] != STORE_VERSION:
-                raise ValueError(f"version {payload['version']}")
-            mixy, mix = dict(payload["mixy"]), dict(payload["mix"])
-            self.mixy_blocks, self.mix_blocks = mixy, mix
-        except _LOAD_ERRORS as error:
-            self.notes.append(
-                f"store {self.root}: ignoring corrupt blocks.pkl "
-                f"({type(error).__name__}: {error}); block memos start cold"
+    def _section_bytes(self, manifest: dict, name: str) -> Optional[bytes]:
+        """Read + verify one section, rolling back to the previous
+        generation on checksum failure.  Returns the payload bytes or
+        None (cold), recording notes and integrity counters."""
+        candidates = [("current", manifest)]
+        previous = manifest.get("previous")
+        if isinstance(previous, dict):
+            candidates.append(("previous", previous))
+        found = False
+        for label, gen in candidates:
+            sections = gen.get("sections")
+            record = sections.get(name) if isinstance(sections, dict) else None
+            if not isinstance(record, dict) or "file" not in record:
+                continue
+            found = True
+            data = read_checksummed(
+                os.path.join(self.root, str(record["file"])), record
             )
+            if data is None:
+                self.notes.append(
+                    f"store {self.root}: {name} generation "
+                    f"{gen.get('generation')} failed its checksum"
+                )
+                continue
+            if label == "previous":
+                self.stats["sections_recovered"] += 1
+                self.notes.append(
+                    f"store {self.root}: {name} rolled back to last-known-"
+                    f"good generation {gen.get('generation')}"
+                )
+            return data
+        if found:
+            self.stats["sections_lost"] += 1
+            self.notes.append(
+                f"store {self.root}: {name} corrupt in every recorded "
+                "generation; section starts cold"
+            )
+        return None
+
+    def _load_sections(self, manifest: dict) -> None:
+        data = self._section_bytes(manifest, "solver-cache")
+        if data is not None:
+            try:
+                payload = pickle.loads(data)
+                if payload["version"] != STORE_VERSION:
+                    raise ValueError(f"version {payload['version']}")
+                delta = payload["delta"]
+                len(delta.entries)  # shape probe: unusable payloads fail here
+                self.solver_cache = delta
+            except _LOAD_ERRORS as error:
+                self.notes.append(
+                    f"store {self.root}: ignoring corrupt solver-cache "
+                    f"({type(error).__name__}: {error}); solver cache "
+                    "starts cold"
+                )
+        data = self._section_bytes(manifest, "blocks")
+        if data is not None:
+            try:
+                payload = pickle.loads(data)
+                if payload["version"] != STORE_VERSION:
+                    raise ValueError(f"version {payload['version']}")
+                mixy, mix = dict(payload["mixy"]), dict(payload["mix"])
+                self.mixy_blocks, self.mix_blocks = mixy, mix
+            except _LOAD_ERRORS as error:
+                self.notes.append(
+                    f"store {self.root}: ignoring corrupt blocks section "
+                    f"({type(error).__name__}: {error}); block memos "
+                    "start cold"
+                )
 
     def _surface(self, quiet: bool) -> None:
         if quiet:
@@ -187,42 +261,64 @@ class AnalysisStore:
         return imported
 
     def save(self, service=None, force: bool = False) -> None:
-        """Persist the store atomically: the block memos, plus
-        ``service.export_cache()`` when a service is given.  Write
-        failures are swallowed with a note — persisting is an
-        optimization, never worth failing an analysis over."""
+        """Persist the store as a new generation: sections land in the
+        alternate file slot (checksummed, atomically written), then the
+        manifest flips to record the new generation with the old one as
+        its last-known-good fallback.  Write failures are swallowed with
+        a note — persisting is an optimization, never worth failing an
+        analysis over."""
         if not (self.dirty or force or service is not None):
             return
+        generation = self.generation + 1
+        slot = generation % 2
         try:
             os.makedirs(self.root, exist_ok=True)
-            from repro.fsio import atomic_write
-
+            sections: dict[str, dict] = {}
+            delta = self.solver_cache
             if service is not None:
-                with atomic_write(
-                    os.path.join(self.root, "solver-cache.pkl"), binary=True
-                ) as fh:
-                    pickle.dump(
-                        {"version": STORE_VERSION, "delta": service.export_cache()},
-                        fh,
+                delta = service.export_cache()
+            if delta is not None:
+                name = f"solver-cache.{slot}.pkl"
+                record = checksummed_write(
+                    os.path.join(self.root, name),
+                    pickle.dumps(
+                        {"version": STORE_VERSION, "delta": delta},
                         protocol=pickle.HIGHEST_PROTOCOL,
-                    )
-            with atomic_write(
-                os.path.join(self.root, "blocks.pkl"), binary=True
-            ) as fh:
-                pickle.dump(
+                    ),
+                )
+                sections["solver-cache"] = {"file": name, **record}
+            name = f"blocks.{slot}.pkl"
+            record = checksummed_write(
+                os.path.join(self.root, name),
+                pickle.dumps(
                     {
                         "version": STORE_VERSION,
                         "mixy": self.mixy_blocks,
                         "mix": self.mix_blocks,
                     },
-                    fh,
                     protocol=pickle.HIGHEST_PROTOCOL,
-                )
+                ),
+            )
+            sections["blocks"] = {"file": name, **record}
+            manifest = {
+                "schema": STORE_SCHEMA,
+                "version": STORE_VERSION,
+                "generation": generation,
+                "sections": sections,
+                "previous": (
+                    {
+                        key: self._current_manifest[key]
+                        for key in ("generation", "sections")
+                    }
+                    if self._current_manifest is not None
+                    else None
+                ),
+            }
             with atomic_write(os.path.join(self.root, "meta.json")) as fh:
-                json.dump(
-                    {"schema": STORE_SCHEMA, "version": STORE_VERSION}, fh
-                )
+                json.dump(manifest, fh, sort_keys=True)
                 fh.write("\n")
+            self.generation = generation
+            self._current_manifest = manifest
             self.dirty = False
         except OSError as error:
             note = f"store {self.root}: could not persist ({error})"

@@ -67,6 +67,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Optional, TextIO, Union
@@ -85,6 +86,8 @@ SPAN_KINDS = frozenset(
         "parallel.fanout",  # parent: one worker-pool round (incl. waiting)
         "parallel.merge",  # parent: merging worker deltas + trace files
         "worker.task",  # worker: one speculative task
+        "request",  # daemon: one client request (analyze/ping/stats)
+        "checkpoint",  # daemon: one periodic store checkpoint
     }
 )
 
@@ -95,6 +98,8 @@ POINT_KINDS = frozenset(
         "path.merge",  # SEIf-Defer merged two branches into one ite
         "path.complete",  # one execution path finished
         "budget.breach",  # resource governor cut something short
+        "shed",  # daemon: request refused with a busy reply
+        "worker_crash",  # daemon: a request worker died or missed deadline
     }
 )
 
@@ -147,10 +152,18 @@ class Tracer:
     Disabled by default; :meth:`enable` arms it.  All instrumentation
     call sites check :attr:`enabled` first — a single attribute read —
     so a disabled tracer contributes nothing measurable to a run.
+
+    Emission is guarded by an :class:`threading.RLock` so the threaded
+    ``repro serve`` daemon (one handler thread per connection) can trace
+    concurrently without interleaving half-written JSONL lines.  Span
+    *parenting* uses one process-wide stack — analyses are serialized by
+    the daemon, so the occasional concurrent ping/stats span at worst
+    picks up a cosmetically-wrong parent, never a corrupt file.
     """
 
     def __init__(self) -> None:
         self.enabled = False
+        self._lock = threading.RLock()
         #: Spans begun since enable() — the zero-overhead test asserts
         #: this stays 0 across a run with the tracer disabled.
         self.spans_started = 0
@@ -183,38 +196,41 @@ class Tracer:
           restarted daemon wants: the previous life's spans survive at
           a predictable name instead of being silently destroyed.
         """
-        if self.enabled:
-            raise RuntimeError("tracer is already enabled")
-        if mode not in ("truncate", "append", "rotate"):
-            raise ValueError(f"unknown trace mode {mode!r}")
-        self._path = os.fspath(path)
-        if mode == "rotate" and os.path.exists(self._path):
-            os.replace(self._path, self._path + ".1")
-        self._fh = open(
-            self._path, "a" if mode == "append" else "w", encoding="utf-8"
-        )
-        self._prefix = ""
-        self._next_id = 0
-        self._stack = []
-        self.spans_started = 0
-        self.lines_written = 0
-        self._t0 = time.monotonic()
-        self.enabled = True
-        self._emit({"ev": "meta", "schema": SCHEMA_VERSION, "pid": os.getpid(), "t": 0.0})
+        with self._lock:
+            if self.enabled:
+                raise RuntimeError("tracer is already enabled")
+            if mode not in ("truncate", "append", "rotate"):
+                raise ValueError(f"unknown trace mode {mode!r}")
+            self._path = os.fspath(path)
+            if mode == "rotate" and os.path.exists(self._path):
+                os.replace(self._path, self._path + ".1")
+            self._fh = open(
+                self._path, "a" if mode == "append" else "w", encoding="utf-8"
+            )
+            self._prefix = ""
+            self._next_id = 0
+            self._stack = []
+            self.spans_started = 0
+            self.lines_written = 0
+            self._t0 = time.monotonic()
+            self.enabled = True
+            self._emit({"ev": "meta", "schema": SCHEMA_VERSION, "pid": os.getpid(), "t": 0.0})
 
     def close(self) -> None:
         """Stop tracing and close the file (idempotent)."""
-        if not self.enabled:
-            return
-        self.enabled = False
-        assert self._fh is not None
-        self._fh.close()
-        self._fh = None
-        self._stack = []
+        with self._lock:
+            if not self.enabled:
+                return
+            self.enabled = False
+            assert self._fh is not None
+            self._fh.close()
+            self._fh = None
+            self._stack = []
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
 
     @property
     def path(self) -> Optional[str]:
@@ -235,42 +251,44 @@ class Tracer:
         checked :attr:`enabled` (hot paths) — calling this disabled is a
         bug and raises."""
         assert self.enabled, "begin_span on a disabled tracer"
-        self._next_id += 1
-        span = Span(
-            f"{self._prefix}{self._next_id}",
-            self._stack[-1].id if self._stack else None,
-            kind,
-            name,
-            self._now(),
-            fields,
-        )
-        self._stack.append(span)
-        self.spans_started += 1
-        return span
+        with self._lock:
+            self._next_id += 1
+            span = Span(
+                f"{self._prefix}{self._next_id}",
+                self._stack[-1].id if self._stack else None,
+                kind,
+                name,
+                self._now(),
+                fields,
+            )
+            self._stack.append(span)
+            self.spans_started += 1
+            return span
 
     def end_span(self, span: Span, **fields: Any) -> None:
         """Close ``span`` (and any span erroneously left open inside it)
         and write its line."""
-        if not self.enabled:
-            return  # tracer was closed while the span was open
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()  # orphans of a crashed sub-phase
-        if self._stack:
-            self._stack.pop()
-        if fields:
-            span.fields.update(fields)
-        now = self._now()
-        line = {
-            "ev": "span",
-            "id": span.id,
-            "parent": span.parent,
-            "kind": span.kind,
-            "name": span.name,
-            "t": round(span.start, 6),
-            "dur": round(now - span.start, 6),
-        }
-        line.update(span.fields)
-        self._emit(line)
+        with self._lock:
+            if not self.enabled:
+                return  # tracer was closed while the span was open
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()  # orphans of a crashed sub-phase
+            if self._stack:
+                self._stack.pop()
+            if fields:
+                span.fields.update(fields)
+            now = self._now()
+            line = {
+                "ev": "span",
+                "id": span.id,
+                "parent": span.parent,
+                "kind": span.kind,
+                "name": span.name,
+                "t": round(span.start, 6),
+                "dur": round(now - span.start, 6),
+            }
+            line.update(span.fields)
+            self._emit(line)
 
     @contextmanager
     def span(self, kind: str, name: str, **fields: Any) -> Iterator[Optional[Span]]:
@@ -294,27 +312,29 @@ class Tracer:
         """A point event attached to the current span.  Caller must have
         checked :attr:`enabled`."""
         assert self.enabled, "event on a disabled tracer"
-        line = {
-            "ev": "event",
-            "kind": kind,
-            "span": self._stack[-1].id if self._stack else None,
-            "t": round(self._now(), 6),
-        }
-        line.update(fields)
-        self._emit(line)
+        with self._lock:
+            line = {
+                "ev": "event",
+                "kind": kind,
+                "span": self._stack[-1].id if self._stack else None,
+                "t": round(self._now(), 6),
+            }
+            line.update(fields)
+            self._emit(line)
 
     def counter(self, name: str, value: Union[int, float], **fields: Any) -> None:
         """A named counter sample (e.g. final solver stats)."""
         assert self.enabled, "counter on a disabled tracer"
-        line = {
-            "ev": "counter",
-            "name": name,
-            "value": value,
-            "span": self._stack[-1].id if self._stack else None,
-            "t": round(self._now(), 6),
-        }
-        line.update(fields)
-        self._emit(line)
+        with self._lock:
+            line = {
+                "ev": "counter",
+                "name": name,
+                "value": value,
+                "span": self._stack[-1].id if self._stack else None,
+                "t": round(self._now(), 6),
+            }
+            line.update(fields)
+            self._emit(line)
 
     # -- parallel workers (see repro.parallel) --------------------------------
 
@@ -324,6 +344,10 @@ class Tracer:
         flushed before forking, so the inherited buffer holds nothing;
         the inherited stack is kept so worker spans parent to the
         fan-out span that forked them."""
+        # Fresh lock first: the fork may have happened while another
+        # daemon thread held the inherited one, which would deadlock the
+        # single-threaded child forever.
+        self._lock = threading.RLock()
         if not self.enabled:
             return
         pid = os.getpid()
@@ -340,25 +364,26 @@ class Tracer:
         lines to the main trace in sorted filename order, then delete
         them.  Tolerates a torn final line from a killed worker.
         Returns the number of files merged."""
-        if not self.enabled:
-            return 0
-        assert self._fh is not None and self._path is not None
-        merged = 0
-        for wpath in sorted(glob.glob(glob.escape(self._path) + ".worker-*")):
-            try:
-                with open(wpath, encoding="utf-8") as fh:
-                    data = fh.read()
-            except OSError:
-                continue
-            # Keep only whole lines: a worker killed mid-write leaves a
-            # torn tail that would corrupt the JSONL stream.
-            complete = data[: data.rfind("\n") + 1]
-            if complete:
-                self._fh.write(complete)
-                self.lines_written += complete.count("\n")
-            os.unlink(wpath)
-            merged += 1
-        return merged
+        with self._lock:
+            if not self.enabled:
+                return 0
+            assert self._fh is not None and self._path is not None
+            merged = 0
+            for wpath in sorted(glob.glob(glob.escape(self._path) + ".worker-*")):
+                try:
+                    with open(wpath, encoding="utf-8") as fh:
+                        data = fh.read()
+                except OSError:
+                    continue
+                # Keep only whole lines: a worker killed mid-write leaves
+                # a torn tail that would corrupt the JSONL stream.
+                complete = data[: data.rfind("\n") + 1]
+                if complete:
+                    self._fh.write(complete)
+                    self.lines_written += complete.count("\n")
+                os.unlink(wpath)
+                merged += 1
+            return merged
 
 
 #: The process-wide tracer.  Import the module and guard call sites with

@@ -22,7 +22,14 @@ import pytest
 import repro
 from repro.mixy.corpus import CASES
 from repro.mixy.corpus_vsftpd import parallel_vsftpd
-from repro.serve import ReproDaemon, analyze_source, request
+from repro.serve import (
+    ClientError,
+    ReproDaemon,
+    TERMINAL_STATUSES,
+    analyze_source,
+    request,
+    request_with_retry,
+)
 
 #: Fast corpus (qualifier inference only — no symbolic blocks).
 SOURCE = CASES["case1"].source(False)
@@ -262,21 +269,325 @@ class TestDaemonEndToEnd:
         assert after["ok"] and after["result"] == expected
 
     def test_corrupt_store_degrades_to_cold_service(self, tmp_path):
+        # A v2 store whose only recorded generation fails its checksum in
+        # every section: the daemon must note the corruption, start cold,
+        # and still answer identically to a fresh one-shot run.
         store_dir = tmp_path / "store"
         store_dir.mkdir()
-        (store_dir / "meta.json").write_text(
-            json.dumps({"schema": "repro-store", "version": 1})
-        )
-        (store_dir / "solver-cache.pkl").write_bytes(b"garbage")
-        (store_dir / "blocks.pkl").write_bytes(b"\x80")
+        (store_dir / "solver-cache.1.pkl").write_bytes(b"garbage")
+        (store_dir / "blocks.1.pkl").write_bytes(b"\x80")
+        (store_dir / "meta.json").write_text(json.dumps({
+            "schema": "repro-store", "version": 2, "generation": 1,
+            "sections": {
+                "solver-cache": {
+                    "file": "solver-cache.1.pkl", "crc32": 1, "size": 7,
+                },
+                "blocks": {"file": "blocks.1.pkl", "crc32": 1, "size": 1},
+            },
+            "previous": None,
+        }))
         proc, address = _start_daemon(tmp_path, "--max-requests", "1")
         response = _analyze_request(address)
         err = _finish(proc)
         assert "note:" in err and "corrupt" in err
         assert response["result"] == _fresh_cli_result(tmp_path)
 
+    def test_corrupt_current_generation_rolls_back_to_previous(self, tmp_path):
+        # Two daemon lives build two store generations; flipping bytes in
+        # the newest generation's sections must roll the next life back to
+        # the previous generation — warm, not cold.
+        proc, address = _start_daemon(tmp_path, "--max-requests", "1")
+        expected = _analyze_request(address, source=STAIRCASE)["result"]
+        _finish(proc)
+        proc, address = _start_daemon(tmp_path, "--max-requests", "1")
+        _analyze_request(address, source=STAIRCASE)
+        _finish(proc)
+        store_dir = tmp_path / "store"
+        meta = json.loads((store_dir / "meta.json").read_text())
+        assert meta["generation"] >= 2 and meta["previous"] is not None
+        for record in meta["sections"].values():
+            path = store_dir / record["file"]
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        proc, address = _start_daemon(tmp_path, "--max-requests", "1")
+        response = _analyze_request(address, source=STAIRCASE)
+        err = _finish(proc)
+        assert "rolled back to last-known-good generation" in err
+        assert response["result"] == expected
+        assert response["served"]["store"].get("mixy_hits", 0) > 0
+
     def test_ping_shutdown_cycle(self, tmp_path):
         proc, address = _start_daemon(tmp_path, "--no-store")
         assert request(address, {"cmd": "ping"})["pong"]
         assert request(address, {"cmd": "shutdown"})["bye"]
         _finish(proc)
+
+
+# ---------------------------------------------------------------------------
+# Worker isolation: request crashes never take the daemon down
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork isolation")
+class TestWorkerIsolation:
+    def test_worker_sigkill_degrades_and_daemon_survives(self, tmp_path):
+        proc, address = _start_daemon(tmp_path)
+        killed = _analyze_request(
+            address, source=STAIRCASE, inject_fault=["1:die"]
+        )
+        after = _analyze_request(address, source=STAIRCASE)
+        stats = request(address, {"cmd": "stats"})
+        request(address, {"cmd": "shutdown"})
+        _finish(proc)
+        assert killed["ok"] is False
+        assert killed["status"] == "degraded"
+        assert "SIGKILL" in killed["error"]
+        # The dead worker left a content-addressed crash repro behind.
+        repro_path = killed.get("crash_repro")
+        assert repro_path and (tmp_path / repro_path).exists()
+        assert stats["stats"]["worker_crashes"] == 1
+        # The crashed request merged nothing; the survivor answers clean.
+        assert after["ok"]
+        assert after["result"] == _fresh_cli_result(tmp_path, STAIRCASE)
+
+    def test_worker_exception_is_a_structured_error(self, monkeypatch):
+        # An exception the analysis layers do NOT absorb (i.e. a real bug
+        # in the analyzer) comes back as a structured error reply — the
+        # monkeypatched raise is inherited by the forked worker.
+        import repro.serve as serve_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(serve_mod, "analyze_source", boom)
+        daemon = ReproDaemon(socket_path="unused.sock", store_dir=None)
+        assert daemon._isolate
+        response = daemon.handle_line(json.dumps(
+            {"cmd": "analyze", "lang": "mix", "source": "{s 1 s}"}
+        ))
+        assert response["ok"] is False and response["status"] == "error"
+        assert "RuntimeError: analyzer bug" in response["error"]
+        assert daemon.handle_line('{"cmd": "ping"}')["ok"]
+
+    def test_faulted_request_never_poisons_the_warm_cache(self, tmp_path):
+        # A request with an injected solver fault — whether it degrades
+        # soundly in the worker or kills it — must merge nothing back, so
+        # later requests still match the fresh one-shot baseline.
+        proc, address = _start_daemon(tmp_path)
+        faulted = _analyze_request(
+            address, source=STAIRCASE, inject_fault=["1:crash", "3:timeout"]
+        )
+        after = _analyze_request(address, source=STAIRCASE)
+        request(address, {"cmd": "shutdown"})
+        _finish(proc)
+        assert faulted["status"] in TERMINAL_STATUSES
+        assert after["ok"]
+        assert after["result"] == _fresh_cli_result(tmp_path, STAIRCASE)
+        # The faulted request contributed no warm hits to the follow-up.
+        assert after["served"]["store"].get("mixy_hits", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Overload: bounded queue, shedding, retry_after_ms
+# ---------------------------------------------------------------------------
+
+
+class TestOverload:
+    def test_full_queue_sheds_with_busy_and_retry_hint(self):
+        daemon = ReproDaemon(
+            socket_path="unused.sock", store_dir=None, queue_depth=1,
+            isolate=False,
+        )
+        # Occupy the only slot by hand; the next analyze must be shed.
+        assert daemon._slots.acquire(blocking=False)
+        response = daemon.handle_line(json.dumps(
+            {"cmd": "analyze", "lang": "mix", "source": "{s 1 s}"}
+        ))
+        assert response["ok"] is False
+        assert response["status"] == "busy"
+        assert response["retry_after_ms"] >= 50
+        stats = daemon.handle_line('{"cmd": "stats"}')["stats"]
+        assert stats["shed"] == 1
+        # Release the slot and the same request goes through.
+        daemon._slots.release()
+        assert daemon.handle_line(json.dumps(
+            {"cmd": "analyze", "lang": "mix", "source": "{s 1 s}"}
+        ))["ok"]
+
+
+# ---------------------------------------------------------------------------
+# Protocol hardening: fuzz the wire with garbage
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolFuzz:
+    GARBAGE = [
+        b"{nope\n",
+        b"[1, 2, 3]\n",
+        b'"just a string"\n',
+        b"42\n",
+        b"null\n",
+        b"\x00\xff\xfe\x80 binary trash\n",
+        b'{"cmd": "no-such-cmd"}\n',
+        b'{"cmd": 42}\n',
+        b'{"cmd": "analyze"}\n',
+        b'{"cmd": "analyze", "lang": "mixy", "source": 13}\n',
+        b'{"cmd": "analyze", "lang": "mixy", "source": "x", "options": [1]}\n',
+        b'{"cmd": "analyze", "lang": "fortran", "source": "x"}\n',
+        b'{"cmd": "analyze", "lang": "mixy", "source": "x", '
+        b'"options": {"inject_fault": ["bogus"]}}\n',
+        b"}}{{\n",
+        b"\n",
+    ]
+
+    def test_unit_every_garbage_line_gets_a_terminal_reply(self):
+        daemon = _line_daemon()
+        for line in self.GARBAGE:
+            if line == b"\n":
+                continue
+            response = daemon.handle_line(
+                line.decode("utf-8", errors="replace").rstrip("\n")
+            )
+            assert response["status"] in TERMINAL_STATUSES, line
+            assert response["status"] != "ok", line
+        assert daemon.handle_line('{"cmd": "ping"}')["ok"]
+
+    def test_e2e_garbage_stream_then_oversized_line(self, tmp_path):
+        import socket as socket_mod
+
+        proc, address = _start_daemon(
+            tmp_path, "--no-store", "--max-request-bytes", "4096",
+        )
+        host, _, port = address[len("tcp:"):].rpartition(":")
+        with socket_mod.create_connection((host, int(port)), timeout=30) as sock:
+            reader = sock.makefile("rb")
+            sent = 0
+            for line in self.GARBAGE:
+                if line == b"\n":
+                    continue  # blank lines are skipped, not answered
+                sock.sendall(line)
+                sent += 1
+                reply = json.loads(reader.readline())
+                assert reply["status"] in TERMINAL_STATUSES, line
+            # An oversized line is dropped with a protocol_error and the
+            # connection keeps working afterwards.
+            sock.sendall(b'{"pad": "' + b"x" * 8192 + b'"}\n')
+            reply = json.loads(reader.readline())
+            assert reply["status"] == "protocol_error"
+            assert "exceeds" in reply["error"]
+            sock.sendall(b'{"cmd": "ping"}\n')
+            assert json.loads(reader.readline())["pong"]
+        assert request(address, {"cmd": "ping"})["pong"]
+        request(address, {"cmd": "shutdown"})
+        _finish(proc)
+
+
+# ---------------------------------------------------------------------------
+# Client failure modes and retry
+# ---------------------------------------------------------------------------
+
+
+class TestClientFailureModes:
+    def test_no_such_socket_is_a_retryable_client_error(self, tmp_path):
+        with pytest.raises(ClientError, match="no such socket") as info:
+            request(f"unix:{tmp_path}/never-bound.sock", {"cmd": "ping"})
+        assert info.value.retryable
+
+    def test_connection_refused_is_a_retryable_client_error(self):
+        import socket as socket_mod
+
+        probe = socket_mod.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nobody listens here any more
+        with pytest.raises(ClientError) as info:
+            request(f"tcp:127.0.0.1:{port}", {"cmd": "ping"}, timeout=5)
+        assert info.value.retryable
+
+    @staticmethod
+    def _one_shot_server(behavior):
+        """A fake daemon that serves exactly one connection per accept."""
+        import socket as socket_mod
+
+        server = socket_mod.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(4)
+        port = server.getsockname()[1]
+
+        def serve():
+            while True:
+                try:
+                    conn, _ = server.accept()
+                except OSError:
+                    return
+                with conn:
+                    if not behavior(conn):
+                        server.close()
+                        return
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return f"tcp:127.0.0.1:{port}", server
+
+    def test_closed_without_reply_is_diagnosed(self):
+        address, server = self._one_shot_server(lambda conn: False)
+        try:
+            # Depending on who loses the race with close(), the client sees
+            # either a clean empty read or a reset; both must be diagnosed
+            # as the daemon going away, retryably.
+            with pytest.raises(
+                ClientError, match="without replying|connection lost"
+            ) as info:
+                request(address, {"cmd": "ping"}, timeout=5)
+            assert info.value.retryable
+        finally:
+            server.close()
+
+    def test_truncated_reply_is_diagnosed(self):
+        def behavior(conn):
+            conn.recv(65536)
+            conn.sendall(b'{"ok": true')  # no newline: died mid-reply
+            return False
+
+        address, server = self._one_shot_server(behavior)
+        try:
+            with pytest.raises(ClientError, match="truncated") as info:
+                request(address, {"cmd": "ping"}, timeout=5)
+            assert info.value.retryable
+        finally:
+            server.close()
+
+    def test_retry_honors_busy_and_succeeds(self):
+        import random
+
+        hits = []
+
+        def behavior(conn):
+            conn.recv(65536)
+            if not hits:
+                conn.sendall(
+                    b'{"ok": false, "status": "busy", "retry_after_ms": 10}\n'
+                )
+                hits.append("busy")
+                return True
+            conn.sendall(b'{"ok": true, "status": "ok", "pong": true}\n')
+            hits.append("ok")
+            return False
+
+        address, server = self._one_shot_server(behavior)
+        try:
+            response = request_with_retry(
+                address, {"cmd": "ping"}, timeout=5, retries=3,
+                rng=random.Random(0),
+            )
+            assert response["pong"] and hits == ["busy", "ok"]
+        finally:
+            server.close()
+
+    def test_retry_zero_surfaces_the_failure(self, tmp_path):
+        with pytest.raises(ClientError):
+            request_with_retry(
+                f"unix:{tmp_path}/never-bound.sock", {"cmd": "ping"},
+                retries=0,
+            )

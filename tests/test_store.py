@@ -190,14 +190,17 @@ class TestDegradation:
 
     def test_corrupt_pickles_degrade_with_a_note(self, tmp_path, capsys):
         root = _populated_store_dir(tmp_path)
-        with open(os.path.join(root, "solver-cache.pkl"), "wb") as fh:
-            fh.write(b"not a pickle")
-        with open(os.path.join(root, "blocks.pkl"), "wb") as fh:
-            fh.write(b"\x80")  # truncated pickle stream
+        # A first save has no previous generation to roll back to, so a
+        # corrupt section can only start cold.
+        for name in os.listdir(root):
+            if name.endswith(".pkl"):
+                with open(os.path.join(root, name), "wb") as fh:
+                    fh.write(b"not a pickle")
         store = AnalysisStore.open(root)
         err = capsys.readouterr().err
-        assert "corrupt solver-cache.pkl" in err
-        assert "corrupt blocks.pkl" in err
+        assert "failed its checksum" in err
+        assert "corrupt in every recorded generation" in err
+        assert store.stats["sections_lost"] == 2
         warnings, stats = _analyze(store)
         cold_warnings, _ = _analyze()
         assert warnings == cold_warnings
@@ -212,11 +215,23 @@ class TestDegradation:
         assert store.mixy_blocks == {} and store.solver_cache is None
 
     def test_version_mismatched_sections_start_cold(self, tmp_path, capsys):
+        # A section whose *payload* declares a different version (but
+        # passes its checksum) is ignored — forward compatibility.
         root = _populated_store_dir(tmp_path)
-        with open(os.path.join(root, "blocks.pkl"), "wb") as fh:
-            pickle.dump({"version": STORE_VERSION + 1, "mixy": {}, "mix": {}}, fh)
+        from repro.fsio import checksummed_write
+
+        with open(os.path.join(root, "meta.json")) as fh:
+            meta = json.load(fh)
+        name = meta["sections"]["blocks"]["file"]
+        record = checksummed_write(
+            os.path.join(root, name),
+            pickle.dumps({"version": STORE_VERSION + 1, "mixy": {}, "mix": {}}),
+        )
+        meta["sections"]["blocks"] = {"file": name, **record}
+        with open(os.path.join(root, "meta.json"), "w") as fh:
+            json.dump(meta, fh)
         store = AnalysisStore.open(root)
-        assert "blocks.pkl" in capsys.readouterr().err
+        assert "corrupt blocks section" in capsys.readouterr().err
         assert store.mixy_blocks == {}
         # The untouched solver cache still loads.
         assert store.solver_cache is not None
@@ -238,3 +253,217 @@ class TestDegradation:
         store = AnalysisStore.open(root, quiet=True)
         assert store.notes  # recorded...
         assert capsys.readouterr().err == ""  # ...but not printed
+
+
+# ---------------------------------------------------------------------------
+# Checksummed I/O (repro.fsio)
+# ---------------------------------------------------------------------------
+
+
+class TestChecksummedIO:
+    def test_round_trip(self, tmp_path):
+        from repro.fsio import checksummed_write, read_checksummed
+
+        path = str(tmp_path / "blob.bin")
+        record = checksummed_write(path, b"payload bytes")
+        assert set(record) == {"crc32", "size"} and record["size"] == 13
+        assert read_checksummed(path, record) == b"payload bytes"
+
+    def test_flipped_byte_fails_verification(self, tmp_path):
+        from repro.fsio import checksummed_write, read_checksummed
+
+        path = str(tmp_path / "blob.bin")
+        record = checksummed_write(path, b"payload bytes")
+        data = bytearray((tmp_path / "blob.bin").read_bytes())
+        data[4] ^= 0xFF
+        (tmp_path / "blob.bin").write_bytes(bytes(data))
+        assert read_checksummed(path, record) is None
+
+    def test_truncation_fails_verification(self, tmp_path):
+        from repro.fsio import checksummed_write, read_checksummed
+
+        path = str(tmp_path / "blob.bin")
+        record = checksummed_write(path, b"payload bytes")
+        (tmp_path / "blob.bin").write_bytes(b"payload")
+        assert read_checksummed(path, record) is None
+
+    def test_missing_file_and_bad_record_return_none(self, tmp_path):
+        from repro.fsio import checksummed_write, read_checksummed
+
+        path = str(tmp_path / "blob.bin")
+        assert read_checksummed(path, {"crc32": 0, "size": 0}) is None
+        checksummed_write(path, b"x")
+        assert read_checksummed(path, {}) is None
+        assert read_checksummed(path, {"crc32": "nope", "size": None}) is None
+
+
+# ---------------------------------------------------------------------------
+# atomic_write under injected filesystem faults
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicWriteFaults:
+    """Simulated ENOSPC, failed fsync, and rename interruption: the
+    destination must keep its old content bit for bit, and no ``*.tmp``
+    siblings may survive."""
+
+    def _assert_intact(self, tmp_path, path):
+        assert path.read_text() == "old"
+        assert os.listdir(tmp_path) == [path.name]
+
+    def test_enospc_during_write(self, tmp_path, monkeypatch):
+        import errno
+
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+
+        def fail_fsync(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", fail_fsync)
+        with pytest.raises(OSError, match="No space left"):
+            with atomic_write(str(path)) as fh:
+                fh.write("new content that never lands")
+        self._assert_intact(tmp_path, path)
+
+    def test_failed_fsync(self, tmp_path, monkeypatch):
+        import errno
+
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+
+        def fail_fsync(fd):
+            raise OSError(errno.EIO, "Input/output error")
+
+        monkeypatch.setattr(os, "fsync", fail_fsync)
+        with pytest.raises(OSError, match="Input/output"):
+            with atomic_write(str(path)) as fh:
+                fh.write("new")
+        self._assert_intact(tmp_path, path)
+
+    def test_rename_interruption(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        real_replace = os.replace
+
+        def fail_replace(src, dst, **kwargs):
+            if str(dst) == str(path):
+                raise OSError("interrupted rename")
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os, "replace", fail_replace)
+        with pytest.raises(OSError, match="interrupted rename"):
+            with atomic_write(str(path)) as fh:
+                fh.write("new")
+        self._assert_intact(tmp_path, path)
+
+    def test_store_save_survives_write_failure(self, tmp_path, monkeypatch):
+        """A store whose persist fails mid-save keeps serving from
+        memory and leaves the on-disk generation untouched."""
+        import errno
+
+        store = AnalysisStore.open(str(tmp_path / "store"))
+        store.mixy_put("k1", {"v": 1})
+        store.save()
+        generation = store.generation
+
+        def fail_fsync(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        store.mixy_put("k2", {"v": 2})
+        monkeypatch.setattr(os, "fsync", fail_fsync)
+        store.save()  # swallowed with a note, never raises
+        monkeypatch.undo()
+        assert any("could not persist" in note for note in store.notes)
+        assert store.generation == generation  # no half-flipped manifest
+        reopened = AnalysisStore.open(str(tmp_path / "store"))
+        assert reopened.mixy_get("k1") == {"v": 1}  # old generation intact
+        assert reopened.mixy_get("k2") is None
+
+
+# ---------------------------------------------------------------------------
+# Two-generation integrity: checksum mismatch rolls back, never crashes
+# ---------------------------------------------------------------------------
+
+
+def _section_file(root, section, generation="current"):
+    with open(os.path.join(root, "meta.json")) as fh:
+        meta = json.load(fh)
+    entry = meta if generation == "current" else meta["previous"]
+    return os.path.join(root, entry["sections"][section]["file"])
+
+
+def _flip_byte(path):
+    with open(path, "r+b") as fh:
+        fh.seek(0)
+        first = fh.read(1)
+        fh.seek(0)
+        fh.write(bytes([first[0] ^ 0xFF]))
+
+
+class TestGenerationRollback:
+    def _two_generations(self, tmp_path):
+        """gen 1 holds k1; gen 2 holds k1+k2.  Distinct file slots."""
+        root = str(tmp_path / "store")
+        store = AnalysisStore.open(root)
+        store.mixy_put("k1", {"v": 1})
+        store.save()
+        store.mixy_put("k2", {"v": 2})
+        store.save()
+        assert store.generation == 2
+        current = _section_file(root, "blocks")
+        previous = _section_file(root, "blocks", "previous")
+        assert current != previous  # saves alternate slots
+        return root
+
+    def test_save_alternates_slots_and_records_previous(self, tmp_path):
+        root = self._two_generations(tmp_path)
+        with open(os.path.join(root, "meta.json")) as fh:
+            meta = json.load(fh)
+        assert meta["generation"] == 2
+        assert meta["previous"]["generation"] == 1
+
+    def test_checksum_mismatch_rolls_back_a_generation(self, tmp_path, capsys):
+        root = self._two_generations(tmp_path)
+        _flip_byte(_section_file(root, "blocks"))
+        store = AnalysisStore.open(root)
+        err = capsys.readouterr().err
+        assert "failed its checksum" in err and "rolled back" in err
+        assert store.stats["sections_recovered"] == 1
+        # Generation 1's content, not generation 2's.
+        assert store.mixy_get("k1") == {"v": 1}
+        assert store.mixy_get("k2") is None
+
+    def test_rollback_is_per_section(self, tmp_path, capsys):
+        root = self._two_generations(tmp_path)
+        _flip_byte(_section_file(root, "blocks"))
+        store = AnalysisStore.open(root)
+        capsys.readouterr()
+        # blocks rolled back; a later save writes a complete fresh
+        # generation and recovers full integrity.
+        store.mixy_put("k3", {"v": 3})
+        store.save()
+        reopened = AnalysisStore.open(root)
+        assert reopened.notes == []
+        assert reopened.mixy_get("k1") == {"v": 1}
+        assert reopened.mixy_get("k3") == {"v": 3}
+
+    def test_both_generations_corrupt_starts_cold(self, tmp_path, capsys):
+        root = self._two_generations(tmp_path)
+        _flip_byte(_section_file(root, "blocks"))
+        _flip_byte(_section_file(root, "blocks", "previous"))
+        store = AnalysisStore.open(root)
+        err = capsys.readouterr().err
+        assert "corrupt in every recorded generation" in err
+        assert store.stats["sections_lost"] == 1
+        assert store.mixy_blocks == {}
+
+    def test_truncated_section_rolls_back(self, tmp_path, capsys):
+        root = self._two_generations(tmp_path)
+        current = _section_file(root, "blocks")
+        with open(current, "r+b") as fh:
+            fh.truncate(4)  # a torn tail, as after a mid-write SIGKILL
+        store = AnalysisStore.open(root)
+        assert store.stats["sections_recovered"] == 1
+        assert store.mixy_get("k1") == {"v": 1}
+        capsys.readouterr()

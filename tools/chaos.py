@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Standalone launcher for the chaos harness (``repro.chaos``).
+
+Equivalent to ``PYTHONPATH=src python -m repro.cli chaos -- ...`` but
+runnable straight from a checkout::
+
+    python tools/chaos.py --faults 200 --seed 0
+
+See ``repro.chaos`` for the fault menu and the invariants it enforces.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.chaos import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -94,6 +94,28 @@ class Budget:
             max_paths=max_paths,
         )
 
+    @staticmethod
+    def slot_kill_after(
+        options: dict,
+        request_deadline: Optional[float],
+        grace: float,
+    ) -> Optional[float]:
+        """Seconds until an unresponsive worker slot may be SIGKILLed:
+        the tighter of the client-supplied ``deadline`` option and the
+        daemon's ``--request-deadline``, plus ``grace`` for the budget
+        machinery to wind down and the reply frame to be written.  None
+        when the request is unbounded — mirrors :meth:`from_request`, so
+        the kill deadline and the in-band budget can never disagree on
+        which limit governs."""
+        limits = [
+            value
+            for value in (options.get("deadline"), request_deadline)
+            if isinstance(value, (int, float)) and value > 0
+        ]
+        if not limits:
+            return None
+        return min(limits) + grace
+
     # -- clock -----------------------------------------------------------------
 
     def start(self) -> "Budget":

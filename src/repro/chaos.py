@@ -4,7 +4,8 @@ The campaign throws a seeded, weighted mix of hostile inputs at a daemon —
 malformed and oversized requests, slow-loris stalls, socket resets, solver
 faults injected into isolated workers (including ``crash`` exceptions and
 ``die`` SIGKILLs), flood bursts past the admission queue, store corruption
-between requests, even SIGKILLing the daemon itself — and checks the
+between requests, SIGKILLs aimed at pooled workers both idle and
+mid-request, even SIGKILLing the daemon itself — and checks the
 contract the serving layer promises:
 
 * the daemon never dies to a request (only the explicit ``daemon_kill`` op
@@ -70,6 +71,8 @@ OP_WEIGHTS = [
     ("flood", 3),
     ("store_corrupt", 3),
     ("daemon_kill", 2),
+    ("pool_kill_idle", 3),
+    ("pool_kill_busy", 2),
 ]
 
 
@@ -285,8 +288,15 @@ class ChaosCampaign:
         weights = [w for _, w in OP_WEIGHTS]
         for i in range(self.faults):
             op = self.rng.choices(menu, weights=weights, k=1)[0]
-            if not self.owns_daemon and op in ("store_corrupt", "daemon_kill"):
-                op = "malformed_json"  # can't reach an external daemon's disk
+            if not self.owns_daemon and op in (
+                "store_corrupt",
+                "daemon_kill",
+                "pool_kill_idle",
+                "pool_kill_busy",
+            ):
+                # Can't reach an external daemon's disk or signal its
+                # worker processes; stay hostile at the protocol layer.
+                op = "malformed_json"
             getattr(self, f"_op_{op}")()
             if self.owns_daemon and not self.daemon.alive():
                 if op != "daemon_kill":
@@ -603,6 +613,103 @@ class ChaosCampaign:
         self._expect_status("store_corrupt", reply, "ok")
         if reply and reply.get("status") == "ok":
             self._check_result(reply, "store_corrupt")
+
+    def _pool_workers(self) -> List[dict]:
+        """The daemon's live pooled workers (pid/epoch/served/busy), or
+        ``[]`` when the daemon runs without a pool."""
+        try:
+            reply = request_with_retry(
+                self.address, {"cmd": "stats"}, timeout=20, retries=3,
+                rng=self.rng,
+            )
+        except (ClientError, OSError):
+            return []
+        pool = (reply.get("stats") or {}).get("pool") or {}
+        return [
+            worker
+            for worker in pool.get("workers", [])
+            if isinstance(worker.get("pid"), int)
+        ]
+
+    def _op_pool_kill_idle(self) -> None:
+        # SIGKILL a pooled worker *between* requests: the pool must reap
+        # the corpse at the next acquire and replace it with a fresh
+        # fork — the client-visible reply stays clean 'ok' and identical
+        # to the baseline (no degraded, no epoch corruption).
+        workers = self._pool_workers()
+        if not workers:
+            # Pool not spawned yet (it forks lazily at the first
+            # analyze) or the daemon runs fork-per-request/in-process:
+            # warm it up and see if a pool appears.
+            reply = self._analyze({})
+            self._expect_status("pool_kill_idle", reply, "ok")
+            workers = self._pool_workers()
+            if not workers:
+                return  # non-pooled daemon: nothing to aim at
+        victim = self.rng.choice(workers)["pid"]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except OSError:
+            pass  # already recycled underneath us
+        reply = self._analyze({})
+        self._expect_status("pool_kill_idle", reply, "ok")
+        if reply and reply.get("status") == "ok":
+            self._check_result(reply, "pool_kill_idle")
+        survivors = {worker["pid"] for worker in self._pool_workers()}
+        if victim in survivors:
+            self.report.violate(
+                f"pool_kill_idle: murdered worker {victim} still listed "
+                "in the pool after a served request"
+            )
+
+    def _op_pool_kill_busy(self) -> None:
+        # SIGKILL a pooled worker *mid-request*: that request may come
+        # back degraded (with a crash repro) or ok (the kill raced its
+        # completion), the daemon must survive, and the next analyze
+        # must be clean and identical on a replacement worker.
+        box: dict = {}
+
+        def run() -> None:
+            box["reply"] = self._analyze({})
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        victim = None
+        give_up = time.monotonic() + 10
+        while victim is None and thread.is_alive() and time.monotonic() < give_up:
+            busy = [w["pid"] for w in self._pool_workers() if w.get("busy")]
+            if busy:
+                victim = self.rng.choice(busy)
+                break
+            time.sleep(0.02)
+        if victim is not None:
+            try:
+                os.kill(victim, signal.SIGKILL)
+            except OSError:
+                pass
+        thread.join(timeout=150)
+        reply = box.get("reply")
+        if thread.is_alive():
+            self.report.violate(
+                "pool_kill_busy: analyze never completed after the kill"
+            )
+            return
+        if victim is None:
+            # Non-pooled daemon or the request finished before we could
+            # aim; the reply must still be clean.
+            self._expect_status("pool_kill_busy", reply, "ok")
+            return
+        self._expect_status("pool_kill_busy", reply, "ok", "degraded")
+        if reply and reply.get("status") == "ok":
+            self._check_result(reply, "pool_kill_busy")
+        follow = self._analyze({})
+        if follow is None or follow.get("status") != "ok":
+            self.report.violate(
+                "pool_kill_busy: follow-up analyze after a mid-request "
+                f"worker kill was not ok: {follow and follow.get('status')!r}"
+            )
+        else:
+            self._check_result(follow, "pool_kill_busy")
 
     def _op_daemon_kill(self) -> None:
         self.daemon.proc.send_signal(signal.SIGKILL)

@@ -193,6 +193,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workers (faster, but a crashing analysis takes the daemon down)",
     )
     serve.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persistent prefork worker pool width: N long-lived workers "
+        "serve analyze requests concurrently and are recycled on staleness "
+        "or faults (default min(4, cpu count); 0 = legacy fork-per-request)",
+    )
+    serve.add_argument(
+        "--worker-requests",
+        type=int,
+        default=200,
+        metavar="K",
+        help="recycle a pooled worker after serving K requests "
+        "(default 200; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--worker-max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="recycle a pooled worker whose RSS high-water mark passes MB",
+    )
+    serve.add_argument(
         "--checkpoint-secs",
         type=float,
         default=30.0,
@@ -266,6 +290,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--served",
         action="store_true",
         help="also print this request's daemon-side cache counters to stderr",
+    )
+    client.add_argument(
+        "--bench",
+        type=int,
+        default=None,
+        metavar="N",
+        help="load-generator mode: fire N copies of this analyze request "
+        "at the daemon and print throughput plus p50/p95/p99 latency",
+    )
+    client.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="C",
+        help="client connections driving --bench traffic (default 1)",
     )
     client.add_argument("--entry", choices=["typed", "symbolic"], default="typed")
     client.add_argument("--entry-function", default="main")
@@ -625,6 +664,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         isolate=False if args.no_isolate else None,
         checkpoint_secs=args.checkpoint_secs,
         crash_dir=args.crash_dir,
+        pool_size=args.pool,
+        worker_requests=args.worker_requests,
+        worker_max_rss_mb=args.worker_max_rss_mb,
     )
     try:
         announce = daemon.bind()
@@ -686,9 +728,17 @@ def _run_client(args: argparse.Namespace) -> int:
                 good_enough=args.good_enough,
                 max_unroll=args.max_unroll,
             )
+        payload = {
+            "cmd": "analyze",
+            "lang": args.lang,
+            "source": source,
+            "options": options,
+        }
+        if args.bench is not None:
+            return _run_client_bench(args, payload)
         response = request_with_retry(
             args.connect,
-            {"cmd": "analyze", "lang": args.lang, "source": source, "options": options},
+            payload,
             timeout=args.timeout,
             connect_timeout=args.connect_timeout,
             retries=args.retry,
@@ -719,6 +769,49 @@ def _run_client(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return int(result["exit"])
+
+
+def _run_client_bench(args: argparse.Namespace, payload: dict) -> int:
+    """``repro client --bench N --concurrency C``: hammer the daemon with
+    N copies of this analyze request over C connections and print
+    throughput plus latency percentiles."""
+    from repro.serve import bench
+
+    if args.bench < 1 or args.concurrency < 1:
+        print(
+            "error: --bench needs N >= 1 and --concurrency C >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    report = bench(
+        args.connect,
+        payload,
+        requests=args.bench,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    statuses = ", ".join(
+        f"{status}={count}"
+        for status, count in sorted(report["statuses"].items())
+    ) or "none"
+    print(
+        f"bench: {report['completed']}/{report['requests']} replies over "
+        f"{report['concurrency']} connection(s) in "
+        f"{report['wall_secs']:.2f}s"
+    )
+    print(f"  throughput: {report['throughput_rps']:.2f} req/s")
+    print(
+        f"  latency: p50 {report['p50_ms']:.1f} ms | "
+        f"p95 {report['p95_ms']:.1f} ms | p99 {report['p99_ms']:.1f} ms"
+    )
+    print(f"  statuses: {statuses}")
+    for error in report["errors"][:5]:
+        print(f"  error: {error}", file=sys.stderr)
+    failed = (
+        report["completed"] != report["requests"]
+        or report["ok"] != report["completed"]
+    )
+    return 1 if failed else 0
 
 
 def _make_budget(args: argparse.Namespace) -> Optional[Budget]:

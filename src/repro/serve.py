@@ -40,29 +40,45 @@ live in ``served`` — so ``result`` is bitwise identical between a cold
 run, a warm run, and a fresh process: the store accelerates, it never
 answers.
 
-**Request isolation.**  By default (POSIX) each analyze request runs in
-a forked worker subprocess — the PR-4 trick pointed at robustness
-instead of speed: the worker inherits the warm caches for free, runs
-the analysis, and ships back its result plus wire-encoded cache deltas
-(:meth:`~repro.smt.service.SolverService.collect_delta`) and new block
-memos over a pipe.  The parent merges warm state **only from clean,
-un-faulted completions**; a worker that dies — segfault, OOM kill,
-injected fault, deadline breach (SIGKILL after ``--request-deadline``
-plus a grace period) — produces a ``degraded`` reply and a crash repro,
-and the daemon itself never goes down.  Workers are marked via
+**Request isolation.**  By default (POSIX) analyze requests run in a
+persistent prefork **worker pool** (``--pool N``): N long-lived workers
+forked from the warm daemon, each serving many requests over a job pipe
+before being recycled.  Every worker inherits the warm caches at fork
+time and ships back its result plus wire-encoded cache deltas
+(:meth:`~repro.smt.service.SolverService.collect_delta_since`, read
+from a per-request insertion-journal mark, so the frame is sized by
+what the request *learned*) and new block memos.  The parent merges
+warm state **only from clean, un-faulted completions**; a worker that
+dies — segfault, OOM kill, injected fault, deadline breach (SIGKILL
+after ``--request-deadline`` plus a grace period) — produces a
+``degraded`` reply and a crash repro, is replaced by a fresh fork, and
+the daemon itself never goes down.  Workers are marked via
 :func:`repro.parallel.mark_forked_child` so they can never fan out
-grandchildren (which a SIGKILL would orphan).  ``--no-isolate`` opts
-into the old in-process mode (faster, but a crashing analysis is then
-fate-shared with the daemon).
+grandchildren (which a SIGKILL would orphan).  ``--pool 0`` selects the
+legacy fork-per-request model (one disposable worker per request,
+serialized); ``--no-isolate`` opts into the in-process mode (a
+crashing analysis is then fate-shared with the daemon).
+
+**Concurrency and determinism.**  Pooled requests *execute*
+concurrently — only admission sequencing and warm-state merges
+serialize.  Determinism survives because answers are cache-independent
+(the store accelerates, it never answers) and merges are
+admission-ordered by a sequencer, so the shared cache evolves as a
+deterministic function of the admission sequence.  Each worker's
+snapshot is labeled with a warm-state **epoch**; a merge that changes
+what a fresh fork would inherit bumps the epoch, and stale idle workers
+are lazily recycled — killed and reforked from the now-warmer parent —
+at acquire time.  Workers are also recycled after ``--worker-requests``
+served requests, past an ``--worker-max-rss-mb`` high-water mark, and
+on any fault.
 
 **Overload and hostile input.**  Connections are handled by one thread
-each (analyses still serialize on one lock — serialization is what
-makes concurrent clients deterministic).  Admission is a bounded
-semaphore of ``--queue-depth`` analyze slots: when full, the daemon
-*sheds* with a ``busy`` reply instead of queueing unboundedly.  Each
-connection has a read deadline (anti slow-loris) and a max-request-size
-cap (anti memory bomb); both produce ``protocol_error`` replies, not a
-wedged accept loop.
+each.  Admission is a bounded semaphore of ``--queue-depth`` analyze
+slots: when full, the daemon *sheds* with a ``busy`` reply instead of
+queueing unboundedly; the ``retry_after_ms`` hint accounts for the
+pool's parallel width.  Each connection has a read deadline (anti
+slow-loris) and a max-request-size cap (anti memory bomb); both produce
+``protocol_error`` replies, not a wedged accept loop.
 
 **Durability.**  The store uses per-section CRC32 checksums and a
 two-generation write scheme (see :mod:`repro.store`), and a checkpoint
@@ -356,7 +372,14 @@ def _worker_payload(
     """Child: run one isolated request and build the pickle frame the
     parent merges.  Fault-injected requests are marked ``faulted`` and
     ship no solver delta — chaos must never poison the shared cache
-    (their block memos are already suppressed by the drivers)."""
+    (their block memos are already suppressed by the drivers).
+
+    All before/after accounting is O(what the request gained), not
+    O(cache size): the solver delta reads the insertion journal from a
+    :meth:`~repro.smt.service.SolverService.cache_mark`, and new block
+    memos are the tail of the insertion-ordered memo dicts.  A warm
+    all-hits request therefore ships a near-empty frame — the property
+    the pooled workers' isolation budget rests on."""
     from dataclasses import replace
 
     from repro import smt
@@ -364,10 +387,10 @@ def _worker_payload(
     service = smt.get_service()
     if injector is not None:
         service.fault_injector = injector
-    baseline = service.cache_baseline()
+    mark = service.cache_mark()
     stats0 = replace(service.stats)
-    mixy_keys = set(store.mixy_blocks) if store is not None else set()
-    mix_keys = set(store.mix_blocks) if store is not None else set()
+    mixy_before = len(store.mixy_blocks) if store is not None else 0
+    mix_before = len(store.mix_blocks) if store is not None else 0
     stats_before = dict(store.stats) if store is not None else {}
     opened_trace = False
     trace_path = options.get("trace")
@@ -393,20 +416,389 @@ def _worker_payload(
         "store_stats": {},
     }
     if injector is None:
-        payload["delta"] = service.collect_delta(baseline, stats0)
+        payload["delta"] = service.collect_delta_since(mark, stats0)
     if store is not None:
-        payload["mixy_new"] = {
-            k: v for k, v in store.mixy_blocks.items() if k not in mixy_keys
-        }
-        payload["mix_new"] = {
-            k: v for k, v in store.mix_blocks.items() if k not in mix_keys
-        }
+        # Memo dicts are insert-only within a request, so "new" is the
+        # tail past the pre-request length (dict order is insertion
+        # order; overwrites keep their original position and need not
+        # ship — the parent's copy is identical by determinism).
+        payload["mixy_new"] = dict(
+            itertools.islice(store.mixy_blocks.items(), mixy_before, None)
+        )
+        payload["mix_new"] = dict(
+            itertools.islice(store.mix_blocks.items(), mix_before, None)
+        )
         payload["store_stats"] = {
             k: store.stats[k] - stats_before.get(k, 0)
             for k in store.stats
             if store.stats[k] != stats_before.get(k, 0)
         }
     return payload
+
+
+def _pool_worker_serve(daemon: "ReproDaemon", read_fd: int, write_fd: int) -> None:
+    """Child: the long-lived pooled request worker's serving loop.
+
+    One pickled job frame in, one pickled reply frame out, then a
+    between-requests reset (:func:`repro.parallel.reset_worker_state`)
+    and back to the read.  Each request runs through the exact machinery
+    a fork-per-request worker uses (:func:`_worker_payload`), so the
+    reply contract is identical; the only new obligation is that the
+    worker leaves no per-request state behind.  EOF on the job pipe is
+    the retire signal.  Never returns."""
+    import resource
+
+    from repro.parallel import reset_worker_state
+
+    while True:
+        frame, _ = _read_frame(read_fd, 0, None)
+        if frame is None:
+            os._exit(0)  # parent closed the pipe (or died): retire
+        try:
+            job = pickle.loads(frame)
+            payload = _worker_payload(
+                job["lang"],
+                job["source"],
+                job["options"],
+                _injector_from_options(job["options"]),
+                daemon.store,
+                job.get("request_deadline"),
+            )
+        except BaseException as error:
+            payload = {"error": f"{type(error).__name__}: {error}"}
+        payload["rss_kb"] = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as error:
+            blob = pickle.dumps(
+                {
+                    "error": f"{type(error).__name__}: {error}",
+                    "rss_kb": payload.get("rss_kb", 0),
+                }
+            )
+        try:
+            _write_frame(write_fd, blob)
+        except BaseException:
+            os._exit(1)  # parent gone mid-reply: nothing left to serve
+        try:
+            reset_worker_state()
+        except BaseException:
+            os._exit(1)  # a worker that cannot reset must not serve again
+
+
+class PoolWorker:
+    """Parent-side handle to one long-lived pooled request worker."""
+
+    __slots__ = ("pid", "send_fd", "recv_fd", "epoch", "served", "rss_kb", "seq")
+
+    def __init__(self, pid: int, send_fd: int, recv_fd: int, epoch: int) -> None:
+        self.pid = pid
+        self.send_fd = send_fd
+        self.recv_fd = recv_fd
+        #: The daemon warm-state epoch this worker's snapshot reflects.
+        self.epoch = epoch
+        #: Clean requests served (the recycle request-cap counts these).
+        self.served = 0
+        #: Worker-reported RSS high-water mark (KB) after its last reply.
+        self.rss_kb = 0
+        #: Admission sequence number of the currently dispatched request.
+        self.seq = -1
+
+    def exchange(
+        self, blob: bytes, kill_after: Optional[float]
+    ) -> tuple[Optional[bytes], bool]:
+        """One request round-trip over the worker's pipes.  Same contract
+        as :func:`_read_frame`: a ``None`` frame means the worker died
+        (or was killed after ``kill_after``, flagged by ``timed_out``)."""
+        try:
+            _write_frame(self.send_fd, blob)
+        except OSError:
+            return None, False  # worker died between requests
+        return _read_frame(self.recv_fd, self.pid, kill_after)
+
+
+class _MergeSequencer:
+    """Admission-ordered merge gate.  Pooled requests *execute*
+    concurrently, but their warm-state merges (and therefore their
+    replies) complete strictly in worker-grant order — so the shared
+    cache and the epoch counter evolve as a deterministic function of
+    the admission sequence, never of thread-scheduling races."""
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._admitted = 0
+        self._turn = 0
+
+    def admit(self) -> int:
+        with self._cv:
+            seq = self._admitted
+            self._admitted += 1
+            return seq
+
+    def wait_turn(self, seq: int) -> None:
+        with self._cv:
+            while self._turn != seq:
+                self._cv.wait()
+
+    def done(self, seq: int) -> None:
+        with self._cv:
+            assert self._turn == seq, (self._turn, seq)
+            self._turn = seq + 1
+            self._cv.notify_all()
+
+
+class WorkerPool:
+    """A persistent prefork pool of request workers.
+
+    Workers are forked lazily — up to ``size`` — from the warm daemon
+    process, and each serves many requests over its job pipe (the
+    fork-per-request model paid that fork, plus a full warm-state diff,
+    on *every* request).  A worker is **recycled** — killed and replaced
+    by a fresh fork of the now-warmer parent — when:
+
+    - its snapshot ``epoch`` falls behind the daemon's (checked lazily
+      at acquire time: merges bump the epoch only when they change what
+      a fresh fork would inherit, so all-warm traffic never refreshes);
+    - it has served ``worker_requests`` requests (staleness bound);
+    - its reported RSS high-water mark passes ``max_rss_kb``;
+    - anything went wrong: analyzer error, fault-injected request,
+      death mid-request, or a kill-deadline breach.
+
+    The parent merges warm state only from clean completions, exactly as
+    in the fork-per-request model — a recycled worker's in-flight
+    learning is simply discarded.
+    """
+
+    def __init__(
+        self,
+        daemon: "ReproDaemon",
+        size: int,
+        worker_requests: Optional[int],
+        max_rss_kb: Optional[int],
+    ) -> None:
+        self._daemon = daemon
+        self.size = max(1, int(size))
+        self.worker_requests = worker_requests
+        self.max_rss_kb = max_rss_kb
+        self._cv = threading.Condition()
+        self._idle: list[PoolWorker] = []
+        self._live: dict[int, PoolWorker] = {}
+        self._closed = False
+        self.forks = 0
+        self.recycles = 0
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self) -> PoolWorker:
+        """A current-epoch worker, its admission sequence number already
+        assigned (``worker.seq``) under the pool lock — so merge order
+        equals grant order and a granted request can never wait on an
+        ungranted one.  Blocks while every worker is busy; dead or
+        stale idle workers are recycled on the way."""
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise RuntimeError("worker pool is closed")
+                worker = self._next_idle_locked()
+                if worker is None and len(self._live) < self.size:
+                    worker = self._spawn_locked()
+                if worker is not None:
+                    worker.seq = self._daemon._sequencer.admit()
+                    return worker
+                self._cv.wait(_POLL_SECS)
+
+    def _next_idle_locked(self) -> Optional[PoolWorker]:
+        epoch = self._daemon._epoch
+        while self._idle:
+            worker = self._idle.pop(0)
+            if self._dead_locked(worker):
+                # e.g. chaos SIGKILLed an idle worker between requests:
+                # reap the corpse here so the request never sees it.
+                self._discard_locked(worker, "died-idle", kill=False)
+                continue
+            if worker.epoch != epoch:
+                self._discard_locked(worker, "stale-epoch", kill=True)
+                continue
+            return worker
+        return None
+
+    def _dead_locked(self, worker: PoolWorker) -> bool:
+        try:
+            pid, _ = os.waitpid(worker.pid, os.WNOHANG)
+        except OSError:
+            return True  # already reaped
+        return pid != 0
+
+    def _spawn_locked(self) -> PoolWorker:
+        daemon = self._daemon
+        if TRACER.enabled:
+            TRACER.flush()  # fork must not duplicate buffered lines
+        sys.stdout.flush()
+        sys.stderr.flush()
+        job_read, job_write = os.pipe()
+        reply_read, reply_write = os.pipe()
+        # Read before fork: a merge racing past between this read and
+        # the fork can only make the child *warmer* than its label, so
+        # the worst case is one spurious recycle, never a stale reuse.
+        epoch = daemon._epoch
+        siblings = [
+            fd
+            for other in self._live.values()
+            for fd in (other.send_fd, other.recv_fd)
+        ]
+        pid = os.fork()
+        if pid == 0:
+            # -- child: serve until EOF; never return to the caller -------
+            try:
+                os.close(job_write)
+                os.close(reply_read)
+                for fd in siblings:
+                    # Inherited copies of sibling pipes would hold a
+                    # retired sibling's job pipe open past its EOF.
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                from repro.parallel import mark_forked_child
+
+                mark_forked_child()  # no grandchildren; sidecar tracing
+                if daemon._sock is not None:
+                    try:
+                        daemon._sock.close()
+                    except OSError:
+                        pass
+                _pool_worker_serve(daemon, job_read, reply_write)
+            finally:
+                os._exit(1)  # only reachable if the serve loop raised
+        os.close(job_read)
+        os.close(reply_write)
+        worker = PoolWorker(pid, job_write, reply_read, epoch)
+        self._live[pid] = worker
+        self.forks += 1
+        if TRACER.enabled:
+            TRACER.event("pool_spawn", pid=pid, epoch=epoch)
+        return worker
+
+    # -- release and retirement ----------------------------------------------
+
+    def release(self, worker: PoolWorker, retire: Optional[str] = None) -> None:
+        """Return a worker after its request.  ``retire`` (a reason
+        string) forces recycling; otherwise the request-cap and RSS
+        high-water policies decide."""
+        if (
+            retire is None
+            and self.worker_requests
+            and worker.served >= self.worker_requests
+        ):
+            retire = "request-cap"
+        if retire is None and self.max_rss_kb and worker.rss_kb > self.max_rss_kb:
+            retire = "rss-high-water"
+        with self._cv:
+            if worker.pid not in self._live:
+                pass  # pool closed underneath the request
+            elif retire is not None:
+                self._discard_locked(worker, retire, kill=True)
+            else:
+                self._idle.append(worker)
+            self._cv.notify_all()
+
+    def reap(self, worker: PoolWorker) -> str:
+        """A worker died (or was SIGKILLed) mid-request: collect its exit
+        status for the degraded reply and drop it from the pool.  The
+        replacement is forked lazily at the next acquire, from the
+        parent's *current* warm state."""
+        with self._cv:
+            self._live.pop(worker.pid, None)
+            self.recycles += 1
+            self._cv.notify_all()
+        for fd in (worker.send_fd, worker.recv_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        try:
+            _, status = os.waitpid(worker.pid, 0)
+        except OSError:
+            status = 0
+        if TRACER.enabled:
+            TRACER.merge_worker_files(only_pid=worker.pid)
+            TRACER.event("pool_retire", pid=worker.pid, reason="died")
+        return _death_reason(status)
+
+    def _discard_locked(
+        self, worker: PoolWorker, reason: str, kill: bool
+    ) -> None:
+        self._live.pop(worker.pid, None)
+        self.recycles += 1
+        for fd in (worker.send_fd, worker.recv_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        if kill:
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            try:
+                os.waitpid(worker.pid, 0)
+            except OSError:
+                pass
+        if TRACER.enabled:
+            TRACER.merge_worker_files(only_pid=worker.pid)
+            TRACER.event(
+                "pool_recycle",
+                pid=worker.pid,
+                reason=reason,
+                served=worker.served,
+            )
+
+    def close(self) -> None:
+        """Kill and reap every worker (daemon shutdown)."""
+        with self._cv:
+            self._closed = True
+            workers = list(self._live.values())
+            self._live.clear()
+            self._idle.clear()
+            self._cv.notify_all()
+        for worker in workers:
+            for fd in (worker.send_fd, worker.recv_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            try:
+                os.waitpid(worker.pid, 0)
+            except OSError:
+                pass
+        if TRACER.enabled:
+            TRACER.merge_worker_files()
+
+    def describe(self) -> dict:
+        """The ``stats`` reply's pool section (chaos reads worker pids
+        from here to aim its SIGKILLs)."""
+        with self._cv:
+            idle = {worker.pid for worker in self._idle}
+            return {
+                "size": self.size,
+                "forks": self.forks,
+                "recycles": self.recycles,
+                "workers": [
+                    {
+                        "pid": worker.pid,
+                        "epoch": worker.epoch,
+                        "served": worker.served,
+                        "busy": worker.pid not in idle,
+                    }
+                    for worker in self._live.values()
+                ],
+            }
 
 
 # ---------------------------------------------------------------------------
@@ -432,6 +824,9 @@ class ReproDaemon:
         isolate: Optional[bool] = None,
         checkpoint_secs: float = 30.0,
         crash_dir: str = ".repro-crashes",
+        pool_size: Optional[int] = None,
+        worker_requests: int = 200,
+        worker_max_rss_mb: Optional[float] = None,
     ) -> None:
         if (socket_path is None) == (listen is None):
             raise ValueError("exactly one of socket_path / listen required")
@@ -451,14 +846,35 @@ class ReproDaemon:
         self._isolate = (
             isolate if isolate is not None else hasattr(os, "fork")
         )
+        #: Pooled isolation width: N long-lived prefork workers serving
+        #: requests concurrently.  0 selects the legacy fork-per-request
+        #: model (serialized); the default is a small host-sized pool.
+        if pool_size is None:
+            pool_size = min(4, os.cpu_count() or 1)
+        self.pool_size = max(0, int(pool_size)) if self._isolate else 0
+        self.worker_requests = worker_requests
+        self.worker_max_rss_kb = (
+            int(worker_max_rss_mb * 1024) if worker_max_rss_mb else None
+        )
+        #: Lazily created at the first pooled analyze — by then any
+        #: test monkeypatching is in place and forks inherit it.
+        self._pool: Optional[WorkerPool] = None
+        self._sequencer = _MergeSequencer()
+        #: Warm-state epoch: bumped only by merges that change what a
+        #: freshly forked worker would inherit (new cache entries or
+        #: block memos), i.e. exactly when idle snapshots go stale.
+        self._epoch = 0
         self.requests_served = 0
         self._unsaved = 0
         self._stop = False
         self._stop_event = threading.Event()
         self.store = None
         self._sock: Optional[socket.socket] = None
-        #: serializes analyses + store/delta merges + saves — the
-        #: serialization is what makes concurrent clients deterministic.
+        #: serializes warm-state mutation: merges + saves (and, in the
+        #: non-pooled modes, whole analyses).  Pooled requests *execute*
+        #: concurrently and only take this lock for their merge — the
+        #: admission-ordered :class:`_MergeSequencer` is what keeps
+        #: concurrent clients deterministic there.
         self._serial = threading.Lock()
         #: guards the small shared counters below.
         self._lock = threading.Lock()
@@ -548,6 +964,8 @@ class ReproDaemon:
                 thread.join(timeout=10.0)
             if checkpointer is not None:
                 checkpointer.join(timeout=10.0)
+            if self._pool is not None:
+                self._pool.close()
             self._persist()
             self._sock.close()
             if self.socket_path is not None:
@@ -722,8 +1140,11 @@ class ReproDaemon:
                     "inflight": self._inflight,
                     "shed": self._shed,
                     "worker_crashes": self._worker_crashes,
+                    "epoch": self._epoch,
                     "solver": smt.get_service().stats.as_dict(),
                 }
+            if self._isolate and self.pool_size > 0:
+                stats["pool"] = self._ensure_pool().describe()
             if self.store is not None:
                 stats["store"] = dict(self.store.stats)
             return _reply("ok", stats=stats)
@@ -774,21 +1195,25 @@ class ReproDaemon:
         try:
             with self._lock:
                 self._inflight += 1
-            with self._serial:
-                with TRACER.span("request", lang, isolated=self._isolate):
-                    if self._isolate:
-                        reply = self._analyze_isolated(
-                            lang, source, options, injector
-                        )
-                    else:
-                        reply = self._analyze_inproc(
-                            lang, source, options, injector
-                        )
-                if self.store is not None and reply["status"] == "ok":
-                    self._unsaved += 1
-                    if self._unsaved >= self.save_every:
-                        self.store.save(smt.get_service())
-                        self._unsaved = 0
+            if self._isolate and self.pool_size > 0:
+                # Pooled requests execute concurrently; only admission
+                # sequencing and warm-state merges serialize.
+                reply = self._analyze_pooled(lang, source, options, injector)
+            else:
+                with self._serial:
+                    with TRACER.span(
+                        "request", lang, isolated=self._isolate
+                    ):
+                        if self._isolate:
+                            reply = self._analyze_isolated(
+                                lang, source, options, injector
+                            )
+                        else:
+                            reply = self._analyze_inproc(
+                                lang, source, options, injector
+                            )
+                    if reply["status"] == "ok":
+                        self._save_if_due()
             elapsed = time.monotonic() - start
             with self._lock:
                 self._avg_secs = (
@@ -802,11 +1227,33 @@ class ReproDaemon:
                 self._inflight -= 1
             self._slots.release()
 
+    def _save_if_due(self) -> None:
+        """Count one clean completion toward ``--save-every`` and persist
+        when due.  Caller holds ``_serial``."""
+        if self.store is None:
+            return
+        from repro import smt
+
+        self._unsaved += 1
+        if self._unsaved >= self.save_every:
+            self.store.save(smt.get_service())
+            self._unsaved = 0
+
+    def _pool_width(self) -> int:
+        """How many analyses can make progress at once."""
+        if self._isolate and self.pool_size > 0:
+            return max(1, self.pool_size)
+        return 1
+
     def _retry_after_ms(self) -> int:
         """When to tell a shed client to come back: the EWMA request
-        duration scaled by the queue in front of it, clamped sane."""
+        duration times the number of dispatch *waves* ahead of it —
+        in-flight requests divide over the pool's parallel width, so a
+        busy N-worker daemon no longer overestimates the wait N-fold."""
         with self._lock:
-            estimate = max(0.05, self._avg_secs) * max(1, self._inflight)
+            width = self._pool_width()
+            waves = (max(1, self._inflight) + width - 1) // width
+            estimate = max(0.05, self._avg_secs) * waves
         return max(50, min(30_000, int(estimate * 1000)))
 
     # -- in-process execution (--no-isolate; also fork-less platforms) -------
@@ -845,17 +1292,197 @@ class ReproDaemon:
     # -- isolated execution (forked request workers) -------------------------
 
     def _kill_after(self, options: dict) -> Optional[float]:
-        """Seconds until an unresponsive worker is SIGKILLed: the
-        tighter of the client deadline and ``--request-deadline``, plus
-        grace for the budget machinery to wind down cleanly."""
-        limits = [
-            value
-            for value in (options.get("deadline"), self.request_deadline)
-            if isinstance(value, (int, float)) and value > 0
-        ]
-        if not limits:
-            return None
-        return min(limits) + WORKER_KILL_GRACE
+        """Seconds until an unresponsive worker is SIGKILLed — delegated
+        to :meth:`repro.budget.Budget.slot_kill_after` so the kill
+        deadline and the in-band budget can never disagree on which
+        limit governs."""
+        from repro.budget import Budget
+
+        return Budget.slot_kill_after(
+            options, self.request_deadline, WORKER_KILL_GRACE
+        )
+
+    # -- pooled execution (persistent prefork workers) ------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self,
+                    self.pool_size,
+                    self.worker_requests,
+                    self.worker_max_rss_kb,
+                )
+            return self._pool
+
+    def _analyze_pooled(
+        self, lang: str, source: str, options: dict, injector
+    ) -> dict:
+        """One request through the worker pool: acquire a current-epoch
+        worker (admission seq assigned with the grant), exchange frames
+        concurrently with other requests, then merge — and reply — in
+        admission order.  The worker is held across its merge so its
+        epoch can self-advance (its local state already contains its own
+        contribution); it returns to the pool, or is recycled, after."""
+        pool = self._ensure_pool()
+        kill_after = self._kill_after(options)
+        job = pickle.dumps(
+            {
+                "lang": lang,
+                "source": source,
+                "options": options,
+                "request_deadline": self.request_deadline,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        reply = self._pooled_attempt(
+            pool, job, kill_after, lang, source, options, injector,
+            retry_on_death=injector is None,
+        )
+        if reply is None:
+            # The worker died without replying, without a fault schedule,
+            # and without a deadline kill — almost always a corpse that
+            # was SIGKILLed *between* requests (the idle-reap waitpid
+            # check races signal delivery).  One retry on a fresh worker
+            # is side-effect-free by construction: a dead worker merges
+            # nothing, and answers are cache-independent.
+            if TRACER.enabled:
+                TRACER.event("pool_request_retry", lang=lang)
+            reply = self._pooled_attempt(
+                pool, job, kill_after, lang, source, options, injector,
+                retry_on_death=False,
+            )
+        assert reply is not None
+        return reply
+
+    def _pooled_attempt(
+        self,
+        pool: WorkerPool,
+        job: bytes,
+        kill_after: Optional[float],
+        lang: str,
+        source: str,
+        options: dict,
+        injector,
+        retry_on_death: bool,
+    ) -> Optional[dict]:
+        """One dispatch through the pool.  Returns the terminal reply, or
+        ``None`` when the worker died reply-less and ``retry_on_death``
+        says the caller should re-run the request on a fresh worker
+        (the dead one was reaped and merged nothing either way)."""
+        from repro import smt
+
+        worker: Optional[PoolWorker] = pool.acquire()
+        seq = worker.seq
+        reply: Optional[dict] = None
+        payload = None
+        retire: Optional[str] = None
+        try:
+            with TRACER.span(
+                "request", lang, isolated=True, pooled=True, pid=worker.pid
+            ):
+                frame, timed_out = worker.exchange(job, kill_after)
+            if frame is not None:
+                try:
+                    payload = pickle.loads(frame)
+                except Exception:
+                    payload = None  # torn/corrupt frame: treat as a crash
+            if payload is None:
+                reason = pool.reap(worker)
+                if timed_out:
+                    reason = (
+                        "request deadline exceeded "
+                        f"({kill_after - WORKER_KILL_GRACE:g}s); worker killed"
+                    )
+                worker = None
+                if retry_on_death and not timed_out:
+                    reply = None  # caller retries on a fresh worker
+                else:
+                    reply = self._degraded_reply(
+                        lang, source, injector, reason
+                    )
+            elif "error" in payload:
+                retire = "analyzer-error"
+                error_text = payload["error"]
+                payload = None  # nothing mergeable in an error frame
+                reply = _reply(
+                    "error",
+                    error=error_text,
+                    served={
+                        "requests_served": self.requests_served,
+                        "isolated": True,
+                    },
+                )
+            else:
+                worker.served += 1
+                worker.rss_kb = int(payload.get("rss_kb") or 0)
+                if payload.get("faulted"):
+                    # The injector consumed schedule state inside the
+                    # worker; recycling keeps the next request pristine.
+                    retire = "fault-injected"
+                served = {
+                    "requests_served": self.requests_served,
+                    "isolated": True,
+                }
+                if self.store is not None:
+                    served["store"] = dict(payload.get("store_stats") or {})
+                reply = _reply("ok", result=payload["result"], served=served)
+        finally:
+            # Merge — and therefore reply — strictly in admission order;
+            # every admitted seq MUST pass done() or the line stalls.
+            self._sequencer.wait_turn(seq)
+            try:
+                if payload is not None:
+                    with self._serial:
+                        self._merge_pooled(smt.get_service(), payload, worker)
+                        if reply is not None and reply["status"] == "ok":
+                            self._save_if_due()
+            finally:
+                self._sequencer.done(seq)
+                if worker is not None:
+                    pool.release(worker, retire=retire)
+        return reply
+
+    def _merge_pooled(self, service, payload: dict, worker) -> None:
+        """Fold a clean pooled completion's warm state into the parent
+        (caller holds ``_serial``), bumping the epoch iff the merge
+        changed what a fresh fork would inherit.  An epoch bump lazily
+        recycles every *other* worker; the contributing worker's own
+        snapshot already contains its contribution, so its epoch
+        advances with the parent's and it keeps serving warm."""
+        if payload.get("faulted"):
+            return
+        imported = 0
+        delta = payload.get("delta")
+        try:
+            if delta is not None:
+                imported = service.merge_delta(delta)
+        except Exception as error:
+            print(
+                "repro-serve: note: dropped a worker cache delta "
+                f"({type(error).__name__}: {error})",
+                file=sys.stderr,
+            )
+        fresh_memos = False
+        if self.store is not None:
+            fresh_memos = self.store.merge_worker(
+                payload.get("mixy_new") or {},
+                payload.get("mix_new") or {},
+                payload.get("store_stats") or {},
+            )
+        if imported or fresh_memos:
+            with self._lock:
+                previous = self._epoch
+                self._epoch = previous + 1
+                if worker is not None and worker.epoch == previous:
+                    worker.epoch = self._epoch
+            if TRACER.enabled:
+                TRACER.event(
+                    "epoch",
+                    epoch=self._epoch,
+                    imported=imported,
+                    fresh_memos=bool(fresh_memos),
+                )
 
     def _analyze_isolated(
         self, lang: str, source: str, options: dict, injector
@@ -967,14 +1594,11 @@ class ReproDaemon:
             )
         if self.store is None:
             return
-        mixy_new = payload.get("mixy_new") or {}
-        mix_new = payload.get("mix_new") or {}
-        self.store.mixy_blocks.update(mixy_new)
-        self.store.mix_blocks.update(mix_new)
-        if mixy_new or mix_new:
-            self.store.dirty = True
-        for key, delta_value in (payload.get("store_stats") or {}).items():
-            self.store.stats[key] = self.store.stats.get(key, 0) + delta_value
+        self.store.merge_worker(
+            payload.get("mixy_new") or {},
+            payload.get("mix_new") or {},
+            payload.get("store_stats") or {},
+        )
 
     def _degraded_reply(
         self, lang: str, source: str, injector, reason: str
@@ -1209,3 +1833,95 @@ def request_with_retry(
             )
         time.sleep((delay_ms / 1000.0) * (0.5 + rng.random()))
         attempt += 1
+
+
+def bench(
+    address: str,
+    payload: dict,
+    requests: int,
+    concurrency: int,
+    timeout: float = 300.0,
+    retries: int = 8,
+    payloads: Optional[list[dict]] = None,
+) -> dict:
+    """Load generator (``repro client --bench N --concurrency C``): fire
+    ``requests`` analyze requests at the daemon over ``concurrency``
+    client threads — one fresh connection per request, like the CLI
+    client — and return throughput plus latency percentiles.
+
+    ``payloads``, when given, is a request mix the workers draw from
+    round-robin (benchmarks use it for distinct-corpora traffic);
+    otherwise every request sends ``payload``.  ``busy`` sheds are
+    retried (honoring the daemon's ``retry_after_ms`` hint), so the
+    reported latency is the client-observed time to an answer, not to a
+    first attempt.  Replies' ``result`` payloads come back in
+    ``results`` so callers can check determinism."""
+    if requests < 1 or concurrency < 1:
+        raise ValueError("bench needs requests >= 1 and concurrency >= 1")
+    mix = payloads if payloads else [payload]
+    lock = threading.Lock()
+    cursor = {"next": 0}
+    latencies: list[float] = []
+    statuses: dict[str, int] = {}
+    errors: list[str] = []
+    results: list[tuple[int, Optional[dict]]] = []
+
+    def drive() -> None:
+        rng = random.Random()
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= requests:
+                    return
+                cursor["next"] = index + 1
+            started = time.monotonic()
+            try:
+                response = request_with_retry(
+                    address,
+                    mix[index % len(mix)],
+                    timeout=timeout,
+                    retries=retries,
+                    rng=rng,
+                )
+            except ClientError as error:
+                with lock:
+                    errors.append(str(error))
+                continue
+            elapsed = time.monotonic() - started
+            status = str(response.get("status", "?"))
+            with lock:
+                latencies.append(elapsed)
+                statuses[status] = statuses.get(status, 0) + 1
+                results.append((index, response.get("result")))
+
+    wall_started = time.monotonic()
+    threads = [
+        threading.Thread(target=drive, daemon=True, name=f"bench-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - wall_started
+    ordered = sorted(latencies)
+
+    def percentile(p: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(p / 100.0 * len(ordered)))]
+
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": len(latencies),
+        "ok": statuses.get("ok", 0),
+        "statuses": statuses,
+        "errors": errors,
+        "wall_secs": wall,
+        "throughput_rps": (len(latencies) / wall) if wall > 0 else 0.0,
+        "p50_ms": percentile(50) * 1000.0,
+        "p95_ms": percentile(95) * 1000.0,
+        "p99_ms": percentile(99) * 1000.0,
+        "results": [result for _, result in sorted(results)],
+    }

@@ -409,6 +409,29 @@ class _Shard:
         self.sat_sets: Deque[frozenset[Term]] = deque(maxlen=self.MAX_SETS)
         self.unsat_cores: Deque[frozenset[Term]] = deque(maxlen=self.MAX_SETS)
         self.models: Deque[Model] = deque(maxlen=self.MAX_MODELS)
+        #: Insertion journal: every *new* exact-tier key, in insertion
+        #: order.  A :meth:`SolverService.cache_mark` is just a journal
+        #: position, so "what was learned since the mark" is a suffix
+        #: read — O(delta), not the O(cache) set-difference scan that
+        #: :meth:`SolverService.cache_baseline` pays.  Wholesale
+        #: eviction clears the journal and bumps ``resets``; a mark
+        #: taken before a reset conservatively sees the whole journal
+        #: (everything now cached postdates the eviction).
+        self.journal: list[frozenset[Term]] = []
+        self.resets = 0
+
+    def put(self, key: frozenset[Term], verdict: bool) -> None:
+        """Insert one exact-tier entry, journaling genuinely new keys
+        and applying the wholesale-eviction bound.  Every exact-tier
+        write funnels through here so the journal can never miss an
+        insertion."""
+        if key not in self.exact:
+            if len(self.exact) >= self.MAX_EXACT:
+                self.exact.clear()  # cheap wholesale eviction; refills fast
+                self.journal.clear()
+                self.resets += 1
+            self.journal.append(key)
+        self.exact[key] = verdict
 
     def record(
         self,
@@ -417,9 +440,7 @@ class _Shard:
         model: Optional[Model],
         core: Optional[frozenset[Term]] = None,
     ) -> None:
-        if len(self.exact) >= self.MAX_EXACT:
-            self.exact.clear()  # cheap wholesale eviction; refills fast
-        self.exact[key] = sat
+        self.put(key, sat)
         if sat:
             self.sat_sets.append(key)
             if model is not None:
@@ -431,7 +452,7 @@ class _Shard:
             # but differ in unrelated conjuncts (e.g. one rotated bound
             # per fixpoint round).  The core gets its own exact entry so
             # cross-process deltas ship it as a first-class verdict.
-            self.exact[core] = False
+            self.put(core, False)
             self.unsat_cores.append(core)
         else:
             self.unsat_cores.append(key)
@@ -651,13 +672,13 @@ class SolverService:
                     for sat_set in shard.sat_sets:
                         if conjuncts <= sat_set:
                             self.stats.subset_hits += 1
-                            shard.exact[conjuncts] = True
+                            shard.put(conjuncts, True)
                             return SatResult.SAT
                 else:
                     for core in shard.unsat_cores:
                         if core <= conjuncts:
                             self.stats.superset_hits += 1
-                            shard.exact[conjuncts] = False
+                            shard.put(conjuncts, False)
                             return SatResult.UNSAT
             # Tier 4: reuse a recent model as a total interpretation.
             for model in reversed(shard.models):
@@ -706,6 +727,11 @@ class SolverService:
         keys: list[tuple[int, frozenset[Term], bool, bool, bool]] = []
         for int_budget, shard in self._shards.items():
             seen = baseline.get(int_budget, set())
+            # Set views of the tier deques: membership per entry must be
+            # O(1), not a scan of up to MAX_SETS frozensets (that scan
+            # dominated the whole delta collection).
+            in_sat_sets = set(shard.sat_sets)
+            in_unsat_cores = set(shard.unsat_cores)
             for key, verdict in shard.exact.items():
                 if key in seen:
                     continue
@@ -714,10 +740,60 @@ class SolverService:
                         int_budget,
                         key,
                         verdict,
-                        key in shard.sat_sets,
-                        key in shard.unsat_cores,
+                        key in in_sat_sets,
+                        key in in_unsat_cores,
                     )
                 )
+        return self._encode_delta(keys, stats_baseline)
+
+    def cache_mark(self) -> dict[int, tuple[int, int]]:
+        """An O(#shards) position marker for :meth:`collect_delta_since`:
+        per shard, the eviction-reset count and the insertion-journal
+        length.  The cheap replacement for :meth:`cache_baseline` in the
+        pooled ``repro serve`` workers, where a per-request O(cache)
+        snapshot would eat the isolation budget on every warm request."""
+        return {
+            b: (shard.resets, len(shard.journal))
+            for b, shard in self._shards.items()
+        }
+
+    def collect_delta_since(
+        self, mark: dict[int, tuple[int, int]], stats_baseline: SolverStats
+    ) -> CacheDelta:
+        """Everything cached since ``mark`` (a :meth:`cache_mark`),
+        wire-encoded like :meth:`collect_delta` but read as a journal
+        suffix — O(entries gained), so an all-hits warm request pays
+        nothing.  A shard evicted since the mark contributes its whole
+        (restarted) journal: every surviving entry postdates the mark."""
+        keys: list[tuple[int, frozenset[Term], bool, bool, bool]] = []
+        for int_budget, shard in self._shards.items():
+            resets, position = mark.get(int_budget, (0, 0))
+            if shard.resets != resets:
+                position = 0
+            if position >= len(shard.journal):
+                continue
+            in_sat_sets = set(shard.sat_sets)  # O(1) membership, as above
+            in_unsat_cores = set(shard.unsat_cores)
+            for key in shard.journal[position:]:
+                verdict = shard.exact.get(key)
+                if verdict is None:
+                    continue  # evicted mid-generation cannot happen; belt
+                keys.append(
+                    (
+                        int_budget,
+                        key,
+                        verdict,
+                        key in in_sat_sets,
+                        key in in_unsat_cores,
+                    )
+                )
+        return self._encode_delta(keys, stats_baseline)
+
+    def _encode_delta(
+        self,
+        keys: list[tuple[int, frozenset[Term], bool, bool, bool]],
+        stats_baseline: SolverStats,
+    ) -> CacheDelta:
         flat: list[Term] = []
         entries: list[tuple[int, tuple[int, ...], bool, bool, bool]] = []
         for int_budget, key, verdict, in_sats, in_cores in keys:
@@ -743,18 +819,31 @@ class SolverService:
     def _import_entries(self, delta: CacheDelta) -> int:
         roots = from_wire_many(delta.wire)
         imported = 0
+        # Per-shard set views of the tier deques, built once and kept in
+        # step with the appends below: the dedup checks must be O(1),
+        # not O(MAX_SETS) scans per imported entry.
+        sat_views: dict[int, set[frozenset[Term]]] = {}
+        core_views: dict[int, set[frozenset[Term]]] = {}
         for int_budget, positions, verdict, in_sats, in_cores in delta.entries:
             key = frozenset(roots[i] for i in positions)
             shard = self._shard(int_budget)
             if key not in shard.exact:
-                if len(shard.exact) >= shard.MAX_EXACT:
-                    shard.exact.clear()
-                shard.exact[key] = verdict
+                shard.put(key, verdict)
                 imported += 1
-            if in_sats and key not in shard.sat_sets:
-                shard.sat_sets.append(key)
-            if in_cores and key not in shard.unsat_cores:
-                shard.unsat_cores.append(key)
+            if in_sats:
+                view = sat_views.get(int_budget)
+                if view is None:
+                    view = sat_views[int_budget] = set(shard.sat_sets)
+                if key not in view:
+                    shard.sat_sets.append(key)
+                    view.add(key)
+            if in_cores:
+                view = core_views.get(int_budget)
+                if view is None:
+                    view = core_views[int_budget] = set(shard.unsat_cores)
+                if key not in view:
+                    shard.unsat_cores.append(key)
+                    view.add(key)
         return imported
 
     # -- cross-run cache persistence (see repro.store) -------------------------

@@ -325,6 +325,29 @@ class AnalysisStore:
             self.notes.append(note)
             print(f"note: {note}", file=sys.stderr)
 
+    def merge_worker(
+        self,
+        mixy_new: dict,
+        mix_new: dict,
+        stats_delta: Optional[dict] = None,
+    ) -> bool:
+        """Fold one request worker's new block memos and stat deltas into
+        this (parent-side) store.  Returns True iff any memo was genuinely
+        new to the parent — the signal ``repro serve`` uses to decide
+        whether pooled workers' snapshots just went stale (an epoch bump);
+        a worker re-deriving memos the parent already holds changes
+        nothing another worker could observe."""
+        fresh = any(key not in self.mixy_blocks for key in mixy_new) or any(
+            key not in self.mix_blocks for key in mix_new
+        )
+        self.mixy_blocks.update(mixy_new)
+        self.mix_blocks.update(mix_new)
+        if mixy_new or mix_new:
+            self.dirty = True
+        for key, delta_value in (stats_delta or {}).items():
+            self.stats[key] = self.stats.get(key, 0) + delta_value
+        return fresh
+
     # -- block memos ---------------------------------------------------------
 
     def mixy_get(self, key: str) -> Optional[dict]:

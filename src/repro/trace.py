@@ -359,17 +359,29 @@ class Tracer:
         self._fh = open(f"{self._path}.worker-{pid}", "a", encoding="utf-8")
         self._emit({"ev": "meta", "schema": SCHEMA_VERSION, "pid": pid, "t": round(self._now(), 6)})
 
-    def merge_worker_files(self) -> int:
+    def merge_worker_files(self, only_pid: Optional[int] = None) -> int:
         """Parent, after a pool drained: append every sidecar file's
         lines to the main trace in sorted filename order, then delete
         them.  Tolerates a torn final line from a killed worker.
-        Returns the number of files merged."""
+        Returns the number of files merged.
+
+        ``only_pid`` restricts the merge to one worker's sidecar — the
+        pooled ``repro serve`` daemon merges a worker's spans exactly
+        once, at recycle/retire time after the worker is dead; merging
+        a *live* pooled worker's sidecar would unlink a file it still
+        holds open and silently lose every span it writes afterwards."""
         with self._lock:
             if not self.enabled:
                 return 0
             assert self._fh is not None and self._path is not None
             merged = 0
-            for wpath in sorted(glob.glob(glob.escape(self._path) + ".worker-*")):
+            if only_pid is not None:
+                candidates = [f"{self._path}.worker-{only_pid}"]
+            else:
+                candidates = sorted(
+                    glob.glob(glob.escape(self._path) + ".worker-*")
+                )
+            for wpath in candidates:
                 try:
                     with open(wpath, encoding="utf-8") as fh:
                         data = fh.read()

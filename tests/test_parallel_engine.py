@@ -177,6 +177,47 @@ class TestCacheDelta:
         assert parent.stats.witnesses_confirmed == 0
         assert parent.stats.cache_entries_imported == len(delta)
 
+    def test_mark_delta_matches_the_full_baseline_delta(self):
+        """``cache_mark``/``collect_delta_since`` — the O(delta) journal
+        read the pooled daemon workers use — ships exactly what the
+        O(cache) ``cache_baseline``/``collect_delta`` pair would."""
+        from dataclasses import replace
+
+        worker = SolverService()
+        worker.check_sat(_some_queries()[0])  # pre-fork state: not shipped
+        baseline = worker.cache_baseline()
+        mark = worker.cache_mark()
+        stats0 = replace(worker.stats)
+        expected = [worker.check_sat(q) for q in _some_queries()]
+        cheap = worker.collect_delta_since(mark, stats0)
+        full = worker.collect_delta(baseline, stats0)
+        assert len(cheap) == len(full) == len(_some_queries()) - 1
+
+        parent = SolverService()
+        assert parent.merge_delta(cheap) == len(cheap)
+        solves_before = parent.stats.full_solves
+        assert [parent.check_sat(q) for q in _some_queries()[1:]] == (
+            expected[1:]
+        )
+        assert parent.stats.full_solves == solves_before
+
+    def test_stale_mark_ships_the_whole_journal(self):
+        """A shard evicted since the mark invalidates the journal
+        position; the conservative fallback ships every surviving entry
+        — over-shipping is idempotent, under-shipping loses verdicts."""
+        from dataclasses import replace
+
+        worker = SolverService()
+        worker.check_sat(_some_queries()[0])
+        mark = worker.cache_mark()
+        stats0 = replace(worker.stats)
+        for q in _some_queries()[1:]:
+            worker.check_sat(q)
+        for shard in worker._shards.values():
+            shard.resets += 1  # as if eviction restarted the journal
+        delta = worker.collect_delta_since(mark, stats0)
+        assert len(delta) == len(_some_queries())  # pre-mark entry included
+
     def test_merged_perf_shows_up_as_a_speculative_table(self):
         stats = SolverService().stats
         assert "speculative" not in stats.as_dict()  # serial runs: absent

@@ -27,6 +27,7 @@ from repro.serve import (
     ReproDaemon,
     TERMINAL_STATUSES,
     analyze_source,
+    bench,
     request,
     request_with_retry,
 )
@@ -591,3 +592,123 @@ class TestClientFailureModes:
                 f"unix:{tmp_path}/never-bound.sock", {"cmd": "ping"},
                 retries=0,
             )
+
+
+# ---------------------------------------------------------------------------
+# The prefork pool: concurrent dispatch, epochs, recycling
+# ---------------------------------------------------------------------------
+
+
+def _concurrent_requests(address, sources):
+    """One analyze per source, all in flight at once; replies returned
+    in source order."""
+    replies = [None] * len(sources)
+
+    def client(i):
+        replies[i] = _analyze_request(address, source=sources[i])
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(len(sources))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    assert all(r is not None for r in replies)
+    return replies
+
+
+class TestPoolConcurrency:
+    def test_concurrent_distinct_corpora_match_their_one_shots(self, tmp_path):
+        """Three clients with structurally different programs, dispatched
+        concurrently over a two-worker pool: each reply is bitwise
+        identical to that program's own fresh one-shot run — concurrency
+        never lets one request's analysis bleed into another's."""
+        sources = [SOURCE, STAIRCASE, parallel_vsftpd(depth=2)]
+        baselines = [_fresh_cli_result(tmp_path, s) for s in sources]
+        proc, address = _start_daemon(
+            tmp_path, "--pool", "2", "--max-requests", "3"
+        )
+        replies = _concurrent_requests(address, sources)
+        _finish(proc)
+        for reply, baseline in zip(replies, baselines):
+            assert reply["status"] == "ok"
+            assert reply["result"] == baseline
+
+    def test_racy_burst_merges_deterministically_and_warms(self, tmp_path):
+        """A concurrent burst of identical memoizable requests: every
+        reply matches the one-shot baseline regardless of merge race
+        outcomes, the first merge bumps the epoch, and a follow-up
+        request is served warm from the merged store."""
+        baseline = _fresh_cli_result(tmp_path, STAIRCASE)
+        proc, address = _start_daemon(
+            tmp_path, "--pool", "2", "--max-requests", "6"
+        )
+        replies = _concurrent_requests(address, [STAIRCASE] * 4)
+        warm = _analyze_request(address, source=STAIRCASE)
+        stats = request(address, {"cmd": "stats"})["stats"]
+        _finish(proc)
+        for reply in replies + [warm]:
+            assert reply["status"] == "ok"
+            assert reply["result"] == baseline
+        assert warm["served"]["store"].get("mixy_hits", 0) > 0
+        assert stats["epoch"] >= 1
+        assert stats["pool"]["forks"] >= 1
+
+    def test_recycle_mid_burst_drops_and_duplicates_nothing(self, tmp_path):
+        """With ``--worker-requests 1`` every worker is recycled after a
+        single request — mid-burst, the pool must replace workers without
+        dropping or double-serving any request."""
+        baseline = _fresh_cli_result(tmp_path)
+        proc, address = _start_daemon(
+            tmp_path, "--pool", "2", "--worker-requests", "1",
+            "--max-requests", "7",
+        )
+        replies = _concurrent_requests(address, [SOURCE] * 6)
+        stats = request(address, {"cmd": "stats"})["stats"]
+        _finish(proc)
+        assert [r["status"] for r in replies] == ["ok"] * 6
+        for reply in replies:
+            assert reply["result"] == baseline
+        assert stats["requests_served"] == 7  # six analyses + stats
+        assert stats["pool"]["recycles"] >= 6
+        assert stats["pool"]["forks"] > 2  # replacements beyond the first pair
+
+    def test_bench_reports_complete_identical_replies(self, tmp_path):
+        """The load generator behind ``repro client --bench``: all
+        requests complete, every reply is the same analysis, and the
+        latency percentiles are ordered."""
+        proc, address = _start_daemon(
+            tmp_path, "--pool", "2", "--max-requests", "6"
+        )
+        report = bench(
+            address,
+            {"cmd": "analyze", "lang": "mixy", "source": SOURCE,
+             "options": {}},
+            requests=6, concurrency=3, timeout=300.0,
+        )
+        _finish(proc)
+        assert report["completed"] == 6 and report["ok"] == 6
+        assert report["statuses"] == {"ok": 6}
+        distinct = {json.dumps(r, sort_keys=True) for r in report["results"]}
+        assert len(distinct) == 1
+        assert report["p50_ms"] <= report["p95_ms"] <= report["p99_ms"]
+        assert report["throughput_rps"] > 0
+
+    def test_retry_hint_accounts_for_pool_width(self):
+        """The shed-client backoff hint divides the in-flight queue over
+        the pool's parallel width instead of assuming serial turns."""
+        pooled = ReproDaemon(
+            socket_path="unused.sock", store_dir=None, pool_size=4
+        )
+        pooled._avg_secs = 1.0
+        pooled._inflight = 8
+        assert pooled._retry_after_ms() == 2000  # two dispatch waves
+
+        serial = ReproDaemon(
+            socket_path="unused.sock", store_dir=None, pool_size=0
+        )
+        serial._avg_secs = 1.0
+        serial._inflight = 8
+        assert serial._retry_after_ms() == 8000  # eight serialized turns

@@ -59,7 +59,6 @@ SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
 def _env():
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
-    env["PYTHONHASHSEED"] = "0"  # qualifier-id rendering is seed-dependent
     return env
 
 

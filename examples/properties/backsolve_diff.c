@@ -1,0 +1,7 @@
+int main() {
+  int x; int y;
+  x = symbolic();
+  y = symbolic();
+  check(!(x - y == 42));
+  return 0;
+}

@@ -1,0 +1,8 @@
+int main() {
+  int x;
+  x = symbolic();
+  assume(x > 0);
+  assume(x < 100);
+  check(x * 2 < 200);
+  return 0;
+}

@@ -1,0 +1,15 @@
+int mid(int lo, int hi) {
+  return lo + (hi - lo) / 2;
+}
+
+int main() {
+  int lo; int hi;
+  lo = symbolic();
+  hi = symbolic();
+  assume(lo >= 0);
+  assume(hi >= lo);
+  int m;
+  m = mid(lo, hi);
+  check(m >= lo && m <= hi);
+  return 0;
+}

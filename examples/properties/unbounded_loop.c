@@ -1,0 +1,13 @@
+int main() {
+  int n; int i; int total;
+  n = symbolic();
+  assume(n > 0);
+  i = 0;
+  total = 0;
+  while (i < n) {
+    total = total + 1;
+    i = i + 1;
+  }
+  check(total == n);
+  return 0;
+}

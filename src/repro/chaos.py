@@ -111,9 +111,6 @@ def _subprocess_env() -> dict:
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    # Qualifier ids render through hash-dependent ordering in a couple of
-    # spots; pin it so daemon output matches the one-shot baseline.
-    env["PYTHONHASHSEED"] = "0"
     return env
 
 

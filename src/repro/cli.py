@@ -87,6 +87,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_trust_flags(mixy)
     _add_perf_flags(mixy)
 
+    prove = sub.add_parser(
+        "prove",
+        help="prove symbolic()/assume/check property files; one verdict "
+        "per file (PROVED / COUNTEREXAMPLE / UNCONFIRMED / BUDGET / ERROR)",
+    )
+    prove.add_argument(
+        "files",
+        nargs="+",
+        help="property files; .c runs under MIXY, anything else under MIX",
+    )
+    prove.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="prove up to N property files concurrently (verdict lines "
+        "are identical to --jobs 1 and always in sorted-file order)",
+    )
+    prove.add_argument(
+        "--entry-function",
+        default="main",
+        help="entry function for mini-C property files (default main)",
+    )
+    prove.add_argument(
+        "--env",
+        default="",
+        help="comma-separated free-variable types for mini-ML files",
+    )
+    prove.add_argument("--max-unroll", type=int, default=64)
+    prove.add_argument(
+        "--no-cache", action="store_true", help="disable MIXY block caching"
+    )
+    prove.add_argument(
+        "--entry",
+        choices=["typed", "symbolic"],
+        default="symbolic",
+        help="mini-C proving mode: 'symbolic' explores the entry function "
+        "exhaustively (the default); 'typed' proves checks embedded in "
+        "MIX(symbolic) blocks of a larger program via the fixpoint",
+    )
+    prove.add_argument(
+        "--schedule",
+        choices=["fifo", "waves", "portfolio"],
+        default="fifo",
+        help="speculative dispatch policy for within-property warming "
+        "under --jobs N (see repro.schedule)",
+    )
+    prove.add_argument(
+        "--sched-hints",
+        default=None,
+        metavar="FILE",
+        help="scheduling hint file (.repro-sched.json) for --schedule",
+    )
+    _add_budget_flags(prove)
+
     serve = sub.add_parser(
         "serve",
         help="run a persistent analysis daemon with a warm, disk-backed "
@@ -306,7 +361,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="C",
         help="client connections driving --bench traffic (default 1)",
     )
-    client.add_argument("--entry", choices=["typed", "symbolic"], default="typed")
+    client.add_argument(
+        "--prove",
+        action="store_true",
+        help="send a 'prove' request instead of 'analyze': classify FILE "
+        "as one property file, printing the same verdict line a local "
+        "'repro prove FILE' would",
+    )
+    client.add_argument(
+        "--entry",
+        choices=["typed", "symbolic"],
+        default=None,
+        help="entry mode (default: typed for analyze, symbolic for --prove)",
+    )
     client.add_argument("--entry-function", default="main")
     client.add_argument("--strict-deref", action="store_true")
     client.add_argument("--no-cache", action="store_true")
@@ -349,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.command == "prove":
+        return _run_prove(args)
     if args.command == "trace-report":
         return _run_trace_report(args)
     if args.command == "serve":
@@ -682,6 +751,28 @@ def _run_serve(args: argparse.Namespace) -> int:
         TRACER.close()
 
 
+def _run_prove(args: argparse.Namespace) -> int:
+    from repro.prove import prove_files
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    options = {
+        "entry": args.entry,
+        "entry_function": args.entry_function,
+        "env": args.env,
+        "max_unroll": args.max_unroll,
+        "no_cache": args.no_cache,
+        "jobs": args.jobs,
+        "schedule": args.schedule,
+        "sched_hints": args.sched_hints,
+        "deadline": args.deadline,
+        "query_timeout_ms": args.query_timeout_ms,
+        "max_paths": args.max_paths,
+    }
+    return prove_files(args.files, options, jobs=args.jobs)
+
+
 def _run_client(args: argparse.Namespace) -> int:
     import json
 
@@ -707,8 +798,12 @@ def _run_client(args: argparse.Namespace) -> int:
             )
             return 2
         source = _read(args.file)
+        # --prove proves the entry function exhaustively by default
+        # (matching `repro prove`); plain analyze keeps the typed entry
+        # the `repro mix`/`repro mixy` one-shots default to.
+        entry = args.entry or ("symbolic" if args.prove else "typed")
         options = {
-            "entry": args.entry,
+            "entry": entry,
             "deadline": args.deadline,
             "query_timeout_ms": args.query_timeout_ms,
             "max_paths": args.max_paths,
@@ -728,8 +823,12 @@ def _run_client(args: argparse.Namespace) -> int:
                 good_enough=args.good_enough,
                 max_unroll=args.max_unroll,
             )
+        if args.prove:
+            # Match the local prover's naming so client and one-shot
+            # verdict lines are byte-identical for the same file.
+            options["name"] = args.file
         payload = {
-            "cmd": "analyze",
+            "cmd": "prove" if args.prove else "analyze",
             "lang": args.lang,
             "source": source,
             "options": options,

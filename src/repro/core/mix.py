@@ -51,6 +51,16 @@ class MixTypeError(TypeError_):
         self.witness = witness
 
 
+def _engine_available() -> bool:
+    """Whether fork fan-out is possible here.  An analyzer built where
+    it is not (inside a pool worker, or on fork-less platforms) must
+    take the serial path byte for byte — parallel mode is more than a
+    cache warm, it also switches symbol-naming discipline."""
+    from repro.parallel import ParallelEngine
+
+    return ParallelEngine.available()
+
+
 class Mix:
     """The mixed analysis: a type checker and a symbolic executor, each
     hooked to delegate the other's blocks."""
@@ -75,7 +85,7 @@ class Mix:
             "feasibility_checks": 0,
             "budget_breaches": 0,
         }
-        if self.config.jobs > 1:
+        if self.config.jobs > 1 and _engine_available():
             from repro.parallel import ParallelEngine
             from repro.schedule import make_scheduler
 
@@ -255,12 +265,18 @@ class Mix:
             self._warm_outcome_queries(outcomes)
         result_type: Optional[Type] = None
         surviving: list[Outcome] = []
+        assumed_closed: list[Outcome] = []
         breached = False
         for out in outcomes:
             if not out.ok:
                 if out.kind is ErrKind.BUDGET:
                     breached = True
                     self._handle_budget_breach(out, block)
+                    continue
+                if out.kind is ErrKind.ASSUME:
+                    # A path closed by assume(e): not an error — its guard
+                    # still counts toward exhaustiveness below.
+                    assumed_closed.append(out)
                     continue
                 self._raise_if_feasible(out, block, gamma, sigma)
                 continue  # infeasible failing path: discarded
@@ -274,6 +290,17 @@ class Mix:
                     "symbolic block completed; no result type is available",
                     block.pos,
                     kind=ErrKind.BUDGET,
+                )
+            if assumed_closed:
+                # Vacuous: every path dies on an assumption, so there is
+                # nothing to check — but also no result type to give the
+                # block.  The kind lets `repro prove` classify this as a
+                # (vacuous) proof rather than an analysis error.
+                raise MixTypeError(
+                    "every path of the symbolic block is closed by an "
+                    "assumption; the block is vacuous and has no result type",
+                    block.pos,
+                    kind=ErrKind.ASSUME,
                 )
             raise MixTypeError(
                 "symbolic block has no feasible execution path", block.pos
@@ -293,7 +320,7 @@ class Mix:
                     block.pos,
                 )
         if self.config.soundness is SoundnessMode.SOUND:
-            self._check_exhaustive(surviving, block)
+            self._check_exhaustive(surviving + assumed_closed, block)
         assert result_type is not None
         return result_type
 
@@ -308,6 +335,7 @@ class Mix:
         groups: list[tuple[smt.Term, ...]] = []
         guards: list[smt.Term] = []
         assumptions: list[smt.Term] = []
+        assumed: list[Outcome] = []
         for out in outcomes:
             if out.ok:
                 # Mirrors _check_exhaustive's formula construction.
@@ -318,11 +346,22 @@ class Mix:
                 continue
             if out.kind is ErrKind.BUDGET:
                 continue
+            if out.kind is ErrKind.ASSUME:
+                # Assume-closed paths join the exhaustiveness formula
+                # *after* the surviving paths (the serial logic appends
+                # them), never the feasibility groups.
+                assumed.append(out)
+                continue
             if out.kind is ErrKind.LOOP_BOUND and (
                 self.config.soundness is SoundnessMode.GOOD_ENOUGH
             ):
                 continue
             groups.append((out.state.condition(),))
+        for out in assumed:
+            guards.append(out.state.guard)
+            for d in out.state.defs:
+                if d not in assumptions:
+                    assumptions.append(d)
         if self.config.soundness is SoundnessMode.SOUND and guards:
             groups.append((*assumptions, smt.not_(smt.or_(*guards))))
         self._parallel.warm_mix_queries(groups)

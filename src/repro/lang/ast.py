@@ -164,6 +164,37 @@ class App(Expr):
 
 
 @dataclass(frozen=True)
+class Symbolic(Expr):
+    """``symbolic()`` — an unconstrained symbolic integer input.
+
+    Under symbolic execution this is a fresh α; under concrete
+    evaluation it draws the next value from the interpreter's input
+    feed (0 when the feed is exhausted) — which is exactly how a
+    counterexample model is replayed."""
+
+
+@dataclass(frozen=True)
+class Assume(Expr):
+    """``assume(e)`` — constrain the current path with ``e``.
+
+    Paths violating the assumption are silently closed (they are not
+    errors and do not count against exhaustiveness); evaluates to unit.
+    """
+
+    cond: Expr
+
+
+@dataclass(frozen=True)
+class Check(Expr):
+    """``check(e)`` — assert the property ``e`` on the current path.
+
+    A feasible path falsifying ``e`` is a diagnosable property failure;
+    evaluates to unit."""
+
+    cond: Expr
+
+
+@dataclass(frozen=True)
 class TypedBlock(Expr):
     """``{t e t}`` — analyze ``e`` with the type checker."""
 
@@ -217,6 +248,8 @@ def children(expr: Expr) -> tuple[Expr, ...]:
         return (expr.fn, expr.arg)
     if isinstance(expr, (TypedBlock, SymBlock)):
         return (expr.body,)
+    if isinstance(expr, (Assume, Check)):
+        return (expr.cond,)
     return ()
 
 

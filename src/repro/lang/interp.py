@@ -23,9 +23,11 @@ from typing import Callable, Mapping, Optional, Union
 from repro.lang.ast import (
     App,
     Assign,
+    Assume,
     BinOp,
     BinOpKind,
     BoolLit,
+    Check,
     Deref,
     Expr,
     Fun,
@@ -37,6 +39,7 @@ from repro.lang.ast import (
     Seq,
     StrLit,
     SymBlock,
+    Symbolic,
     TypedBlock,
     UnitLit,
     Var,
@@ -50,6 +53,16 @@ class RuntimeTypeError(Exception):
 
 class EvalBudgetExceeded(Exception):
     """The step budget ran out (used to bound ``while`` in testing)."""
+
+
+class AssumeViolation(Exception):
+    """A concrete run reached ``assume(e)`` with ``e`` false — the run is
+    vacuous, neither a pass nor a failure."""
+
+
+class CheckFailure(Exception):
+    """A concrete run reached ``check(e)`` with ``e`` false — the
+    property concretely fails on this input."""
 
 
 @dataclass(frozen=True)
@@ -90,10 +103,17 @@ class ConcreteResult:
 class Interpreter:
     """Evaluates expressions under an environment and mutable memory."""
 
-    def __init__(self, step_budget: int = 100_000) -> None:
+    def __init__(
+        self,
+        step_budget: int = 100_000,
+        symbolic_inputs: Optional[list[int]] = None,
+    ) -> None:
         self._memory: dict[Location, Value] = {}
         self._next_address = 0
         self._steps_left = step_budget
+        #: values ``symbolic()`` draws, in program order; 0 once drained.
+        #: Witness replay fills this from the counterexample model.
+        self._symbolic_inputs = list(symbolic_inputs or [])
 
     @property
     def memory(self) -> dict[Location, Value]:
@@ -226,6 +246,21 @@ class Interpreter:
     def _block(self, expr: Union[TypedBlock, SymBlock], env: Mapping[str, Value]) -> Value:
         return self.eval(expr.body, env)
 
+    def _symbolic(self, expr: Symbolic, env: Mapping[str, Value]) -> Value:
+        if self._symbolic_inputs:
+            return self._symbolic_inputs.pop(0)
+        return 0
+
+    def _assume(self, expr: Assume, env: Mapping[str, Value]) -> Value:
+        if not self._expect_bool(self.eval(expr.cond, env), "assume"):
+            raise AssumeViolation(f"assumption false at {expr.pos or '?'}")
+        return None
+
+    def _check(self, expr: Check, env: Mapping[str, Value]) -> Value:
+        if not self._expect_bool(self.eval(expr.cond, env), "check"):
+            raise CheckFailure(f"check failed at {expr.pos or '?'}")
+        return None
+
     # -- dynamic type checks -----------------------------------------------------
 
     def _expect_bool(self, value: Value, context: str) -> bool:
@@ -278,6 +313,9 @@ _DISPATCH: dict[type, Callable] = {
     App: Interpreter._app,
     TypedBlock: Interpreter._block,
     SymBlock: Interpreter._block,
+    Symbolic: Interpreter._symbolic,
+    Assume: Interpreter._assume,
+    Check: Interpreter._check,
 }
 
 

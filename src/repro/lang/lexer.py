@@ -55,6 +55,9 @@ KEYWORDS = {
     "false",
     "typed",
     "sym",
+    "symbolic",
+    "assume",
+    "check",
     "int",
     "bool",
     "str",

@@ -20,6 +20,8 @@ Grammar (low to high precedence)::
               | '(' ')' | '(' expr ')'
               | '{t' expr 't}' | '{s' expr 's}'
               | 'typed' '{' expr '}' | 'sym' '{' expr '}'
+              | 'symbolic' '(' ')' | 'assume' '(' expr ')'
+              | 'check' '(' expr ')'
 
     type     := reftype ('->' type)?
     reftype  := basetype 'ref'*
@@ -33,9 +35,11 @@ from typing import Optional
 from repro.lang.ast import (
     App,
     Assign,
+    Assume,
     BinOp,
     BinOpKind,
     BoolLit,
+    Check,
     Deref,
     Expr,
     Fun,
@@ -48,6 +52,7 @@ from repro.lang.ast import (
     Seq,
     StrLit,
     SymBlock,
+    Symbolic,
     TypedBlock,
     UnitLit,
     Var,
@@ -83,7 +88,7 @@ _MUL_OPS = {"*": BinOpKind.MUL, "/": BinOpKind.DIV}
 
 # Tokens that may start an atom — used to decide whether application
 # (juxtaposition) continues.
-_ATOM_STARTERS_KW = {"true", "false", "typed", "sym"}
+_ATOM_STARTERS_KW = {"true", "false", "typed", "sym", "symbolic", "assume", "check"}
 
 
 class _Parser:
@@ -313,6 +318,16 @@ class _Parser:
                 body = self.expr()
                 self._expect_symbol("}")
                 return SymBlock(body, pos=token.pos)
+            if token.text == "symbolic":
+                self._expect_symbol("(")
+                self._expect_symbol(")")
+                return Symbolic(pos=token.pos)
+            if token.text in ("assume", "check"):
+                self._expect_symbol("(")
+                cond = self.expr()
+                self._expect_symbol(")")
+                node = Assume if token.text == "assume" else Check
+                return node(cond, pos=token.pos)
         if token.kind is TokKind.BLOCK_OPEN_T:
             body = self.expr()
             closing = self._next()

@@ -10,8 +10,10 @@ from __future__ import annotations
 from repro.lang.ast import (
     App,
     Assign,
+    Assume,
     BinOp,
     BoolLit,
+    Check,
     Deref,
     Expr,
     Fun,
@@ -23,6 +25,7 @@ from repro.lang.ast import (
     Seq,
     StrLit,
     SymBlock,
+    Symbolic,
     TypedBlock,
     UnitLit,
     Var,
@@ -139,4 +142,10 @@ def _render(expr: Expr, context: int) -> str:
         return f"typed {{ {_render(expr.body, _LEVEL_EXPR)} }}"
     if isinstance(expr, SymBlock):
         return f"sym {{ {_render(expr.body, _LEVEL_EXPR)} }}"
+    if isinstance(expr, Symbolic):
+        return "symbolic()"
+    if isinstance(expr, Assume):
+        return f"assume({_render(expr.cond, _LEVEL_EXPR)})"
+    if isinstance(expr, Check):
+        return f"check({_render(expr.cond, _LEVEL_EXPR)})"
     raise TypeError(f"unknown expression node: {expr!r}")

@@ -167,6 +167,25 @@ class Cast(CExpr):
     operand: CExpr
 
 
+@dataclass(frozen=True)
+class Symbolic(CExpr):
+    """``symbolic()`` — an arbitrary int the analysis quantifies over."""
+
+
+@dataclass(frozen=True)
+class Assume(CExpr):
+    """``assume(e)`` — restrict the analysis to runs where ``e`` holds."""
+
+    cond: CExpr
+
+
+@dataclass(frozen=True)
+class Check(CExpr):
+    """``check(e)`` — a property obligation: warn if ``e`` can be false."""
+
+    cond: CExpr
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------

@@ -17,10 +17,12 @@ from typing import Optional
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
     Call,
     Cast,
+    Check,
     CExpr,
     CFunction,
     CProgram,
@@ -38,6 +40,7 @@ from repro.mixy.c.ast import (
     Scalar,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarDecl,
     VarRef,
@@ -58,6 +61,16 @@ class CStepBudgetExceeded(CRuntimeError):
     """The step budget ran out (bounds runaway loops in testing)."""
 
 
+class CAssumeViolation(CRuntimeError):
+    """A concrete run reached ``assume(e)`` with ``e`` false — the run
+    is vacuous, neither a pass nor a failure."""
+
+
+class CCheckFailure(CRuntimeError):
+    """A concrete run reached ``check(e)`` with ``e`` false — the
+    property concretely fails on this input."""
+
+
 class _ReturnSignal(Exception):
     def __init__(self, value: int) -> None:
         self.value = value
@@ -73,11 +86,19 @@ class _Frame:
 class CInterpreter:
     """Executes mini-C programs concretely."""
 
-    def __init__(self, program: CProgram, step_budget: int = 200_000) -> None:
+    def __init__(
+        self,
+        program: CProgram,
+        step_budget: int = 200_000,
+        symbolic_inputs: Optional[list[int]] = None,
+    ) -> None:
         self.program = program
         self.memory: dict[int, int] = {}
         self._next_address = 1
         self._steps = step_budget
+        #: values ``symbolic()`` draws, in program order; 0 once drained.
+        #: Witness replay fills this from the counterexample model.
+        self._symbolic_inputs = list(symbolic_inputs or [])
         self.fn_addresses: dict[str, int] = {}
         self._fn_by_address: dict[int, str] = {}
         for name in program.functions:
@@ -213,6 +234,18 @@ class CInterpreter:
             return self._alloc(self._size_of(expr.typ))
         if isinstance(expr, Cast):
             return self._eval(expr.operand, frame)
+        if isinstance(expr, Symbolic):
+            if self._symbolic_inputs:
+                return self._symbolic_inputs.pop(0)
+            return 0
+        if isinstance(expr, Assume):
+            if self._eval(expr.cond, frame) == 0:
+                raise CAssumeViolation(f"assumption false at {expr.cond!r}")
+            return 1
+        if isinstance(expr, Check):
+            if self._eval(expr.cond, frame) == 0:
+                raise CCheckFailure(f"check failed at {expr.cond!r}")
+            return 1
         raise CRuntimeError(f"cannot evaluate {expr!r}")
 
     def _binary(self, expr: Binary, frame: _Frame) -> int:

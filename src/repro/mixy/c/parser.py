@@ -16,8 +16,10 @@ from typing import Optional
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
+    Check,
     Call,
     Cast,
     CExpr,
@@ -42,6 +44,7 @@ from repro.mixy.c.ast import (
     Return,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarDecl,
     VarRef,
@@ -70,6 +73,8 @@ _KEYWORDS = {
     "nonnull",
     "typed",
     "symbolic",
+    "assume",
+    "check",
     "const",
 }
 
@@ -532,6 +537,16 @@ class _Parser:
             self._expect("sym", ")")
             self._expect("sym", ")")
             return Malloc(_apply_ptrs(base, depth))
+        if self._eat("kw", "symbolic"):
+            self._expect("sym", "(")
+            self._expect("sym", ")")
+            return Symbolic()
+        if self._at("kw") and self._peek().text in ("assume", "check"):
+            kw = self._next().text
+            self._expect("sym", "(")
+            cond = self._expr()
+            self._expect("sym", ")")
+            return Assume(cond) if kw == "assume" else Check(cond)
         if self._at("ident"):
             return VarRef(self._next().text)
         if self._eat("sym", "("):

@@ -11,11 +11,13 @@ from __future__ import annotations
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
     Call,
     Cast,
     CExpr,
+    Check,
     CFunction,
     CProgram,
     CStmt,
@@ -35,6 +37,7 @@ from repro.mixy.c.ast import (
     Scalar,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarDecl,
     VarRef,
@@ -124,6 +127,12 @@ def _expr(expr: CExpr) -> tuple[str, int]:
             f"({type_text(expr.typ).strip()}) {expr_text(expr.operand, _UNARY_LEVEL)}",
             _UNARY_LEVEL,
         )
+    if isinstance(expr, Symbolic):
+        return "symbolic()", _POSTFIX_LEVEL
+    if isinstance(expr, Assume):
+        return f"assume({expr_text(expr.cond, 0)})", _POSTFIX_LEVEL
+    if isinstance(expr, Check):
+        return f"check({expr_text(expr.cond, 0)})", _POSTFIX_LEVEL
     raise TypeError(f"cannot render expression {expr!r}")
 
 

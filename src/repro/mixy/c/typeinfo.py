@@ -13,7 +13,9 @@ from typing import Mapping, Optional
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
+    Check,
     Call,
     Cast,
     CExpr,
@@ -30,6 +32,7 @@ from repro.mixy.c.ast import (
     PtrType,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarRef,
     VOID_T,
@@ -101,6 +104,11 @@ class TypeInfo:
             return PtrType(expr.typ)
         if isinstance(expr, Cast):
             return expr.typ
+        if isinstance(expr, Symbolic):
+            return INT_T
+        if isinstance(expr, (Assume, Check)):
+            self.type_of(expr.cond)
+            return INT_T
         raise CTypeError(f"cannot type expression {expr!r}")
 
     def callee_type(self, call: Call) -> FunType:

@@ -424,3 +424,68 @@ int main(void) {{
   return total;
 }}
 """
+
+
+def property_staircase(depth: int = 4) -> str:
+    """The E22 proving corpus: ``parallel_vsftpd``'s staircase with the
+    null-deref finding replaced by per-block ``check`` obligations.
+
+    Each worker block accumulates ``r`` over its ``depth``-deep
+    arithmetic tree (every leaf adds at least 1) and then asserts
+    ``check(r > 0)`` — valid on every path that reaches it, so the
+    falsifying branch of each path is an infeasibility query against
+    that path's full condition: exactly the solver workload the
+    parallel engine warms.  The staircase coupling is unchanged (one
+    session global falls per fixpoint round, every block re-analyzed
+    every round), so ``repro prove --entry typed --jobs N`` re-derives
+    E16's cache compounding on a proving workload; the expected suite
+    verdict is a single PROVED with no warnings."""
+    stages = "\n".join(f"int *g_stage_{s};" for s in range(1, 7))
+    blocks = []
+    for i, name in enumerate(PARALLEL_BLOCKS):
+        if name == PARALLEL_BLOCKS[-1]:
+            tail = "  g_stage_6 = NULL;"
+        else:
+            tail = (
+                f"  if (g_stage_{i + 2} == NULL) {{\n"
+                f"    g_stage_{i + 1} = NULL;\n"
+                f"  }}"
+            )
+        shell_open = "\n".join(
+            f"  if ({v} < 1) {{ return 0; }}\n  if ({v} > 40) {{ return 0; }}"
+            for v in "abcd"
+        )
+        blocks.append(
+            f"int {name}(int a, int b, int c, int d) MIX(symbolic) {{\n"
+            f"  int r = 0;\n"
+            f"{shell_open}\n"
+            f"{_arith_tree(i, depth)}\n"
+            f"  check(r > 0);\n"
+            f"{tail}\n"
+            f"  return r;\n"
+            f"}}"
+        )
+    body = "\n\n".join(blocks)
+    calls = "\n".join(
+        f"  total = total + {name}(seed + {i}, seed - {2 * i}, "
+        f"seed * {i + 2}, limit + {i});"
+        for i, name in enumerate(PARALLEL_BLOCKS)
+    )
+    return f"""
+/* ============ session globals: the staircase ============ */
+{stages}
+
+/* ============ the worker modules: one property each ============ */
+{body}
+
+int main(void) {{
+  int total;
+  int seed;
+  int limit;
+  total = 0;
+  seed = 3;
+  limit = 40;
+{calls}
+  return total;
+}}
+"""

@@ -205,6 +205,13 @@ class _ReplayContext:
 _INEXACT_KINDS = (CErrKind.RECURSION, CErrKind.UNSUPPORTED, CErrKind.BUDGET)
 
 
+def _engine_available() -> bool:
+    """Whether fork fan-out is possible here (see repro.parallel)."""
+    from repro.parallel import ParallelEngine
+
+    return ParallelEngine.available()
+
+
 class Mixy:
     """The MIXY analysis over one mini-C program."""
 
@@ -237,13 +244,17 @@ class Mixy:
         from repro.schedule import make_scheduler
 
         self._scheduler = make_scheduler(self.config)
-        if self.config.jobs > 1:
+        if self.config.jobs > 1 and _engine_available():
             from repro.parallel import ParallelEngine
 
             self._parallel: Optional[ParallelEngine] = ParallelEngine(
                 self.config.jobs, scheduler=self._scheduler
             )
         else:
+            # Serial, or built where fork fan-out is impossible (inside
+            # a pool worker, on fork-less platforms): must take the
+            # serial path byte for byte — parallel mode also switches to
+            # block-deterministic symbol naming.
             self._parallel = None
         #: Memoized per-block content hashes / wave features (scheduling).
         self._block_hashes: dict[str, str] = {}
@@ -323,7 +334,7 @@ class Mixy:
                 edges_before = self.qual.graph.num_edges
                 warnings_before = len(self.executor.warnings)
                 typed, frontier = self._reachable_partition(entry_function)
-                for name in typed:
+                for name in sorted(typed):
                     self.qual.constrain_function(name)
                 ordered = sorted(frontier)
                 if round_span is not None:
@@ -940,12 +951,14 @@ class Mixy:
     def _check_witness(
         self, state: CState, ptr: smt.Term, warning: CWarning
     ) -> Optional["Witness"]:
-        """Replay a fresh NULL_DEREF warning through the concrete mini-C
-        interpreter (installed as the executor's ``witness_checker``)."""
+        """Replay a fresh NULL_DEREF or CHECK_FAIL warning through the
+        concrete mini-C interpreter (installed as the executor's
+        ``witness_checker``).  For CHECK_FAIL the ``ptr`` slot carries
+        the checked condition's term instead of a pointer."""
         ctx = self._replay_context
         if ctx is None:
             return None
-        from repro.witness import validate_c_null_deref
+        from repro.witness import validate_c_check, validate_c_null_deref
 
         exact = (
             self.stats["typed_calls"] == ctx.typed_calls
@@ -955,6 +968,18 @@ class Mixy:
                 for w in self.executor.warnings[ctx.warnings_len:]
             )
         )
+        if warning.kind is CErrKind.CHECK_FAIL:
+            return validate_c_check(
+                self.program,
+                ctx.fn,
+                ctx.args,
+                ctx.state,
+                ctx.global_env,
+                self.executor.fn_addresses,
+                state,
+                ptr,
+                exact=exact,
+            )
         return validate_c_null_deref(
             self.program,
             ctx.fn,
@@ -996,7 +1021,7 @@ class Mixy:
         else:
             # Run qualifier inference over the typed region rooted here.
             typed, frontier = self._reachable_partition(name)
-            for t in typed:
+            for t in sorted(typed):
                 self.qual.constrain_function(t)
             for f in sorted(frontier):
                 self._analyze_symbolic_function(f)
@@ -1151,10 +1176,12 @@ def _find_calls(fn: CFunction) -> list[tuple[Call, str]]:
     from repro.mixy.c.ast import (
         AddrOf,
         Assign,
+        Assume,
         Binary,
         Block,
         Cast,
         CExpr,
+        Check,
         CStmt,
         Deref,
         ExprStmt,
@@ -1189,6 +1216,8 @@ def _find_calls(fn: CFunction) -> list[tuple[Call, str]]:
             walk_expr(e.rhs)
         elif isinstance(e, Cast):
             walk_expr(e.operand)
+        elif isinstance(e, (Assume, Check)):
+            walk_expr(e.cond)
 
     def walk_stmt(s: CStmt) -> None:
         if isinstance(s, Block):

@@ -24,11 +24,13 @@ from typing import Iterable, Optional
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
     Call,
     Cast,
     CExpr,
+    Check,
     CFunction,
     CProgram,
     CStmt,
@@ -264,6 +266,9 @@ class PointsTo:
             return temp
         if isinstance(expr, Cast):
             return self._rvalue(fn, expr.operand, typeinfo)
+        if isinstance(expr, (Assume, Check)):
+            self._rvalue(fn, expr.cond, typeinfo)
+            return None
         return None
 
     def _assign(self, fn: str, expr: Assign, typeinfo: TypeInfo) -> Optional[Node]:

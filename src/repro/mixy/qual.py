@@ -31,11 +31,13 @@ from typing import Callable, Iterable, Optional, Union
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
     Call,
     Cast,
     CExpr,
+    Check,
     CFunction,
     CProgram,
     CStmt,
@@ -52,6 +54,7 @@ from repro.mixy.c.ast import (
     Return,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarDecl,
     VarRef,
@@ -79,12 +82,19 @@ NONNULL = QConst("nonnull")
 
 
 class QVar:
-    """A qualifier variable; identity-based."""
+    """A qualifier variable; identity-based.
+
+    Rendered ids are per-inference ordinals handed out by
+    :meth:`QualInference.fresh_qvar` in deterministic creation order, so
+    the printed form of an analysis is a pure function of the program —
+    independent of the process hash seed.  The class-level fallback
+    counter only serves variables constructed outside an inference
+    (tests, ad-hoc graphs)."""
 
     _ids = itertools.count(1)
 
-    def __init__(self, hint: str) -> None:
-        self.id = next(self._ids)
+    def __init__(self, hint: str, id: Optional[int] = None) -> None:
+        self.id = next(self._ids) if id is None else id
         self.hint = hint
 
     def __str__(self) -> str:
@@ -286,13 +296,19 @@ class QualInference:
         self._slots: dict[SlotKey, QualType] = {}
         self._callees_of = callees_of
         self._malloc_counter = itertools.count(1)
+        self._qvar_ids = itertools.count(1)
         self.constrained_functions: set[str] = set()
 
     # -- slots -------------------------------------------------------------------
 
+    def fresh_qvar(self, hint: str) -> QVar:
+        """A qualifier variable with this inference's next ordinal id."""
+        return QVar(hint, next(self._qvar_ids))
+
     def fresh_qualtype(self, ctype: CType, hint: str) -> QualType:
         quals = tuple(
-            QVar(f"{hint}*{i}" if i else hint) for i in range(pointer_depth(ctype))
+            self.fresh_qvar(f"{hint}*{i}" if i else hint)
+            for i in range(pointer_depth(ctype))
         )
         return QualType(ctype, quals)
 
@@ -474,7 +490,8 @@ class _FunctionConstrainer:
         if isinstance(node, AddrOf):
             target = self.expr(node.target)
             qt = QualType(
-                PtrType(target.ctype), (QVar(f"&{_describe(node.target)}"),) + target.quals
+                PtrType(target.ctype),
+                (self.inf.fresh_qvar(f"&{_describe(node.target)}"),) + target.quals,
             )
             assert qt.top is not None
             self.inf.graph.add_flow(NONNULL, qt.top, "address-of")
@@ -519,6 +536,11 @@ class _FunctionConstrainer:
             if depth == len(inner.quals):
                 return QualType(node.typ, inner.quals)
             return self.inf.fresh_qualtype(node.typ, "cast")
+        if isinstance(node, Symbolic):
+            return QualType(self.types.type_of(node), ())
+        if isinstance(node, (Assume, Check)):
+            self.expr(node.cond)
+            return QualType(self.types.type_of(node), ())
         raise CTypeError(f"cannot constrain expression {node!r}")
 
     def _var_slot(self, name: str) -> QualType:

@@ -35,10 +35,12 @@ from repro.budget import Budget
 from repro.mixy.c.ast import (
     AddrOf,
     Assign,
+    Assume,
     Binary,
     Block,
     Call,
     Cast,
+    Check,
     CExpr,
     CFunction,
     CProgram,
@@ -57,6 +59,7 @@ from repro.mixy.c.ast import (
     Scalar,
     StrLit,
     StructType,
+    Symbolic,
     Unary,
     VarDecl,
     VarRef,
@@ -81,6 +84,9 @@ class CErrKind(Enum):
     #: and was contained — degraded to pure qualifier inference, with a
     #: shrunken crash repro written to the crash directory
     CRASH = "analysis crash contained"
+    #: a ``check(e)`` property obligation whose failing branch is
+    #: feasible — the property-proving analog of NULL_DEREF
+    CHECK_FAIL = "checked property may fail"
 
 
 @dataclass(frozen=True)
@@ -115,9 +121,15 @@ class CState:
     defs: tuple[smt.Term, ...]
     cells: dict[int, smt.Term]
     objects: dict[int, CObj]
+    #: names of the α variables ``symbolic()`` minted along this path,
+    #: in program order — witness replay concretizes them from the model
+    symbolics: tuple[str, ...] = ()
 
     def condition(self) -> smt.Term:
         return smt.and_(self.guard, *self.defs)
+
+    def add_symbolic(self, name: str) -> "CState":
+        return replace(self, symbolics=self.symbolics + (name,))
 
     def and_guard(self, conjunct: smt.Term) -> "CState":
         return replace(self, guard=simplify(smt.and_(self.guard, conjunct)))
@@ -298,7 +310,7 @@ class CSymExecutor:
         self.warnings.append(warning)
         return warning
 
-    def _witness_null_deref(
+    def _relay_witness(
         self, warning: Optional[CWarning], state: CState, ptr: smt.Term
     ) -> None:
         """Ask the driver's witness checker to replay a fresh warning."""
@@ -544,8 +556,70 @@ class CSymExecutor:
             yield new_state, smt.int_const(obj.base)
         elif isinstance(expr, Cast):
             yield from self._eval(expr.operand, frame, state)
+        elif isinstance(expr, Symbolic):
+            alpha = self.fresh_symbol("symbolic")
+            yield state.add_symbolic(str(alpha.payload)), alpha
+        elif isinstance(expr, Assume):
+            yield from self._eval_assume(expr, frame, state)
+        elif isinstance(expr, Check):
+            yield from self._eval_check(expr, frame, state)
         else:  # pragma: no cover - defensive
             raise CTypeError(f"cannot evaluate {expr!r}")
+
+    def _eval_assume(
+        self, expr: Assume, frame: "_Frame", state: CState
+    ) -> Iterator[tuple[CState, smt.Term]]:
+        """``assume(e)``: drop paths where ``e`` is false.  MIXY has no
+        exhaustiveness obligation (it is a KLEE-style warning analysis),
+        so the closed arm is simply not explored."""
+        for s1, cond in self._eval(expr.cond, frame, state):
+            guard = simplify(smt.not_(smt.eq(cond, smt.int_const(0))))
+            if guard.is_false:
+                continue
+            s2 = s1 if guard.is_true else s1.and_guard(guard)
+            if not guard.is_true and not self.feasible(s2):
+                continue
+            yield s2, smt.int_const(1)
+
+    def _eval_check(
+        self, expr: Check, frame: "_Frame", state: CState
+    ) -> Iterator[tuple[CState, smt.Term]]:
+        """``check(e)``: warn if the failing branch is feasible, then
+        continue on the passing branch (the failure has been reported;
+        re-deriving its consequences downstream adds no information)."""
+        if self._deadline_hit():
+            self._budget_breach(
+                "deadline_breaches",
+                f"run deadline reached at a check in {frame.fn.name}: "
+                "paths abandoned",
+                frame.fn.name,
+            )
+            return
+        for s1, cond in self._eval(expr.cond, frame, state):
+            guard = simplify(smt.not_(smt.eq(cond, smt.int_const(0))))
+            fail_guard = simplify(smt.not_(guard))
+            if not fail_guard.is_false:
+                fail_state = s1.and_guard(fail_guard)
+                if fail_guard.is_true or self.feasible(fail_state):
+                    self.stats["forks"] += 1
+                    if TRACER.enabled:
+                        TRACER.event(
+                            "path.fork", pc_size=conjunct_count(s1.condition())
+                        )
+                    from repro.mixy.c.pretty import expr_text
+
+                    warning = self.warn(
+                        CErrKind.CHECK_FAIL,
+                        f"check({expr_text(expr.cond)}) can fail in {frame.fn.name}",
+                        frame.fn.name,
+                    )
+                    self._relay_witness(warning, fail_state, cond)
+            if guard.is_false:
+                continue
+            s2 = s1 if guard.is_true else s1.and_guard(guard)
+            if not guard.is_true and not self.feasible(s2):
+                continue
+            yield s2, smt.int_const(1)
 
     def _eval_var(self, expr: VarRef, frame: "_Frame", state: CState) -> Iterator[tuple[CState, smt.Term]]:
         name = expr.name
@@ -790,13 +864,13 @@ class CSymExecutor:
                 warning = self.warn(
                     CErrKind.NULL_DEREF, f"{description} is NULL", frame.fn.name
                 )
-                self._witness_null_deref(warning, state, ptr)
+                self._relay_witness(warning, state, ptr)
                 return
         elif self.feasible(state, null_case):
             warning = self.warn(
                 CErrKind.NULL_DEREF, f"{description} may be NULL", frame.fn.name
             )
-            self._witness_null_deref(warning, state, ptr)
+            self._relay_witness(warning, state, ptr)
         state = state.and_guard(smt.not_(null_case)) if not ptr.is_const else state
         candidates = sorted(
             address

@@ -148,16 +148,15 @@ class WorkerCrash(RuntimeError):
 
 def fresh_equivalence_state() -> None:
     """Reset the process-global counters that leak ordinal state between
-    runs in one process: qualifier-variable ids and the string-intern
-    table.  After this, an analysis run produces byte-identical
-    diagnostics to the same run in a fresh process.  (The solver
-    service is *not* reset — its cache is keyed on formulas, which are
-    ordinal-free across runs of the same source precisely because of
-    this reset.)"""
-    from repro.mixy.qual import QVar
+    runs in one process: the string-intern table (qualifier-variable ids
+    are per-:class:`~repro.mixy.qual.QualInference` ordinals, so they
+    never leak across runs to begin with).  After this, an analysis run
+    produces byte-identical diagnostics to the same run in a fresh
+    process.  (The solver service is *not* reset — its cache is keyed on
+    formulas, which are ordinal-free across runs of the same source
+    precisely because of this reset.)"""
     from repro.symexec import values
 
-    QVar._ids = itertools.count(1)
     values._STRING_CODES.clear()
 
 
@@ -176,6 +175,25 @@ def analyze_source(
     folded into the request budget (the tighter limit wins)."""
     from repro.budget import Budget
 
+    if options.get("prove"):
+        # `repro client --prove` / {"cmd": "prove"}: classify the source
+        # as one property file (prove_source resets equivalence state and
+        # builds its own per-request budget, mirroring this function).
+        from repro.prove import exit_code, prove_source
+
+        result = prove_source(
+            lang,
+            source,
+            options,
+            name=str(options.get("name", "<property>")),
+            store=store,
+            request_deadline=request_deadline,
+        )
+        return {
+            "exit": exit_code([result]),
+            "lines": [result.line()],
+            "verdict": result.verdict,
+        }
     budget = Budget.from_request(options, request_deadline)
     fresh_equivalence_state()
     if lang == "mixy":
@@ -1150,9 +1168,13 @@ class ReproDaemon:
             return _reply("ok", stats=stats)
         if cmd == "analyze":
             return self._handle_analyze(request_obj)
+        if cmd == "prove":
+            # Same admission, isolation, and budget plumbing as analyze;
+            # analyze_source routes on the marker (see its prove branch).
+            return self._handle_analyze(request_obj, prove=True)
         return _reply("protocol_error", error=f"unknown cmd {cmd!r}")
 
-    def _handle_analyze(self, request_obj: dict) -> dict:
+    def _handle_analyze(self, request_obj: dict, prove: bool = False) -> dict:
         from repro import smt
 
         lang = request_obj.get("lang", "mixy")
@@ -1166,6 +1188,8 @@ class ReproDaemon:
             options = {}
         if not isinstance(options, dict):
             return _reply("protocol_error", error="'options' must be an object")
+        if prove:
+            options = dict(options, prove=True)
         if lang not in ("mix", "mixy"):
             # Same message the in-process ValueError produces, but
             # decided before paying for a fork.

@@ -34,9 +34,11 @@ from repro.trace import TRACER, conjunct_count
 from repro.lang.ast import (
     App,
     Assign,
+    Assume,
     BinOp,
     BinOpKind,
     BoolLit,
+    Check,
     Deref,
     Expr,
     Fun,
@@ -48,6 +50,7 @@ from repro.lang.ast import (
     Seq,
     StrLit,
     SymBlock,
+    Symbolic,
     TypedBlock,
     UnitLit,
     Var,
@@ -87,6 +90,14 @@ class ErrKind(Enum):
     #: rules treat this conservatively — reported in SOUND mode, warned
     #: and truncated in GOOD_ENOUGH mode (see repro.budget).
     BUDGET = "resource budget exceeded"
+    #: A ``check(e)`` has a feasible falsifying path — a property
+    #: failure, diagnosed like a dynamic type error (the witness model
+    #: is a concrete counterexample).
+    CHECK = "check failed"
+    #: An ``assume(e)`` closed this path (¬e held): not an error — the
+    #: mix rules never diagnose these, but their guards still count
+    #: toward exhaustiveness.
+    ASSUME = "assumption closed path"
 
 
 @dataclass(frozen=True)
@@ -103,6 +114,10 @@ class State:
     memory: mem.SymMemory
     defs: tuple[smt.Term, ...] = ()
     decisions: tuple[smt.Term, ...] = ()
+    #: names of the fresh α's created by ``symbolic()``, in program
+    #: (creation) order along this path — witness replay feeds a model's
+    #: values for them to the concrete interpreter in the same order.
+    symbolics: tuple[str, ...] = ()
 
     def with_guard(self, guard: smt.Term) -> "State":
         return replace(self, guard=guard)
@@ -115,6 +130,9 @@ class State:
 
     def add_defs(self, *constraints: smt.Term) -> "State":
         return replace(self, defs=self.defs + constraints)
+
+    def add_symbolic(self, name: str) -> "State":
+        return replace(self, symbolics=self.symbolics + (name,))
 
     def condition(self) -> smt.Term:
         """Path condition including definitions — feasibility queries."""
@@ -388,6 +406,15 @@ class SymExecutor:
         elif isinstance(expr, SymBlock):
             # Symbolic-in-symbolic passes through (trivial, as the paper notes).
             yield from self._eval(expr.body, env, state)
+        elif isinstance(expr, Symbolic):
+            alpha = self.names.fresh_int("symbolic")
+            yield from self._ok(
+                state.add_symbolic(str(alpha.payload)), int_value(alpha)
+            )
+        elif isinstance(expr, Assume):
+            yield from self._eval_assume(expr, env, state)
+        elif isinstance(expr, Check):
+            yield from self._eval_check(expr, env, state)
         else:
             yield from self._err(
                 state, ErrKind.UNSUPPORTED, f"unknown node {type(expr).__name__}", expr
@@ -589,6 +616,10 @@ class SymExecutor:
                     guard=self._fold(smt.ite(guard, t.state.guard, e.state.guard)),
                     memory=mem.MemMerge(guard, t.state.memory, e.state.memory),
                     defs=_merge_defs(state.defs, t.state.defs, e.state.defs),
+                    symbolics=t.state.symbolics
+                    + tuple(
+                        n for n in e.state.symbolics if n not in t.state.symbolics
+                    ),
                 )
                 yield Outcome(merged_state, value=merged_value)
                 return
@@ -607,6 +638,97 @@ class SymExecutor:
             )
         yield from then_outs
         yield from else_outs
+
+    def _eval_assume(self, expr: Assume, env: SymEnv, state: State) -> Iterator[Outcome]:
+        """``assume(e)``: constrain the path with e; the ¬e extension is a
+        terminal ``ASSUME`` outcome (never diagnosed, but its guard keeps
+        the outcome set exhaustive)."""
+
+        def with_cond(s1: State, cond: SymValue) -> Iterator[Outcome]:
+            if cond.typ != BOOL:
+                return self._err(
+                    s1, ErrKind.TYPE_ERROR, f"'assume' condition has type {cond.typ}", expr
+                )
+            assert cond.term is not None
+            guard = self._fold(cond.term)
+            if guard.is_true:
+                return self._ok(s1, unit_value())
+            if guard.is_false:
+                return self._err(
+                    s1, ErrKind.ASSUME, "assumption is false on this path", expr
+                )
+            return self._split_assume(expr, s1, guard)
+
+        yield from self._bind(self._eval(expr.cond, env, state), with_cond)
+
+    def _split_assume(
+        self, expr: Assume, state: State, guard: smt.Term
+    ) -> Iterator[Outcome]:
+        # The closed arm is never pruned: the mix rules need its guard to
+        # keep exhaustive(g1, ..., gn) a tautology.
+        yield Outcome(
+            state.and_guard(self._fold(smt.not_(guard))),
+            error="assumption is false on this path",
+            kind=ErrKind.ASSUME,
+            pos=expr.pos,
+        )
+        kept = state.and_guard(guard)
+        if self.config.prune_infeasible and not self._feasible(kept):
+            self.stats["paths_pruned"] += 1
+            return
+        yield Outcome(kept, value=unit_value())
+
+    def _eval_check(self, expr: Check, env: SymEnv, state: State) -> Iterator[Outcome]:
+        """``check(e)``: fork on e; a feasible ¬e extension is a property
+        failure (``ErrKind.CHECK``), the e extension continues."""
+
+        def with_cond(s1: State, cond: SymValue) -> Iterator[Outcome]:
+            if cond.typ != BOOL:
+                return self._err(
+                    s1, ErrKind.TYPE_ERROR, f"'check' condition has type {cond.typ}", expr
+                )
+            assert cond.term is not None
+            guard = self._fold(cond.term)
+            if guard.is_true:
+                return self._ok(s1, unit_value())
+            if guard.is_false:
+                return self._err(
+                    s1, ErrKind.CHECK, "checked property is false on this path", expr
+                )
+            return self._split_check(expr, s1, guard)
+
+        yield from self._bind(self._eval(expr.cond, env, state), with_cond)
+
+    def _split_check(
+        self, expr: Check, state: State, guard: smt.Term
+    ) -> Iterator[Outcome]:
+        if self._deadline_hit():
+            yield from self._budget_breach(
+                state,
+                "deadline_breaches",
+                "run deadline reached at a check: both extensions abandoned",
+                expr,
+            )
+            return
+        self.stats["forks"] += 1
+        if TRACER.enabled:
+            TRACER.event("path.fork", pc_size=conjunct_count(state.condition()))
+        failing = state.and_guard(self._fold(smt.not_(guard)))
+        if self.config.prune_infeasible and not self._feasible(failing):
+            # The property holds on every extension of this path.
+            self.stats["paths_pruned"] += 1
+        else:
+            yield Outcome(
+                failing,
+                error="checked property is false on this path",
+                kind=ErrKind.CHECK,
+                pos=expr.pos,
+            )
+        passing = state.and_guard(guard)
+        if self.config.prune_infeasible and not self._feasible(passing):
+            self.stats["paths_pruned"] += 1
+            return
+        yield Outcome(passing, value=unit_value())
 
     def _eval_let(self, expr: Let, env: SymEnv, state: State) -> Iterator[Outcome]:
         def bind_body(s1: State, bound: SymValue) -> Iterator[Outcome]:

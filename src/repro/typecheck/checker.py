@@ -22,9 +22,11 @@ from typing import Callable, Optional
 from repro.lang.ast import (
     App,
     Assign,
+    Assume,
     BinOp,
     BinOpKind,
     BoolLit,
+    Check,
     Deref,
     Expr,
     Fun,
@@ -37,6 +39,7 @@ from repro.lang.ast import (
     Seq,
     StrLit,
     SymBlock,
+    Symbolic,
     TypedBlock,
     UnitLit,
     Var,
@@ -163,6 +166,16 @@ class TypeChecker:
                     expr.pos,
                 )
             return self.symbolic_block_hook(env, expr)
+        if isinstance(expr, Symbolic):
+            # A symbolic input is an arbitrary int — the checker sees it
+            # exactly as it would any other integer expression.
+            return INT
+        if isinstance(expr, Assume):
+            self._expect(expr.cond, env, BOOL, "condition of 'assume'")
+            return UNIT
+        if isinstance(expr, Check):
+            self._expect(expr.cond, env, BOOL, "condition of 'check'")
+            return UNIT
         raise TypeError_(f"unknown expression node {expr!r}", expr.pos)
 
     def _check_binop(self, expr: BinOp, env: TypeEnv) -> Type:

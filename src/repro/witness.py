@@ -43,7 +43,13 @@ from typing import TYPE_CHECKING, Optional
 from repro import smt
 from repro.lang.ast import Expr
 from repro.trace import TRACER
-from repro.lang.interp import EvalBudgetExceeded, Interpreter, RuntimeTypeError
+from repro.lang.interp import (
+    AssumeViolation,
+    CheckFailure,
+    EvalBudgetExceeded,
+    Interpreter,
+    RuntimeTypeError,
+)
 from repro.symexec.executor import ErrKind, Outcome
 from repro.symexec.valuation import Valuation, inputs_from_model
 from repro.symexec.values import SymEnv
@@ -196,14 +202,27 @@ def _validate_mix_outcome(
             scalar_types[name] = typ
 
     inputs = inputs_from_model(model, alphas, scalar_types)
+    # ``symbolic()`` draws along the path, in program order.  The names
+    # were recorded on the state as they were minted; the term table is
+    # hash-consed, so rebuilding each variable recovers the exact α the
+    # path condition constrains.
+    sym_names = list(outcome.state.symbolics)
+    sym_values = inputs_from_model(
+        model,
+        {name: smt.var(name, smt.INT) for name in sym_names},
+        {name: INT for name in sym_names},
+    )
+    sym_feed = [int(sym_values[name]) for name in sym_names]
     # Reference-typed inputs cannot be faithfully reconstructed from the
     # model (relating concrete locations to symbolic addresses needs the
     # Λ₀·V·Λ machinery of the appendix proof); replay them best-effort
     # with default-initialized cells and treat the run as approximate.
     exact = not ref_types
-    interp = Interpreter(step_budget=step_budget)
+    interp = Interpreter(step_budget=step_budget, symbolic_inputs=sym_feed)
     env: dict[str, object] = dict(inputs)
     shown_inputs: dict[str, object] = dict(inputs)
+    for name in sym_names:
+        shown_inputs[name] = sym_values[name]
     for name, typ in ref_types.items():
         default = _allocate_default(interp, typ.elem)
         env[name] = interp.allocate(default)
@@ -212,11 +231,43 @@ def _validate_mix_outcome(
     try:
         interp.eval(body, env)
     except RuntimeTypeError as error:
+        if outcome.kind is ErrKind.CHECK:
+            return _record(
+                Witness(
+                    WitnessVerdict.UNCONFIRMED,
+                    inputs=shown_inputs,
+                    reason=f"replay faulted before reaching the check: {error}",
+                )
+            )
         return _record(
             Witness(
                 WitnessVerdict.CONFIRMED,
                 inputs=shown_inputs,
                 reason=f"replay reproduces the error: {error}",
+            )
+        )
+    except CheckFailure as error:
+        if outcome.kind is ErrKind.CHECK:
+            return _record(
+                Witness(
+                    WitnessVerdict.CONFIRMED,
+                    inputs=shown_inputs,
+                    reason=f"replay reproduces the property failure: {error}",
+                )
+            )
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason=f"replay tripped an unrelated check: {error}",
+            )
+        )
+    except AssumeViolation as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown_inputs,
+                reason=f"replay left the assumed region (vacuous run): {error}",
             )
         )
     except EvalBudgetExceeded:
@@ -248,7 +299,10 @@ def _validate_mix_outcome(
                 "made it approximate",
             )
         )
-    if outcome.origin != "symbolic" or outcome.kind is not ErrKind.TYPE_ERROR:
+    if outcome.origin != "symbolic" or outcome.kind not in (
+        ErrKind.TYPE_ERROR,
+        ErrKind.CHECK,
+    ):
         return _record(
             Witness(
                 WitnessVerdict.UNCONFIRMED,
@@ -453,6 +507,165 @@ def _validate_c_null_deref(
             inputs=shown,
             reason="faithful replay completed normally although the path "
             "condition claims NULL is dereferenced — executor/solver bug",
+        )
+    )
+
+
+def validate_c_check(
+    program: "CProgram",
+    fn: "CFunction",
+    args: list[smt.Term],
+    initial_state: "CState",
+    global_env: dict[str, int],
+    fn_addresses: dict[str, int],
+    state: "CState",
+    cond: smt.Term,
+    exact: bool = True,
+    step_budget: int = 200_000,
+) -> Witness:
+    """Replay one MIXY CHECK_FAIL warning; classify the report.
+
+    ``state`` is the failing branch's state — its guard already contains
+    ``cond = 0``, so a model of ``state.condition()`` fixes concrete
+    inputs (including every ``symbolic()`` draw recorded on
+    ``state.symbolics``) on which the property should fail.  The replay
+    confirms when the concrete run raises :class:`CCheckFailure`.
+    """
+    if not TRACER.enabled:
+        return _validate_c_check(
+            program, fn, args, initial_state, global_env, fn_addresses,
+            state, cond, exact, step_budget,
+        )
+    with TRACER.span("witness.replay", fn.name) as span:
+        witness = _validate_c_check(
+            program, fn, args, initial_state, global_env, fn_addresses,
+            state, cond, exact, step_budget,
+        )
+        span.fields["verdict"] = witness.verdict.value
+        return witness
+
+
+def _validate_c_check(
+    program: "CProgram",
+    fn: "CFunction",
+    args: list[smt.Term],
+    initial_state: "CState",
+    global_env: dict[str, int],
+    fn_addresses: dict[str, int],
+    state: "CState",
+    cond: smt.Term,
+    exact: bool,
+    step_budget: int,
+) -> Witness:
+    from repro.mixy.c.interp import (
+        CAssumeViolation,
+        CCheckFailure,
+        CInterpreter,
+        CRuntimeError,
+        CStepBudgetExceeded,
+    )
+
+    try:
+        model = smt.get_service().model(state.condition())
+    except smt.SolverError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason=f"no model for the failing branch of the check ({error})",
+            )
+        )
+
+    sym_names = list(state.symbolics)
+    sym_values = inputs_from_model(
+        model,
+        {name: smt.var(name, smt.INT) for name in sym_names},
+        {name: INT for name in sym_names},
+    )
+    sym_feed = [int(sym_values[name]) for name in sym_names]
+
+    interp = CInterpreter(
+        program, step_budget=step_budget, symbolic_inputs=sym_feed
+    )
+    translator = _CMemoryTranslator(
+        program, interp, model, initial_state, fn_addresses
+    )
+    try:
+        translator.seed_globals(global_env)
+        concrete_args = [
+            translator.translate(term, param.typ)
+            for term, param in zip(args, fn.params)
+        ]
+    except Exception as error:  # defensive: translation must not kill analysis
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                reason="could not concretize the entry state: "
+                f"{type(error).__name__}: {error}",
+            )
+        )
+    shown = {p.name: v for p, v in zip(fn.params, concrete_args)}
+    for name in sym_names:
+        shown[name] = sym_values[name]
+    exact = exact and translator.exact
+
+    try:
+        interp.call(fn.name, concrete_args)
+    except CCheckFailure as error:
+        return _record(
+            Witness(
+                WitnessVerdict.CONFIRMED,
+                inputs=shown,
+                reason=f"replay reproduces the property failure: {error}",
+            )
+        )
+    except CAssumeViolation as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason=f"replay left the assumed region (vacuous run): {error}",
+            )
+        )
+    except CStepBudgetExceeded:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason="replay exceeded its step budget before reaching "
+                "(or refuting) the check",
+            )
+        )
+    except CRuntimeError as error:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason=f"replay faulted before the check: {error}",
+            )
+        )
+    except Exception as error:  # defensive: a replay bug must not kill analysis
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason=f"replay failed unexpectedly: {type(error).__name__}: {error}",
+            )
+        )
+    if not exact:
+        return _record(
+            Witness(
+                WitnessVerdict.UNCONFIRMED,
+                inputs=shown,
+                reason="replay completed normally, but the block run was "
+                "approximate (typed-call havoc, lazy objects, or truncation)",
+            )
+        )
+    return _record(
+        Witness(
+            WitnessVerdict.REPLAY_DIVERGED,
+            inputs=shown,
+            reason="faithful replay completed normally although the path "
+            "condition claims the check fails — executor/solver bug",
         )
     )
 

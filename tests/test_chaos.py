@@ -86,7 +86,6 @@ class TestLiveCampaign:
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
         )
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-        env["PYTHONHASHSEED"] = "0"
         proc = subprocess.run(
             [
                 sys.executable, "-m", "repro.cli", "chaos", "--",

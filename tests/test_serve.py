@@ -142,14 +142,12 @@ class TestHandleLine:
 
 
 def _subprocess_env():
-    """Environment for daemon / baseline subprocesses.  The hash seed is
-    pinned because qualifier-id *rendering* in warning texts depends on
-    it (pre-existing, analyzer-wide); cross-process bitwise identity is
-    defined modulo an equal seed — forked parallel workers inherit
-    theirs, and the CI smoke job pins it the same way."""
+    """Environment for daemon / baseline subprocesses.  No hash-seed
+    pinning: qualifier-id rendering is seed-independent (per-analyzer
+    ordinals), so cross-process bitwise identity holds under any
+    PYTHONHASHSEED."""
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
-    env["PYTHONHASHSEED"] = "0"
     return env
 
 
